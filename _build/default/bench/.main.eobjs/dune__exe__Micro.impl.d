@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance List Loopcoal Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,37 @@
+(* Bench harness entry point.
+
+   Usage:
+     dune exec bench/main.exe            # every experiment + micro-benches
+     dune exec bench/main.exe e3 e5     # selected experiments
+     dune exec bench/main.exe micro     # Bechamel micro-benchmarks only
+
+   Each experiment regenerates one reconstructed table or figure of the
+   evaluation (see DESIGN.md and EXPERIMENTS.md). *)
+
+let usage () =
+  print_endline "usage: main.exe [e1..e8 | micro | all]...";
+  print_endline "available experiments:";
+  List.iter (fun (id, _) -> Printf.printf "  %s\n" id) Experiments.all;
+  print_endline "  micro"
+
+let run_id id =
+  match List.assoc_opt id Experiments.all with
+  | Some f -> f ()
+  | None -> (
+      match id with
+      | "micro" -> Micro.run ()
+      | "all" ->
+          List.iter (fun (_, f) -> f ()) Experiments.all;
+          Micro.run ()
+      | _ ->
+          Printf.printf "unknown experiment %S\n" id;
+          usage ();
+          exit 1)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] -> run_id "all"
+  | _ :: args ->
+      if List.mem "--help" args || List.mem "-h" args then usage ()
+      else List.iter run_id args
+  | [] -> assert false

@@ -1,0 +1,86 @@
+(* Bechamel micro-benchmarks: actual wall-clock cost of the three index
+   recovery strategies at several nest depths. These complement E1's
+   abstract op counts with real nanoseconds on the host. *)
+
+open Bechamel
+open Toolkit
+module IR = Loopcoal.Index_recovery
+
+let shapes = [ ("d2", [ 64; 64 ]); ("d3", [ 16; 16; 16 ]); ("d4", [ 8; 8; 8; 8 ]) ]
+
+let sweep_closed strategy sizes () =
+  let n = Loopcoal.Intmath.product sizes in
+  let acc = ref 0 in
+  for j = 1 to n do
+    match IR.recover strategy ~sizes j with
+    | i1 :: _ -> acc := !acc + i1
+    | [] -> ()
+  done;
+  !acc
+
+let sweep_cursor sizes () =
+  let n = Loopcoal.Intmath.product sizes in
+  let c = IR.cursor_start ~sizes 1 in
+  let acc = ref 0 in
+  for j = 2 to n do
+    IR.cursor_next c;
+    ignore j
+  done;
+  (match IR.cursor_indices c with i1 :: _ -> acc := !acc + i1 | [] -> ());
+  !acc
+
+let tests =
+  let per_shape (label, sizes) =
+    [
+      Test.make
+        ~name:(Printf.sprintf "div_mod/%s" label)
+        (Staged.stage (sweep_closed IR.Div_mod sizes));
+      Test.make
+        ~name:(Printf.sprintf "ceiling/%s" label)
+        (Staged.stage (sweep_closed IR.Ceiling sizes));
+      Test.make
+        ~name:(Printf.sprintf "odometer/%s" label)
+        (Staged.stage (sweep_cursor sizes));
+    ]
+  in
+  Test.make_grouped ~name:"recovery-sweep-4096-iters"
+    (List.concat_map per_shape shapes)
+
+let run () =
+  print_endline
+    "\n\
+     ================================================================\n\
+     Micro-benchmarks (Bechamel): wall-clock of one full 4096-iteration\n\
+     recovery sweep, per strategy and nest depth\n\
+     ================================================================\n";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns_per_run ] -> rows := (name, ns_per_run) :: !rows
+      | _ -> ())
+    results;
+  let t =
+    Loopcoal.Table.create
+      [
+        ("benchmark", Loopcoal.Table.Left);
+        ("ns/sweep", Loopcoal.Table.Right);
+        ("ns/iteration", Loopcoal.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, ns) ->
+      Loopcoal.Table.add_row t
+        [
+          name;
+          Loopcoal.Table.cell_float ~dec:0 ns;
+          Loopcoal.Table.cell_float (ns /. 4096.0);
+        ])
+    (List.sort compare !rows);
+  Loopcoal.Table.print t

@@ -1,0 +1,659 @@
+(* loopc: command-line front end for the loop-coalescing library.
+
+   Subcommands:
+     show      parse a program and pretty-print it with a nest summary
+     analyze   classify loops, verify parallel annotations
+     coalesce  apply the transformation (verified) and print the result
+     simulate  schedule a rectangular iteration space on the machine model
+     kernel    dump a built-in kernel as surface syntax *)
+
+open Cmdliner
+module L = Loopcoal
+
+let read_program path =
+  match L.Driver.load_file path with
+  | Ok p -> Ok p
+  | Error m -> Error (`Msg m)
+
+let program_conv =
+  Arg.conv (read_program, fun fmt _ -> Format.fprintf fmt "<program>")
+
+let program_arg =
+  Arg.(
+    required
+    & pos 0 (some program_conv) None
+    & info [] ~docv:"FILE" ~doc:"Program in the loopc surface language.")
+
+let strategy_conv =
+  let parse = function
+    | "ceiling" -> Ok L.Index_recovery.Ceiling
+    | "divmod" -> Ok L.Index_recovery.Div_mod
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (ceiling|divmod)" s))
+  in
+  Arg.conv
+    (parse, fun fmt s -> Format.pp_print_string fmt (L.Index_recovery.strategy_name s))
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv L.Index_recovery.Ceiling
+    & info [ "strategy"; "s" ] ~docv:"STRAT"
+        ~doc:"Index-recovery codegen: $(b,ceiling) (the paper's) or $(b,divmod).")
+
+(* ---------- show ---------- *)
+
+let nest_summary p =
+  List.iteri
+    (fun i (n : L.Driver.nest_info) ->
+      Printf.printf "nest %d: indices [%s], shape %s, parallel depth %d, \
+                     coalescible depth %d\n"
+        i
+        (String.concat "; " n.L.Driver.indices)
+        (match n.L.Driver.shape with
+        | Some s -> String.concat "x" (List.map string_of_int s)
+        | None -> "symbolic")
+        n.L.Driver.parallel_depth n.L.Driver.coalescible_depth)
+    (L.Driver.nests p)
+
+let report_validation p =
+  match L.Validate.check_program p with
+  | [] -> ()
+  | issues ->
+      List.iter
+        (fun (i : L.Validate.issue) ->
+          Printf.eprintf "warning: %s (%s)\n" i.L.Validate.what
+            i.L.Validate.where)
+        issues
+
+let show_cmd =
+  let run p =
+    report_validation p;
+    print_string (L.Pretty.program_to_string p);
+    print_newline ();
+    nest_summary p
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Parse and pretty-print a program.")
+    Term.(const run $ program_arg)
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd =
+  let deps_flag =
+    Arg.(
+      value & flag
+      & info [ "deps" ]
+          ~doc:"Also print the may-dependence report for every loop.")
+  in
+  let run deps p =
+    report_validation p;
+    if deps then print_string (L.Dep_report.to_string (L.Dep_report.report p));
+    let problems = L.Loop_class.verify_annotations p.L.Ast.body in
+    if problems = [] then
+      print_endline "all parallel annotations confirmed by the analysis"
+    else
+      List.iter
+        (fun (index, reason) ->
+          Printf.printf "loop %s: annotation not confirmed: %s\n" index reason)
+        problems;
+    let inferred = L.Loop_class.infer_block p.L.Ast.body in
+    print_endline "--- with inferred parallel annotations ---";
+    print_string (L.Pretty.program_to_string { p with L.Ast.body = inferred });
+    nest_summary p
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run dependence analysis: verify and infer parallel annotations.")
+    Term.(const run $ deps_flag $ program_arg)
+
+(* ---------- coalesce ---------- *)
+
+let chunk_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk" ] ~docv:"C"
+        ~doc:
+          "Emit chunked code: each processor chunk of $(docv) coalesced \
+           iterations recovers indices once and advances them with the \
+           O(1) odometer.")
+
+let verified_print p p' banner =
+  print_string (L.Pretty.program_to_string p');
+  let verdict =
+    match L.Pipeline.observably_equal ~reference:p p' with
+    | Ok () -> "verified"
+    | Error d -> "NOT verified: " ^ d
+  in
+  Printf.eprintf "%s; interpreter equivalence: %s\n" banner verdict
+
+let coalesce_cmd =
+  let run strategy chunk p =
+    match chunk with
+    | None -> (
+        match L.Driver.coalesce_report ~strategy p with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            exit 1
+        | Ok r ->
+            print_string r.L.Driver.after_text;
+            Printf.eprintf
+              "coalesced %d nest(s); interpreter equivalence: %s\n"
+              r.L.Driver.nests_coalesced
+              (if r.L.Driver.verified then "verified" else "NOT verified"))
+    | Some c -> (
+        match L.Coalesce_chunked.apply_program ~chunk:c p with
+        | Error _ ->
+            Printf.eprintf "error: no coalescible nest (or bad chunk)\n";
+            exit 1
+        | Ok p' -> verified_print p p' "chunk-coalesced first nest")
+  in
+  Cmd.v
+    (Cmd.info "coalesce"
+       ~doc:
+         "Coalesce every maximal parallel nest and print the transformed \
+          program (equivalence checked with the reference interpreter). \
+          With $(b,--chunk), rewrite the first nest into chunked form \
+          with odometer index recovery instead.")
+    Term.(const run $ strategy_arg $ chunk_arg $ program_arg)
+
+let distribute_cmd =
+  let run p =
+    let p', count = L.Distribute.apply_program p in
+    verified_print p p' (Printf.sprintf "distributed %d loop(s)" count)
+  in
+  Cmd.v
+    (Cmd.info "distribute"
+       ~doc:
+         "Split loops around independent statement groups (fission), \
+          exposing perfect nests for coalescing.")
+    Term.(const run $ program_arg)
+
+let fuse_cmd =
+  let run p =
+    let body, count = L.Fuse.apply_block p.L.Ast.body in
+    let p' = { p with L.Ast.body = body } in
+    verified_print p p' (Printf.sprintf "performed %d fusion(s)" count)
+  in
+  Cmd.v
+    (Cmd.info "fuse" ~doc:"Fuse adjacent compatible loops.")
+    Term.(const run $ program_arg)
+
+let reduce_cmd =
+  let index_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "index"; "i" ] ~docv:"VAR" ~doc:"Loop index of the reduction.")
+  in
+  let scalar_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "scalar" ] ~docv:"VAR" ~doc:"Accumulator scalar.")
+  in
+  let procs_arg =
+    Arg.(value & opt int 8 & info [ "p" ] ~docv:"P" ~doc:"Partial results.")
+  in
+  let run index scalar procs p =
+    match L.Parallel_reduce.apply p ~loop_index:index ~scalar ~processors:procs with
+    | Error _ ->
+        Printf.eprintf "error: no such reduction (index %s, scalar %s)\n"
+          index scalar;
+        exit 1
+    | Ok p' ->
+        print_string (L.Pretty.program_to_string p');
+        Printf.eprintf
+          "parallelized reduction on %s (note: re-associates floating \
+           point)\n"
+          scalar
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:
+         "Parallelize a recognized reduction into per-processor partial \
+          results.")
+    Term.(const run $ index_arg $ scalar_arg $ procs_arg $ program_arg)
+
+(* ---------- simulate ---------- *)
+
+let shape_conv =
+  let parse s =
+    try
+      let dims = String.split_on_char 'x' s |> List.map int_of_string in
+      if dims = [] || List.exists (fun d -> d < 1) dims then
+        Error (`Msg "shape must be positive ints like 60x25")
+      else Ok dims
+    with Failure _ -> Error (`Msg "shape must look like 60x25")
+  in
+  Arg.conv
+    ( parse,
+      fun fmt s ->
+        Format.pp_print_string fmt (String.concat "x" (List.map string_of_int s)) )
+
+let policy_conv =
+  let parse s =
+    match s with
+    | "block" -> Ok L.Policy.Static_block
+    | "cyclic" -> Ok L.Policy.Static_cyclic
+    | "ss" -> Ok (L.Policy.Self_sched 1)
+    | "gss" -> Ok L.Policy.Gss
+    | "factoring" -> Ok L.Policy.Factoring
+    | "tss" -> Ok L.Policy.Trapezoid
+    | s when String.length s > 6 && String.sub s 0 6 = "chunk:" -> (
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some c when c >= 1 -> Ok (L.Policy.Self_sched c)
+        | _ -> Error (`Msg "chunk:<positive int>"))
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown policy %S (block|cyclic|ss|chunk:N|gss|factoring|tss)" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (L.Policy.name p))
+
+let body_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "uniform"; c ] -> (
+        match float_of_string_opt c with
+        | Some c when c >= 0.0 -> Ok (`Uniform c)
+        | _ -> Error (`Msg "uniform:<cost>"))
+    | [ "triangular"; c ] -> (
+        match float_of_string_opt c with
+        | Some c when c >= 0.0 -> Ok (`Triangular c)
+        | _ -> Error (`Msg "triangular:<scale>"))
+    | [ "random"; lo; hi ] -> (
+        match (float_of_string_opt lo, float_of_string_opt hi) with
+        | Some lo, Some hi when 0.0 <= lo && lo <= hi -> Ok (`Random (lo, hi))
+        | _ -> Error (`Msg "random:<lo>:<hi>"))
+    | _ ->
+        Error
+          (`Msg "body model: uniform:<c> | triangular:<scale> | random:<lo>:<hi>")
+  in
+  let print fmt = function
+    | `Uniform c -> Format.fprintf fmt "uniform:%g" c
+    | `Triangular c -> Format.fprintf fmt "triangular:%g" c
+    | `Random (lo, hi) -> Format.fprintf fmt "random:%g:%g" lo hi
+  in
+  Arg.conv (parse, print)
+
+let simulate_cmd =
+  let shape =
+    Arg.(
+      value & opt shape_conv [ 60; 25 ]
+      & info [ "shape" ] ~docv:"N1xN2x..." ~doc:"Nest trip counts.")
+  in
+  let procs =
+    Arg.(value & opt int 16 & info [ "p" ] ~docv:"P" ~doc:"Processors.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv L.Policy.Static_block
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"block | cyclic | ss | chunk:N | gss | factoring | tss.")
+  in
+  let body =
+    Arg.(
+      value
+      & opt body_conv (`Uniform 20.0)
+      & info [ "body" ] ~docv:"MODEL"
+          ~doc:"Per-iteration cost: uniform:<c>, triangular:<s>, random:<lo>:<hi>.")
+  in
+  let serialized =
+    Arg.(
+      value & flag
+      & info [ "no-combining" ]
+          ~doc:"Serialize dispatches (no combining network).")
+  in
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Render the coalesced schedule as a per-processor Gantt chart.")
+  in
+  let doacross_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "doacross" ] ~docv:"LAMBDA"
+          ~doc:
+            "Also simulate DOACROSS execution of the flattened space with \
+             the given dependence distance (post/wait sync cost 20).")
+  in
+  let run shape p policy body serialized trace doacross =
+    if p < 1 then begin
+      prerr_endline "error: p must be >= 1";
+      exit 1
+    end;
+    let body_fn =
+      match body with
+      | `Uniform c -> L.Bodies.uniform c
+      | `Triangular s -> L.Bodies.triangular s
+      | `Random (lo, hi) -> L.Bodies.random_uniform ~seed:42 ~lo ~hi
+    in
+    let machine =
+      let m = L.Machine.default ~p in
+      if serialized then { m with L.Machine.serialized_dispatch = true } else m
+    in
+    let spec =
+      {
+        L.Driver.shape;
+        body = body_fn;
+        machine;
+        strategy = L.Index_recovery.Incremental;
+      }
+    in
+    let lines =
+      [
+        L.Driver.simulate_coalesced spec ~policy;
+        L.Driver.simulate_nested_best spec;
+        L.Driver.simulate_nested_outer_only spec;
+      ]
+    in
+    let t =
+      L.Table.create
+        [
+          ("schedule", L.Table.Left);
+          ("completion", L.Table.Right);
+          ("speedup", L.Table.Right);
+          ("efficiency", L.Table.Right);
+          ("dispatches", L.Table.Right);
+          ("imbalance", L.Table.Right);
+        ]
+    in
+    List.iter
+      (fun (l : L.Driver.sim_line) ->
+        L.Table.add_row t
+          [
+            l.L.Driver.label;
+            L.Table.cell_float ~dec:0 l.L.Driver.completion;
+            L.Table.cell_ratio l.L.Driver.speedup;
+            L.Table.cell_float l.L.Driver.efficiency;
+            L.Table.cell_int l.L.Driver.dispatches;
+            L.Table.cell_float l.L.Driver.imbalance;
+          ])
+      lines;
+    L.Table.print t;
+    if trace then begin
+      let n = L.Intmath.product shape in
+      let chunk_cost =
+        L.Workload_cost.chunk_cost ~strategy:L.Index_recovery.Incremental
+          ~sizes:shape ~body:body_fn
+      in
+      let r = L.Event_sim.simulate ~machine ~policy ~n ~chunk_cost in
+      L.Gantt.print r
+    end;
+    (match doacross with
+    | None -> ()
+    | Some lambda when lambda < 1 ->
+        prerr_endline "error: lambda must be >= 1";
+        exit 1
+    | Some lambda ->
+        let n = L.Intmath.product shape in
+        let sizes = shape in
+        let r =
+          L.Event_sim.simulate_doacross ~machine ~n ~lambda ~sync_cost:20.0
+            ~body_cost:(fun j ->
+              body_fn (L.Index_recovery.recover_div_mod ~sizes j))
+        in
+        Printf.printf
+          "doacross (lambda = %d): completion %.0f, %d post/wait pairs\n"
+          lambda r.L.Event_sim.d_completion r.L.Event_sim.d_syncs)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate schedules of a rectangular nest on the machine model.")
+    Term.(
+      const run $ shape $ procs $ policy $ body $ serialized $ trace_flag
+      $ doacross_arg)
+
+(* ---------- schedule (profile a real program) ---------- *)
+
+let schedule_cmd =
+  let procs_arg =
+    Arg.(value & opt int 16 & info [ "p" ] ~docv:"P" ~doc:"Processors.")
+  in
+  let run procs p =
+    match L.Driver.schedule_program ~p:procs p with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok (prof, lines) ->
+        Printf.printf
+          "profiled nest: shape %s, %d iterations, measured body cost %.1f \
+           weighted ops/iteration\n"
+          (String.concat "x" (List.map string_of_int prof.L.Driver.p_shape))
+          prof.L.Driver.p_iterations prof.L.Driver.p_body_cost;
+        let t =
+          L.Table.create
+            [
+              ("schedule", L.Table.Left);
+              ("completion", L.Table.Right);
+              ("speedup", L.Table.Right);
+              ("efficiency", L.Table.Right);
+            ]
+        in
+        List.iter
+          (fun (l : L.Driver.sim_line) ->
+            L.Table.add_row t
+              [
+                l.L.Driver.label;
+                L.Table.cell_float ~dec:0 l.L.Driver.completion;
+                L.Table.cell_ratio l.L.Driver.speedup;
+                L.Table.cell_float l.L.Driver.efficiency;
+              ])
+          lines;
+        L.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:
+         "Profile the program's first constant-shape nest with the \
+          interpreter and simulate coalesced vs nested schedules using the \
+          measured body cost.")
+    Term.(const run $ procs_arg $ program_arg)
+
+(* ---------- shrink ---------- *)
+
+let shrink_cmd =
+  let run p =
+    let p', factors = L.Cycle_shrink.apply_program p in
+    verified_print p p'
+      (Printf.sprintf "cycle-shrunk %d loop(s)%s" (List.length factors)
+         (if factors = [] then ""
+          else
+            " with lambda = "
+            ^ String.concat ", " (List.map string_of_int factors)))
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Cycle shrinking: split serial loops whose carried dependences \
+          all span >= lambda iterations into serial groups of lambda \
+          parallel iterations.")
+    Term.(const run $ program_arg)
+
+(* ---------- unroll / peel ---------- *)
+
+let first_loop_rewrite p ~name ~rewrite =
+  (* Rewrite the first top-level loop the transformation accepts. *)
+  let done_ = ref false in
+  let body =
+    List.concat_map
+      (fun (s : L.Ast.stmt) ->
+        if !done_ then [ s ]
+        else
+          match s with
+          | L.Ast.For _ -> (
+              match rewrite s with
+              | Ok stmts ->
+                  done_ := true;
+                  stmts
+              | Error _ -> [ s ])
+          | _ -> [ s ])
+      p.L.Ast.body
+  in
+  if !done_ then Some { p with L.Ast.body }
+  else begin
+    Printf.eprintf "error: no top-level loop accepts %s\n" name;
+    None
+  end
+
+let unroll_cmd =
+  let factor_arg =
+    Arg.(value & opt int 4 & info [ "factor"; "u" ] ~docv:"U" ~doc:"Unroll factor.")
+  in
+  let run factor p =
+    let avoid = L.Names.in_program p in
+    match
+      first_loop_rewrite p ~name:"unrolling" ~rewrite:(fun s ->
+          L.Unroll.apply ~avoid ~factor s)
+    with
+    | Some p' -> verified_print p p' "unrolled first loop"
+    | None -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "unroll"
+       ~doc:"Unroll the first (normalized) top-level loop by a factor.")
+    Term.(const run $ factor_arg $ program_arg)
+
+let peel_cmd =
+  let count_arg =
+    Arg.(value & opt int 1 & info [ "count"; "k" ] ~docv:"K" ~doc:"Iterations to peel.")
+  in
+  let from_end_arg =
+    Arg.(value & flag & info [ "from-end" ] ~doc:"Peel from the back instead.")
+  in
+  let run count from_end p =
+    match
+      first_loop_rewrite p ~name:"peeling" ~rewrite:(fun s ->
+          L.Peel.apply ~from_end ~count s)
+    with
+    | Some p' -> verified_print p p' "peeled first loop"
+    | None -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "peel"
+       ~doc:"Peel iterations off the first top-level loop with literal bounds.")
+    Term.(const run $ count_arg $ from_end_arg $ program_arg)
+
+(* ---------- interchange / tile ---------- *)
+
+let interchange_cmd =
+  let run p =
+    match
+      first_loop_rewrite p ~name:"interchange" ~rewrite:(fun s ->
+          Result.map (fun s' -> [ s' ]) (L.Interchange.apply s))
+    with
+    | Some p' -> verified_print p p' "interchanged outer loop pair"
+    | None -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "interchange"
+       ~doc:"Swap the two outermost loops of the first legal perfect nest.")
+    Term.(const run $ program_arg)
+
+let tile_cmd =
+  let c1_arg =
+    Arg.(value & opt int 8 & info [ "c1" ] ~docv:"C1" ~doc:"Outer tile size.")
+  in
+  let c2_arg =
+    Arg.(value & opt int 8 & info [ "c2" ] ~docv:"C2" ~doc:"Inner tile size.")
+  in
+  let run c1 c2 p =
+    let avoid = L.Names.in_program p in
+    match
+      first_loop_rewrite p ~name:"tiling" ~rewrite:(fun s ->
+          Result.map (fun s' -> [ s' ]) (L.Tile.apply ~avoid ~c1 ~c2 s))
+    with
+    | Some p' -> verified_print p p' "tiled first parallel nest"
+    | None -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "tile"
+       ~doc:"Tile the first normalized doubly parallel perfect nest.")
+    Term.(const run $ c1_arg $ c2_arg $ program_arg)
+
+(* ---------- optimize ---------- *)
+
+let optimize_cmd =
+  let run p =
+    let o = L.Pipeline.run L.Pipeline.standard p in
+    (match o.L.Pipeline.verification with
+    | Some f ->
+        Printf.eprintf "internal error: pass %s changed behaviour: %s\n"
+          f.L.Pipeline.pass_name f.L.Pipeline.detail;
+        exit 2
+    | None -> ());
+    print_string (L.Pretty.program_to_string o.L.Pipeline.program);
+    Printf.eprintf "passes applied: %s\n"
+      (String.concat ", " o.L.Pipeline.applied);
+    List.iter
+      (fun (name, reason) ->
+        Printf.eprintf "pass %s declined: %s\n" name reason)
+      o.L.Pipeline.failures
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Run the standard verified pipeline: normalize, distribute, infer \
+          parallelism, hoist parallel loops, coalesce, cycle-shrink.")
+    Term.(const run $ program_arg)
+
+(* ---------- emit-c ---------- *)
+
+let emit_c_cmd =
+  let collapse_flag =
+    Arg.(
+      value & flag
+      & info [ "collapse" ]
+          ~doc:
+            "Emit perfectly nested parallel groups as one pragma with \
+             $(b,collapse(d)) and let the OpenMP runtime coalesce.")
+  in
+  let run collapse p =
+    match L.Emit_c.program_to_c ~collapse p with
+    | Ok source -> print_string source
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "emit-c"
+       ~doc:
+         "Translate the program to self-contained C99 with OpenMP pragmas \
+          (compile with cc -O2 -fopenmp).")
+    Term.(const run $ collapse_flag $ program_arg)
+
+(* ---------- kernel ---------- *)
+
+let kernel_cmd =
+  let kernel_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Built-in kernel: %s."
+               (String.concat ", " L.Kernels.all_names)))
+  in
+  let run name =
+    match L.Kernels.by_name name with
+    | Some mk -> print_string (L.Pretty.program_to_string (mk ()))
+    | None ->
+        Printf.eprintf "unknown kernel %S; available: %s\n" name
+          (String.concat ", " L.Kernels.all_names);
+        exit 1
+  in
+  Cmd.v (Cmd.info "kernel" ~doc:"Print a built-in kernel program.")
+    Term.(const run $ kernel_name)
+
+let main =
+  Cmd.group
+    (Cmd.info "loopc" ~version:"1.0.0"
+       ~doc:"Loop coalescing: transformation, analysis and schedule simulation.")
+    [ show_cmd; analyze_cmd; coalesce_cmd; distribute_cmd; fuse_cmd;
+      reduce_cmd; shrink_cmd; unroll_cmd; peel_cmd; interchange_cmd;
+      tile_cmd; optimize_cmd; emit_c_cmd; simulate_cmd; schedule_cmd;
+      kernel_cmd ]
+
+let () = exit (Cmd.eval main)

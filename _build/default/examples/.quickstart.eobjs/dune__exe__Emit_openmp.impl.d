@@ -1,0 +1,1 @@
+examples/emit_openmp.ml: Array Coalesce Emit_c Eval Filename In_channel Kernels List Loopcoal Out_channel Printf String Sys

@@ -1,0 +1,1 @@
+examples/gauss_jordan.ml: Array Driver Eval Float Kernels List Loopcoal Printf String

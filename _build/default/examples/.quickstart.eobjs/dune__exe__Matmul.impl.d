@@ -1,0 +1,1 @@
+examples/matmul.ml: Array Bodies Driver Eval Index_recovery Kernels List Loopcoal Machine Pipeline Policy Pretty Printf String

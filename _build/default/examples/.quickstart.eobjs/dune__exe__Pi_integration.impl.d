@@ -1,0 +1,1 @@
+examples/pi_integration.ml: Array Ast Bodies Driver Eval Event_sim Index_recovery Kernels List Loop_class Loopcoal Machine Policy Printf Stats Workload_cost

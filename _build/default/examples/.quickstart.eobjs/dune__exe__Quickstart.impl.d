@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bodies Driver Index_recovery Loopcoal Machine Policy Printf

@@ -1,0 +1,1 @@
+examples/transform_pipeline.ml: Ast Builder Cycle_shrink Driver List Loopcoal Pipeline Pretty Printf Scalar_expand String

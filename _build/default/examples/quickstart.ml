@@ -1,0 +1,60 @@
+(* Quickstart: build a doubly-nested parallel loop, coalesce it, prove the
+   rewrite preserves semantics, and compare simulated schedules.
+
+     dune exec examples/quickstart.exe *)
+
+open Loopcoal
+
+let source =
+  {|
+program
+  real A[6, 40]
+begin
+  doall i = 1, 6
+    doall j = 1, 40
+      A[i, j] = i * 100 + j
+    end
+  end
+end
+|}
+
+let () =
+  (* 1. Parse the program (the Builder module is the other way in). *)
+  let program =
+    match Driver.load_string source with
+    | Ok p -> p
+    | Error m -> failwith m
+  in
+
+  (* 2. Coalesce every coalescible nest; the driver re-runs both programs
+     through the reference interpreter and compares final stores. *)
+  let report =
+    match Driver.coalesce_report program with
+    | Ok r -> r
+    | Error m -> failwith m
+  in
+  print_endline "--- before ---";
+  print_string report.Driver.before_text;
+  print_endline "--- after ---";
+  print_string report.Driver.after_text;
+  Printf.printf "\nnests coalesced: %d, semantics verified: %b\n\n"
+    report.Driver.nests_coalesced report.Driver.verified;
+
+  (* 3. Why bother? Simulate the schedules on a 16-processor machine.
+     The outer loop has only 6 iterations — it cannot feed 16 processors —
+     while the coalesced space has 240. *)
+  let spec =
+    {
+      Driver.shape = [ 6; 40 ];
+      body = Bodies.uniform 50.0;
+      machine = Machine.default ~p:16;
+      strategy = Index_recovery.Incremental;
+    }
+  in
+  let show (l : Driver.sim_line) =
+    Printf.printf "%-22s completion %8.0f  speedup %6.2fx  efficiency %.2f\n"
+      l.Driver.label l.Driver.completion l.Driver.speedup l.Driver.efficiency
+  in
+  show (Driver.simulate_coalesced spec ~policy:Policy.Static_block);
+  show (Driver.simulate_nested_best spec);
+  show (Driver.simulate_nested_outer_only spec)

@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Ast List Loopcoal_ir Option Printf String

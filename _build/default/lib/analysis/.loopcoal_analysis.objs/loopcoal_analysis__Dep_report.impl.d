@@ -1,0 +1,1 @@
+lib/analysis/dep_report.ml: Ast Buffer Depend Hashtbl List Loop_class Loopcoal_ir Printf String Usedef

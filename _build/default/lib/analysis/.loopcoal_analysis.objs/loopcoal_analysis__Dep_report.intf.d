@@ -1,0 +1,1 @@
+lib/analysis/dep_report.mli: Ast Loopcoal_ir

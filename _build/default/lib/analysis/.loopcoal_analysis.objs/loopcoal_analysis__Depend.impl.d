@@ -1,0 +1,1 @@
+lib/analysis/depend.ml: Affine Ast Hashtbl List Loopcoal_ir String

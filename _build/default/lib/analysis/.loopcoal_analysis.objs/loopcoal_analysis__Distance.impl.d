@@ -1,0 +1,1 @@
+lib/analysis/distance.ml: Affine Ast Hashtbl List Loop_class Loopcoal_ir Privatize String Usedef

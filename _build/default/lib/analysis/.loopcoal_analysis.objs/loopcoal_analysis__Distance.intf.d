@@ -1,0 +1,1 @@
+lib/analysis/distance.mli: Ast Loopcoal_ir

@@ -1,0 +1,1 @@
+lib/analysis/loop_class.ml: Ast Depend Hashtbl List Loopcoal_ir Printf Privatize String Usedef

@@ -1,0 +1,1 @@
+lib/analysis/loop_class.mli: Ast Hashtbl Loopcoal_ir

@@ -1,0 +1,1 @@
+lib/analysis/nest.ml: Ast List Loop_class Loopcoal_ir Printf String

@@ -1,0 +1,1 @@
+lib/analysis/nest.mli: Ast Loopcoal_ir

@@ -1,0 +1,1 @@
+lib/analysis/privatize.ml: Ast List Loopcoal_ir Usedef

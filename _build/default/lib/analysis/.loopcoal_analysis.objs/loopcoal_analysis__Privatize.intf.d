@@ -1,0 +1,1 @@
+lib/analysis/privatize.mli: Ast Loopcoal_ir Usedef

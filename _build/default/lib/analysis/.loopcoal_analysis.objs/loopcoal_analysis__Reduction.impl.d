@@ -1,0 +1,1 @@
+lib/analysis/reduction.ml: Ast List Loopcoal_ir Option String

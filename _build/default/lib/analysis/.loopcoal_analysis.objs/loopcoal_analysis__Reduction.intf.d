@@ -1,0 +1,1 @@
+lib/analysis/reduction.mli: Ast Loopcoal_ir

@@ -1,0 +1,1 @@
+lib/analysis/usedef.ml: Ast List Loopcoal_ir Set String

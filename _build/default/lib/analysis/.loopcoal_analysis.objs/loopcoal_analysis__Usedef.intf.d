@@ -1,0 +1,1 @@
+lib/analysis/usedef.mli: Ast Loopcoal_ir Set

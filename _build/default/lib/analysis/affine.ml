@@ -1,0 +1,89 @@
+open Loopcoal_ir
+
+type form = { const : int; coeffs : (Ast.var * int) list }
+
+let normalize coeffs =
+  coeffs
+  |> List.filter (fun (_, c) -> c <> 0)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let const n = { const = n; coeffs = [] }
+
+let merge f a b =
+  (* Merge two sorted coefficient lists, combining with [f]. *)
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], ys -> List.map (fun (v, c) -> (v, f 0 c)) ys
+    | xs, [] -> List.map (fun (v, c) -> (v, f c 0)) xs
+    | (vx, cx) :: xs', (vy, cy) :: ys' ->
+        let cmp = String.compare vx vy in
+        if cmp = 0 then (vx, f cx cy) :: go xs' ys'
+        else if cmp < 0 then (vx, f cx 0) :: go xs' ys
+        else (vy, f 0 cy) :: go xs ys'
+  in
+  normalize (go a.coeffs b.coeffs)
+
+let add a b = { const = a.const + b.const; coeffs = merge ( + ) a b }
+let sub a b = { const = a.const - b.const; coeffs = merge ( - ) a b }
+
+let scale k f =
+  if k = 0 then const 0
+  else
+    {
+      const = k * f.const;
+      coeffs = List.map (fun (v, c) -> (v, k * c)) f.coeffs;
+    }
+
+let coeff f v =
+  match List.assoc_opt v f.coeffs with Some c -> c | None -> 0
+
+let vars f = List.map fst f.coeffs
+let is_const f = f.coeffs = []
+
+let rec of_expr ~is_index (e : Ast.expr) =
+  match e with
+  | Int n -> Some (const n)
+  | Real _ | Load _ -> None
+  | Var v -> if is_index v then Some { const = 0; coeffs = [ (v, 1) ] } else None
+  | Neg a -> Option.map (scale (-1)) (of_expr ~is_index a)
+  | Bin (Add, a, b) -> combine ~is_index add a b
+  | Bin (Sub, a, b) -> combine ~is_index sub a b
+  | Bin (Mul, a, b) -> (
+      match (of_expr ~is_index a, of_expr ~is_index b) with
+      | Some fa, Some fb when is_const fa -> Some (scale fa.const fb)
+      | Some fa, Some fb when is_const fb -> Some (scale fb.const fa)
+      | _ -> None)
+  | Bin ((Div | Mod | Cdiv | Min | Max), _, _) -> None
+
+and combine ~is_index f a b =
+  match (of_expr ~is_index a, of_expr ~is_index b) with
+  | Some fa, Some fb -> Some (f fa fb)
+  | _ -> None
+
+let eval valuation f =
+  List.fold_left
+    (fun acc (v, c) -> acc + (c * valuation v))
+    f.const f.coeffs
+
+let to_expr f =
+  let term (v, c) : Ast.expr =
+    if c = 1 then Var v else Bin (Mul, Int c, Var v)
+  in
+  match f.coeffs with
+  | [] -> Ast.Int f.const
+  | t :: rest ->
+      let sum =
+        List.fold_left
+          (fun acc tc -> Ast.Bin (Add, acc, term tc))
+          (term t) rest
+      in
+      if f.const = 0 then sum else Bin (Add, sum, Int f.const)
+
+let equal a b = a.const = b.const && a.coeffs = b.coeffs
+
+let to_string f =
+  let terms =
+    List.map (fun (v, c) -> Printf.sprintf "%d*%s" c v) f.coeffs
+    @ if f.const <> 0 || f.coeffs = [] then [ string_of_int f.const ] else []
+  in
+  String.concat " + " terms

@@ -1,0 +1,34 @@
+(** Affine (linear + constant) forms over loop-index variables.
+
+    Dependence testing only handles subscripts that are affine in the
+    enclosing loop indices; everything else degrades to "unknown". *)
+
+open Loopcoal_ir
+
+type form = {
+  const : int;
+  coeffs : (Ast.var * int) list;
+      (** sorted by variable name; coefficients are non-zero *)
+}
+
+val of_expr : is_index:(Ast.var -> bool) -> Ast.expr -> form option
+(** Extract an affine form. [is_index] says which variables may appear with
+    coefficients; any other variable, array load, division, or non-linear
+    product yields [None]. *)
+
+val const : int -> form
+val add : form -> form -> form
+val sub : form -> form -> form
+val scale : int -> form -> form
+val coeff : form -> Ast.var -> int
+val vars : form -> Ast.var list
+val is_const : form -> bool
+
+val eval : (Ast.var -> int) -> form -> int
+(** Evaluate under a valuation of the index variables. *)
+
+val to_expr : form -> Ast.expr
+(** Rebuild an IR expression (used by tests for round-tripping). *)
+
+val equal : form -> form -> bool
+val to_string : form -> string

@@ -1,0 +1,163 @@
+open Loopcoal_ir
+
+type kind = Flow | Anti | Output
+
+type carrier = Loop_independent | Carried
+
+type entry = { array : Ast.var; kind : kind; carrier : carrier }
+
+let kind_to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+
+let carrier_to_string = function
+  | Loop_independent -> "loop-independent"
+  | Carried -> "carried"
+
+let kind_of ~source_write ~sink_write =
+  match (source_write, sink_write) with
+  | true, true -> Output
+  | true, false -> Flow
+  | false, true -> Anti
+  | false, false -> assert false
+
+let loop_dependences (l : Ast.loop) =
+  let refs = Usedef.array_refs l.body in
+  let ranges = Loop_class.inner_ranges l.body in
+  let written_scalars = Usedef.scalar_writes l.body in
+  let range_of v =
+    if String.equal v l.index then Loop_class.const_range l
+    else match Hashtbl.find_opt ranges v with Some r -> r | None -> None
+  in
+  let classify_rest v : Depend.var_class =
+    if Hashtbl.mem ranges v then Depend.Private1
+    else if Usedef.Vset.mem v written_scalars then Depend.Private1
+    else Depend.Shared
+  in
+  let query coupling =
+    {
+      Depend.classify =
+        (fun v ->
+          if String.equal v l.index then Depend.Coupled coupling
+          else classify_rest v);
+      Depend.range_of = range_of;
+    }
+  in
+  let enough_iterations =
+    match Loop_class.const_range l with
+    | Some (lo, hi) -> hi - lo >= 1
+    | None -> true
+  in
+  (* Entries for one ordered pair: r1 textually first. A carried
+     dependence's kind follows execution order — the source is whichever
+     reference runs in the earlier iteration. *)
+  let entries_for r1 r2 =
+    if
+      not
+        (String.equal r1.Usedef.arr r2.Usedef.arr
+        && (r1.Usedef.write || r2.Usedef.write))
+    then []
+    else begin
+      let may c = Depend.may_depend (query c) r1.Usedef.subs r2.Usedef.subs in
+      let arr = r1.Usedef.arr in
+      let independent =
+        if (not (r1 == r2)) && may Depend.Ceq then
+          [
+            {
+              array = arr;
+              kind =
+                kind_of ~source_write:r1.Usedef.write
+                  ~sink_write:r2.Usedef.write;
+              carrier = Loop_independent;
+            };
+          ]
+        else []
+      in
+      let forward =
+        (* r1's iteration earlier: r1 is the source. *)
+        if enough_iterations && may Depend.Clt then
+          [
+            {
+              array = arr;
+              kind =
+                kind_of ~source_write:r1.Usedef.write
+                  ~sink_write:r2.Usedef.write;
+              carrier = Carried;
+            };
+          ]
+        else []
+      in
+      let backward =
+        if enough_iterations && (not (r1 == r2)) && may Depend.Cgt then
+          [
+            {
+              array = arr;
+              kind =
+                kind_of ~source_write:r2.Usedef.write
+                  ~sink_write:r1.Usedef.write;
+              carrier = Carried;
+            };
+          ]
+        else []
+      in
+      independent @ forward @ backward
+    end
+  in
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | r :: rest ->
+        let acc =
+          if r.Usedef.write then List.rev_append (entries_for r r) acc
+          else acc
+        in
+        let acc =
+          List.fold_left
+            (fun acc r2 -> List.rev_append (entries_for r r2) acc)
+            acc rest
+        in
+        pairs acc rest
+  in
+  (* Dedupe identical entries (several reference pairs often witness the
+     same array/kind/carrier). *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e then false
+      else begin
+        Hashtbl.add seen e ();
+        true
+      end)
+    (pairs [] refs)
+
+let report (p : Ast.program) =
+  let acc = ref [] in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Assign _ -> ()
+    | If (_, t, f) ->
+        List.iter stmt t;
+        List.iter stmt f
+    | For l ->
+        acc := (l.index, loop_dependences l) :: !acc;
+        List.iter stmt l.body
+  in
+  List.iter stmt p.body;
+  List.rev !acc
+
+let to_string entries =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (index, deps) ->
+      Buffer.add_string buf (Printf.sprintf "loop %s:\n" index);
+      if deps = [] then Buffer.add_string buf "  no dependences\n"
+      else
+        List.iter
+          (fun e ->
+            Buffer.add_string buf
+              (Printf.sprintf "  may %s dependence on %s (%s)\n"
+                 (kind_to_string e.kind) e.array
+                 (carrier_to_string e.carrier)))
+          deps)
+    entries;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Human-readable dependence reports — the "why is this loop not
+    parallel?" explanation a compiler owes its user.
+
+    For each loop, every pair of references to the same array (with at
+    least one write) is classified by kind — {e flow} (write then read),
+    {e anti} (read then write), {e output} (write/write) — and by how the
+    dependence relates iterations of that loop: loop-independent (same
+    iteration), carried forward/backward, or unknown. Verdicts reuse the
+    conservative machinery of {!Depend}, so "may" means exactly that. *)
+
+open Loopcoal_ir
+
+type kind = Flow | Anti | Output
+
+type carrier =
+  | Loop_independent  (** within one iteration, textual order *)
+  | Carried  (** across distinct iterations, execution order *)
+
+type entry = {
+  array : Ast.var;
+  kind : kind;
+      (** classified by the {e source} (execution-order-first) reference:
+          write-then-read is flow even when the read appears first in the
+          text, as in [A(i) = A(i-1)] *)
+  carrier : carrier;
+}
+
+val kind_to_string : kind -> string
+val carrier_to_string : carrier -> string
+
+val loop_dependences : Ast.loop -> entry list
+(** All may-dependences of one loop (pairs proven independent are
+    omitted), in textual order of the first reference. *)
+
+val report : Ast.program -> (Ast.var * entry list) list
+(** Dependence entries for every loop in the program, keyed by loop
+    index, outermost-first textual order. *)
+
+val to_string : (Ast.var * entry list) list -> string
+(** Render as an indented listing for the CLI. *)

@@ -1,0 +1,57 @@
+(** Data-dependence testing between pairs of array references.
+
+    The test is the classic conservative pipeline: affine subscript
+    extraction, a GCD filter, and Banerjee-style interval bounds. Bounds for
+    variables coupled by a [Clt]/[Cgt] constraint use the exact vertices of
+    the triangular region {(x, y) | L <= x < y <= U}, which makes the
+    strong-SIV case exact. Any subscript the analysis cannot understand
+    makes the answer "may depend" (sound, never "independent" wrongly).
+
+    Variable classes, relative to the loop(s) being analysed:
+    - {e coupled} loop indices get an explicit constraint per query (the two
+      references use separate copies of the index);
+    - {e shared} symbols (outer indices, scalars) have equal values at both
+      references and are merged;
+    - {e private} indices (loops inside the analysed loop) iterate
+      independently for each reference. *)
+
+open Loopcoal_ir
+
+(** Constraint placed on a coupled loop index: how the index value [x] at
+    the first reference relates to the value [y] at the second. *)
+type coupling =
+  | Clt  (** x < y *)
+  | Cgt  (** x > y *)
+  | Ceq  (** x = y *)
+  | Cany  (** unrelated *)
+
+type var_class =
+  | Coupled of coupling
+  | Shared
+  | Private1
+  | Private2
+
+type query = {
+  classify : Ast.var -> var_class;
+  range_of : Ast.var -> (int * int) option;
+      (** inclusive constant bounds when known; [None] = unbounded *)
+}
+
+val may_depend : query -> Ast.expr list -> Ast.expr list -> bool
+(** [may_depend q subs1 subs2] decides whether the two subscript vectors can
+    address the same element under the query's constraints. [true] means
+    "cannot be ruled out". Subscript vectors of different lengths always may
+    depend (malformed programs are not analysed). *)
+
+val carried :
+  level:Ast.var ->
+  range:(int * int) option ->
+  classify_rest:(Ast.var -> var_class) ->
+  range_of:(Ast.var -> (int * int) option) ->
+  Ast.expr list ->
+  Ast.expr list ->
+  bool
+(** Specialized query: can the two references touch the same element in two
+    {e distinct} iterations of loop [level]? Checks both the [Clt] and
+    [Cgt] couplings; immediately [false] when the level's constant range has
+    fewer than two iterations. *)

@@ -1,0 +1,135 @@
+open Loopcoal_ir
+
+type result = No_carried | Min_distance of int | Unknown
+
+(* Per-pair verdicts. *)
+type pair_verdict =
+  | Independent  (** subscripts can never coincide *)
+  | Carried of int  (** conflicts exactly at iteration distance |d| > 0 *)
+  | Loop_independent  (** conflicts only within one iteration *)
+  | Every_distance  (** conflicts at all distances (e.g. a constant cell) *)
+  | Dont_know
+
+let classify_pair ~level ~range ~is_private ~tainted subs1 subs2 =
+  if List.length subs1 <> List.length subs2 then Dont_know
+  else begin
+    (* Fold dimensions, accumulating the unique distance constraint. *)
+    let exception Give_up in
+    let exception Indep in
+    try
+      let constraint_ =
+        List.fold_left2
+          (fun acc s1 s2 ->
+            if
+              List.exists tainted (Ast.expr_vars s1)
+              || List.exists tainted (Ast.expr_vars s2)
+            then raise Give_up
+            else
+              match
+                ( Affine.of_expr ~is_index:(fun _ -> true) s1,
+                  Affine.of_expr ~is_index:(fun _ -> true) s2 )
+              with
+              | None, _ | _, None -> raise Give_up
+              | Some f, Some g ->
+                  let a1 = Affine.coeff f level
+                  and a2 = Affine.coeff g level in
+                  let has_private =
+                    List.exists
+                      (fun v -> (not (String.equal v level)) && is_private v)
+                      (Affine.vars f @ Affine.vars g)
+                  in
+                  let shared_residue =
+                    List.exists
+                      (fun v ->
+                        (not (String.equal v level))
+                        && (not (is_private v))
+                        && Affine.coeff f v - Affine.coeff g v <> 0)
+                      (List.sort_uniq String.compare
+                         (Affine.vars f @ Affine.vars g))
+                  in
+                  if shared_residue then raise Give_up
+                  else if has_private then
+                    if a1 = 0 && a2 = 0 then acc (* satisfiable, no info *)
+                    else raise Give_up (* level mixed with private *)
+                  else if a1 = 0 && a2 = 0 then begin
+                    (* Shared symbols cancel; only constants remain. *)
+                    if f.Affine.const <> g.Affine.const then raise Indep
+                    else acc
+                  end
+                  else if a1 = a2 then begin
+                    let num = f.Affine.const - g.Affine.const in
+                    if num mod a1 <> 0 then raise Indep
+                    else
+                      let d = num / a1 in
+                      match acc with
+                      | None -> Some d
+                      | Some d0 -> if d0 = d then acc else raise Indep
+                  end
+                  else raise Give_up)
+          None subs1 subs2
+      in
+      match constraint_ with
+      | None -> Every_distance
+      | Some 0 -> Loop_independent
+      | Some d ->
+          let within_range =
+            match range with
+            | Some (lo, hi) -> abs d <= hi - lo
+            | None -> true
+          in
+          if within_range then Carried (abs d) else Independent
+    with
+    | Give_up -> Dont_know
+    | Indep -> Independent
+  end
+
+let min_carried_distance (l : Ast.loop) =
+  let refs = Usedef.array_refs l.body in
+  let ranges = Loop_class.inner_ranges l.body in
+  let written = Usedef.scalar_writes l.body in
+  let is_private v = Hashtbl.mem ranges v in
+  (* A scalar the body writes has no single value across the loop; any
+     subscript mentioning one defeats constant-distance reasoning. *)
+  let tainted v =
+    (not (String.equal v l.index))
+    && (not (is_private v))
+    && Usedef.Vset.mem v written
+  in
+  if not (Usedef.Vset.is_empty (Privatize.blocking_scalars l.body)) then
+    Unknown
+  else begin
+    let verdicts = ref [] in
+    let consider r1 r2 =
+      if
+        String.equal r1.Usedef.arr r2.Usedef.arr
+        && (r1.Usedef.write || r2.Usedef.write)
+      then
+        verdicts :=
+          classify_pair ~level:l.index ~range:(Loop_class.const_range l)
+            ~is_private ~tainted r1.Usedef.subs r2.Usedef.subs
+          :: !verdicts
+    in
+    let rec pairs = function
+      | [] -> ()
+      | r :: rest ->
+          if r.Usedef.write then consider r r;
+          List.iter (consider r) rest;
+          pairs rest
+    in
+    pairs refs;
+    let min_dist = ref None in
+    let unknown = ref false in
+    List.iter
+      (fun v ->
+        match v with
+        | Independent | Loop_independent -> ()
+        | Carried d ->
+            min_dist :=
+              Some (match !min_dist with None -> d | Some m -> min m d)
+        | Every_distance ->
+            min_dist := Some 1
+        | Dont_know -> unknown := true)
+      !verdicts;
+    if !unknown then Unknown
+    else match !min_dist with None -> No_carried | Some d -> Min_distance d
+  end

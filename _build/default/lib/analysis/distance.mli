@@ -1,0 +1,26 @@
+(** Constant dependence distances of a loop.
+
+    Cycle shrinking needs the {e minimum} carried-dependence distance: if
+    every dependence carried by the loop has distance at least [lambda],
+    then groups of [lambda] consecutive iterations are mutually
+    independent and can run in parallel.
+
+    Distances are computed pairwise from affine subscripts: a pair of
+    references [a*i + f] and [a*i + g] (equal coefficient on the loop
+    index, everything else equal across the two references) conflicts at
+    iteration distance [(f - g) / a] when that is an integer. A
+    multi-dimensional reference must agree on one distance across its
+    dimensions to conflict at all. Anything the analysis cannot resolve
+    to a constant distance makes the result [Unknown]. *)
+
+open Loopcoal_ir
+
+type result =
+  | No_carried  (** no dependence between distinct iterations (a DOALL) *)
+  | Min_distance of int  (** smallest positive carried distance *)
+  | Unknown  (** some dependence has an unresolvable distance *)
+
+val min_carried_distance : Ast.loop -> result
+(** Analyse one loop. Scalars written in the body (other than privatizable
+    temporaries) and non-affine or coefficient-mismatched subscripts yield
+    [Unknown]. *)

@@ -1,0 +1,131 @@
+open Loopcoal_ir
+
+type verdict = Doall | Not_doall of string
+
+let const_range (l : Ast.loop) =
+  match (l.lo, l.hi, l.step) with
+  | Int lo, Int hi, Int 1 -> Some (lo, hi)
+  | Int lo, Int hi, Int step when step > 0 ->
+      (* Superset range is sound for dependence bounds. *)
+      Some (lo, hi)
+  | _ -> None
+
+(* Constant ranges of every loop index bound inside a block. A name bound by
+   two sibling loops with different ranges becomes unknown. *)
+let inner_ranges block =
+  let tbl = Hashtbl.create 8 in
+  let note (l : Ast.loop) =
+    let r = const_range l in
+    match Hashtbl.find_opt tbl l.index with
+    | None -> Hashtbl.replace tbl l.index r
+    | Some r0 -> if r0 <> r then Hashtbl.replace tbl l.index None
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Assign _ -> ()
+    | If (_, t, f) ->
+        List.iter stmt t;
+        List.iter stmt f
+    | For l ->
+        note l;
+        List.iter stmt l.body
+  in
+  List.iter stmt block;
+  tbl
+
+let classify (l : Ast.loop) =
+  (* Scalars that are assigned-before-use on every path are privatizable
+     (each iteration gets its own copy) and do not serialize the loop; any
+     other written scalar does. *)
+  let written = Privatize.blocking_scalars l.body in
+  if not (Usedef.Vset.is_empty written) then
+    Not_doall
+      (Printf.sprintf "scalar %s is assigned in the loop body"
+         (Usedef.Vset.min_elt written))
+  else begin
+    let refs = Usedef.array_refs l.body in
+    let ranges = inner_ranges l.body in
+    let range_of v =
+      match Hashtbl.find_opt ranges v with Some r -> r | None -> None
+    in
+    let written_scalars = Usedef.scalar_writes l.body in
+    let classify_rest v : Depend.var_class =
+      (* Inner indices iterate independently at the two references. A
+         scalar the body itself writes has an unknown, possibly different
+         value at each reference — treating it as Shared would let its
+         occurrences cancel unsoundly, so it is private-unbounded. Anything
+         else (outer indices, loop-invariant scalars) has one fixed
+         value. *)
+      if Hashtbl.mem ranges v then Depend.Private1
+      else if Usedef.Vset.mem v written_scalars then Depend.Private1
+      else Depend.Shared
+    in
+    (* The same name can occur as an inner index on both sides; [carried]
+       only needs the class, and Private1/Private2 are distinguished by the
+       side a coefficient comes from, so classifying by name is enough. *)
+    let conflict r1 r2 =
+      String.equal r1.Usedef.arr r2.Usedef.arr
+      && (r1.Usedef.write || r2.Usedef.write)
+      && Depend.carried ~level:l.index ~range:(const_range l)
+           ~classify_rest ~range_of r1.Usedef.subs r2.Usedef.subs
+    in
+    let rec find_conflict = function
+      | [] -> None
+      | r :: rest -> (
+          if r.Usedef.write && conflict r r then Some (r, r)
+          else
+            match List.find_opt (fun r2 -> conflict r r2) rest with
+            | Some r2 -> Some (r, r2)
+            | None -> find_conflict rest)
+    in
+    match find_conflict refs with
+    | None -> Doall
+    | Some (r1, r2) ->
+        Not_doall
+          (Printf.sprintf
+             "references to array %s may conflict across iterations of %s"
+             r1.Usedef.arr l.index
+           ^ if r1 == r2 then " (self output dependence)" else "")
+  end
+
+let is_doall l = match classify l with Doall -> true | Not_doall _ -> false
+
+let verify_annotations block =
+  let problems = ref [] in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Assign _ -> ()
+    | If (_, t, f) ->
+        List.iter stmt t;
+        List.iter stmt f
+    | For l ->
+        (match (l.par, classify l) with
+        | Parallel, Not_doall reason ->
+            problems := (l.index, reason) :: !problems
+        | (Parallel | Serial), _ -> ());
+        List.iter stmt l.body
+  in
+  List.iter stmt block;
+  List.rev !problems
+
+let rec map_loops f block =
+  List.map
+    (fun (s : Ast.stmt) : Ast.stmt ->
+      match s with
+      | Assign _ -> s
+      | If (c, t, e) -> If (c, map_loops f t, map_loops f e)
+      | For l -> For (f { l with body = map_loops f l.body }))
+    block
+
+let infer_block block =
+  map_loops
+    (fun l ->
+      match l.par with
+      | Parallel -> l
+      | Serial -> if is_doall l then { l with par = Parallel } else l)
+    block
+
+let infer_and_demote_block block =
+  map_loops
+    (fun l -> { l with par = (if is_doall l then Parallel else Serial) })
+    block

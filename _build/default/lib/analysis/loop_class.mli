@@ -1,0 +1,47 @@
+(** DOALL classification of loops.
+
+    A loop is a DOALL when no two distinct iterations conflict: no
+    {e non-privatizable} scalar is written in the body (see {!Privatize};
+    privatizable temporaries such as coalescing's index-recovery scalars are
+    allowed, with the usual caveat that their value after the loop is only
+    meaningful under sequential execution), and no pair of references to the
+    same array — at least one a write — can touch the same element in
+    distinct iterations. The verdict is conservative: "no" may mean "could
+    not prove". *)
+
+open Loopcoal_ir
+
+type verdict =
+  | Doall
+  | Not_doall of string  (** human-readable reason for the first obstacle *)
+
+val const_range : Ast.loop -> (int * int) option
+(** Constant inclusive bounds when lo/hi are literals and the step is a
+    positive literal (a superset range for non-unit steps, which is sound
+    for dependence bounds). *)
+
+val inner_ranges : Ast.block -> (Ast.var, (int * int) option) Hashtbl.t
+(** Constant ranges of every loop index bound inside the block; a name
+    bound by two loops with different ranges maps to [None]. *)
+
+val classify : Ast.loop -> verdict
+(** Analyse one loop (its body only; enclosing context is treated as fixed
+    symbols, which is sound for the question "can the iterations of this
+    instance run in parallel?"). *)
+
+val is_doall : Ast.loop -> bool
+
+val verify_annotations : Ast.block -> (Ast.var * string) list
+(** Check every loop annotated [Parallel] in the block; returns the
+    (index-name, reason) pairs the analysis cannot confirm. Empty means all
+    annotations are consistent with the (conservative) analysis. *)
+
+val infer_block : Ast.block -> Ast.block
+(** Re-annotate: mark every loop the analysis proves independent as
+    [Parallel] and leave others unchanged. Never demotes an existing
+    [Parallel] annotation (the programmer may know more than the
+    analysis). *)
+
+val infer_and_demote_block : Ast.block -> Ast.block
+(** Like {!infer_block} but recomputes every annotation from scratch,
+    demoting unprovable [Parallel] loops to [Serial]. *)

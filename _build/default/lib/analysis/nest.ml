@@ -1,0 +1,92 @@
+open Loopcoal_ir
+
+type t = { loops : Ast.loop list; body : Ast.block }
+
+let rec of_loop (l : Ast.loop) =
+  match l.body with
+  | [ For inner ] ->
+      let sub = of_loop inner in
+      { sub with loops = l :: sub.loops }
+  | _ -> { loops = [ l ]; body = l.body }
+
+let of_stmt (s : Ast.stmt) =
+  match s with For l -> Some (of_loop l) | Assign _ | If _ -> None
+
+let depth t = List.length t.loops
+
+let to_stmt t =
+  match List.rev t.loops with
+  | [] -> invalid_arg "Nest.to_stmt: empty nest"
+  | innermost :: outer_rev ->
+      let inner : Ast.stmt = For { innermost with body = t.body } in
+      List.fold_left
+        (fun acc (l : Ast.loop) : Ast.stmt -> For { l with body = [ acc ] })
+        inner outer_rev
+
+let trip_count (l : Ast.loop) =
+  match (l.lo, l.hi, l.step) with
+  | Ast.Int lo, Ast.Int hi, Ast.Int step when step > 0 ->
+      Some (max 0 ((hi - lo + step) / step))
+  | _ -> None
+
+let trip_counts t = List.map trip_count t.loops
+
+let index_names t = List.map (fun (l : Ast.loop) -> l.index) t.loops
+
+type coalescible = Coalescible | Not_coalescible of string
+
+let take n xs =
+  let rec go n = function
+    | _ when n = 0 -> []
+    | [] -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n xs
+
+let check_coalescible ?(verify_parallel = false) t ~depth:d =
+  let m = depth t in
+  if d < 2 then Not_coalescible "coalescing needs at least two loops"
+  else if d > m then
+    Not_coalescible (Printf.sprintf "nest has depth %d, requested %d" m d)
+  else begin
+    let group = take d t.loops in
+    let names = List.map (fun (l : Ast.loop) -> l.index) group in
+    let distinct =
+      List.length (List.sort_uniq String.compare names) = List.length names
+    in
+    let rec first_problem (outer_seen : Ast.var list) = function
+      | [] -> None
+      | (l : Ast.loop) :: rest ->
+          if l.par <> Ast.Parallel then
+            Some (Printf.sprintf "loop %s is not annotated parallel" l.index)
+          else if not (Ast.equal_expr l.step (Ast.Int 1)) then
+            Some
+              (Printf.sprintf "loop %s has a non-unit step (normalize first)"
+                 l.index)
+          else begin
+            let bound_vars = Ast.expr_vars l.lo @ Ast.expr_vars l.hi in
+            match
+              List.find_opt (fun v -> List.mem v outer_seen) bound_vars
+            with
+            | Some v ->
+                Some
+                  (Printf.sprintf
+                     "bound of loop %s depends on outer index %s (iteration \
+                      space not rectangular)"
+                     l.index v)
+            | None ->
+                if verify_parallel && not (Loop_class.is_doall l) then
+                  Some
+                    (Printf.sprintf
+                       "loop %s is annotated parallel but the analysis \
+                        cannot confirm independence"
+                       l.index)
+                else first_problem (l.index :: outer_seen) rest
+          end
+    in
+    if not distinct then Not_coalescible "duplicate loop index names"
+    else
+      match first_problem [] group with
+      | Some reason -> Not_coalescible reason
+      | None -> Coalescible
+  end

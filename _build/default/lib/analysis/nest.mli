@@ -1,0 +1,46 @@
+(** Perfectly nested loop views.
+
+    Coalescing applies to a {e perfect nest}: a chain of loops where each
+    loop's body is exactly one inner loop, except the innermost, whose body
+    is arbitrary. This module extracts such views and decides
+    coalescibility. *)
+
+open Loopcoal_ir
+
+type t = {
+  loops : Ast.loop list;  (** outermost first; each retains its header *)
+  body : Ast.block;  (** body of the innermost loop *)
+}
+
+val of_loop : Ast.loop -> t
+(** Peel the maximal perfect nest starting at the given loop. Always
+    succeeds; a non-nested loop yields a depth-1 view. *)
+
+val of_stmt : Ast.stmt -> t option
+(** [of_loop] when the statement is a loop. *)
+
+val depth : t -> int
+
+val to_stmt : t -> Ast.stmt
+(** Rebuild the nest ([of_loop] left inverse). *)
+
+val trip_count : Ast.loop -> int option
+(** Constant trip count when lo/hi/step are integer literals:
+    [max 0 ((hi - lo + step) / step)]. *)
+
+val trip_counts : t -> int option list
+
+val index_names : t -> Ast.var list
+
+type coalescible =
+  | Coalescible
+  | Not_coalescible of string  (** reason *)
+
+val check_coalescible : ?verify_parallel:bool -> t -> depth:int -> coalescible
+(** Can the outermost [depth] loops of the nest be coalesced into one
+    parallel loop? Requirements: [2 <= depth <= depth t]; each of the
+    [depth] loops is annotated [Parallel] (and, when [verify_parallel] is
+    set, confirmed by {!Loop_class}); each has step 1 (normalize first
+    otherwise); no inner loop bound depends on an outer index of the
+    coalesced group (the iteration space must be rectangular); and indices
+    are pairwise distinct. *)

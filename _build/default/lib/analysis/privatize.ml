@@ -1,0 +1,45 @@
+open Loopcoal_ir
+module Vset = Usedef.Vset
+
+(* The analysis walks the block in execution order carrying the set of
+   definitely-assigned candidates, and records any candidate used while not
+   yet definitely assigned. Loop bodies are analysed from the state at loop
+   entry and their assignments are discarded afterwards (the loop may run
+   zero times); this also catches loop-carried uses. *)
+
+let privatizable block =
+  let candidates = Usedef.scalar_writes block in
+  let bad = ref Vset.empty in
+  let use assigned v =
+    if Vset.mem v candidates && not (Vset.mem v assigned) then
+      bad := Vset.add v !bad
+  in
+  let uses_expr assigned e = List.iter (use assigned) (Ast.expr_vars e) in
+  let uses_cond assigned c = List.iter (use assigned) (Ast.cond_vars c) in
+  let rec stmt assigned (s : Ast.stmt) =
+    match s with
+    | Assign (Scalar v, e) ->
+        uses_expr assigned e;
+        Vset.add v assigned
+    | Assign (Elem (_, subs), e) ->
+        List.iter (uses_expr assigned) subs;
+        uses_expr assigned e;
+        assigned
+    | If (c, t, f) ->
+        uses_cond assigned c;
+        let at = blk assigned t and af = blk assigned f in
+        Vset.inter at af
+    | For l ->
+        uses_expr assigned l.lo;
+        uses_expr assigned l.hi;
+        uses_expr assigned l.step;
+        (* The loop index shadows any same-named candidate inside. *)
+        let inner = Vset.add l.index assigned in
+        let _after = blk inner l.body in
+        assigned
+  and blk assigned b = List.fold_left stmt assigned b in
+  let _ = blk Vset.empty block in
+  Vset.diff candidates !bad
+
+let blocking_scalars block =
+  Vset.diff (Usedef.scalar_writes block) (privatizable block)

@@ -1,0 +1,21 @@
+(** Scalar privatization analysis.
+
+    A scalar written inside a loop body normally serializes the loop: all
+    iterations share it. But when every execution path through the body
+    {e assigns the scalar before any use}, each iteration can receive a
+    private copy and the loop may still be a DOALL. This is exactly the
+    situation created by coalescing, whose generated index-recovery
+    assignments define fresh scalars at the top of the body. *)
+
+open Loopcoal_ir
+
+val privatizable : Ast.block -> Usedef.Vset.t
+(** The scalars written in the block that are definitely assigned before
+    every (potential) use on every path. Conservative: loops may execute
+    zero times, so an assignment inside an inner loop never counts as
+    definite for code after it, and a use at the top of an inner-loop body
+    fed by an assignment at the bottom (a carried use) disqualifies. *)
+
+val blocking_scalars : Ast.block -> Usedef.Vset.t
+(** Scalars written in the block that are {e not} privatizable — the ones
+    that genuinely serialize a surrounding loop. *)

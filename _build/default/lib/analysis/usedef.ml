@@ -1,0 +1,98 @@
+open Loopcoal_ir
+
+module Vset = Set.Make (String)
+
+type array_ref = {
+  arr : Ast.var;
+  subs : Ast.expr list;
+  write : bool;
+  enclosing : Ast.var list;
+}
+
+let of_list vs = List.fold_left (fun s v -> Vset.add v s) Vset.empty vs
+
+let scalar_reads block =
+  (* Collect reads, removing loop indices as we leave their scope. *)
+  let rec stmt bound (s : Ast.stmt) =
+    match s with
+    | Assign (lv, e) ->
+        let lv_reads =
+          match lv with
+          | Scalar _ -> Vset.empty
+          | Elem (_, subs) -> of_list (List.concat_map Ast.expr_vars subs)
+        in
+        Vset.diff (Vset.union lv_reads (of_list (Ast.expr_vars e))) bound
+    | If (c, t, f) ->
+        Vset.union
+          (Vset.diff (of_list (Ast.cond_vars c)) bound)
+          (Vset.union (blk bound t) (blk bound f))
+    | For l ->
+        let header =
+          of_list
+            (Ast.expr_vars l.lo @ Ast.expr_vars l.hi @ Ast.expr_vars l.step)
+        in
+        Vset.union
+          (Vset.diff header bound)
+          (blk (Vset.add l.index bound) l.body)
+  and blk bound b =
+    List.fold_left (fun acc s -> Vset.union acc (stmt bound s)) Vset.empty b
+  in
+  blk Vset.empty block
+
+let scalar_writes block =
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Assign (Scalar v, _) -> Vset.singleton v
+    | Assign (Elem _, _) -> Vset.empty
+    | If (_, t, f) -> Vset.union (blk t) (blk f)
+    | For l -> blk l.body
+  and blk b = List.fold_left (fun acc s -> Vset.union acc (stmt s)) Vset.empty b in
+  blk block
+
+let array_refs block =
+  let refs = ref [] in
+  let emit r = refs := r :: !refs in
+  let rec expr enclosing (e : Ast.expr) =
+    match e with
+    | Int _ | Real _ | Var _ -> ()
+    | Neg a -> expr enclosing a
+    | Bin (_, a, b) ->
+        expr enclosing a;
+        expr enclosing b
+    | Load (arr, subs) ->
+        List.iter (expr enclosing) subs;
+        emit { arr; subs; write = false; enclosing }
+  in
+  let rec cond enclosing (c : Ast.cond) =
+    match c with
+    | True -> ()
+    | Cmp (_, a, b) ->
+        expr enclosing a;
+        expr enclosing b
+    | And (a, b) | Or (a, b) ->
+        cond enclosing a;
+        cond enclosing b
+    | Not a -> cond enclosing a
+  in
+  let rec stmt enclosing (s : Ast.stmt) =
+    match s with
+    | Assign (Scalar _, e) -> expr enclosing e
+    | Assign (Elem (arr, subs), e) ->
+        List.iter (expr enclosing) subs;
+        expr enclosing e;
+        emit { arr; subs; write = true; enclosing }
+    | If (c, t, f) ->
+        cond enclosing c;
+        List.iter (stmt enclosing) t;
+        List.iter (stmt enclosing) f
+    | For l ->
+        expr enclosing l.lo;
+        expr enclosing l.hi;
+        expr enclosing l.step;
+        List.iter (stmt (enclosing @ [ l.index ])) l.body
+  in
+  List.iter (stmt []) block;
+  List.rev !refs
+
+let arrays_touched block =
+  List.fold_left (fun s r -> Vset.add r.arr s) Vset.empty (array_refs block)

@@ -1,0 +1,27 @@
+(** Use/def collection over IR blocks. *)
+
+open Loopcoal_ir
+
+module Vset : Set.S with type elt = string
+
+type array_ref = {
+  arr : Ast.var;
+  subs : Ast.expr list;
+  write : bool;
+  enclosing : Ast.var list;
+      (** indices of loops enclosing the reference inside the analysed
+          block, outermost first *)
+}
+
+val scalar_reads : Ast.block -> Vset.t
+(** Scalar variables read anywhere in the block, excluding loop indices
+    bound within the block. Subscript and bound expressions count. *)
+
+val scalar_writes : Ast.block -> Vset.t
+(** Scalar variables assigned anywhere in the block. *)
+
+val array_refs : Ast.block -> array_ref list
+(** Every array read and write in the block, with its enclosing-loop
+    context. Order is textual. *)
+
+val arrays_touched : Ast.block -> Vset.t

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Ast Loopcoal_ir Loopcoal_machine Loopcoal_sched Loopcoal_transform Loopcoal_workload

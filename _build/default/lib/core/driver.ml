@@ -1,0 +1,272 @@
+open Loopcoal_ir
+module Transform = Loopcoal_transform
+module Sched = Loopcoal_sched
+module Machine_lib = Loopcoal_machine
+module Workload = Loopcoal_workload
+module Im = Loopcoal_util.Intmath
+
+(* ---------- loading ---------- *)
+
+let load_string src =
+  match Parser.parse_program src with
+  | p -> Ok p
+  | exception Parser.Parse_error m -> Error ("parse error: " ^ m)
+  | exception Lexer.Lex_error (m, pos) ->
+      Error (Printf.sprintf "lex error at offset %d: %s" pos m)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> load_string src
+  | exception Sys_error m -> Error m
+
+(* ---------- transformation report ---------- *)
+
+type coalesce_report = {
+  before_text : string;
+  after_text : string;
+  nests_coalesced : int;
+  verified : bool;
+  after_program : Ast.program;
+}
+
+let coalesce_report ?strategy ?fuel (p : Ast.program) =
+  let p', count = Transform.Coalesce.apply_all_program ?strategy p in
+  match Transform.Pipeline.observably_equal ?fuel ~reference:p p' with
+  | Ok () ->
+      Ok
+        {
+          before_text = Pretty.program_to_string p;
+          after_text = Pretty.program_to_string p';
+          nests_coalesced = count;
+          verified = true;
+          after_program = p';
+        }
+  | Error detail -> Error ("verification failed: " ^ detail)
+
+(* ---------- nest summary ---------- *)
+
+type nest_info = {
+  indices : Ast.var list;
+  shape : int list option;
+  parallel_depth : int;
+  coalescible_depth : int;
+}
+
+let nest_info_of (l : Ast.loop) =
+  let module Nest = Loopcoal_analysis.Nest in
+  let nest = Nest.of_loop l in
+  let trip_counts = Nest.trip_counts nest in
+  let shape =
+    if List.for_all Option.is_some trip_counts then
+      Some (List.map Option.get trip_counts)
+    else None
+  in
+  let rec leading_parallel = function
+    | (lp : Ast.loop) :: rest when lp.par = Parallel ->
+        1 + leading_parallel rest
+    | _ -> 0
+  in
+  let rec best_depth d =
+    if d < 2 then 0
+    else
+      match Nest.check_coalescible nest ~depth:d with
+      | Coalescible -> d
+      | Not_coalescible _ -> best_depth (d - 1)
+  in
+  {
+    indices = Nest.index_names nest;
+    shape;
+    parallel_depth = leading_parallel nest.Nest.loops;
+    coalescible_depth = best_depth (Nest.depth nest);
+  }
+
+let nests (p : Ast.program) =
+  let acc = ref [] in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Assign _ -> ()
+    | If (_, t, f) ->
+        List.iter stmt t;
+        List.iter stmt f
+    | For l -> acc := nest_info_of l :: !acc
+    (* outermost nests only: do not recurse into loop bodies *)
+  in
+  List.iter stmt p.body;
+  List.rev !acc
+
+(* ---------- schedule simulation ---------- *)
+
+type sim_spec = {
+  shape : int list;
+  body : Workload.Bodies.t;
+  machine : Machine_lib.Machine.t;
+  strategy : Transform.Index_recovery.strategy;
+}
+
+type sim_line = {
+  label : string;
+  completion : float;
+  speedup : float;
+  efficiency : float;
+  dispatches : int;
+  imbalance : float;
+}
+
+let total_work spec = Workload.Bodies.total ~shape:spec.shape spec.body
+
+let serial_time spec =
+  let n = Im.product spec.shape in
+  total_work spec +. (2.0 *. float_of_int n)
+
+let line_of spec ~label ~completion ~dispatches ~busy =
+  let serial = serial_time spec in
+  let speedup = if completion > 0.0 then serial /. completion else 0.0 in
+  let p = spec.machine.Machine_lib.Machine.p in
+  {
+    label;
+    completion;
+    speedup;
+    efficiency = speedup /. float_of_int p;
+    dispatches;
+    imbalance =
+      (match busy with
+      | Some b -> Loopcoal_util.Stats.imbalance (Array.to_list b)
+      | None -> 0.0);
+  }
+
+let simulate_coalesced spec ~policy =
+  let n = Im.product spec.shape in
+  let chunk_cost =
+    Workload.Workload_cost.chunk_cost ~strategy:spec.strategy
+      ~sizes:spec.shape ~body:spec.body
+  in
+  let r =
+    Machine_lib.Event_sim.simulate ~machine:spec.machine ~policy ~n
+      ~chunk_cost
+  in
+  line_of spec
+    ~label:(Printf.sprintf "coalesced/%s" (Sched.Policy.name policy))
+    ~completion:r.Machine_lib.Event_sim.completion
+    ~dispatches:r.Machine_lib.Event_sim.dispatches
+    ~busy:(Some r.Machine_lib.Event_sim.busy)
+
+let simulate_nested_with spec ~label ~alloc =
+  let r =
+    Machine_lib.Event_sim.simulate_nested ~machine:spec.machine
+      ~shape:spec.shape ~alloc ~body_cost:spec.body
+  in
+  line_of spec ~label ~completion:r.Machine_lib.Event_sim.n_completion
+    ~dispatches:r.Machine_lib.Event_sim.n_forks ~busy:None
+
+let best_nested_alloc spec =
+  (* Search every ordered factorization of p under the full cost model:
+     the zero-overhead-optimal allocation is not optimal once each inner
+     parallel region pays fork and barrier again per enclosing iteration. *)
+  let p = spec.machine.Machine_lib.Machine.p in
+  let m = List.length spec.shape in
+  let candidates = Im.factorizations p m in
+  let completion alloc =
+    (Machine_lib.Event_sim.simulate_nested ~machine:spec.machine
+       ~shape:spec.shape ~alloc ~body_cost:spec.body)
+      .Machine_lib.Event_sim.n_completion
+  in
+  match candidates with
+  | [] -> invalid_arg "Driver.best_nested_alloc: no factorization"
+  | first :: rest ->
+      List.fold_left
+        (fun (ba, bc) alloc ->
+          let c = completion alloc in
+          if c < bc then (alloc, c) else (ba, bc))
+        (first, completion first)
+        rest
+
+let simulate_nested_best spec =
+  let alloc, _ = best_nested_alloc spec in
+  let label =
+    Printf.sprintf "nested/best(%s)"
+      (String.concat "x" (List.map string_of_int alloc))
+  in
+  simulate_nested_with spec ~label ~alloc
+
+let simulate_nested_outer_only spec =
+  let p = spec.machine.Machine_lib.Machine.p in
+  let alloc = Sched.Alloc.outer_only ~shape:spec.shape ~p in
+  simulate_nested_with spec ~label:"nested/outer-only" ~alloc
+
+(* ---------- profiling ---------- *)
+
+type profile = {
+  p_shape : int list;
+  p_iterations : int;
+  p_body_cost : float;
+}
+
+let first_constant_nest (p : Ast.program) =
+  let module Nest = Loopcoal_analysis.Nest in
+  let found = ref None in
+  let rec stmt (s : Ast.stmt) =
+    match (!found, s) with
+    | Some _, _ -> ()
+    | None, Assign _ -> ()
+    | None, If (_, t, f) ->
+        List.iter stmt t;
+        List.iter stmt f
+    | None, For l ->
+        let nest = Nest.of_loop l in
+        let trips = Nest.trip_counts nest in
+        if List.for_all Option.is_some trips then
+          let shape = List.map Option.get trips in
+          if Im.product shape >= 1 then found := Some (s, shape)
+          else List.iter stmt l.body
+        else List.iter stmt l.body
+  in
+  List.iter stmt p.body;
+  !found
+
+let weighted_cost (c : Eval.counters) =
+  float_of_int c.Eval.int_ops
+  +. (4.0 *. float_of_int c.Eval.int_divs)
+  +. (2.0 *. float_of_int c.Eval.real_ops)
+  +. (2.0 *. float_of_int (c.Eval.loads + c.Eval.stores))
+  +. (2.0 *. float_of_int c.Eval.loop_iters)
+
+let profile_first_nest (p : Ast.program) =
+  match first_constant_nest p with
+  | None -> Error "no loop nest with fully constant trip counts"
+  | Some (nest_stmt, shape) -> (
+      let probe = { p with Ast.body = [ nest_stmt ] } in
+      match Eval.run ~array_init:1.0 probe with
+      | exception Eval.Runtime_error m -> Error ("probe faulted: " ^ m)
+      | st ->
+          let c = Eval.counters st in
+          let n = Im.product shape in
+          (* Subtract the nest's own control: the flattened space pays 2
+             per iteration in the serial baseline already. *)
+          Ok
+            {
+              p_shape = shape;
+              p_iterations = n;
+              p_body_cost = weighted_cost c /. float_of_int n;
+            })
+
+let schedule_program ?(policy = Sched.Policy.Static_block) ~p
+    (program : Ast.program) =
+  match profile_first_nest program with
+  | Error m -> Error m
+  | Ok prof ->
+      let spec =
+        {
+          shape = prof.p_shape;
+          body = Workload.Bodies.uniform prof.p_body_cost;
+          machine = Machine_lib.Machine.default ~p;
+          strategy = Transform.Index_recovery.Incremental;
+        }
+      in
+      let lines =
+        [
+          simulate_coalesced spec ~policy;
+          simulate_nested_best spec;
+          simulate_nested_outer_only spec;
+        ]
+      in
+      Ok (prof, lines)

@@ -1,0 +1,108 @@
+(** High-level driver: the analyze -> transform -> schedule -> simulate
+    pipeline behind the CLI, the examples and the bench harness. *)
+
+open Loopcoal_ir
+
+(** {1 Loading} *)
+
+val load_string : string -> (Ast.program, string) result
+val load_file : string -> (Ast.program, string) result
+
+(** {1 Transformation report} *)
+
+type coalesce_report = {
+  before_text : string;
+  after_text : string;
+  nests_coalesced : int;
+  verified : bool;  (** interpreter-checked observational equivalence *)
+  after_program : Ast.program;
+}
+
+val coalesce_report :
+  ?strategy:Loopcoal_transform.Index_recovery.strategy ->
+  ?fuel:int ->
+  Ast.program ->
+  (coalesce_report, string) result
+(** Coalesce every maximal coalescible nest and verify against the
+    original. An error is returned when verification fails; a program with
+    nothing to coalesce yields a report with [nests_coalesced = 0]. *)
+
+(** {1 Nest summary} *)
+
+type nest_info = {
+  indices : Ast.var list;
+  shape : int list option;  (** constant trip counts when all known *)
+  parallel_depth : int;  (** loops annotated parallel, outermost-in *)
+  coalescible_depth : int;  (** maximal depth accepted by the checker *)
+}
+
+val nests : Ast.program -> nest_info list
+(** Every outermost perfect nest in the program, textual order. *)
+
+(** {1 Schedule simulation} *)
+
+type sim_spec = {
+  shape : int list;
+  body : Loopcoal_workload.Bodies.t;
+  machine : Loopcoal_machine.Machine.t;
+  strategy : Loopcoal_transform.Index_recovery.strategy;
+      (** index-recovery cost model for coalesced execution *)
+}
+
+type sim_line = {
+  label : string;
+  completion : float;
+  speedup : float;  (** vs serial execution of the pure body work *)
+  efficiency : float;  (** speedup / p *)
+  dispatches : int;
+  imbalance : float;  (** (max-min)/max of per-processor busy time *)
+}
+
+val simulate_coalesced :
+  sim_spec -> policy:Loopcoal_sched.Policy.t -> sim_line
+
+val best_nested_alloc : sim_spec -> int list * float
+(** The per-dimension processor allocation minimizing the {e simulated}
+    completion of the uncoalesced nest (searching all ordered
+    factorizations of p), with that completion. This differs from
+    {!Loopcoal_sched.Alloc.best} because repeated inner fork/barrier costs
+    penalize inner-dimension parallelism. *)
+
+val simulate_nested_best : sim_spec -> sim_line
+(** Uncoalesced nest under {!best_nested_alloc}. *)
+
+val simulate_nested_outer_only : sim_spec -> sim_line
+(** Uncoalesced nest with all processors on the outermost loop. *)
+
+val serial_time : sim_spec -> float
+(** Total body work plus the serial loop-control overhead (2 instructions
+    per iteration, as in the original analysis) — the baseline of every
+    speedup. *)
+
+(** {1 Profiling a program's nest} *)
+
+type profile = {
+  p_shape : int list;  (** constant trip counts of the profiled nest *)
+  p_iterations : int;
+  p_body_cost : float;
+      (** weighted executed operations per iteration of the flattened
+          space: integer ops count 1, divisions 4, float ops 2, memory
+          accesses 2, inner loop-control 2 — a crude RISC-flavoured
+          weighting, documented rather than defensible *)
+}
+
+val profile_first_nest : Ast.program -> (profile, string) result
+(** Find the first loop whose perfect nest has fully constant trip counts
+    and measure its body cost by executing a probe (the nest alone, with
+    arrays pre-filled with 1.0 so untouched cells do not fault divisions).
+    Errors when no such nest exists or the probe faults. *)
+
+val schedule_program :
+  ?policy:Loopcoal_sched.Policy.t ->
+  p:int ->
+  Ast.program ->
+  (profile * sim_line list, string) result
+(** The full pipeline on a real program: profile its first constant-shape
+    nest, then simulate the coalesced schedule (default policy
+    [Static_block], incremental recovery) against the best nested and
+    outer-only alternatives using the measured body cost. *)

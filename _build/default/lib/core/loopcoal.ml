@@ -1,0 +1,61 @@
+(** Public umbrella for the loop-coalescing library.
+
+    The sub-libraries remain directly usable; this module re-exports them
+    under short names and adds {!Driver}, the high-level
+    analyze-transform-schedule-simulate entry point used by the CLI,
+    examples and benches. *)
+
+module Ast = Loopcoal_ir.Ast
+module Builder = Loopcoal_ir.Builder
+module Parser = Loopcoal_ir.Parser
+module Lexer = Loopcoal_ir.Lexer
+module Pretty = Loopcoal_ir.Pretty
+module Eval = Loopcoal_ir.Eval
+module Validate = Loopcoal_ir.Validate
+module Affine = Loopcoal_analysis.Affine
+module Usedef = Loopcoal_analysis.Usedef
+module Depend = Loopcoal_analysis.Depend
+module Privatize = Loopcoal_analysis.Privatize
+module Loop_class = Loopcoal_analysis.Loop_class
+module Nest = Loopcoal_analysis.Nest
+module Reduction = Loopcoal_analysis.Reduction
+module Distance = Loopcoal_analysis.Distance
+module Dep_report = Loopcoal_analysis.Dep_report
+module Index_recovery = Loopcoal_transform.Index_recovery
+module Normalize = Loopcoal_transform.Normalize
+module Coalesce = Loopcoal_transform.Coalesce
+module Coalesce_chunked = Loopcoal_transform.Coalesce_chunked
+module Interchange = Loopcoal_transform.Interchange
+module Chunk = Loopcoal_transform.Chunk
+module Scalar_expand = Loopcoal_transform.Scalar_expand
+module Distribute = Loopcoal_transform.Distribute
+module Fuse = Loopcoal_transform.Fuse
+module Parallel_reduce = Loopcoal_transform.Parallel_reduce
+module Tile = Loopcoal_transform.Tile
+module Cycle_shrink = Loopcoal_transform.Cycle_shrink
+module Unroll = Loopcoal_transform.Unroll
+module Peel = Loopcoal_transform.Peel
+module Emit_c = Loopcoal_transform.Emit_c
+module Pipeline = Loopcoal_transform.Pipeline
+module Names = Loopcoal_transform.Names
+module Policy = Loopcoal_sched.Policy
+module Static = Loopcoal_sched.Static
+module Gss = Loopcoal_sched.Gss
+module Factoring = Loopcoal_sched.Factoring
+module Trapezoid = Loopcoal_sched.Trapezoid
+module Alloc = Loopcoal_sched.Alloc
+module Bounds = Loopcoal_sched.Bounds
+module Granularity = Loopcoal_sched.Granularity
+module Machine = Loopcoal_machine.Machine
+module Event_sim = Loopcoal_machine.Event_sim
+module Gantt = Loopcoal_machine.Gantt
+module Bodies = Loopcoal_workload.Bodies
+module Workload_cost = Loopcoal_workload.Workload_cost
+module Kernels = Loopcoal_workload.Kernels
+module Shapes = Loopcoal_workload.Shapes
+module Intmath = Loopcoal_util.Intmath
+module Prng = Loopcoal_util.Prng
+module Stats = Loopcoal_util.Stats
+module Table = Loopcoal_util.Table
+module Ascii_plot = Loopcoal_util.Ascii_plot
+module Driver = Driver

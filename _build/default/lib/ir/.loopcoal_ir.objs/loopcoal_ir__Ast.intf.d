@@ -1,0 +1,1 @@
+lib/ir/ast.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ir/eval.pp.ml: Array Ast Hashtbl List Loopcoal_util Printf String

@@ -1,0 +1,1 @@
+lib/ir/validate.pp.mli: Ast

@@ -1,0 +1,154 @@
+(** Abstract syntax of the toy loop IR.
+
+    The IR models the normalized-Fortran subset that loop coalescing was
+    published for: DO-style counted loops (inclusive bounds), scalar and
+    rectangular-array variables, affine-friendly integer arithmetic, and an
+    explicit ceiling-division operator because the paper's index-recovery
+    expressions are stated with the ceiling function. Loops carry a
+    parallel/serial annotation; the analysis library can both infer and
+    verify it. *)
+
+type var = string [@@deriving eq, ord, show]
+
+(** Binary operators. [Div] is truncating division on ints and ordinary
+    division on reals; [Mod] and [Cdiv] (ceiling division) are int-only. *)
+type binop = Add | Sub | Mul | Div | Mod | Cdiv | Min | Max
+[@@deriving eq, ord, show]
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge [@@deriving eq, ord, show]
+
+type expr =
+  | Int of int
+  | Real of float
+  | Var of var
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Load of var * expr list  (** [Load (a, subs)] reads [a(subs)], 1-based *)
+[@@deriving eq, ord, show]
+
+type cond =
+  | True
+  | Cmp of relop * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+[@@deriving eq, ord, show]
+
+type lvalue =
+  | Scalar of var
+  | Elem of var * expr list  (** [Elem (a, subs)] writes [a(subs)], 1-based *)
+[@@deriving eq, ord, show]
+
+(** Scheduling annotation on a loop. [Parallel] asserts that iterations are
+    independent (a DOALL); [Serial] makes no claim. *)
+type par_kind = Serial | Parallel [@@deriving eq, ord, show]
+
+type stmt =
+  | Assign of lvalue * expr
+  | If of cond * block * block
+  | For of loop
+
+and block = stmt list
+
+and loop = {
+  index : var;
+  lo : expr;
+  hi : expr;  (** inclusive upper bound, DO-style *)
+  step : expr;
+  par : par_kind;
+  body : block;
+}
+[@@deriving eq, ord, show]
+
+(** Value kinds for scalars. Arrays always hold reals (Fortran REAL style);
+    loop indices are ints. *)
+type kind = Kint | Kreal [@@deriving eq, ord, show]
+
+type array_decl = { arr_name : var; dims : int list }
+[@@deriving eq, ord, show]
+
+type scalar_decl = { sc_name : var; sc_kind : kind; sc_init : float }
+[@@deriving eq, ord, show]
+
+type program = {
+  arrays : array_decl list;
+  scalars : scalar_decl list;
+  body : block;
+}
+[@@deriving eq, ord, show]
+
+(** {1 Structural helpers} *)
+
+let rec expr_vars = function
+  | Int _ | Real _ -> []
+  | Var v -> [ v ]
+  | Bin (_, a, b) -> expr_vars a @ expr_vars b
+  | Neg a -> expr_vars a
+  | Load (_, subs) -> List.concat_map expr_vars subs
+
+let rec cond_vars = function
+  | True -> []
+  | Cmp (_, a, b) -> expr_vars a @ expr_vars b
+  | And (a, b) | Or (a, b) -> cond_vars a @ cond_vars b
+  | Not a -> cond_vars a
+
+(** [subst_expr v e expr] replaces every free occurrence of variable [v] in
+    [expr] by [e]. Array names are not variables for this purpose. *)
+let rec subst_expr v e = function
+  | Int _ | Real _ as x -> x
+  | Var w -> if String.equal w v then e else Var w
+  | Bin (op, a, b) -> Bin (op, subst_expr v e a, subst_expr v e b)
+  | Neg a -> Neg (subst_expr v e a)
+  | Load (a, subs) -> Load (a, List.map (subst_expr v e) subs)
+
+let rec subst_cond v e = function
+  | True -> True
+  | Cmp (op, a, b) -> Cmp (op, subst_expr v e a, subst_expr v e b)
+  | And (a, b) -> And (subst_cond v e a, subst_cond v e b)
+  | Or (a, b) -> Or (subst_cond v e a, subst_cond v e b)
+  | Not a -> Not (subst_cond v e a)
+
+(** Substitution through statements stops at a loop that rebinds [v]. *)
+let rec subst_stmt v e = function
+  | Assign (lv, rhs) -> Assign (subst_lvalue v e lv, subst_expr v e rhs)
+  | If (c, t, f) -> If (subst_cond v e c, subst_block v e t, subst_block v e f)
+  | For l ->
+      let lo = subst_expr v e l.lo
+      and hi = subst_expr v e l.hi
+      and step = subst_expr v e l.step in
+      if String.equal l.index v then For { l with lo; hi; step }
+      else For { l with lo; hi; step; body = subst_block v e l.body }
+
+and subst_lvalue v e = function
+  | Scalar w -> Scalar w
+  | Elem (a, subs) -> Elem (a, List.map (subst_expr v e) subs)
+
+and subst_block v e b = List.map (subst_stmt v e) b
+
+(** All loop-index names bound anywhere in a block. *)
+let rec bound_indices_block b = List.concat_map bound_indices_stmt b
+
+and bound_indices_stmt = function
+  | Assign _ -> []
+  | If (_, t, f) -> bound_indices_block t @ bound_indices_block f
+  | For l -> l.index :: bound_indices_block l.body
+
+(** A fresh variable name not colliding with [avoid]. *)
+let fresh_var ~avoid base =
+  let taken = List.sort_uniq String.compare avoid in
+  let exists n = List.exists (String.equal n) taken in
+  if not (exists base) then base
+  else
+    let rec go i =
+      let cand = Printf.sprintf "%s%d" base i in
+      if exists cand then go (i + 1) else cand
+    in
+    go 1
+
+(** Number of statements, a rough size metric used in tests. *)
+let rec block_size b = List.fold_left (fun acc s -> acc + stmt_size s) 0 b
+
+and stmt_size = function
+  | Assign _ -> 1
+  | If (_, t, f) -> 1 + block_size t + block_size f
+  | For l -> 1 + block_size l.body

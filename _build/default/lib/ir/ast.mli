@@ -1,0 +1,91 @@
+(** Abstract syntax of the toy loop IR (see the implementation header for the
+    design rationale). *)
+
+type var = string [@@deriving eq, ord, show]
+
+type binop = Add | Sub | Mul | Div | Mod | Cdiv | Min | Max
+[@@deriving eq, ord, show]
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge [@@deriving eq, ord, show]
+
+type expr =
+  | Int of int
+  | Real of float
+  | Var of var
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Load of var * expr list
+[@@deriving eq, ord, show]
+
+type cond =
+  | True
+  | Cmp of relop * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+[@@deriving eq, ord, show]
+
+type lvalue = Scalar of var | Elem of var * expr list
+[@@deriving eq, ord, show]
+
+type par_kind = Serial | Parallel [@@deriving eq, ord, show]
+
+type stmt =
+  | Assign of lvalue * expr
+  | If of cond * block * block
+  | For of loop
+
+and block = stmt list
+
+and loop = {
+  index : var;
+  lo : expr;
+  hi : expr;
+  step : expr;
+  par : par_kind;
+  body : block;
+}
+[@@deriving eq, ord, show]
+
+type kind = Kint | Kreal [@@deriving eq, ord, show]
+
+type array_decl = { arr_name : var; dims : int list }
+[@@deriving eq, ord, show]
+
+type scalar_decl = { sc_name : var; sc_kind : kind; sc_init : float }
+[@@deriving eq, ord, show]
+
+type program = {
+  arrays : array_decl list;
+  scalars : scalar_decl list;
+  body : block;
+}
+[@@deriving eq, ord, show]
+
+val expr_vars : expr -> var list
+(** Free scalar/index variables of an expression (array names excluded). *)
+
+val cond_vars : cond -> var list
+
+val subst_expr : var -> expr -> expr -> expr
+(** [subst_expr v e x] replaces free occurrences of [v] in [x] by [e]. *)
+
+val subst_cond : var -> expr -> cond -> cond
+val subst_stmt : var -> expr -> stmt -> stmt
+val subst_lvalue : var -> expr -> lvalue -> lvalue
+
+val subst_block : var -> expr -> block -> block
+(** Substitution stops at loops that rebind the variable. *)
+
+val bound_indices_block : block -> var list
+(** All loop-index names bound anywhere in a block, outermost first. *)
+
+val bound_indices_stmt : stmt -> var list
+
+val fresh_var : avoid:var list -> string -> var
+(** A name based on [base] that is not in [avoid]. *)
+
+val block_size : block -> int
+(** Number of statements, counting loop and if headers. *)
+
+val stmt_size : stmt -> int

@@ -1,0 +1,43 @@
+open Ast
+
+let int n = Int n
+let real x = Real x
+let var v = Var v
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( / ) a b = Bin (Div, a, b)
+let ( % ) a b = Bin (Mod, a, b)
+let cdiv a b = Bin (Cdiv, a, b)
+let imin a b = Bin (Min, a, b)
+let imax a b = Bin (Max, a, b)
+let neg a = Neg a
+let load a subs = Load (a, subs)
+
+let ( = ) a b = Cmp (Eq, a, b)
+let ( <> ) a b = Cmp (Ne, a, b)
+let ( < ) a b = Cmp (Lt, a, b)
+let ( <= ) a b = Cmp (Le, a, b)
+let ( > ) a b = Cmp (Gt, a, b)
+let ( >= ) a b = Cmp (Ge, a, b)
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let not_ a = Not a
+
+let assign v e = Assign (Scalar v, e)
+let store a subs e = Assign (Elem (a, subs), e)
+let if_ c t f = If (c, t, f)
+
+let for_ ?(step = Int 1) index lo hi body =
+  For { index; lo; hi; step; par = Serial; body }
+
+let doall ?(step = Int 1) index lo hi body =
+  For { index; lo; hi; step; par = Parallel; body }
+
+let array arr_name dims = { arr_name; dims }
+let int_scalar ?(init = 0) sc_name =
+  { sc_name; sc_kind = Kint; sc_init = float_of_int init }
+let real_scalar ?(init = 0.0) sc_name =
+  { sc_name; sc_kind = Kreal; sc_init = init }
+
+let program ?(arrays = []) ?(scalars = []) body = { arrays; scalars; body }

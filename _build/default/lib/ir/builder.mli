@@ -1,0 +1,58 @@
+(** Combinators for constructing IR terms concisely.
+
+    These are the forms used throughout the transformation, scheduler,
+    workload and test code, so they are kept small and total. *)
+
+open Ast
+
+(** {1 Expressions} *)
+
+val int : int -> expr
+val real : float -> expr
+val var : var -> expr
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( % ) : expr -> expr -> expr
+
+val cdiv : expr -> expr -> expr
+(** Ceiling division, the paper's operator. *)
+
+val imin : expr -> expr -> expr
+val imax : expr -> expr -> expr
+val neg : expr -> expr
+val load : var -> expr list -> expr
+
+(** {1 Conditions} *)
+
+val ( = ) : expr -> expr -> cond
+val ( <> ) : expr -> expr -> cond
+val ( < ) : expr -> expr -> cond
+val ( <= ) : expr -> expr -> cond
+val ( > ) : expr -> expr -> cond
+val ( >= ) : expr -> expr -> cond
+val ( && ) : cond -> cond -> cond
+val ( || ) : cond -> cond -> cond
+val not_ : cond -> cond
+
+(** {1 Statements} *)
+
+val assign : var -> expr -> stmt
+val store : var -> expr list -> expr -> stmt
+val if_ : cond -> block -> block -> stmt
+
+val for_ : ?step:expr -> var -> expr -> expr -> block -> stmt
+(** Serial counted loop with inclusive bounds; step defaults to 1. *)
+
+val doall : ?step:expr -> var -> expr -> expr -> block -> stmt
+(** Parallel counted loop (DOALL annotation). *)
+
+(** {1 Programs} *)
+
+val array : var -> int list -> array_decl
+val int_scalar : ?init:int -> var -> scalar_decl
+val real_scalar : ?init:float -> var -> scalar_decl
+
+val program :
+  ?arrays:array_decl list -> ?scalars:scalar_decl list -> block -> program

@@ -1,0 +1,257 @@
+open Ast
+
+type value = Vint of int | Vreal of float
+
+type counters = {
+  mutable int_ops : int;
+  mutable int_divs : int;
+  mutable real_ops : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable loop_iters : int;
+  mutable branches : int;
+}
+
+type state = {
+  arrays : (string, int list * float array) Hashtbl.t;
+  scalars : (string, value) Hashtbl.t;
+  ctr : counters;
+  mutable fuel : int;
+}
+
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let fresh_counters () =
+  {
+    int_ops = 0;
+    int_divs = 0;
+    real_ops = 0;
+    loads = 0;
+    stores = 0;
+    loop_iters = 0;
+    branches = 0;
+  }
+
+(* Row-major flattening of 1-based subscripts, bounds-checked. *)
+let offset name dims subs =
+  if List.length dims <> List.length subs then
+    error "array %s: %d subscripts for %d dimensions" name (List.length subs)
+      (List.length dims);
+  List.fold_left2
+    (fun acc d s ->
+      if s < 1 || s > d then
+        error "array %s: subscript %d out of bounds 1..%d" name s d;
+      (acc * d) + (s - 1))
+    0 dims subs
+
+let as_int name = function
+  | Vint n -> n
+  | Vreal _ -> error "%s: expected an integer value" name
+
+let to_real = function Vint n -> float_of_int n | Vreal x -> x
+
+(* The environment for loop indices is an assoc list searched before the
+   scalar store. *)
+let lookup st env v =
+  match List.assoc_opt v env with
+  | Some n -> Vint n
+  | None -> (
+      match Hashtbl.find_opt st.scalars v with
+      | Some value -> value
+      | None -> error "unbound variable %s" v)
+
+let rec eval_expr st env = function
+  | Int n -> Vint n
+  | Real x -> Vreal x
+  | Var v -> lookup st env v
+  | Neg a -> (
+      match eval_expr st env a with
+      | Vint n ->
+          st.ctr.int_ops <- st.ctr.int_ops + 1;
+          Vint (-n)
+      | Vreal x ->
+          st.ctr.real_ops <- st.ctr.real_ops + 1;
+          Vreal (-.x))
+  | Load (a, subs) -> (
+      match Hashtbl.find_opt st.arrays a with
+      | None -> error "unbound array %s" a
+      | Some (dims, data) ->
+          let ss = List.map (fun e -> as_int "subscript" (eval_expr st env e)) subs in
+          st.ctr.loads <- st.ctr.loads + 1;
+          Vreal data.(offset a dims ss))
+  | Bin (op, a, b) -> eval_bin st op (eval_expr st env a) (eval_expr st env b)
+
+and eval_bin st op va vb =
+  let int_only name f =
+    let a = as_int name va and b = as_int name vb in
+    st.ctr.int_divs <- st.ctr.int_divs + 1;
+    Vint (f a b)
+  in
+  let arith fint freal =
+    match (va, vb) with
+    | Vint a, Vint b ->
+        st.ctr.int_ops <- st.ctr.int_ops + 1;
+        Vint (fint a b)
+    | _ ->
+        st.ctr.real_ops <- st.ctr.real_ops + 1;
+        Vreal (freal (to_real va) (to_real vb))
+  in
+  match op with
+  | Add -> arith ( + ) ( +. )
+  | Sub -> arith ( - ) ( -. )
+  | Mul -> arith ( * ) ( *. )
+  | Min -> arith min min
+  | Max -> arith max max
+  | Div -> (
+      match (va, vb) with
+      | Vint _, Vint 0 -> error "integer division by zero"
+      | Vint a, Vint b ->
+          st.ctr.int_divs <- st.ctr.int_divs + 1;
+          (* Fortran-style truncating division. *)
+          Vint (a / b)
+      | _ ->
+          st.ctr.real_ops <- st.ctr.real_ops + 1;
+          Vreal (to_real va /. to_real vb))
+  | Mod ->
+      int_only "mod" (fun a b ->
+          if b = 0 then error "mod by zero" else a mod b)
+  | Cdiv ->
+      int_only "ceildiv" (fun a b ->
+          if b <= 0 then error "ceildiv: non-positive divisor %d" b
+          else Loopcoal_util.Intmath.cdiv a b)
+
+let compare_vals op va vb =
+  let c =
+    match (va, vb) with
+    | Vint a, Vint b -> compare a b
+    | _ -> compare (to_real va) (to_real vb)
+  in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec eval_cond st env = function
+  | True -> true
+  | Cmp (op, a, b) ->
+      st.ctr.int_ops <- st.ctr.int_ops + 1;
+      compare_vals op (eval_expr st env a) (eval_expr st env b)
+  | And (a, b) -> eval_cond st env a && eval_cond st env b
+  | Or (a, b) -> eval_cond st env a || eval_cond st env b
+  | Not a -> not (eval_cond st env a)
+
+let rec exec_stmt st env = function
+  | Assign (Scalar v, e) ->
+      let value = eval_expr st env e in
+      if List.mem_assoc v env then error "cannot assign to loop index %s" v;
+      (match (Hashtbl.find_opt st.scalars v, value) with
+      | None, _ -> error "unbound scalar %s" v
+      | Some (Vint _), Vreal _ -> error "assigning real to int scalar %s" v
+      | Some (Vint _), Vint _ -> Hashtbl.replace st.scalars v value
+      | Some (Vreal _), _ -> Hashtbl.replace st.scalars v (Vreal (to_real value)))
+  | Assign (Elem (a, subs), e) -> (
+      match Hashtbl.find_opt st.arrays a with
+      | None -> error "unbound array %s" a
+      | Some (dims, data) ->
+          let ss = List.map (fun s -> as_int "subscript" (eval_expr st env s)) subs in
+          let x = to_real (eval_expr st env e) in
+          st.ctr.stores <- st.ctr.stores + 1;
+          data.(offset a dims ss) <- x)
+  | If (c, t, f) ->
+      st.ctr.branches <- st.ctr.branches + 1;
+      if eval_cond st env c then exec_block st env t else exec_block st env f
+  | For l ->
+      let lo = as_int "loop bound" (eval_expr st env l.lo)
+      and hi = as_int "loop bound" (eval_expr st env l.hi)
+      and step = as_int "loop step" (eval_expr st env l.step) in
+      if step <= 0 then error "loop %s: step must be positive" l.index;
+      let rec iterate i =
+        if i <= hi then begin
+          if st.fuel <= 0 then error "fuel exhausted";
+          st.fuel <- st.fuel - 1;
+          st.ctr.loop_iters <- st.ctr.loop_iters + 1;
+          exec_block st ((l.index, i) :: env) l.body;
+          iterate (i + step)
+        end
+      in
+      iterate lo
+
+and exec_block st env b = List.iter (exec_stmt st env) b
+
+let run ?(fuel = 10_000_000) ?(array_init = 0.0) (p : program) =
+  let st =
+    {
+      arrays = Hashtbl.create 16;
+      scalars = Hashtbl.create 16;
+      ctr = fresh_counters ();
+      fuel;
+    }
+  in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem st.arrays a.arr_name then
+        error "duplicate array %s" a.arr_name;
+      if a.dims = [] || List.exists (fun d -> d < 1) a.dims then
+        error "array %s: dimensions must be positive" a.arr_name;
+      let size = Loopcoal_util.Intmath.product a.dims in
+      Hashtbl.add st.arrays a.arr_name (a.dims, Array.make size array_init))
+    p.arrays;
+  List.iter
+    (fun s ->
+      if Hashtbl.mem st.scalars s.sc_name || Hashtbl.mem st.arrays s.sc_name
+      then error "duplicate declaration %s" s.sc_name;
+      let v =
+        match s.sc_kind with
+        | Kint -> Vint (int_of_float s.sc_init)
+        | Kreal -> Vreal s.sc_init
+      in
+      Hashtbl.add st.scalars s.sc_name v)
+    p.scalars;
+  exec_block st [] p.body;
+  st
+
+let counters st = st.ctr
+
+let array_contents st name =
+  match Hashtbl.find_opt st.arrays name with
+  | Some (_, data) -> data
+  | None -> error "unbound array %s" name
+
+let scalar_value st name =
+  match Hashtbl.find_opt st.scalars name with
+  | Some v -> v
+  | None -> error "unbound scalar %s" name
+
+let dump st =
+  let arrays =
+    Hashtbl.fold (fun name (_, data) acc -> (name, data) :: acc) st.arrays []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let scalars =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) st.scalars []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (arrays, scalars)
+
+let state_equal s1 s2 =
+  let a1, sc1 = dump s1 and a2, sc2 = dump s2 in
+  List.length a1 = List.length a2
+  && List.length sc1 = List.length sc2
+  && List.for_all2 (fun (n1, d1) (n2, d2) -> n1 = n2 && d1 = d2) a1 a2
+  && List.for_all2 (fun (n1, v1) (n2, v2) -> n1 = n2 && v1 = v2) sc1 sc2
+
+let same_behaviour ?fuel p1 p2 =
+  let outcome p =
+    match run ?fuel p with
+    | st -> Ok st
+    | exception Runtime_error m -> Error m
+  in
+  match (outcome p1, outcome p2) with
+  | Ok s1, Ok s2 -> state_equal s1 s2
+  | Error _, Error _ -> true
+  | _ -> false

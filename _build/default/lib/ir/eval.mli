@@ -1,0 +1,49 @@
+(** Sequential reference interpreter.
+
+    The interpreter defines the semantics every transformation must
+    preserve: tests run a program and its transformed version and compare
+    final stores. It also counts executed operations (with integer
+    divisions — the cost of index recovery — counted separately), which is
+    how the reconstructed Table E1 measures per-iteration overhead, in the
+    same static-instruction-counting spirit as the 1987 evaluation. *)
+
+type value = Vint of int | Vreal of float
+
+type counters = {
+  mutable int_ops : int;  (** int add/sub/mul/neg/min/max and comparisons *)
+  mutable int_divs : int;  (** int div, mod, ceiling-div: recovery cost *)
+  mutable real_ops : int;  (** float arithmetic *)
+  mutable loads : int;  (** array element reads *)
+  mutable stores : int;  (** array element writes *)
+  mutable loop_iters : int;  (** loop iterations executed *)
+  mutable branches : int;  (** conditionals evaluated *)
+}
+
+type state
+
+exception Runtime_error of string
+(** Raised on type errors, unbound names, out-of-bounds subscripts,
+    division by zero, non-positive loop steps, or fuel exhaustion. *)
+
+val run : ?fuel:int -> ?array_init:float -> Ast.program -> state
+(** Execute a program from its declared initial store. [fuel] bounds the
+    total number of loop iterations (default 10_000_000). [array_init]
+    (default 0.0) fills every array cell before execution — profiling
+    probes use 1.0 so that divisions by untouched cells do not fault. *)
+
+val counters : state -> counters
+
+val array_contents : state -> string -> float array
+(** Flattened row-major contents. Raises [Runtime_error] if undeclared. *)
+
+val scalar_value : state -> string -> value
+
+val dump : state -> (string * float array) list * (string * value) list
+(** Full final store, sorted by name; the basis for equivalence checks. *)
+
+val state_equal : state -> state -> bool
+(** Exact equality of final stores (arrays elementwise, scalars). *)
+
+val same_behaviour : ?fuel:int -> Ast.program -> Ast.program -> bool
+(** Run both and compare final stores; runtime errors in either count as
+    different behaviour unless both raise. *)

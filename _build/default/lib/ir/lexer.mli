@@ -1,0 +1,28 @@
+(** Lexer for the surface language printed by {!Pretty}.
+
+    Whitespace and [#]-to-end-of-line comments are insignificant. *)
+
+type token =
+  | Tint of int
+  | Treal of float
+  | Tident of string
+  | Tkeyword of string
+      (** one of: program begin end do doall if then else int real
+          and or not true ceildiv min max *)
+  | Tpunct of string  (** one of: = <> < <= > >= + - * / % ( ) [ ] , *)
+  | Teof
+
+exception Lex_error of string * int
+(** Message and character offset. *)
+
+val tokenize : string -> token array
+(** The whole input as tokens, terminated by [Teof]. *)
+
+val tokenize_with_positions : string -> (token * int) array
+(** Tokens paired with their starting character offset (the [Teof] entry
+    carries the input length). *)
+
+val position : string -> int -> int * int
+(** [position src offset] is the 1-based (line, column) of an offset. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,34 @@
+(** Recursive-descent parser for the surface language.
+
+    The grammar is exactly what {!Pretty} prints:
+
+    {v
+    program   ::= "program" decl* "begin" block "end"
+    decl      ::= "real" ident "[" int ("," int)* "]"
+                | "int" ident "=" intlit | "real" ident "=" reallit
+    block     ::= stmt*
+    stmt      ::= ("do" | "doall") ident "=" expr "," expr ("," expr)?
+                     block "end"
+                | "if" cond "then" block ("else" block)? "end"
+                | ident ("[" expr ("," expr)* "]")? "=" expr
+    cond      ::= conj ("or" conj)*
+    conj      ::= catom ("and" catom)*
+    catom     ::= "not" catom | "true" | expr relop expr | "(" cond ")"
+    expr      ::= term (("+" | "-") term)*
+    term      ::= factor (("*" | "/" | "%") factor)*
+    factor    ::= "-" factor | atom
+    atom      ::= intlit | reallit | ident ("[" expr ("," expr)* "]")?
+                | "(" expr ")"
+                | ("ceildiv" | "min" | "max") "(" expr "," expr ")"
+    v} *)
+
+exception Parse_error of string
+
+val parse_program : string -> Ast.program
+(** Raises [Parse_error] (or re-raises {!Lexer.Lex_error}) on bad input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (must consume the whole input). *)
+
+val parse_block : string -> Ast.block
+(** Parse a standalone statement sequence. *)

@@ -1,0 +1,112 @@
+open Ast
+
+(* Precedence levels: 0 = additive, 1 = multiplicative, 2 = atoms.
+   Function-call forms (ceildiv, min, max) need no precedence. *)
+
+let float_lit x =
+  (* Keep a decimal point so the parser reads the literal back as a real. *)
+  let s = Printf.sprintf "%.12g" x in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+  then s
+  else s ^ ".0"
+
+let rec expr_prec level e =
+  let paren p s = if p < level then "(" ^ s ^ ")" else s in
+  match e with
+  | Int n -> if n < 0 then "(" ^ string_of_int n ^ ")" else string_of_int n
+  | Real x -> float_lit x
+  | Var v -> v
+  | Load (a, subs) ->
+      a ^ "[" ^ String.concat ", " (List.map (expr_prec 0) subs) ^ "]"
+  | Neg a -> "-" ^ expr_prec 2 a
+  | Bin (Cdiv, a, b) ->
+      "ceildiv(" ^ expr_prec 0 a ^ ", " ^ expr_prec 0 b ^ ")"
+  | Bin (Min, a, b) -> "min(" ^ expr_prec 0 a ^ ", " ^ expr_prec 0 b ^ ")"
+  | Bin (Max, a, b) -> "max(" ^ expr_prec 0 a ^ ", " ^ expr_prec 0 b ^ ")"
+  | Bin (Add, a, b) -> paren 0 (expr_prec 0 a ^ " + " ^ expr_prec 1 b)
+  | Bin (Sub, a, b) -> paren 0 (expr_prec 0 a ^ " - " ^ expr_prec 1 b)
+  | Bin (Mul, a, b) -> paren 1 (expr_prec 1 a ^ " * " ^ expr_prec 2 b)
+  | Bin (Div, a, b) -> paren 1 (expr_prec 1 a ^ " / " ^ expr_prec 2 b)
+  | Bin (Mod, a, b) -> paren 1 (expr_prec 1 a ^ " % " ^ expr_prec 2 b)
+
+let expr_to_string e = expr_prec 0 e
+
+let relop_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* Cond precedence: 0 = or, 1 = and, 2 = atoms/not. *)
+let rec cond_prec level c =
+  let paren p s = if p < level then "(" ^ s ^ ")" else s in
+  match c with
+  | True -> "true"
+  | Cmp (op, a, b) ->
+      expr_prec 0 a ^ " " ^ relop_to_string op ^ " " ^ expr_prec 0 b
+  | Not a -> "not " ^ cond_prec 2 a
+  | And (a, b) -> paren 1 (cond_prec 1 a ^ " and " ^ cond_prec 2 b)
+  | Or (a, b) -> paren 0 (cond_prec 0 a ^ " or " ^ cond_prec 1 b)
+
+let cond_to_string c = cond_prec 0 c
+
+let rec stmt_lines indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Assign (Scalar v, e) -> [ pad ^ v ^ " = " ^ expr_to_string e ]
+  | Assign (Elem (a, subs), e) ->
+      [
+        pad ^ a ^ "["
+        ^ String.concat ", " (List.map expr_to_string subs)
+        ^ "] = " ^ expr_to_string e;
+      ]
+  | If (c, t, []) ->
+      (pad ^ "if " ^ cond_to_string c ^ " then")
+      :: block_lines (indent + 2) t
+      @ [ pad ^ "end" ]
+  | If (c, t, f) ->
+      (pad ^ "if " ^ cond_to_string c ^ " then")
+      :: block_lines (indent + 2) t
+      @ [ pad ^ "else" ]
+      @ block_lines (indent + 2) f
+      @ [ pad ^ "end" ]
+  | For l ->
+      let kw = match l.par with Serial -> "do" | Parallel -> "doall" in
+      let step_part =
+        match l.step with
+        | Int 1 -> ""
+        | s -> ", " ^ expr_to_string s
+      in
+      (pad ^ kw ^ " " ^ l.index ^ " = " ^ expr_to_string l.lo ^ ", "
+       ^ expr_to_string l.hi ^ step_part)
+      :: block_lines (indent + 2) l.body
+      @ [ pad ^ "end" ]
+
+and block_lines indent b = List.concat_map (stmt_lines indent) b
+
+let stmt_to_string ?(indent = 0) s = String.concat "\n" (stmt_lines indent s)
+let block_to_string ?(indent = 0) b = String.concat "\n" (block_lines indent b)
+
+let program_to_string p =
+  let arr_line a =
+    Printf.sprintf "  real %s[%s]" a.arr_name
+      (String.concat ", " (List.map string_of_int a.dims))
+  in
+  let sc_line s =
+    match s.sc_kind with
+    | Kint ->
+        Printf.sprintf "  int %s = %d" s.sc_name (int_of_float s.sc_init)
+    | Kreal -> Printf.sprintf "  real %s = %s" s.sc_name (float_lit s.sc_init)
+  in
+  String.concat "\n"
+    (("program" :: List.map arr_line p.arrays)
+    @ List.map sc_line p.scalars
+    @ [ "begin" ]
+    @ block_lines 2 p.body
+    @ [ "end"; "" ])
+
+let pp_expr fmt e = Format.pp_print_string fmt (expr_to_string e)
+let pp_stmt fmt s = Format.pp_print_string fmt (stmt_to_string s)
+let pp_program fmt p = Format.pp_print_string fmt (program_to_string p)

@@ -1,0 +1,13 @@
+(** Pretty-printer for the IR, producing the Fortran-flavoured surface syntax
+    that {!Parser} reads back (print/parse round-trips, modulo constant
+    formatting). *)
+
+val expr_to_string : Ast.expr -> string
+val cond_to_string : Ast.cond -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val block_to_string : ?indent:int -> Ast.block -> string
+val program_to_string : Ast.program -> string
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit

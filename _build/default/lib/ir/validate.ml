@@ -1,0 +1,169 @@
+open Ast
+
+type kind_env = {
+  arrays : (string * int) list;  (** name, rank *)
+  scalars : (string * kind) list;
+  indices : string list;  (** innermost first; shadow scalars *)
+}
+
+type issue = { where : string; what : string }
+
+let bind_index env v = { env with indices = v :: env.indices }
+
+let env_of_program (p : program) =
+  {
+    arrays = List.map (fun a -> (a.arr_name, List.length a.dims)) p.arrays;
+    scalars = List.map (fun s -> (s.sc_name, s.sc_kind)) p.scalars;
+    indices = [];
+  }
+
+let kind_join a b =
+  match (a, b) with Kint, Kint -> Kint | (Kint | Kreal), _ -> Kreal
+
+let rec check_expr env (e : expr) =
+  match e with
+  | Int _ -> Ok Kint
+  | Real _ -> Ok Kreal
+  | Var v ->
+      if List.mem v env.indices then Ok Kint
+      else (
+        match List.assoc_opt v env.scalars with
+        | Some k -> Ok k
+        | None ->
+            if List.mem_assoc v env.arrays then
+              Error (Printf.sprintf "array %s used as a scalar" v)
+            else Error (Printf.sprintf "undeclared variable %s" v))
+  | Neg a -> check_expr env a
+  | Load (name, subs) -> (
+      match List.assoc_opt name env.arrays with
+      | None ->
+          if
+            List.mem name env.indices
+            || List.mem_assoc name env.scalars
+          then Error (Printf.sprintf "%s is not an array" name)
+          else Error (Printf.sprintf "undeclared array %s" name)
+      | Some rank ->
+          if List.length subs <> rank then
+            Error
+              (Printf.sprintf "array %s has rank %d, given %d subscripts"
+                 name rank (List.length subs))
+          else
+            let rec subs_ok = function
+              | [] -> Ok Kreal
+              | s :: rest -> (
+                  match check_expr env s with
+                  | Error _ as e -> e
+                  | Ok Kreal ->
+                      Error
+                        (Printf.sprintf
+                           "real-valued subscript in a reference to %s" name)
+                  | Ok Kint -> subs_ok rest)
+            in
+            subs_ok subs)
+  | Bin (op, a, b) -> (
+      match (check_expr env a, check_expr env b) with
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+      | Ok ka, Ok kb -> (
+          match op with
+          | Add | Sub | Mul | Min | Max | Div -> Ok (kind_join ka kb)
+          | Mod | Cdiv ->
+              if ka = Kint && kb = Kint then Ok Kint
+              else Error "mod/ceildiv require integer operands"))
+
+let rec check_cond env (c : cond) =
+  match c with
+  | True -> Ok ()
+  | Cmp (_, a, b) -> (
+      match (check_expr env a, check_expr env b) with
+      | Ok _, Ok _ -> Ok ()
+      | (Error _ as e), _ | _, (Error _ as e) ->
+          (match e with Error m -> Error m | Ok _ -> assert false))
+  | And (a, b) | Or (a, b) -> (
+      match check_cond env a with Ok () -> check_cond env b | e -> e)
+  | Not a -> check_cond env a
+
+let check_program (p : program) =
+  let issues = ref [] in
+  let problem where what = issues := { where; what } :: !issues in
+  (* declarations *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (a : array_decl) ->
+      if Hashtbl.mem seen a.arr_name then
+        problem "declarations" ("duplicate name " ^ a.arr_name);
+      Hashtbl.replace seen a.arr_name ();
+      if a.dims = [] then
+        problem "declarations" ("array " ^ a.arr_name ^ " has no dimensions");
+      List.iter
+        (fun d ->
+          if d < 1 then
+            problem "declarations"
+              (Printf.sprintf "array %s has non-positive dimension %d"
+                 a.arr_name d))
+        a.dims)
+    p.arrays;
+  List.iter
+    (fun (s : scalar_decl) ->
+      if Hashtbl.mem seen s.sc_name then
+        problem "declarations" ("duplicate name " ^ s.sc_name);
+      Hashtbl.replace seen s.sc_name ())
+    p.scalars;
+  let expr env where e =
+    match check_expr env e with
+    | Ok k -> Some k
+    | Error m ->
+        problem where m;
+        None
+  in
+  let int_expr env where what e =
+    match expr env where e with
+    | Some Kreal -> problem where (what ^ " must be an integer expression")
+    | Some Kint | None -> ()
+  in
+  let rec stmt env where (s : Ast.stmt) =
+    match s with
+    | Assign (Scalar v, rhs) -> (
+        let rhs_kind = expr env where rhs in
+        if List.mem v env.indices then
+          problem where ("assignment to loop index " ^ v)
+        else
+          match List.assoc_opt v env.scalars with
+          | None ->
+              if List.mem_assoc v env.arrays then
+                problem where ("array " ^ v ^ " assigned as a scalar")
+              else problem where ("undeclared scalar " ^ v)
+          | Some Kint -> (
+              match rhs_kind with
+              | Some Kreal ->
+                  problem where ("real value assigned to int scalar " ^ v)
+              | Some Kint | None -> ())
+          | Some Kreal -> ())
+    | Assign (Elem (name, subs), rhs) ->
+        ignore (expr env where (Load (name, subs)));
+        ignore (expr env where rhs)
+    | If (c, t, f) ->
+        (match check_cond env c with
+        | Ok () -> ()
+        | Error m -> problem where m);
+        List.iter (stmt env (where ^ " > if")) t;
+        List.iter (stmt env (where ^ " > else")) f
+    | For l ->
+        int_expr env where ("bound of loop " ^ l.index) l.lo;
+        int_expr env where ("bound of loop " ^ l.index) l.hi;
+        int_expr env where ("step of loop " ^ l.index) l.step;
+        (match l.step with
+        | Int n when n <= 0 ->
+            problem where
+              (Printf.sprintf "loop %s has non-positive constant step %d"
+                 l.index n)
+        | _ -> ());
+        if List.mem_assoc l.index env.arrays then
+          problem where ("loop index " ^ l.index ^ " shadows an array");
+        let env' = { env with indices = l.index :: env.indices } in
+        List.iter (stmt env' (where ^ " > loop " ^ l.index)) l.body
+  in
+  let env = env_of_program p in
+  List.iter (stmt env "body") p.body;
+  List.rev !issues
+
+let is_valid p = check_program p = []

@@ -1,0 +1,35 @@
+(** Static well-formedness checking of programs.
+
+    The interpreter discovers errors dynamically — and only on the paths
+    it executes. This checker finds them statically: undeclared names,
+    subscript arity mismatches, assignments to loop indices, duplicate
+    declarations, and kind errors (real values in integer contexts such as
+    subscripts, loop bounds, or int-scalar assignments). Transformations
+    assume they receive valid programs; the CLI validates before running
+    anything. *)
+
+open Ast
+
+type kind_env  (** scalar/array/loop-index environment *)
+
+type issue = {
+  where : string;  (** human-readable location, e.g. "loop i > body" *)
+  what : string;  (** the problem *)
+}
+
+val check_program : program -> issue list
+(** All problems found, in textual order. Empty = well-formed. *)
+
+val is_valid : program -> bool
+
+val check_expr :
+  kind_env -> expr -> (kind, string) result
+(** Infer the kind of an expression in a given environment; [Error] on the
+    first problem. Exposed for tests. *)
+
+val env_of_program : program -> kind_env
+(** The environment of the program's declarations (no loop indices). *)
+
+val bind_index : kind_env -> var -> kind_env
+(** Enter a loop scope: the name becomes an integer index, shadowing any
+    same-named scalar. Used by code emitters that walk loop bodies. *)

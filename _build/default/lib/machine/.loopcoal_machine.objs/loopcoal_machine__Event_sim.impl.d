@@ -1,0 +1,1 @@
+lib/machine/event_sim.ml: Array Float List Loopcoal_sched Loopcoal_util Machine

@@ -1,0 +1,1 @@
+lib/machine/event_sim.mli: Loopcoal_sched Machine

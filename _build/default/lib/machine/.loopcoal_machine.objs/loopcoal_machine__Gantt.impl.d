@@ -1,0 +1,1 @@
+lib/machine/gantt.ml: Array Buffer Bytes Event_sim Float List Printf

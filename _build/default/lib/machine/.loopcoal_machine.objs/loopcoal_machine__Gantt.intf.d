@@ -1,0 +1,1 @@
+lib/machine/gantt.mli: Event_sim

@@ -1,0 +1,82 @@
+(** Discrete-event simulation of a parallel loop on the machine model.
+
+    The simulator executes a scheduling policy over the 1-D (coalesced)
+    iteration space, or a per-dimension static schedule over an uncoalesced
+    nest, and reports completion time, per-processor busy time, and the
+    dispatch trace. Work conservation (Σ busy = total chunk cost) and the
+    lower bounds (completion >= max chunk, completion >= total/p under zero
+    overhead) are property-tested invariants. *)
+
+type chunk_record = {
+  proc : int;
+  start : int;  (** first iteration of the chunk, 1-based *)
+  len : int;
+  issue_time : float;  (** when the dispatch completed *)
+  cost : float;  (** execution time of the chunk *)
+}
+
+type result = {
+  completion : float;  (** fork + makespan + barrier *)
+  busy : float array;  (** per-processor execution time (chunk costs only) *)
+  dispatches : int;
+  trace : chunk_record list;  (** in issue order *)
+}
+
+val simulate :
+  machine:Machine.t ->
+  policy:Loopcoal_sched.Policy.t ->
+  n:int ->
+  chunk_cost:(start:int -> len:int -> float) ->
+  result
+(** Run the loop of [n] iterations. [chunk_cost] gives the execution cost
+    of a contiguous chunk (body + index recovery; see
+    {!Workload_cost.chunk_cost} builders in the workload library).
+
+    Static policies: each processor pays one dispatch for its whole share
+    (block) or per contiguous run (cyclic: one per iteration, the honest
+    price of a cyclic map on a self-scheduled machine is not modelled —
+    cyclic is a precomputed map, so one dispatch per processor).
+
+    Dynamic policies: processors repeatedly claim the next chunk from the
+    shared counter; with [serialized_dispatch] the claims queue. Ties are
+    broken by processor id, making the simulation deterministic. *)
+
+type doacross_result = {
+  d_completion : float;
+  d_busy : float array;
+  d_syncs : int;  (** post/wait pairs executed *)
+}
+
+val simulate_doacross :
+  machine:Machine.t ->
+  n:int ->
+  lambda:int ->
+  sync_cost:float ->
+  body_cost:(int -> float) ->
+  doacross_result
+(** DOACROSS execution of a serial loop whose carried dependences have
+    minimum distance [lambda >= 1]: iteration [i] runs on processor
+    [(i-1) mod p] and may not start before iteration [i - lambda] has
+    finished and posted (costing [sync_cost] on the waiting side).
+    This is the synchronization-based alternative to cycle shrinking:
+    no fork per group, but a post/wait on every iteration beyond the
+    first [lambda]. Deterministic; completion includes fork and barrier
+    once. *)
+
+type nested_result = {
+  n_completion : float;
+  n_forks : int;  (** number of fork-join regions executed *)
+}
+
+val simulate_nested :
+  machine:Machine.t ->
+  shape:int list ->
+  alloc:int list ->
+  body_cost:(int list -> float) ->
+  nested_result
+(** Fork-join execution of the {e uncoalesced} nest: dimension [k]'s loop is
+    block-scheduled on its [alloc_k] processor groups, and every iteration
+    of an outer loop pays the fork and barrier of its inner loop again —
+    the overhead multiplication coalescing eliminates. A dimension with a
+    single group ([alloc_k = 1]) is a plain serial loop and pays no fork or
+    barrier. [body_cost] receives the full index vector (1-based). *)

@@ -1,0 +1,39 @@
+let render ?(width = 72) (r : Event_sim.result) =
+  if r.Event_sim.trace = [] then invalid_arg "Gantt.render: empty trace";
+  let p =
+    1 + List.fold_left (fun m c -> max m c.Event_sim.proc) 0 r.Event_sim.trace
+  in
+  let horizon =
+    List.fold_left
+      (fun m c -> Float.max m (c.Event_sim.issue_time +. c.Event_sim.cost))
+      1e-9 r.Event_sim.trace
+  in
+  let scale t =
+    int_of_float (t /. horizon *. float_of_int (width - 1))
+  in
+  let rows = Array.init p (fun _ -> Bytes.make width ' ') in
+  let nth_on_proc = Array.make p 0 in
+  List.iter
+    (fun c ->
+      let row = rows.(c.Event_sim.proc) in
+      let glyph =
+        if nth_on_proc.(c.Event_sim.proc) mod 2 = 0 then '#' else '='
+      in
+      nth_on_proc.(c.Event_sim.proc) <- nth_on_proc.(c.Event_sim.proc) + 1;
+      let a = scale c.Event_sim.issue_time in
+      let b = max a (scale (c.Event_sim.issue_time +. c.Event_sim.cost)) in
+      for x = a to min b (width - 1) do
+        Bytes.set row x glyph
+      done)
+    r.Event_sim.trace;
+  let buf = Buffer.create (p * (width + 8)) in
+  Buffer.add_string buf
+    (Printf.sprintf "time 0 .. %.0f (completion %.0f, %d dispatches)\n"
+       horizon r.Event_sim.completion r.Event_sim.dispatches);
+  Array.iteri
+    (fun q row ->
+      Buffer.add_string buf (Printf.sprintf "p%-3d |%s|\n" q (Bytes.to_string row)))
+    rows;
+  Buffer.contents buf
+
+let print ?width r = print_string (render ?width r)

@@ -1,0 +1,9 @@
+(** ASCII Gantt rendering of a simulation trace: one row per processor,
+    time left to right, each chunk drawn over its execution span with a
+    glyph that alternates between consecutive chunks so dispatch
+    boundaries stay visible. Idle time is blank. *)
+
+val render : ?width:int -> Event_sim.result -> string
+(** Raises [Invalid_argument] on an empty trace. *)
+
+val print : ?width:int -> Event_sim.result -> unit

@@ -1,0 +1,34 @@
+type t = {
+  p : int;
+  dispatch_cost : float;
+  fork_cost : float;
+  barrier_cost : float;
+  serialized_dispatch : bool;
+}
+
+let ideal ~p =
+  {
+    p;
+    dispatch_cost = 0.0;
+    fork_cost = 0.0;
+    barrier_cost = 0.0;
+    serialized_dispatch = false;
+  }
+
+let default ~p =
+  {
+    p;
+    dispatch_cost = 10.0;
+    fork_cost = 250.0;
+    barrier_cost = 100.0;
+    serialized_dispatch = false;
+  }
+
+let no_combining ~p = { (default ~p) with serialized_dispatch = true }
+
+let validate t =
+  if t.p < 1 then Error "machine needs at least one processor"
+  else if
+    t.dispatch_cost < 0.0 || t.fork_cost < 0.0 || t.barrier_cost < 0.0
+  then Error "costs must be non-negative"
+  else Ok ()

@@ -1,0 +1,29 @@
+(** Shared-memory parallel machine model.
+
+    Costs are in abstract "instructions", matching the original
+    evaluation's static instruction counting. The dispatch cost models the
+    fetch&add on the shared iteration counter; [serialized_dispatch]
+    models a machine {e without} a combining network, where simultaneous
+    fetch&adds queue up. *)
+
+type t = {
+  p : int;  (** number of processors, >= 1 *)
+  dispatch_cost : float;
+      (** per chunk claimed from the shared counter (dynamic policies) or
+          per processor start (static policies) *)
+  fork_cost : float;  (** one-time cost to start the parallel loop *)
+  barrier_cost : float;  (** one-time cost to join *)
+  serialized_dispatch : bool;
+}
+
+val ideal : p:int -> t
+(** Zero-overhead machine: the analytic bounds should match exactly. *)
+
+val default : p:int -> t
+(** Overheads in the spirit of the 1987 measurements: dispatch 10,
+    fork 250, barrier 100, combining network present. *)
+
+val no_combining : p:int -> t
+(** Like [default] but dispatches serialize. *)
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/sched/alloc.ml: List Loopcoal_util

@@ -1,0 +1,1 @@
+lib/sched/factoring.ml: List Loopcoal_util

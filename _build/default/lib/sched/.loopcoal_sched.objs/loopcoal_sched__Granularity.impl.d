@@ -1,0 +1,1 @@
+lib/sched/granularity.ml: Float

@@ -1,0 +1,1 @@
+lib/sched/gss.ml: List Loopcoal_util

@@ -1,0 +1,1 @@
+lib/sched/static.ml: Array List Policy

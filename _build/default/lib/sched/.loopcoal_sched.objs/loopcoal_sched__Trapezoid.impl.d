@@ -1,0 +1,1 @@
+lib/sched/trapezoid.ml: List Loopcoal_util

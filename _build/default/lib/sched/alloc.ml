@@ -1,0 +1,30 @@
+module Im = Loopcoal_util.Intmath
+
+let steps ~shape ~alloc =
+  if List.length shape <> List.length alloc then
+    invalid_arg "Alloc.steps: length mismatch";
+  List.fold_left2
+    (fun acc n p ->
+      if n < 0 || p < 1 then invalid_arg "Alloc.steps: bad entry";
+      acc * Im.cdiv n p)
+    1 shape alloc
+
+let best ~shape ~p =
+  if p < 1 then invalid_arg "Alloc.best: p must be >= 1";
+  let m = List.length shape in
+  if m = 0 then invalid_arg "Alloc.best: empty shape";
+  let candidates = Im.factorizations p m in
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun (best_alloc, best_steps) alloc ->
+          let s = steps ~shape ~alloc in
+          if s < best_steps then (alloc, s) else (best_alloc, best_steps))
+        (first, steps ~shape ~alloc:first)
+        rest
+
+let outer_only ~shape ~p =
+  match shape with
+  | [] -> invalid_arg "Alloc.outer_only: empty shape"
+  | _ :: rest -> p :: List.map (fun _ -> 1) rest

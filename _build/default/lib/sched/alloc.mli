@@ -1,0 +1,17 @@
+(** Per-dimension processor allocation for scheduling an {e uncoalesced}
+    nest: write [p = p1 * p2 * ... * pm] and give [pk] processor groups to
+    dimension [k]. The parallel completion (unit body, no overhead) is
+    [steps = ∏ ⌈nk/pk⌉]; coalescing achieves [⌈N/p⌉ <= steps] — the paper's
+    central inequality. *)
+
+val steps : shape:int list -> alloc:int list -> int
+(** [∏ ⌈nk/pk⌉]. Lengths must match; entries positive. *)
+
+val best : shape:int list -> p:int -> int list * int
+(** Exhaustive search over ordered factorizations of [p]: the allocation
+    minimizing [steps] and its value. For shapes and p used here the search
+    space (number of divisor tuples) is tiny. *)
+
+val outer_only : shape:int list -> p:int -> int list
+(** The naive allocation [p, 1, ..., 1]: all processors on the outermost
+    loop. *)

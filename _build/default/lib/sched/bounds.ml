@@ -1,0 +1,21 @@
+module Im = Loopcoal_util.Intmath
+
+let coalesced_steps ~n ~p =
+  if n < 0 || p < 1 then invalid_arg "Bounds.coalesced_steps";
+  Im.cdiv n p
+
+let nested_steps = Alloc.steps
+
+let outer_only_steps ~shape ~p =
+  match shape with
+  | [] -> invalid_arg "Bounds.outer_only_steps: empty shape"
+  | n1 :: rest -> Im.cdiv n1 p * Im.product rest
+
+let coalescing_never_loses ~shape ~alloc =
+  let n = Im.product shape and p = Im.product alloc in
+  coalesced_steps ~n ~p <= nested_steps ~shape ~alloc
+
+let advantage ~shape ~p =
+  let n = Im.product shape in
+  let _, best = Alloc.best ~shape ~p in
+  float_of_int best /. float_of_int (coalesced_steps ~n ~p)

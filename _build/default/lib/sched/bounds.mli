@@ -1,0 +1,20 @@
+(** Analytic schedule-length bounds (unit body cost, zero overhead) — the
+    arithmetic behind the paper's claims. *)
+
+val coalesced_steps : n:int -> p:int -> int
+(** [⌈n/p⌉]: the parallel steps of the optimally-balanced coalesced loop. *)
+
+val nested_steps : shape:int list -> alloc:int list -> int
+(** [∏ ⌈nk/pk⌉] for a per-dimension allocation. *)
+
+val outer_only_steps : shape:int list -> p:int -> int
+(** [⌈n1/p⌉ * n2 * ... * nm]: all processors on the outer loop. *)
+
+val coalescing_never_loses : shape:int list -> alloc:int list -> bool
+(** The paper's inequality: with [p = ∏pk] and [N = ∏nk],
+    [⌈N/p⌉ <= ∏⌈nk/pk⌉]. Should hold for every shape and allocation
+    (property-tested). *)
+
+val advantage : shape:int list -> p:int -> float
+(** [best nested steps / coalesced steps] — how much the best uncoalesced
+    schedule loses to coalescing (>= 1). *)

@@ -1,0 +1,25 @@
+module Im = Loopcoal_util.Intmath
+
+let check ~n ~p =
+  if n < 0 then invalid_arg "Factoring: n must be >= 0";
+  if p < 1 then invalid_arg "Factoring: p must be >= 1"
+
+let chunk_sizes ~n ~p =
+  check ~n ~p;
+  let rec batches remaining acc =
+    if remaining = 0 then List.rev acc
+    else begin
+      let c = max 1 (Im.cdiv remaining (2 * p)) in
+      let rec issue k remaining acc =
+        if k = 0 || remaining = 0 then (remaining, acc)
+        else
+          let take = min c remaining in
+          issue (k - 1) (remaining - take) (take :: acc)
+      in
+      let remaining, acc = issue p remaining acc in
+      batches remaining acc
+    end
+  in
+  batches n []
+
+let dispatch_count ~n ~p = List.length (chunk_sizes ~n ~p)

@@ -1,0 +1,10 @@
+(** Factoring self-scheduling (Hummel, Schonberg & Flynn): iterations are
+    dispensed in batches of [p] equal chunks, each batch consuming half of
+    what remains, so every chunk is [max 1 (ceil (R / (2p)))] with [R]
+    sampled at batch start. Decays like GSS but with [p] equal chunks per
+    step, making the tail less jagged. *)
+
+val chunk_sizes : n:int -> p:int -> int list
+(** The full dispatch sequence, in order; sums to [n]. [n >= 0], [p >= 1]. *)
+
+val dispatch_count : n:int -> p:int -> int

@@ -1,0 +1,19 @@
+let o_seq = 2.0
+
+let seq_instructions ~n ~body = float_of_int n *. (body +. o_seq)
+
+let par_instructions ~overhead ~body = overhead +. body
+
+let lower_bound_granularity ~n ~overhead =
+  if n < 2 then invalid_arg "Granularity.lower_bound_granularity: n >= 2";
+  Float.max 0.0 ((overhead -. (o_seq *. float_of_int n)) /. float_of_int (n - 1))
+
+let speedup ~n ~overhead ~body =
+  seq_instructions ~n ~body /. par_instructions ~overhead ~body
+
+let efficiency ~n ~overhead ~body = speedup ~n ~overhead ~body /. float_of_int n
+
+let body_for_efficiency ~overhead ~target =
+  if target <= 0.0 || target >= 1.0 then
+    invalid_arg "Granularity.body_for_efficiency: target in (0, 1)";
+  ((target *. overhead) -. o_seq) /. (1.0 -. target)

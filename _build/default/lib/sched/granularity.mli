@@ -1,0 +1,37 @@
+(** Analytic granularity and efficiency of a parallel-loop construct.
+
+    Following the classic static analysis: a sequential loop of [n]
+    iterations with average body size [s] executes [SEQ = n * (s + o_seq)]
+    instructions ([o_seq = 2] for the increment-and-test); a parallel
+    construct with total overhead [o_c] (a function of [n] in general)
+    completes in [PAR = o_c + s] when [n] processors each run one
+    iteration. From these:
+
+    - {e lower-bound granularity} [lbg = (o_c - o_seq*n) / (n - 1)]: the
+      smallest body size for which the parallel construct beats sequential
+      execution (0 when the overhead is already amortized);
+    - {e speedup} [SEQ / PAR] and {e efficiency} [speedup / n];
+    - the body size needed to reach a target efficiency:
+      [s = (e * o_c - o_seq) / (1 - e)].
+
+    These are the closed forms the simulator's E4 measurements follow;
+    the module lets experiments print analytic and simulated thresholds
+    side by side. *)
+
+val seq_instructions : n:int -> body:float -> float
+(** [n * (body + 2)]. *)
+
+val par_instructions : overhead:float -> body:float -> float
+(** [overhead + body]: all iterations in parallel, one per processor. *)
+
+val lower_bound_granularity : n:int -> overhead:float -> float
+(** Minimum average body size making the parallel form no slower; clamped
+    at 0. Requires [n >= 2]. *)
+
+val speedup : n:int -> overhead:float -> body:float -> float
+
+val efficiency : n:int -> overhead:float -> body:float -> float
+
+val body_for_efficiency : overhead:float -> target:float -> float
+(** Body size s achieving efficiency [target] in (0, 1); grows without
+    bound as the target approaches 1. *)

@@ -1,0 +1,27 @@
+module Im = Loopcoal_util.Intmath
+
+let check ~n ~p =
+  if n < 0 then invalid_arg "Gss: n must be >= 0";
+  if p < 1 then invalid_arg "Gss: p must be >= 1"
+
+let chunk_sizes ~n ~p =
+  check ~n ~p;
+  let rec go remaining acc =
+    if remaining = 0 then List.rev acc
+    else
+      let c = Im.cdiv remaining p in
+      go (remaining - c) (c :: acc)
+  in
+  go n []
+
+let dispatch_count ~n ~p =
+  check ~n ~p;
+  let rec go remaining count =
+    if remaining = 0 then count
+    else go (remaining - Im.cdiv remaining p) (count + 1)
+  in
+  go n 0
+
+let first_chunk ~n ~p =
+  check ~n ~p;
+  if n = 0 then 0 else Im.cdiv n p

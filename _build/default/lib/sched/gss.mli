@@ -1,0 +1,15 @@
+(** Guided self-scheduling (Polychronopoulos & Kuck): each dispatch removes
+    [⌈R/p⌉] iterations, where [R] is the remaining count.
+
+    The chunk-size sequence depends only on [n] and [p] (not on which
+    processor asks), so it can be computed ahead of time; the simulator
+    replays it under timing. *)
+
+val chunk_sizes : n:int -> p:int -> int list
+(** The full dispatch sequence, in order; sums to [n]. [n >= 0], [p >= 1]. *)
+
+val dispatch_count : n:int -> p:int -> int
+(** [List.length (chunk_sizes ~n ~p)], computed without materializing. *)
+
+val first_chunk : n:int -> p:int -> int
+(** [⌈n/p⌉]; 0 when n = 0. *)

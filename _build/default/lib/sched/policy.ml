@@ -1,0 +1,26 @@
+type t =
+  | Static_block
+  | Static_cyclic
+  | Self_sched of int
+  | Gss
+  | Factoring
+  | Trapezoid
+
+let name = function
+  | Static_block -> "static-block"
+  | Static_cyclic -> "static-cyclic"
+  | Self_sched 1 -> "self-sched(1)"
+  | Self_sched c -> Printf.sprintf "chunk(%d)" c
+  | Gss -> "GSS"
+  | Factoring -> "factoring"
+  | Trapezoid -> "TSS"
+
+let is_dynamic = function
+  | Static_block | Static_cyclic -> false
+  | Self_sched _ | Gss | Factoring | Trapezoid -> true
+
+let validate = function
+  | Self_sched c when c < 1 -> Error "chunk size must be >= 1"
+  | Static_block | Static_cyclic | Self_sched _ | Gss | Factoring | Trapezoid
+    ->
+      Ok ()

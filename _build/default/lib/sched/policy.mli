@@ -1,0 +1,28 @@
+(** Scheduling policies for a one-dimensional (coalesced) iteration space.
+
+    Static policies fix the iteration-to-processor map before execution;
+    dynamic policies dispatch chunks from a shared counter at run time
+    (one fetch&add per dispatch). *)
+
+type t =
+  | Static_block  (** processor q gets the q-th contiguous block *)
+  | Static_cyclic  (** iteration j goes to processor (j-1) mod p *)
+  | Self_sched of int
+      (** fixed-size chunks from a shared counter; [Self_sched 1] is pure
+          self-scheduling. Chunk must be >= 1. *)
+  | Gss  (** guided self-scheduling: each dispatch takes ⌈remaining/p⌉ *)
+  | Factoring
+      (** Hummel/Flynn factoring: work is handed out in batches of [p]
+          equal chunks, each batch taking half the remaining iterations
+          ([⌈R/(2p)⌉] per chunk) — between GSS's aggressive first chunk
+          and fixed chunking *)
+  | Trapezoid
+      (** Tzen/Ni trapezoid self-scheduling: chunk sizes decrease
+          {e linearly} from [⌈n/(2p)⌉] to 1, avoiding both GSS's huge
+          first chunk and its long unit-chunk tail *)
+
+val name : t -> string
+val is_dynamic : t -> bool
+
+val validate : t -> (unit, string) result
+(** Rejects non-positive chunk sizes. *)

@@ -1,0 +1,1 @@
+lib/transform/chunk.ml: Ast Index_recovery Loopcoal_ir Names Normalize

@@ -1,0 +1,1 @@
+lib/transform/chunk.mli: Ast Loopcoal_ir

@@ -1,0 +1,1 @@
+lib/transform/coalesce.mli: Ast Index_recovery Loopcoal_ir Stdlib

@@ -1,0 +1,1 @@
+lib/transform/coalesce_chunked.ml: Ast Coalesce Index_recovery List Loopcoal_ir Names

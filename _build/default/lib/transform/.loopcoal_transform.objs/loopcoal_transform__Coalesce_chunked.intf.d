@@ -1,0 +1,1 @@
+lib/transform/coalesce_chunked.mli: Ast Coalesce Loopcoal_ir

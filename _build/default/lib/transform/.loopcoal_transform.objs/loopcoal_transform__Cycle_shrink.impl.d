@@ -1,0 +1,1 @@
+lib/transform/cycle_shrink.ml: Ast Index_recovery List Loopcoal_analysis Loopcoal_ir Names Normalize

@@ -1,0 +1,1 @@
+lib/transform/cycle_shrink.mli: Ast Loopcoal_ir

@@ -1,0 +1,1 @@
+lib/transform/distribute.ml: Array Ast Hashtbl List Loopcoal_analysis Loopcoal_ir String

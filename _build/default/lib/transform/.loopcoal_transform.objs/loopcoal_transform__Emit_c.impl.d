@@ -1,0 +1,1 @@
+lib/transform/emit_c.ml: Ast Buffer List Loopcoal_analysis Loopcoal_ir Loopcoal_util Printf String Validate

@@ -1,0 +1,1 @@
+lib/transform/emit_c.mli: Ast Loopcoal_ir Validate

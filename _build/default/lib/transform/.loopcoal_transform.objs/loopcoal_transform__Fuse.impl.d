@@ -1,0 +1,1 @@
+lib/transform/fuse.ml: Ast Hashtbl List Loopcoal_analysis Loopcoal_ir String

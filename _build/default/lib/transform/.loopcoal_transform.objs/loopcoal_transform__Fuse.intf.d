@@ -1,0 +1,1 @@
+lib/transform/fuse.mli: Ast Loopcoal_ir

@@ -1,0 +1,1 @@
+lib/transform/index_recovery.ml: Array Ast Eval List Loopcoal_ir Loopcoal_util Printf

@@ -1,0 +1,1 @@
+lib/transform/index_recovery.mli: Loopcoal_ir

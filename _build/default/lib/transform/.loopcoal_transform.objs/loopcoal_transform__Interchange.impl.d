@@ -1,0 +1,1 @@
+lib/transform/interchange.ml: Ast Hashtbl List Loopcoal_analysis Loopcoal_ir String

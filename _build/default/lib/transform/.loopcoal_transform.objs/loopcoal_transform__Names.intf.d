@@ -1,0 +1,1 @@
+lib/transform/names.mli: Ast Loopcoal_ir

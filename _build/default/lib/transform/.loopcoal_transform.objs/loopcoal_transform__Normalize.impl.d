@@ -1,0 +1,1 @@
+lib/transform/normalize.ml: Ast Index_recovery List Loopcoal_ir Names

@@ -1,0 +1,1 @@
+lib/transform/normalize.mli: Ast Loopcoal_ir

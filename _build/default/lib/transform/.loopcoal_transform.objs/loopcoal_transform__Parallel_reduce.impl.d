@@ -1,0 +1,1 @@
+lib/transform/parallel_reduce.ml: Ast Index_recovery List Loopcoal_analysis Loopcoal_ir Loopcoal_util Names Printf String

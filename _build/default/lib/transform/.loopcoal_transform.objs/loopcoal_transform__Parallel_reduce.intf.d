@@ -1,0 +1,1 @@
+lib/transform/parallel_reduce.mli: Ast Loopcoal_ir

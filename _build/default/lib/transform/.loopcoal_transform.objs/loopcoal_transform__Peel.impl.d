@@ -1,0 +1,1 @@
+lib/transform/peel.ml: Ast List Loopcoal_ir Printf

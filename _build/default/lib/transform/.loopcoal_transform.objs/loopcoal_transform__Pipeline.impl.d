@@ -1,0 +1,1 @@
+lib/transform/pipeline.ml: Ast Coalesce Coalesce_chunked Cycle_shrink Distribute Eval Fuse Interchange List Loopcoal_analysis Loopcoal_ir Normalize Printf

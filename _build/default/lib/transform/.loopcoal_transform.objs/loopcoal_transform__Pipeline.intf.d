@@ -1,0 +1,1 @@
+lib/transform/pipeline.mli: Ast Index_recovery Loopcoal_ir

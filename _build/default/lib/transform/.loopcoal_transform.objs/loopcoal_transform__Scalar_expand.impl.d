@@ -1,0 +1,1 @@
+lib/transform/scalar_expand.ml: Ast List Loopcoal_analysis Loopcoal_ir Names String

@@ -1,0 +1,1 @@
+lib/transform/scalar_expand.mli: Ast Loopcoal_ir

@@ -1,0 +1,1 @@
+lib/transform/tile.ml: Ast Index_recovery List Loopcoal_analysis Loopcoal_ir Names Normalize

@@ -1,0 +1,1 @@
+lib/transform/tile.mli: Ast Loopcoal_ir

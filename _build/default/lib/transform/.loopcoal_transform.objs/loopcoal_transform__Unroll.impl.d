@@ -1,0 +1,1 @@
+lib/transform/unroll.ml: Ast Index_recovery List Loopcoal_ir Names Normalize

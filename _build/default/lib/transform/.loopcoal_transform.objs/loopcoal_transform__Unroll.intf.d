@@ -1,0 +1,1 @@
+lib/transform/unroll.mli: Ast Loopcoal_ir

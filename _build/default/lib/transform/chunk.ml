@@ -1,0 +1,46 @@
+open Loopcoal_ir
+
+type error =
+  | Not_a_loop of string
+  | Not_normalized of string
+  | Bad_chunk of string
+
+let simp = Index_recovery.simp
+
+let apply ~avoid ~chunk (s : Ast.stmt) =
+  match s with
+  | Assign _ | If _ -> Error (Not_a_loop "statement is not a loop")
+  | For l ->
+      if chunk < 1 then Error (Bad_chunk "chunk size must be >= 1")
+      else if not (Normalize.is_normalized l) then
+        Error (Not_normalized "normalize the loop first (lo = 1, step = 1)")
+      else begin
+        let avoid = avoid @ Names.in_stmt s in
+        let ic = Ast.fresh_var ~avoid (l.index ^ "c") in
+        let c : Ast.expr = Int chunk in
+        let outer_hi = simp (Ast.Bin (Cdiv, l.hi, c)) in
+        let lo' =
+          simp (Ast.Bin (Add, Bin (Mul, Bin (Sub, Var ic, Int 1), c), Int 1))
+        in
+        let hi' = simp (Ast.Bin (Min, Bin (Mul, Var ic, c), l.hi)) in
+        Ok
+          (Ast.For
+             {
+               index = ic;
+               lo = Int 1;
+               hi = outer_hi;
+               step = Int 1;
+               par = l.par;
+               body =
+                 [
+                   For
+                     {
+                       l with
+                       lo = lo';
+                       hi = hi';
+                       step = Int 1;
+                       par = Serial;
+                     };
+                 ];
+             })
+      end

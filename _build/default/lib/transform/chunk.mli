@@ -1,0 +1,25 @@
+(** Strip-mining / chunking.
+
+    [do i = 1, n { B }] with chunk size [c] becomes
+
+    {v
+    do ic = 1, ceildiv(n, c)            -- inherits the original annotation
+      do i = (ic-1)*c + 1, min(ic*c, n) -- serial
+        B
+    v}
+
+    Chunking a coalesced loop is how the transformation assigns [c]
+    consecutive coalesced iterations to one processor, which is also where
+    the incremental (odometer) index recovery pays off. *)
+
+open Loopcoal_ir
+
+type error =
+  | Not_a_loop of string
+  | Not_normalized of string
+  | Bad_chunk of string
+
+val apply : avoid:Ast.var list -> chunk:int -> Ast.stmt -> (Ast.stmt, error) result
+(** Requires a normalized loop (lo = 1, step = 1) and [chunk >= 1]. The
+    outer chunk loop keeps the original parallel annotation; the inner loop
+    is serial and keeps the original index name. *)

@@ -1,0 +1,267 @@
+open Loopcoal_ir
+module Nest = Loopcoal_analysis.Nest
+
+type result = {
+  stmt : Ast.stmt;
+  new_scalars : Ast.scalar_decl list;
+  coalesced_index : Ast.var;
+  recovered : Ast.var list;
+}
+
+type error =
+  | Not_a_nest of string
+  | Not_coalescible of string
+  | Bad_strategy of string
+
+let simp = Index_recovery.simp
+
+(* Normalize the headers of the outermost [d] loops of a perfect nest. *)
+let rec normalize_top ~avoid d (s : Ast.stmt) : Ast.stmt =
+  if d = 0 then s
+  else
+    match s with
+    | For l -> (
+        let l = Normalize.loop ~avoid l in
+        match l.body with
+        | [ inner ] when d > 1 ->
+            For { l with body = [ normalize_top ~avoid (d - 1) inner ] }
+        | _ -> For l)
+    | Assign _ | If _ -> s
+
+let size_expr (l : Ast.loop) : Ast.expr =
+  (* Normalized loops run 1..hi, so the size is hi, clamped at 0 so an
+     empty dimension zeroes the coalesced trip count. *)
+  match l.hi with
+  | Int n -> Int (max n 0)
+  | hi -> simp (Ast.Bin (Max, hi, Int 0))
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let rec drop n = function
+  | xs when n = 0 -> xs
+  | [] -> []
+  | _ :: rest -> drop (n - 1) rest
+
+type prepared = {
+  group : Ast.loop list;
+  inner_body : Ast.block;
+  sizes : (Ast.var * Ast.expr) list;
+  trip : Ast.expr;
+}
+
+let prepare_at ~verify_parallel ~avoid d (l : Ast.loop) =
+  let s = normalize_top ~avoid d (Ast.For l) in
+  let nest =
+    match s with
+    | Ast.For l -> Nest.of_loop l
+    | Ast.Assign _ | Ast.If _ -> assert false
+  in
+  match Nest.check_coalescible ~verify_parallel nest ~depth:d with
+  | Not_coalescible reason -> Error (Not_coalescible reason)
+  | Coalescible -> Ok nest
+
+let prepare ?depth ?(verify_parallel = false) ~avoid (s : Ast.stmt) =
+  match s with
+  | Assign _ | If _ -> Error (Not_a_nest "statement is not a loop")
+  | For l -> (
+      (* With an explicit depth, coalesce exactly that; otherwise take the
+         deepest coalescible prefix of the perfect nest. *)
+      let checked =
+        match depth with
+        | Some d -> Result.map (fun nest -> (d, nest)) (prepare_at ~verify_parallel ~avoid d l)
+        | None ->
+            let max_d = Nest.depth (Nest.of_loop l) in
+            let rec search d =
+              if d < 2 then
+                Error (Not_coalescible "no coalescible prefix of depth >= 2")
+              else
+                match prepare_at ~verify_parallel ~avoid d l with
+                | Ok nest -> Ok (d, nest)
+                | Error _ -> search (d - 1)
+            in
+            search max_d
+      in
+      match checked with
+      | Error e -> Error e
+      | Ok (d, nest) ->
+          let group = take d nest.Nest.loops in
+          let below = drop d nest.Nest.loops in
+          let inner_body =
+            match below with
+            | [] -> nest.Nest.body
+            | _ :: _ ->
+                [ Nest.to_stmt { Nest.loops = below; body = nest.Nest.body } ]
+          in
+          let sizes =
+            List.map (fun (l : Ast.loop) -> (l.Ast.index, size_expr l)) group
+          in
+          let trip =
+            List.fold_left
+              (fun acc (_, size) -> simp (Ast.Bin (Mul, acc, size)))
+              (Ast.Int 1) sizes
+          in
+          Ok { group; inner_body; sizes; trip })
+
+(* Every name occurring in a prepared nest, for freshening. *)
+let prepared_names pr =
+  List.concat_map
+    (fun (l : Ast.loop) ->
+      l.Ast.index :: (Names.in_expr l.lo @ Names.in_expr l.hi))
+    pr.group
+  @ Names.in_block pr.inner_body
+
+let int_decl name = { Ast.sc_name = name; sc_kind = Ast.Kint; sc_init = 0.0 }
+
+let apply ?(strategy = Index_recovery.Ceiling) ?depth
+    ?(verify_parallel = false) ~avoid (s : Ast.stmt) =
+  match strategy with
+  | Incremental ->
+      Error
+        (Bad_strategy
+           "incremental recovery is chunk-local code, not a loop rewrite; \
+            use Div_mod or Ceiling")
+  | Div_mod | Ceiling -> (
+      match prepare ?depth ~verify_parallel ~avoid s with
+      | Error e -> Error e
+      | Ok pr ->
+          let used = avoid @ prepared_names pr in
+          let j = Ast.fresh_var ~avoid:used "j" in
+          (* Recovered indices keep the original loop-index names; the
+             enclosing program declares them as int scalars. *)
+          let recovered = List.map fst pr.sizes in
+          let targets =
+            List.map
+              (fun (name, size) -> (name, (Ast.Int 1 : Ast.expr), size))
+              pr.sizes
+          in
+          let recovery =
+            Index_recovery.recovery_block strategy ~coalesced:j ~targets
+          in
+          let stmt : Ast.stmt =
+            For
+              {
+                index = j;
+                lo = Int 1;
+                hi = pr.trip;
+                step = Int 1;
+                par = Parallel;
+                body = recovery @ pr.inner_body;
+              }
+          in
+          Ok
+            {
+              stmt;
+              new_scalars = List.map int_decl recovered;
+              coalesced_index = j;
+              recovered;
+            })
+
+(* Add declarations for recovered indices, skipping names already declared
+   as int scalars (coalescing two sibling nests can reuse a name). *)
+let add_decls (p : Ast.program) decls =
+  (* Dedupe both against existing declarations and within the batch: two
+     coalesced nests may reuse the same index name. *)
+  let scalars =
+    List.fold_left
+      (fun acc (d : Ast.scalar_decl) ->
+        if List.exists (fun (s : Ast.scalar_decl) -> s.sc_name = d.sc_name) acc
+        then acc
+        else acc @ [ d ])
+      p.scalars decls
+  in
+  { p with scalars }
+
+let apply_program ?strategy ?depth ?verify_parallel (p : Ast.program) =
+  match strategy with
+  | Some Index_recovery.Incremental ->
+      Error
+        (Bad_strategy
+           "incremental recovery is chunk-local code, not a loop rewrite; \
+            use Div_mod or Ceiling")
+  | Some (Index_recovery.Div_mod | Index_recovery.Ceiling) | None ->
+  let avoid = Names.in_program p in
+  let found = ref None in
+  let rec rewrite_block (b : Ast.block) : Ast.block =
+    match b with
+    | [] -> []
+    | s :: rest -> (
+        match !found with
+        | Some _ -> s :: rest
+        | None -> (
+            match s with
+            | Assign _ -> s :: rewrite_block rest
+            | If (c, t, f) ->
+                let t' = rewrite_block t in
+                let f' =
+                  match !found with Some _ -> f | None -> rewrite_block f
+                in
+                If (c, t', f') :: rewrite_block rest
+            | For l -> (
+                match apply ?strategy ?depth ?verify_parallel ~avoid s with
+                | Ok r ->
+                    found := Some r;
+                    r.stmt :: rest
+                | Error _ ->
+                    For { l with body = rewrite_block l.body }
+                    :: rewrite_block rest)))
+  in
+  let body = rewrite_block p.body in
+  match !found with
+  | Some r -> Ok (add_decls { p with body } r.new_scalars)
+  | None -> Error (Not_coalescible "no coalescible nest found")
+
+let apply_all_program ?strategy ?(verify_parallel = false) (p : Ast.program) =
+  (match strategy with
+  | Some Index_recovery.Incremental ->
+      invalid_arg "Coalesce.apply_all_program: incremental strategy"
+  | Some (Index_recovery.Div_mod | Index_recovery.Ceiling) | None -> ());
+  let avoid = ref (Names.in_program p) in
+  let decls = ref [] in
+  let count = ref 0 in
+  let try_depths (l : Ast.loop) =
+    let max_d = Nest.depth (Nest.of_loop l) in
+    let rec go d =
+      if d < 2 then None
+      else
+        match
+          apply ?strategy ~depth:d ~verify_parallel ~avoid:!avoid (For l)
+        with
+        | Ok r -> Some r
+        | Error _ -> go (d - 1)
+    in
+    go max_d
+  in
+  let rec stmt (s : Ast.stmt) : Ast.stmt =
+    match s with
+    | Assign _ -> s
+    | If (c, t, f) -> If (c, blk t, blk f)
+    | For l -> (
+        match try_depths l with
+        | Some r ->
+            incr count;
+            avoid := r.coalesced_index :: (r.recovered @ !avoid);
+            decls := !decls @ r.new_scalars;
+            (* Recurse below the recovery code: deeper serial regions may
+               contain further coalescible nests. *)
+            (match r.stmt with
+            | For cl ->
+                let n_recovery = List.length r.recovered in
+                let rec split n xs =
+                  if n = 0 then ([], xs)
+                  else
+                    match xs with
+                    | [] -> ([], [])
+                    | x :: rest ->
+                        let a, b = split (n - 1) rest in
+                        (x :: a, b)
+                in
+                let recovery, inner = split n_recovery cl.Ast.body in
+                For { cl with body = recovery @ blk inner }
+            | other -> other)
+        | None -> For { l with body = blk l.body })
+  and blk b = List.map stmt b in
+  let body = blk p.body in
+  (add_decls { p with body } !decls, !count)

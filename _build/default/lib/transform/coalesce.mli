@@ -1,0 +1,112 @@
+(** Loop coalescing — the paper's transformation.
+
+    A perfect nest of DOALLs
+
+    {v
+    doall i1 = lo1, hi1
+      ...
+        doall im = lom, him
+          BODY(i1, ..., im)
+    v}
+
+    (unit steps; rectangular bounds) becomes the single parallel loop
+
+    {v
+    doall j = 1, n1 * ... * nm          where nk = hik - lok + 1
+      i1 = <recovery of i1 from j>
+      ...
+      im = <recovery of im from j>
+      BODY
+    v}
+
+    The original index names become privatizable scalar temporaries, so the
+    body is kept verbatim. Iteration {e order} under sequential semantics is
+    exactly the original row-major order, so the transformation preserves
+    the interpreter's semantics even for loops wrongly annotated parallel.
+
+    Non-constant bounds are supported: each size expression is wrapped in
+    [max(hi - lo + 1, 0)] so a statically-empty dimension makes the
+    coalesced trip count zero instead of faulting in the recovery code. *)
+
+open Loopcoal_ir
+
+type result = {
+  stmt : Ast.stmt;  (** the coalesced loop *)
+  new_scalars : Ast.scalar_decl list;
+      (** declarations the enclosing program must add: the coalesced index
+          does not need one (it is loop-bound), the recovered original
+          indices do *)
+  coalesced_index : Ast.var;
+  recovered : Ast.var list;  (** names holding the original indices *)
+}
+
+type error =
+  | Not_a_nest of string
+  | Not_coalescible of string
+  | Bad_strategy of string
+
+(** A normalized, legality-checked nest ready for rewriting — shared by
+    the plain and chunked code generators. *)
+type prepared = {
+  group : Ast.loop list;
+      (** the normalized loops being coalesced, outermost first (all
+          lo = 1, step = 1) *)
+  inner_body : Ast.block;
+      (** everything below the coalesced group (the innermost group
+          loop's body, or the remaining nest) *)
+  sizes : (Ast.var * Ast.expr) list;
+      (** per group loop: its index name and trip-count expression,
+          clamped at 0 for symbolic bounds *)
+  trip : Ast.expr;  (** folded product of the sizes *)
+}
+
+val prepare :
+  ?depth:int ->
+  ?verify_parallel:bool ->
+  avoid:Ast.var list ->
+  Ast.stmt ->
+  (prepared, error) Stdlib.result
+(** Normalize the outermost [depth] loops and check coalescibility.
+    Without an explicit [depth], the deepest coalescible prefix (>= 2) is
+    chosen. *)
+
+val prepared_names : prepared -> Ast.var list
+(** Every name occurring in the prepared nest, for freshening generated
+    variables. *)
+
+val apply :
+  ?strategy:Index_recovery.strategy ->
+  ?depth:int ->
+  ?verify_parallel:bool ->
+  avoid:Ast.var list ->
+  Ast.stmt ->
+  (result, error) Stdlib.result
+(** Coalesce the outermost [depth] loops (default: the deepest
+    coalescible prefix of the perfect nest) of the given loop statement. [avoid] must contain every name in
+    scope (use {!Names.in_program}) so generated temporaries are fresh.
+    Strategy defaults to [Ceiling] (the paper's); [Incremental] is rejected
+    with [Bad_strategy] because it is not per-iteration straight-line code.
+    Loops are normalized on the fly when their steps are constant.
+
+    When [verify_parallel] is set, each coalesced loop's [Parallel]
+    annotation must also be confirmed by the dependence analysis. *)
+
+val apply_program :
+  ?strategy:Index_recovery.strategy ->
+  ?depth:int ->
+  ?verify_parallel:bool ->
+  Ast.program ->
+  (Ast.program, error) Stdlib.result
+(** Coalesce the {e first} coalescible nest found in the program (textual
+    order, outermost first) and add the required scalar declarations. *)
+
+val apply_all_program :
+  ?strategy:Index_recovery.strategy ->
+  ?verify_parallel:bool ->
+  Ast.program ->
+  Ast.program * int
+(** Walk the whole program and coalesce every maximal coalescible nest
+    (hybrid/partial coalescing: inside a serial loop, an inner parallel
+    sub-nest is still coalesced). Returns the rewritten program and the
+    number of nests coalesced; a program with no opportunity is returned
+    unchanged with count 0. *)

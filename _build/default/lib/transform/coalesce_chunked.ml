@@ -1,0 +1,150 @@
+open Loopcoal_ir
+
+let simp = Index_recovery.simp
+
+(* Odometer advance: increment the innermost index; on overflow reset it
+   and carry outward. The outermost index needs no overflow check — a
+   final spurious advance past the space is harmless because the chunk
+   loop exits. *)
+let rec odometer (sizes : (Ast.var * Ast.expr) list) : Ast.block =
+  match sizes with
+  | [] -> []
+  | [ (name, _) ] -> [ Ast.Assign (Scalar name, Bin (Add, Var name, Int 1)) ]
+  | outer ->
+      let rec split_last acc = function
+        | [ last ] -> (List.rev acc, last)
+        | x :: rest -> split_last (x :: acc) rest
+        | [] -> assert false
+      in
+      let front, (name, size) = split_last [] outer in
+      [
+        Ast.Assign (Scalar name, Bin (Add, Var name, Int 1));
+        Ast.If
+          ( Cmp (Gt, Var name, size),
+            Ast.Assign (Scalar name, Int 1) :: odometer front,
+            [] );
+      ]
+
+let apply ?depth ?(verify_parallel = false) ~avoid ~chunk (s : Ast.stmt) =
+  if chunk < 1 then
+    Error (Coalesce.Bad_strategy "chunk size must be >= 1")
+  else
+    match Coalesce.prepare ?depth ~verify_parallel ~avoid s with
+    | Error e -> Error e
+    | Ok pr ->
+        let used = avoid @ Coalesce.prepared_names pr in
+        let jc = Ast.fresh_var ~avoid:used "jc" in
+        let j = Ast.fresh_var ~avoid:(jc :: used) "j" in
+        let recovered = List.map fst pr.Coalesce.sizes in
+        let c : Ast.expr = Int chunk in
+        let chunk_lo =
+          (* (jc - 1) * chunk + 1 *)
+          simp (Ast.Bin (Add, Bin (Mul, Bin (Sub, Var jc, Int 1), c), Int 1))
+        in
+        let chunk_hi = simp (Ast.Bin (Min, Bin (Mul, Var jc, c), pr.trip)) in
+        let targets =
+          List.map
+            (fun (name, size) -> (name, (Ast.Int 1 : Ast.expr), size))
+            pr.Coalesce.sizes
+        in
+        (* Closed-form recovery of the chunk's first iteration. The
+           recovery block recovers from a variable, so bind the chunk's
+           start to the inner index name — the serial loop then starts
+           there. *)
+        let init =
+          Index_recovery.recovery_block Index_recovery.Div_mod ~coalesced:j
+            ~targets
+        in
+        let inner : Ast.stmt =
+          For
+            {
+              index = j;
+              lo = chunk_lo;
+              hi = chunk_hi;
+              step = Int 1;
+              par = Serial;
+              body = pr.Coalesce.inner_body @ odometer pr.Coalesce.sizes;
+            }
+        in
+        (* The recovery block reads [j], which inside the chunk loop is the
+           serial index — but initialization must happen before the serial
+           loop, where [j] is not bound. Recover from the chunk start
+           expression instead by substituting it for [j]. *)
+        let init =
+          List.map
+            (fun st ->
+              match Ast.subst_stmt j chunk_lo st with
+              | Ast.Assign (lv, e) -> Ast.Assign (lv, simp e)
+              | other -> other)
+            init
+        in
+        let outer : Ast.stmt =
+          For
+            {
+              index = jc;
+              lo = Int 1;
+              hi = simp (Ast.Bin (Cdiv, pr.Coalesce.trip, c));
+              step = Int 1;
+              par = Parallel;
+              body = init @ [ inner ];
+            }
+        in
+        Ok
+          {
+            Coalesce.stmt = outer;
+            new_scalars =
+              List.map
+                (fun name ->
+                  { Ast.sc_name = name; sc_kind = Ast.Kint; sc_init = 0.0 })
+                recovered;
+            coalesced_index = jc;
+            recovered;
+          }
+
+let apply_program ?depth ?verify_parallel ~chunk (p : Ast.program) =
+  if chunk < 1 then Error (Coalesce.Bad_strategy "chunk size must be >= 1")
+  else
+  let avoid = Names.in_program p in
+  let found = ref None in
+  let rec rewrite_block (b : Ast.block) : Ast.block =
+    match b with
+    | [] -> []
+    | s :: rest -> (
+        match !found with
+        | Some _ -> s :: rest
+        | None -> (
+            match s with
+            | Assign _ -> s :: rewrite_block rest
+            | If (c, t, f) ->
+                let t' = rewrite_block t in
+                let f' =
+                  match !found with Some _ -> f | None -> rewrite_block f
+                in
+                If (c, t', f') :: rewrite_block rest
+            | For l -> (
+                match apply ?depth ?verify_parallel ~avoid ~chunk s with
+                | Ok r ->
+                    found := Some r;
+                    r.Coalesce.stmt :: rest
+                | Error _ ->
+                    For { l with body = rewrite_block l.body }
+                    :: rewrite_block rest)))
+  in
+  let body = rewrite_block p.body in
+  match !found with
+  | Some r ->
+      Ok
+        {
+          p with
+          body;
+          scalars =
+            p.scalars
+            @ List.filter
+                (fun (d : Ast.scalar_decl) ->
+                  not
+                    (List.exists
+                       (fun (s : Ast.scalar_decl) -> s.sc_name = d.sc_name)
+                       p.scalars))
+                r.Coalesce.new_scalars;
+        }
+  | None -> Error (Coalesce.Not_coalescible "no coalescible nest found")

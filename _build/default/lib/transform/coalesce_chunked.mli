@@ -1,0 +1,41 @@
+(** Chunked coalescing with strength-reduced (odometer) index recovery —
+    the code a compiler actually emits when each processor executes a
+    contiguous run of the coalesced space.
+
+    {v
+    doall jc = 1, ceildiv(N, c)
+      i1 = <div/mod recovery of (jc-1)*c + 1>     -- once per chunk
+      ...
+      im = ...
+      do j = (jc-1)*c + 1, min(jc*c, N)           -- serial chunk
+        BODY(i1, ..., im)
+        im = im + 1                                -- odometer advance
+        if im > nm then im = 1; i(m-1) = i(m-1)+1; ... end
+      end
+    end
+    v}
+
+    The closed-form recovery runs once per chunk; every other iteration
+    pays only the O(1) amortized odometer. Sequential iteration order is
+    preserved exactly, so the rewrite is verified with the interpreter
+    like plain coalescing. *)
+
+open Loopcoal_ir
+
+val apply :
+  ?depth:int ->
+  ?verify_parallel:bool ->
+  avoid:Ast.var list ->
+  chunk:int ->
+  Ast.stmt ->
+  (Coalesce.result, Coalesce.error) result
+(** Same contract as {!Coalesce.apply} plus the chunk size ([>= 1]).
+    The result's [coalesced_index] is the outer chunk index. *)
+
+val apply_program :
+  ?depth:int ->
+  ?verify_parallel:bool ->
+  chunk:int ->
+  Ast.program ->
+  (Ast.program, Coalesce.error) result
+(** Rewrite the first coalescible nest of the program. *)

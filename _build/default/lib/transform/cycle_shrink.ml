@@ -1,0 +1,72 @@
+open Loopcoal_ir
+module Distance = Loopcoal_analysis.Distance
+
+type error = Not_a_loop of string | Not_applicable of string
+
+let simp = Index_recovery.simp
+
+let apply ~avoid (s : Ast.stmt) =
+  match s with
+  | Assign _ | If _ -> Error (Not_a_loop "statement is not a loop")
+  | For l0 -> (
+      let l = Normalize.loop ~avoid l0 in
+      if not (Normalize.is_normalized l) then
+        Error (Not_applicable "loop could not be normalized")
+      else
+        match Distance.min_carried_distance l with
+        | Distance.No_carried ->
+            Error
+              (Not_applicable
+                 "no carried dependence: the loop is already a DOALL")
+        | Distance.Unknown ->
+            Error (Not_applicable "dependence distance is not a known constant")
+        | Distance.Min_distance 1 ->
+            Error (Not_applicable "minimum distance 1: nothing to shrink")
+        | Distance.Min_distance lambda ->
+            let used = avoid @ Names.in_stmt (For l) in
+            let it = Ast.fresh_var ~avoid:used (l.index ^ "t") in
+            let lam : Ast.expr = Int lambda in
+            let outer_hi = simp (Ast.Bin (Cdiv, l.hi, lam)) in
+            let lo' =
+              simp
+                (Ast.Bin
+                   (Add, Bin (Mul, Bin (Sub, Var it, Int 1), lam), Int 1))
+            in
+            let hi' = simp (Ast.Bin (Min, Bin (Mul, Var it, lam), l.hi)) in
+            Ok
+              ( Ast.For
+                  {
+                    index = it;
+                    lo = Int 1;
+                    hi = outer_hi;
+                    step = Int 1;
+                    par = Serial;
+                    body =
+                      [
+                        For
+                          { l with lo = lo'; hi = hi'; par = Parallel };
+                      ];
+                  },
+                lambda ))
+
+let apply_program (p : Ast.program) =
+  let factors = ref [] in
+  let avoid = Names.in_program p in
+  let rec blk (b : Ast.block) : Ast.block = List.map stmt b
+  and stmt (s : Ast.stmt) : Ast.stmt =
+    match s with
+    | Assign _ -> s
+    | If (c, t, f) -> If (c, blk t, blk f)
+    | For l -> (
+        (* Only serial loops benefit; a loop already marked parallel is
+           better left alone. *)
+        if l.par = Parallel then For { l with body = blk l.body }
+        else
+          match apply ~avoid s with
+          | Ok (s', lambda) ->
+              factors := lambda :: !factors;
+              s'
+          | Error _ -> For { l with body = blk l.body })
+  in
+  let body = blk p.body in
+  ({ p with body }, List.rev !factors)

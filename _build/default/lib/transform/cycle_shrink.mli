@@ -1,0 +1,35 @@
+(** Cycle shrinking — extracting partial parallelism from a serial loop
+    whose carried dependences all have distance >= lambda
+    (Polychronopoulos's companion transformation, TOPLAS 1988).
+
+    {v
+    do i = 1, n          do it = 1, ceildiv(n, lambda)      -- serial
+      A[i+3] = B[i]  =>    doall i = (it-1)*lambda + 1,     -- parallel
+      B[i+3] = A[i]                  min(it*lambda, n)
+    end                      A[i+3] = B[i]
+                             B[i+3] = A[i]
+    v}
+
+    Any two iterations within a group of [lambda] consecutive ones are
+    independent because every dependence spans at least [lambda]
+    iterations, so the inner loop is a DOALL of width [lambda]. The
+    sequential execution order is unchanged — groups run in order and
+    the group body enumerates the same indices — so the rewrite is
+    verified like coalescing. *)
+
+open Loopcoal_ir
+
+type error =
+  | Not_a_loop of string
+  | Not_applicable of string
+      (** the loop is already a DOALL, the distance is unknown, or the
+          minimum distance is 1 *)
+
+val apply : avoid:Ast.var list -> Ast.stmt -> (Ast.stmt * int, error) result
+(** Shrink the given serial loop; returns the rewritten statement and the
+    shrink factor lambda. The loop must be normalized (lo = 1, step = 1);
+    non-normalized loops are normalized on the fly when possible. *)
+
+val apply_program : Ast.program -> Ast.program * int list
+(** Shrink every applicable serial loop in the program; returns the list
+    of shrink factors applied (possibly empty). *)

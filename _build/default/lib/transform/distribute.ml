@@ -1,0 +1,160 @@
+open Loopcoal_ir
+module Lc = Loopcoal_analysis.Loop_class
+module Depend = Loopcoal_analysis.Depend
+module Usedef = Loopcoal_analysis.Usedef
+
+type error = Not_a_loop of string | Nothing_to_distribute of string
+
+(* Tarjan's strongly-connected components over adjacency lists. Bodies are
+   short, so clarity over constant factors. *)
+let sccs n successors =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !next;
+    lowlink.(v) <- !next;
+    incr next;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (successors v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  !components
+
+let apply (s : Ast.stmt) =
+  match s with
+  | Assign _ | If _ -> Error (Not_a_loop "statement is not a loop")
+  | For l -> (
+      let stmts = Array.of_list l.body in
+      let n = Array.length stmts in
+      if n < 2 then
+        Error (Nothing_to_distribute "body has fewer than two statements")
+      else begin
+        let refs = Array.map (fun st -> Usedef.array_refs [ st ]) stmts in
+        let reads = Array.map (fun st -> Usedef.scalar_reads [ st ]) stmts in
+        let writes = Array.map (fun st -> Usedef.scalar_writes [ st ]) stmts in
+        let ranges = Lc.inner_ranges l.body in
+        let written_scalars = Usedef.scalar_writes l.body in
+        let range_of v =
+          if String.equal v l.index then Lc.const_range l
+          else
+            match Hashtbl.find_opt ranges v with Some r -> r | None -> None
+        in
+        let classify_rest v : Depend.var_class =
+          if Hashtbl.mem ranges v then Depend.Private1
+          else if Usedef.Vset.mem v written_scalars then Depend.Private1
+          else Depend.Shared
+        in
+        let eq_query =
+          {
+            Depend.classify =
+              (fun v ->
+                if String.equal v l.index then Depend.Coupled Depend.Ceq
+                else classify_rest v);
+            Depend.range_of = range_of;
+          }
+        in
+        let array_pair_conflicts i j ~carried_only =
+          List.exists
+            (fun r1 ->
+              List.exists
+                (fun r2 ->
+                  String.equal r1.Usedef.arr r2.Usedef.arr
+                  && (r1.Usedef.write || r2.Usedef.write)
+                  &&
+                  if carried_only then
+                    Depend.carried ~level:l.index ~range:(Lc.const_range l)
+                      ~classify_rest ~range_of r1.Usedef.subs r2.Usedef.subs
+                  else Depend.may_depend eq_query r1.Usedef.subs r2.Usedef.subs)
+                refs.(j))
+            refs.(i)
+        in
+        let scalar_coupled i j =
+          let touches w r =
+            not (Usedef.Vset.is_empty (Usedef.Vset.inter w r))
+          in
+          touches writes.(i) (Usedef.Vset.union reads.(j) writes.(j))
+          || touches writes.(j) (Usedef.Vset.union reads.(i) writes.(i))
+        in
+        (* Edges: loop-carried or scalar coupling in either direction
+           (cycles); loop-independent conflicts forward only. *)
+        let succ = Array.make n [] in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            let cyclic =
+              scalar_coupled i j
+              || array_pair_conflicts i j ~carried_only:true
+              || array_pair_conflicts j i ~carried_only:true
+            in
+            if cyclic then begin
+              succ.(i) <- j :: succ.(i);
+              succ.(j) <- i :: succ.(j)
+            end
+            else if array_pair_conflicts i j ~carried_only:false then
+              succ.(i) <- j :: succ.(i)
+          done
+        done;
+        let groups = sccs n (fun v -> succ.(v)) in
+        if List.length groups < 2 then
+          Error
+            (Nothing_to_distribute
+               "dependences glue the whole body into one group")
+        else begin
+          (* All cross-group edges point textually forward (backward flow
+             forces a shared component), so ordering groups by their first
+             statement is a topological order. *)
+          let ordered =
+            List.sort
+              (fun a b ->
+                compare (List.fold_left min n a) (List.fold_left min n b))
+              (List.map (List.sort compare) groups)
+          in
+          Ok
+            (List.map
+               (fun members ->
+                 Ast.For
+                   { l with body = List.map (fun i -> stmts.(i)) members })
+               ordered)
+        end
+      end)
+
+let apply_program (p : Ast.program) =
+  let count = ref 0 in
+  let rec blk (b : Ast.block) : Ast.block = List.concat_map stmt b
+  and stmt (s : Ast.stmt) : Ast.stmt list =
+    match s with
+    | Assign _ -> [ s ]
+    | If (c, t, f) -> [ If (c, blk t, blk f) ]
+    | For l -> (
+        match apply (For l) with
+        | Ok pieces ->
+            incr count;
+            List.concat_map stmt pieces
+        | Error _ -> [ For { l with body = blk l.body } ])
+  in
+  let body = blk p.body in
+  ({ p with body }, !count)

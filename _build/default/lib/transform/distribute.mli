@@ -1,0 +1,33 @@
+(** Loop distribution (fission).
+
+    Splitting a loop around groups of its body statements is what turns a
+    {e non-perfect} nest into perfect ones, feeding the hybrid-coalescing
+    path: statements that must execute together (they are connected by a
+    loop-carried dependence or by scalar flow) stay in one loop; the rest
+    become separate loops over the same header, in an order consistent
+    with the loop-independent dependences.
+
+    The grouping is the classic algorithm: build the statement-level
+    dependence graph — carried dependences in {e either} direction are
+    cycles by construction, loop-independent dependences are forward
+    edges — and emit one loop per strongly connected component in
+    topological order. Anything the dependence analysis cannot see through
+    conservatively glues statements together. *)
+
+open Loopcoal_ir
+
+type error =
+  | Not_a_loop of string
+  | Nothing_to_distribute of string
+      (** the body has a single statement, or analysis glued everything
+          into one group *)
+
+val apply : Ast.stmt -> (Ast.stmt list, error) result
+(** Distribute the given loop. On success the returned statements (each a
+    loop with the original header and annotation) are a drop-in
+    replacement for the original, in order. *)
+
+val apply_program : Ast.program -> Ast.program * int
+(** Distribute every loop in the program where the analysis finds at
+    least two groups (outermost-first, then recursing into the results);
+    returns the count of loops split. *)

@@ -1,0 +1,259 @@
+open Loopcoal_ir
+module Privatize = Loopcoal_analysis.Privatize
+module Usedef = Loopcoal_analysis.Usedef
+
+let preamble =
+  "#include <stdio.h>\n\
+   #include <stdlib.h>\n\n\
+   /* Integer helpers matching the reference interpreter's semantics:\n\
+   \   truncating division and mod are C's own; ceiling division assumes a\n\
+   \   positive divisor, like the transformation's formulas. */\n\
+   static long lc_cdiv(long a, long b) {\n\
+   \  return a > 0 ? (a + b - 1) / b : -((-a) / b);\n\
+   }\n\
+   static long lc_min(long a, long b) { return a < b ? a : b; }\n\
+   static long lc_max(long a, long b) { return a > b ? a : b; }\n\
+   static double lc_fmin(double a, double b) { return a < b ? a : b; }\n\
+   static double lc_fmax(double a, double b) { return a > b ? a : b; }\n\n"
+
+let kind_of env e =
+  match Validate.check_expr env e with
+  | Ok k -> k
+  | Error m -> invalid_arg ("Emit_c: invalid expression slipped through: " ^ m)
+
+(* Dims of each array, for flattening subscripts. *)
+type tables = { dims : (string * int list) list; env : Validate.kind_env }
+
+let rec expr tables (e : Ast.expr) : string =
+  let env = tables.env in
+  match e with
+  | Int n -> if n < 0 then Printf.sprintf "(%dL)" n else Printf.sprintf "%dL" n
+  | Real x -> Printf.sprintf "%.17g" x
+  | Var v -> v
+  | Neg a -> Printf.sprintf "(-%s)" (expr tables a)
+  | Load (name, subs) -> Printf.sprintf "%s[%s]" name (flat_index tables name subs)
+  | Bin (op, a, b) -> (
+      let ka = kind_of env a and kb = kind_of env b in
+      let sa = expr tables a and sb = expr tables b in
+      let as_double k s =
+        match k with Ast.Kint -> Printf.sprintf "(double)%s" s | Ast.Kreal -> s
+      in
+      match op with
+      | Add | Sub | Mul | Div ->
+          let sym =
+            match op with
+            | Add -> "+"
+            | Sub -> "-"
+            | Mul -> "*"
+            | Div -> "/"
+            | Mod | Cdiv | Min | Max -> assert false
+          in
+          if ka = Ast.Kint && kb = Ast.Kint then
+            Printf.sprintf "(%s %s %s)" sa sym sb
+          else
+            Printf.sprintf "(%s %s %s)" (as_double ka sa) sym (as_double kb sb)
+      | Mod -> Printf.sprintf "(%s %% %s)" sa sb
+      | Cdiv -> Printf.sprintf "lc_cdiv(%s, %s)" sa sb
+      | Min | Max ->
+          let fn_int = if op = Min then "lc_min" else "lc_max" in
+          let fn_dbl = if op = Min then "lc_fmin" else "lc_fmax" in
+          if ka = Ast.Kint && kb = Ast.Kint then
+            Printf.sprintf "%s(%s, %s)" fn_int sa sb
+          else
+            Printf.sprintf "%s(%s, %s)" fn_dbl (as_double ka sa)
+              (as_double kb sb))
+
+and flat_index tables name subs =
+  (* Row-major, one-based: (((s1-1)*d2 + (s2-1))*d3 + ...) *)
+  let dims =
+    match List.assoc_opt name tables.dims with
+    | Some d -> d
+    | None -> invalid_arg ("Emit_c: unknown array " ^ name)
+  in
+  match List.combine subs dims with
+  | [] -> "0"
+  | (s0, _) :: rest ->
+      List.fold_left
+        (fun acc (s, d) ->
+          Printf.sprintf "(%s * %dL + (%s - 1L))" acc d (expr tables s))
+        (Printf.sprintf "(%s - 1L)" (expr tables s0))
+        rest
+
+let rec cond tables (c : Ast.cond) : string =
+  match c with
+  | True -> "1"
+  | Cmp (op, a, b) ->
+      let sym =
+        match op with
+        | Eq -> "=="
+        | Ne -> "!="
+        | Lt -> "<"
+        | Le -> "<="
+        | Gt -> ">"
+        | Ge -> ">="
+      in
+      let ka = kind_of tables.env a and kb = kind_of tables.env b in
+      let sa = expr tables a and sb = expr tables b in
+      if ka = kb then Printf.sprintf "(%s %s %s)" sa sym sb
+      else
+        Printf.sprintf "((double)%s %s (double)%s)" sa sym sb
+  | And (a, b) -> Printf.sprintf "(%s && %s)" (cond tables a) (cond tables b)
+  | Or (a, b) -> Printf.sprintf "(%s || %s)" (cond tables a) (cond tables b)
+  | Not a -> Printf.sprintf "(!%s)" (cond tables a)
+
+let indent n = String.make (2 * n) ' '
+
+(* A perfectly nested group of parallel rectangular loops below (and
+   including) [l], for collapse(d). *)
+let rec collapse_depth (l : Ast.loop) outer_indices =
+  match l.body with
+  | [ Ast.For inner ]
+    when inner.par = Ast.Parallel
+         && (not
+               (List.exists
+                  (fun v -> List.mem v (l.index :: outer_indices))
+                  (Ast.expr_vars inner.lo @ Ast.expr_vars inner.hi
+                 @ Ast.expr_vars inner.step))) ->
+      1 + collapse_depth inner (l.index :: outer_indices)
+  | _ -> 1
+
+let pragma_for (l : Ast.loop) ~collapse_d =
+  let blocking = Privatize.blocking_scalars l.body in
+  if not (Usedef.Vset.is_empty blocking) then
+    `Comment
+      (Printf.sprintf "/* not parallelized: scalar %s is shared */"
+         (Usedef.Vset.min_elt blocking))
+  else
+    let priv = Usedef.Vset.elements (Privatize.privatizable l.body) in
+    let clause =
+      if priv = [] then ""
+      else Printf.sprintf " private(%s)" (String.concat ", " priv)
+    in
+    let collapse_clause =
+      if collapse_d > 1 then Printf.sprintf " collapse(%d)" collapse_d else ""
+    in
+    `Pragma
+      (Printf.sprintf "#pragma omp parallel for%s%s" collapse_clause clause)
+
+let rec stmt buf tables ~collapse depth (s : Ast.stmt) =
+  let pad = indent depth in
+  match s with
+  | Ast.Assign (Scalar v, e) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s = %s;\n" pad v (expr tables e))
+  | Ast.Assign (Elem (name, subs), e) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s[%s] = %s;\n" pad name
+           (flat_index tables name subs)
+           (expr tables e))
+  | Ast.If (c, t, f) ->
+      Buffer.add_string buf (Printf.sprintf "%sif (%s) {\n" pad (cond tables c));
+      List.iter (stmt buf tables ~collapse (depth + 1)) t;
+      if f <> [] then begin
+        Buffer.add_string buf (pad ^ "} else {\n");
+        List.iter (stmt buf tables ~collapse (depth + 1)) f
+      end;
+      Buffer.add_string buf (pad ^ "}\n")
+  | Ast.For l -> emit_loop buf tables ~collapse depth l
+
+and emit_loop buf tables ~collapse depth (l : Ast.loop) =
+  let pad = indent depth in
+  let d = if collapse && l.par = Ast.Parallel then collapse_depth l [] else 1 in
+  (match l.par with
+  | Ast.Parallel -> (
+      match pragma_for l ~collapse_d:d with
+      | `Pragma line -> Buffer.add_string buf (pad ^ line ^ "\n")
+      | `Comment line -> Buffer.add_string buf (pad ^ line ^ "\n"))
+  | Ast.Serial -> ());
+  (* Emit [d] collapsed headers with inline bounds (the canonical form
+     OpenMP collapse requires), then the innermost body. For non-collapsed
+     loops the single header's bounds are still inline: the validator
+     guarantees positive constant or invariant expressions in our
+     generated code, and the interpreter's fix-at-entry semantics only
+     differ if the body writes a bound's scalar, which [pragma_for]'s
+     privatization logic already refuses to parallelize. *)
+  let rec headers tables k (l : Ast.loop) depth =
+    let pad = indent depth in
+    Buffer.add_string buf
+      (Printf.sprintf "%sfor (long %s = %s; %s <= %s; %s += %s) {\n" pad
+         l.index (expr tables l.lo) l.index (expr tables l.hi) l.index
+         (expr tables l.step));
+    let tables = { tables with env = Validate.bind_index tables.env l.index } in
+    (if k > 1 then
+       match l.body with
+       | [ Ast.For inner ] -> headers tables (k - 1) inner (depth + 1)
+       | _ -> assert false
+     else
+       List.iter (stmt buf tables ~collapse (depth + 1)) l.body);
+    Buffer.add_string buf (pad ^ "}\n")
+  in
+  headers tables d l depth
+
+let expr_to_c env e = expr { dims = []; env } e
+
+let program_to_c ?(collapse = false) (p : Ast.program) =
+  match Validate.check_program p with
+  | { Validate.what; where } :: _ ->
+      Error (Printf.sprintf "%s (%s)" what where)
+  | [] ->
+      let tables =
+        {
+          dims = List.map (fun (a : Ast.array_decl) -> (a.arr_name, a.dims)) p.arrays;
+          env = Validate.env_of_program p;
+        }
+      in
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf preamble;
+      List.iter
+        (fun (a : Ast.array_decl) ->
+          Buffer.add_string buf
+            (Printf.sprintf "static double %s[%d];\n" a.arr_name
+               (Loopcoal_util.Intmath.product a.dims)))
+        p.arrays;
+      List.iter
+        (fun (s : Ast.scalar_decl) ->
+          match s.sc_kind with
+          | Ast.Kint ->
+              Buffer.add_string buf
+                (Printf.sprintf "static long %s = %d;\n" s.sc_name
+                   (int_of_float s.sc_init))
+          | Ast.Kreal ->
+              Buffer.add_string buf
+                (Printf.sprintf "static double %s = %.17g;\n" s.sc_name
+                   s.sc_init))
+        p.scalars;
+      Buffer.add_string buf "\nint main(void) {\n";
+      List.iter (stmt buf tables ~collapse 1) p.body;
+      (* Print the final store in the interpreter's dump order (sorted by
+         name) for cross-validation. *)
+      let sorted_arrays =
+        List.sort
+          (fun (a : Ast.array_decl) b -> String.compare a.arr_name b.arr_name)
+          p.arrays
+      in
+      List.iter
+        (fun (a : Ast.array_decl) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  for (long lc_i = 0; lc_i < %d; lc_i++) printf(\"%%.17g\\n\", \
+                %s[lc_i]);\n"
+               (Loopcoal_util.Intmath.product a.dims)
+               a.arr_name))
+        sorted_arrays;
+      let sorted_scalars =
+        List.sort
+          (fun (a : Ast.scalar_decl) b -> String.compare a.sc_name b.sc_name)
+          p.scalars
+      in
+      List.iter
+        (fun (s : Ast.scalar_decl) ->
+          match s.sc_kind with
+          | Ast.Kint ->
+              Buffer.add_string buf
+                (Printf.sprintf "  printf(\"%%ld\\n\", %s);\n" s.sc_name)
+          | Ast.Kreal ->
+              Buffer.add_string buf
+                (Printf.sprintf "  printf(\"%%.17g\\n\", %s);\n" s.sc_name))
+        sorted_scalars;
+      Buffer.add_string buf "  return 0;\n}\n";
+      Ok (Buffer.contents buf)

@@ -1,0 +1,31 @@
+(** C code emission with OpenMP pragmas — the bridge from the 1987
+    transformation to its standardized descendant.
+
+    Programs emit as self-contained C99: arrays become flat [double]
+    buffers with row-major 1-based indexing, int scalars become [long],
+    and every [Parallel] loop gets [#pragma omp parallel for] with a
+    [private(...)] clause for its privatizable scalar temporaries (the
+    index-recovery scalars coalescing introduces). A loop that writes a
+    non-privatizable scalar is emitted {e without} a pragma — the
+    annotation is not trusted into a data race.
+
+    With [~collapse] set, a perfectly nested group of [Parallel] loops is
+    emitted as one pragma with [collapse(d)] instead — letting the host
+    OpenMP runtime perform exactly the coalescing this library implements
+    from scratch.
+
+    The generated [main] prints every array and scalar (one value per
+    line, ["%.17g"]) so a harness can diff the compiled program's output
+    against the reference interpreter — which is precisely what the test
+    suite does when a C compiler is available. *)
+
+open Loopcoal_ir
+
+val expr_to_c : Validate.kind_env -> Ast.expr -> string
+(** Emit one expression (exposed for tests). Integer division, mod and
+    ceiling-division match the interpreter's semantics via helper
+    functions in the preamble. *)
+
+val program_to_c : ?collapse:bool -> Ast.program -> (string, string) result
+(** The complete translation unit. Fails (with the first issue) when the
+    program does not pass {!Validate}. *)

@@ -1,0 +1,122 @@
+open Loopcoal_ir
+module Lc = Loopcoal_analysis.Loop_class
+module Depend = Loopcoal_analysis.Depend
+module Usedef = Loopcoal_analysis.Usedef
+module Privatize = Loopcoal_analysis.Privatize
+
+type error = Not_fusable of string | Illegal of string
+
+let headers_match (a : Ast.loop) (b : Ast.loop) =
+  Ast.equal_expr a.lo b.lo && Ast.equal_expr a.hi b.hi
+  && Ast.equal_expr a.step b.step
+
+(* Cross-loop dependence query on the fused body: [coupling] relates the
+   first loop's iteration x to the second's y. *)
+let cross_dependence (l1 : Ast.loop) body1 body2 coupling =
+  let index = l1.index in
+  let combined = body1 @ body2 in
+  let ranges = Lc.inner_ranges combined in
+  let written_scalars = Usedef.scalar_writes combined in
+  let range_of v =
+    if String.equal v index then Lc.const_range l1
+    else match Hashtbl.find_opt ranges v with Some r -> r | None -> None
+  in
+  let query =
+    {
+      Depend.classify =
+        (fun v ->
+          if String.equal v index then Depend.Coupled coupling
+          else if Hashtbl.mem ranges v then Depend.Private1
+          else if Usedef.Vset.mem v written_scalars then Depend.Private1
+          else Depend.Shared);
+      Depend.range_of = range_of;
+    }
+  in
+  let refs1 = Usedef.array_refs body1 and refs2 = Usedef.array_refs body2 in
+  List.exists
+    (fun r1 ->
+      List.exists
+        (fun r2 ->
+          String.equal r1.Usedef.arr r2.Usedef.arr
+          && (r1.Usedef.write || r2.Usedef.write)
+          && Depend.may_depend query r1.Usedef.subs r2.Usedef.subs)
+        refs2)
+    refs1
+
+let apply (s1 : Ast.stmt) (s2 : Ast.stmt) =
+  match (s1, s2) with
+  | For l1, For l2 ->
+      if not (headers_match l1 l2) then
+        Error (Not_fusable "loop headers differ")
+      else begin
+        (* Rename the second body's index to the first's. *)
+        let body2 =
+          if String.equal l1.index l2.index then l2.body
+          else if List.mem l1.index (Ast.bound_indices_block l2.body) then
+            l2.body (* collision with an inner index: handled below *)
+          else Ast.subst_block l2.index (Var l1.index) l2.body
+        in
+        if
+          (not (String.equal l1.index l2.index))
+          && List.mem l1.index (Ast.bound_indices_block l2.body)
+        then Error (Not_fusable "index renaming would capture an inner loop")
+        else begin
+          let scalars_ok =
+            (* No scalar written by one body may be touched by the other:
+               in the original, the second loop saw only the first loop's
+               final value (and vice versa for reads before the second
+               loop ran); fusion would interleave them. Each body's own
+               temporaries must still be assigned-before-use. *)
+            let w1 = Usedef.scalar_writes l1.body
+            and r1 = Usedef.scalar_reads l1.body
+            and w2 = Usedef.scalar_writes body2
+            and r2 = Usedef.scalar_reads body2 in
+            Usedef.Vset.is_empty
+              (Usedef.Vset.inter w1 (Usedef.Vset.union r2 w2))
+            && Usedef.Vset.is_empty (Usedef.Vset.inter w2 r1)
+          in
+          if not scalars_ok then
+            Error (Illegal "scalar flow between the bodies")
+          else if cross_dependence l1 l1.body body2 Depend.Cgt then
+            Error (Illegal "fusion-preventing (>) dependence")
+          else begin
+            let carried_cross =
+              cross_dependence l1 l1.body body2 Depend.Clt
+            in
+            let par =
+              match (l1.par, l2.par) with
+              | Ast.Parallel, Ast.Parallel when not carried_cross ->
+                  Ast.Parallel
+              | _ -> Ast.Serial
+            in
+            Ok (Ast.For { l1 with par; body = l1.body @ body2 })
+          end
+        end
+      end
+  | _ -> Error (Not_fusable "both statements must be loops")
+
+let apply_block (b : Ast.block) =
+  let count = ref 0 in
+  let rec fuse_adjacent (b : Ast.block) : Ast.block =
+    match b with
+    | (Ast.For _ as s1) :: (Ast.For _ as s2) :: rest -> (
+        match apply s1 s2 with
+        | Ok fused ->
+            incr count;
+            fuse_adjacent (fused :: rest)
+        | Error _ -> s1 :: fuse_adjacent (s2 :: rest))
+    | s :: rest -> s :: fuse_adjacent rest
+    | [] -> []
+  in
+  let rec deep (b : Ast.block) : Ast.block =
+    fuse_adjacent
+      (List.map
+         (fun (s : Ast.stmt) : Ast.stmt ->
+           match s with
+           | Assign _ -> s
+           | If (c, t, f) -> If (c, deep t, deep f)
+           | For l -> For { l with body = deep l.body })
+         b)
+  in
+  let result = deep b in
+  (result, !count)

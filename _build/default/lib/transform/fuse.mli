@@ -1,0 +1,28 @@
+(** Loop fusion — the inverse of distribution.
+
+    Two adjacent loops with identical headers fuse into one when no
+    {e fusion-preventing} dependence exists: a reference in the first loop
+    and one in the second touching the same element with the first loop's
+    iteration {e later} than the second's (direction [>]). Such a
+    dependence was satisfied by the loops running one after the other and
+    would reverse under fusion. Forward and loop-independent dependences
+    are preserved by fusion and are allowed.
+
+    Scalars written by either body are conservatively fusion-preventing
+    unless privatizable in both bodies. *)
+
+open Loopcoal_ir
+
+type error =
+  | Not_fusable of string
+  | Illegal of string
+
+val apply : Ast.stmt -> Ast.stmt -> (Ast.stmt, error) result
+(** Fuse two loops. Headers must have structurally equal bounds and step;
+    the second loop's index is renamed to the first's. The fused loop is
+    [Parallel] only when both inputs were and no cross-loop dependence is
+    carried (otherwise it is conservatively [Serial]). *)
+
+val apply_block : Ast.block -> Ast.block * int
+(** Repeatedly fuse adjacent fusable loops in the block (and recursively
+    in nested bodies); returns the number of fusions performed. *)

@@ -1,0 +1,241 @@
+open Loopcoal_ir
+module Im = Loopcoal_util.Intmath
+
+type strategy = Div_mod | Ceiling | Incremental
+
+let strategy_name = function
+  | Div_mod -> "div/mod"
+  | Ceiling -> "ceiling"
+  | Incremental -> "incremental"
+
+let all_strategies = [ Div_mod; Ceiling; Incremental ]
+
+(* ---------- pure index mathematics ---------- *)
+
+let check_sizes sizes =
+  if sizes = [] then invalid_arg "Index_recovery: empty size list";
+  if List.exists (fun n -> n < 1) sizes then
+    invalid_arg "Index_recovery: sizes must be positive"
+
+let linearize ~sizes indices =
+  check_sizes sizes;
+  if List.length sizes <> List.length indices then
+    invalid_arg "Index_recovery.linearize: length mismatch";
+  List.fold_left2
+    (fun acc n i ->
+      if i < 1 || i > n then
+        invalid_arg "Index_recovery.linearize: index out of range";
+      (acc * n) + (i - 1))
+    0 sizes indices
+  + 1
+
+let check_j ~sizes j =
+  let n = Im.product sizes in
+  if j < 1 || j > n then
+    invalid_arg "Index_recovery.recover: coalesced index out of range"
+
+let recover_div_mod ~sizes j =
+  check_sizes sizes;
+  check_j ~sizes j;
+  let strides = Im.suffix_products sizes in
+  List.map2 (fun nk tk -> (((j - 1) / tk) mod nk) + 1) sizes strides
+
+let recover_ceiling ~sizes j =
+  check_sizes sizes;
+  check_j ~sizes j;
+  let strides = Im.suffix_products sizes in
+  List.map2
+    (fun nk tk -> Im.cdiv j tk - (nk * (Im.cdiv j (nk * tk) - 1)))
+    sizes strides
+
+let recover strategy ~sizes j =
+  match strategy with
+  | Div_mod | Incremental -> recover_div_mod ~sizes j
+  | Ceiling -> recover_ceiling ~sizes j
+
+(* ---------- odometer cursor ---------- *)
+
+type cursor = {
+  sizes : int array;
+  idx : int array;
+  total : int;
+  mutable pos : int;
+  mutable ops : int;  (** integer operations performed by cursor stepping *)
+}
+
+let cursor_start ~sizes j =
+  check_sizes sizes;
+  check_j ~sizes j;
+  let indices = Array.of_list (recover_div_mod ~sizes j) in
+  {
+    sizes = Array.of_list sizes;
+    idx = indices;
+    total = Im.product sizes;
+    pos = j;
+    (* Initialisation costs one div, one mod, one add per dimension. *)
+    ops = 3 * List.length sizes;
+  }
+
+let cursor_indices c = Array.to_list c.idx
+let cursor_ops c = c.ops
+
+let cursor_next c =
+  if c.pos >= c.total then invalid_arg "Index_recovery.cursor_next: at end";
+  c.pos <- c.pos + 1;
+  (* Odometer: increment the last index; on overflow reset to 1 and carry. *)
+  let rec bump k =
+    c.ops <- c.ops + 2;
+    (* one increment + one limit comparison *)
+    c.idx.(k) <- c.idx.(k) + 1;
+    if c.idx.(k) > c.sizes.(k) then begin
+      c.ops <- c.ops + 1;
+      (* reset *)
+      c.idx.(k) <- 1;
+      bump (k - 1)
+    end
+  in
+  bump (Array.length c.idx - 1)
+
+(* ---------- IR generation ---------- *)
+
+(* Light constant folding so constant-size nests get constant strides, as a
+   compiler would emit. *)
+let rec simp (e : Ast.expr) : Ast.expr =
+  match e with
+  | Bin (op, a, b) -> (
+      let a = simp a and b = simp b in
+      match (op, a, b) with
+      | Ast.Add, Int x, Int y -> Int (x + y)
+      | Ast.Sub, Int x, Int y -> Int (x - y)
+      | Ast.Mul, Int x, Int y -> Int (x * y)
+      | Ast.Div, Int x, Int y when y <> 0 -> Int (x / y)
+      | Ast.Mod, Int x, Int y when y <> 0 -> Int (x mod y)
+      | Ast.Cdiv, Int x, Int y when y > 0 ->
+          Int (Loopcoal_util.Intmath.cdiv x y)
+      | Ast.Min, Int x, Int y -> Int (min x y)
+      | Ast.Max, Int x, Int y -> Int (max x y)
+      | Ast.Add, e, Int 0 | Ast.Add, Int 0, e -> e
+      | Ast.Sub, e, Int 0 -> e
+      (* Re-associate literal tails: (e + a) +/- b -> e + (a +/- b). *)
+      | Ast.Add, Bin (Add, e, Int a), Int b ->
+          if a + b = 0 then e else Bin (Add, e, Int (a + b))
+      | Ast.Sub, Bin (Add, e, Int a), Int b ->
+          if a - b = 0 then e else Bin (Add, e, Int (a - b))
+      | Ast.Mul, e, Int 1 | Ast.Mul, Int 1, e -> e
+      | Ast.Mul, _, Int 0 | Ast.Mul, Int 0, _ -> Int 0
+      | Ast.Cdiv, e, Int 1 -> e
+      | Ast.Div, e, Int 1 -> e
+      | (Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Cdiv
+        | Ast.Min | Ast.Max), a, b -> Bin (op, a, b))
+  | Neg a -> (
+      match simp a with Int n -> Int (-n) | a -> Neg a)
+  | Int _ | Real _ | Var _ -> e
+  | Load (a, subs) -> Load (a, List.map simp subs)
+
+let recovery_block strategy ~coalesced ~targets =
+  if targets = [] then invalid_arg "Index_recovery.recovery_block: no targets";
+  let j : Ast.expr = Var coalesced in
+  (* Strides are built right-to-left as expressions and folded. *)
+  let sizes = List.map (fun (_, _, size) -> size) targets in
+  let strides =
+    let rec go = function
+      | [] -> []
+      | [ _ ] -> [ Ast.Int 1 ]
+      | _ :: rest ->
+          let tail = go rest in
+          let first_rest =
+            match (rest, tail) with
+            | size :: _, t :: _ -> simp (Ast.Bin (Mul, size, t))
+            | _ -> assert false
+          in
+          first_rest :: tail
+    in
+    go sizes
+  in
+  let emit k ((name : Ast.var), lo, size) tk : Ast.stmt =
+    let raw : Ast.expr =
+      match strategy with
+      | Incremental ->
+          invalid_arg
+            "Index_recovery.recovery_block: incremental recovery is a \
+             cursor, not straight-line code"
+      | Div_mod ->
+          let base : Ast.expr = Bin (Sub, j, Int 1) in
+          let quotient = simp (Ast.Bin (Div, base, tk)) in
+          (* The outermost quotient is already < n1: skip its mod. *)
+          let wrapped =
+            if k = 0 then quotient else simp (Ast.Bin (Mod, quotient, size))
+          in
+          simp (Ast.Bin (Add, wrapped, Int 1))
+      | Ceiling ->
+          let q = simp (Ast.Bin (Cdiv, j, tk)) in
+          if k = 0 then q
+            (* ceil(j / (n1*t1)) = ceil(j/N) = 1 on the coalesced range, so
+               the correction term vanishes for the outermost index. *)
+          else
+            let outer = simp (Ast.Bin (Mul, size, tk)) in
+            simp
+              (Ast.Bin
+                 ( Sub,
+                   q,
+                   Bin
+                     ( Mul,
+                       size,
+                       Bin (Sub, Bin (Cdiv, j, outer), Int 1) ) ))
+    in
+    (* value = lo + raw - 1, folded so the common lo = 1 case emits raw. *)
+    let value =
+      match simp lo with
+      | Int l -> simp (Ast.Bin (Add, Int (l - 1), raw))
+      | lo -> simp (Ast.Bin (Sub, Bin (Add, lo, raw), Int 1))
+    in
+    Ast.Assign (Scalar name, value)
+  in
+  List.mapi
+    (fun k (target, tk) -> emit k target tk)
+    (List.combine targets strides)
+
+(* ---------- measured per-iteration cost ---------- *)
+
+let measured_ops strategy ~sizes =
+  check_sizes sizes;
+  let n = Im.product sizes in
+  match strategy with
+  | Incremental ->
+      let c = cursor_start ~sizes 1 in
+      for _ = 2 to n do
+        cursor_next c
+      done;
+      float_of_int c.ops /. float_of_int n
+  | Div_mod | Ceiling ->
+      let targets =
+        List.mapi
+          (fun k nk -> (Printf.sprintf "i%d" (k + 1), Ast.Int 1, Ast.Int nk))
+          sizes
+      in
+      let body = recovery_block strategy ~coalesced:"j" ~targets in
+      let program : Ast.program =
+        {
+          arrays = [];
+          scalars =
+            List.map
+              (fun (name, _, _) ->
+                { Ast.sc_name = name; sc_kind = Kint; sc_init = 0.0 })
+              targets;
+          body =
+            [
+              For
+                {
+                  index = "j";
+                  lo = Int 1;
+                  hi = Int n;
+                  step = Int 1;
+                  par = Parallel;
+                  body;
+                };
+            ];
+        }
+      in
+      let st = Eval.run ~fuel:(n + 10) program in
+      let c = Eval.counters st in
+      float_of_int (c.Eval.int_ops + c.Eval.int_divs) /. float_of_int n

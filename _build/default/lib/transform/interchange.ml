@@ -1,0 +1,138 @@
+open Loopcoal_ir
+module Lc = Loopcoal_analysis.Loop_class
+module Depend = Loopcoal_analysis.Depend
+module Usedef = Loopcoal_analysis.Usedef
+module Privatize = Loopcoal_analysis.Privatize
+
+type error = Not_a_nest of string | Illegal of string
+
+let inner_of (l : Ast.loop) =
+  match l.body with [ Ast.For inner ] -> Some inner | _ -> None
+
+(* A dependence with direction (<, >) between the outer pair forbids
+   interchange. We query both reference orders, which covers both source
+   directions of each dependence. *)
+let has_lt_gt_dependence (outer : Ast.loop) (inner : Ast.loop) =
+  let body = inner.body in
+  if not (Usedef.Vset.is_empty (Privatize.blocking_scalars body)) then true
+  else begin
+    let refs = Usedef.array_refs body in
+    let ranges = Lc.inner_ranges body in
+    let range_of v =
+      if String.equal v outer.index then Lc.const_range outer
+      else if String.equal v inner.index then Lc.const_range inner
+      else
+        match Hashtbl.find_opt ranges v with Some r -> r | None -> None
+    in
+    let written_scalars = Usedef.scalar_writes body in
+    let query c_outer c_inner =
+      {
+        Depend.classify =
+          (fun v ->
+            if String.equal v outer.index then Depend.Coupled c_outer
+            else if String.equal v inner.index then Depend.Coupled c_inner
+            else if Hashtbl.mem ranges v then Depend.Private1
+            else if Usedef.Vset.mem v written_scalars then Depend.Private1
+            else Depend.Shared);
+        Depend.range_of = range_of;
+      }
+    in
+    let conflict r1 r2 =
+      String.equal r1.Usedef.arr r2.Usedef.arr
+      && (r1.Usedef.write || r2.Usedef.write)
+      && (Depend.may_depend (query Depend.Clt Depend.Cgt) r1.Usedef.subs
+            r2.Usedef.subs
+         || Depend.may_depend (query Depend.Cgt Depend.Clt) r1.Usedef.subs
+              r2.Usedef.subs)
+    in
+    let rec any_pair = function
+      | [] -> false
+      | r :: rest ->
+          (r.Usedef.write && conflict r r)
+          || List.exists (fun r2 -> conflict r r2) rest
+          || any_pair rest
+    in
+    any_pair refs
+  end
+
+let legal (l : Ast.loop) =
+  match inner_of l with
+  | None -> false
+  | Some inner ->
+      (match (l.par, inner.par) with
+      | Parallel, Parallel -> true
+      | _ -> not (has_lt_gt_dependence l inner))
+
+let rectangular (outer : Ast.loop) (inner : Ast.loop) =
+  let bound_vars =
+    Ast.expr_vars inner.lo @ Ast.expr_vars inner.hi @ Ast.expr_vars inner.step
+  in
+  not (List.mem outer.index bound_vars)
+
+let rec apply_at_level ~level apply_outer (s : Ast.stmt) =
+  if level <= 1 then apply_outer s
+  else
+    match s with
+    | Ast.For l -> (
+        match l.body with
+        | [ inner ] -> (
+            match apply_at_level ~level:(level - 1) apply_outer inner with
+            | Ok inner' -> Ok (Ast.For { l with body = [ inner' ] })
+            | Error e -> Error e)
+        | _ -> Error (Not_a_nest "nest is not perfect down to that level"))
+    | Ast.Assign _ | Ast.If _ -> Error (Not_a_nest "statement is not a loop")
+
+let apply (s : Ast.stmt) =
+  match s with
+  | Assign _ | If _ -> Error (Not_a_nest "statement is not a loop")
+  | For outer -> (
+      match inner_of outer with
+      | None -> Error (Not_a_nest "loop body is not a single inner loop")
+      | Some inner ->
+          if not (rectangular outer inner) then
+            Error
+              (Illegal
+                 "inner bounds depend on the outer index (triangular space)")
+          else if not (legal outer) then
+            Error (Illegal "a dependence with direction (<, >) may exist")
+          else
+            Ok
+              (Ast.For
+                 {
+                   inner with
+                   body = [ For { outer with body = inner.body } ];
+                 }))
+
+let apply_at ~level s =
+  if level < 1 then Error (Not_a_nest "level must be >= 1")
+  else apply_at_level ~level apply s
+
+let hoist_parallel (s : Ast.stmt) =
+  (* Bubble the first parallel loop outward past serial ancestors, one
+     legal interchange at a time, innermost-qualifying level first. *)
+  let swaps = ref 0 in
+  let rec pass (s : Ast.stmt) : Ast.stmt * bool =
+    match s with
+    | Assign _ | If _ -> (s, false)
+    | For outer -> (
+        match outer.body with
+        | [ For inner ] when outer.par = Serial && inner.par = Parallel -> (
+            match apply s with
+            | Ok s' ->
+                incr swaps;
+                (s', true)
+            | Error _ -> descend outer)
+        | _ -> descend outer)
+  and descend (outer : Ast.loop) =
+    match outer.body with
+    | [ (For _ as inner) ] ->
+        let inner', changed = pass inner in
+        ((For { outer with body = [ inner' ] } : Ast.stmt), changed)
+    | _ -> (For outer, false)
+  in
+  let rec fixpoint s =
+    let s', changed = pass s in
+    if changed then fixpoint s' else s'
+  in
+  let result = fixpoint s in
+  (result, !swaps)

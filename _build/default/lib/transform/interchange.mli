@@ -1,0 +1,33 @@
+(** Loop interchange for the outer two loops of a perfect nest.
+
+    Interchange is the companion transformation the paper assumes when the
+    parallel loop is not outermost: moving a DOALL outward reduces fork-join
+    count before coalescing or scheduling. Interchanging loops [(i, j)] is
+    illegal only when some dependence has direction [(<, >)]; two DOALLs are
+    always interchangeable. *)
+
+open Loopcoal_ir
+
+type error =
+  | Not_a_nest of string
+  | Illegal of string
+
+val legal : Ast.loop -> bool
+(** Can the outer two loops of the perfect nest rooted at this loop be
+    swapped? Conservative (may say [false] when it cannot prove legality);
+    exact [true] when both loops carry trusted [Parallel] annotations. *)
+
+val apply : Ast.stmt -> (Ast.stmt, error) result
+(** Swap the two outermost loops. Requires a perfect nest of depth >= 2
+    whose inner bounds do not depend on the outer index. *)
+
+val apply_at : level:int -> Ast.stmt -> (Ast.stmt, error) result
+(** Swap the loops at depths [level] and [level + 1] of the perfect nest
+    (1-based; [apply_at ~level:1] = [apply]). The loops above must form a
+    perfect chain down to that depth. *)
+
+val hoist_parallel : Ast.stmt -> Ast.stmt * int
+(** Repeatedly interchange a serial outer loop with a parallel inner one
+    (when legal) so the DOALL moves outward — the standard enabling step
+    before coalescing on a multiprocessor (on a vector machine one sinks
+    parallel loops inward instead). Returns the number of swaps. *)

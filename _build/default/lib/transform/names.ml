@@ -1,0 +1,33 @@
+open Loopcoal_ir
+
+let rec in_expr (e : Ast.expr) =
+  match e with
+  | Int _ | Real _ -> []
+  | Var v -> [ v ]
+  | Neg a -> in_expr a
+  | Bin (_, a, b) -> in_expr a @ in_expr b
+  | Load (a, subs) -> a :: List.concat_map in_expr subs
+
+let rec in_cond (c : Ast.cond) =
+  match c with
+  | True -> []
+  | Cmp (_, a, b) -> in_expr a @ in_expr b
+  | And (a, b) | Or (a, b) -> in_cond a @ in_cond b
+  | Not a -> in_cond a
+
+let rec in_stmt (s : Ast.stmt) =
+  match s with
+  | Assign (Scalar v, e) -> v :: in_expr e
+  | Assign (Elem (a, subs), e) ->
+      (a :: List.concat_map in_expr subs) @ in_expr e
+  | If (c, t, f) -> in_cond c @ in_block t @ in_block f
+  | For l ->
+      (l.index :: in_expr l.lo) @ in_expr l.hi @ in_expr l.step
+      @ in_block l.body
+
+and in_block b = List.concat_map in_stmt b
+
+let in_program (p : Ast.program) =
+  List.map (fun (a : Ast.array_decl) -> a.arr_name) p.arrays
+  @ List.map (fun (s : Ast.scalar_decl) -> s.sc_name) p.scalars
+  @ in_block p.body

@@ -1,0 +1,15 @@
+(** Name collection, shared by transformations that must generate fresh
+    variables. *)
+
+open Loopcoal_ir
+
+val in_expr : Ast.expr -> Ast.var list
+(** Every identifier occurring in the expression: variables and array
+    names. *)
+
+val in_cond : Ast.cond -> Ast.var list
+val in_stmt : Ast.stmt -> Ast.var list
+val in_block : Ast.block -> Ast.var list
+
+val in_program : Ast.program -> Ast.var list
+(** Includes declared array and scalar names. *)

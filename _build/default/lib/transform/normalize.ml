@@ -1,0 +1,63 @@
+open Loopcoal_ir
+
+let is_normalized (l : Ast.loop) =
+  Ast.equal_expr l.lo (Int 1) && Ast.equal_expr l.step (Int 1)
+
+let simp = Index_recovery.simp
+
+let loop ~avoid (l : Ast.loop) =
+  if is_normalized l then l
+  else
+    match l.step with
+    | Int s when s > 0 ->
+        let avoid =
+          avoid @ (l.index :: Names.in_block l.body) @ Names.in_expr l.lo
+          @ Names.in_expr l.hi
+        in
+        let index' = Ast.fresh_var ~avoid (l.index ^ "_n") in
+        let trip =
+          simp
+            (Ast.Bin (Div, Bin (Sub, Bin (Add, l.hi, Int s), l.lo), Int s))
+        in
+        let old_value =
+          (* lo + (i' - 1) * s *)
+          simp
+            (Ast.Bin
+               (Add, l.lo, Bin (Mul, Bin (Sub, Var index', Int 1), Int s)))
+        in
+        {
+          l with
+          index = index';
+          lo = Int 1;
+          hi = trip;
+          step = Int 1;
+          body = Ast.subst_block l.index old_value l.body;
+        }
+    | _ -> l
+
+let rec block b = List.map stmt b
+
+and stmt (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Assign _ -> s
+  | If (c, t, f) -> If (c, block t, block f)
+  | For l ->
+      let l = loop ~avoid:[] l in
+      For { l with body = block l.body }
+
+let program (p : Ast.program) =
+  (* Avoid colliding with declared names when freshening indices. *)
+  let decls =
+    List.map (fun (a : Ast.array_decl) -> a.arr_name) p.arrays
+    @ List.map (fun (s : Ast.scalar_decl) -> s.sc_name) p.scalars
+  in
+  let rec blk b = List.map stm b
+  and stm (s : Ast.stmt) : Ast.stmt =
+    match s with
+    | Assign _ -> s
+    | If (c, t, f) -> If (c, blk t, blk f)
+    | For l ->
+        let l = loop ~avoid:decls l in
+        For { l with body = blk l.body }
+  in
+  { p with body = blk p.body }

@@ -1,0 +1,25 @@
+(** Loop normalization: rewrite any counted loop to run from 1 with step 1.
+
+    [do i = lo, hi, s { B }] becomes
+    [do i' = 1, (hi - lo + s) / s { B[i := lo + (i'-1)*s] }].
+
+    Coalescing requires unit steps, so it is normally run after this pass.
+    The step must be a positive constant for the transformation to be
+    meaningful (the trip-count formula divides by it); non-constant steps
+    are left untouched. *)
+
+open Loopcoal_ir
+
+val loop : avoid:Ast.var list -> Ast.loop -> Ast.loop
+(** Normalize one loop header (not recursing into the body). The rewritten
+    index variable keeps its name when the loop is already lo=1/step=1;
+    otherwise a fresh name avoiding [avoid] and all names in the loop is
+    chosen. *)
+
+val block : Ast.block -> Ast.block
+(** Normalize every loop in the block, recursively. *)
+
+val program : Ast.program -> Ast.program
+
+val is_normalized : Ast.loop -> bool
+(** Lower bound is the literal 1 and step is the literal 1. *)

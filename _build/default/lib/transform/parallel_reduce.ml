@@ -1,0 +1,157 @@
+open Loopcoal_ir
+module Reduction = Loopcoal_analysis.Reduction
+module Im = Loopcoal_util.Intmath
+
+type error =
+  | Not_found_loop of string
+  | Not_a_reduction of string
+  | Non_constant_bounds of string
+  | Bad_processors of string
+
+let simp = Index_recovery.simp
+
+(* Rewrite [scalar] accumulations into [part[q]] within the body. Only the
+   recognized update statement mentions the scalar (checked by detection),
+   so a plain substitution of the lvalue and the rhs occurrence is safe. *)
+let rec retarget scalar part q (b : Ast.block) : Ast.block =
+  List.map
+    (fun (s : Ast.stmt) : Ast.stmt ->
+      match s with
+      | Assign (Scalar v, e) when String.equal v scalar ->
+          Assign
+            ( Elem (part, [ Var q ]),
+              Ast.subst_expr scalar (Load (part, [ Var q ])) e )
+      | Assign _ -> s
+      | If (c, t, f) -> If (c, retarget scalar part q t, retarget scalar part q f)
+      | For l -> For { l with body = retarget scalar part q l.body })
+    b
+
+let apply (p : Ast.program) ~loop_index ~scalar ~processors =
+  if processors < 1 then Error (Bad_processors "processors must be >= 1")
+  else if
+    not
+      (List.exists
+         (fun (d : Ast.scalar_decl) ->
+           String.equal d.sc_name scalar && d.sc_kind = Kreal)
+         p.scalars)
+  then Error (Not_a_reduction (scalar ^ " is not a declared real scalar"))
+  else begin
+    let result = ref None in
+    let avoid = Names.in_program p in
+    let rewrite (l : Ast.loop) =
+      let r =
+        List.find
+          (fun (r : Reduction.t) -> String.equal r.scalar scalar)
+          (Reduction.detect l.body)
+      in
+      match (l.lo, l.hi, l.step) with
+      | Int lo, Int hi, Int 1 when hi >= lo ->
+          let n = hi - lo + 1 in
+          let c = Im.cdiv n processors in
+          let part = Ast.fresh_var ~avoid (scalar ^ "_part") in
+          let q = Ast.fresh_var ~avoid:(part :: avoid) "q" in
+          let op = Reduction.binop_of r.Reduction.op in
+          let chunk_lo =
+            (* lo + (q-1)*c *)
+            simp
+              (Ast.Bin
+                 (Add, Int lo, Bin (Mul, Bin (Sub, Var q, Int 1), Int c)))
+          in
+          let chunk_hi =
+            simp
+              (Ast.Bin
+                 ( Min,
+                   Bin (Add, Int lo, Bin (Sub, Bin (Mul, Var q, Int c), Int 1)),
+                   Int hi ))
+          in
+          let init : Ast.stmt =
+            For
+              {
+                index = q;
+                lo = Int 1;
+                hi = Int processors;
+                step = Int 1;
+                par = Parallel;
+                body =
+                  [ Assign (Elem (part, [ Var q ]), Real r.Reduction.identity) ];
+              }
+          in
+          let main : Ast.stmt =
+            For
+              {
+                index = q;
+                lo = Int 1;
+                hi = Int processors;
+                step = Int 1;
+                par = Parallel;
+                body =
+                  [
+                    For
+                      {
+                        l with
+                        lo = chunk_lo;
+                        hi = chunk_hi;
+                        par = Serial;
+                        body = retarget scalar part q l.body;
+                      };
+                  ];
+              }
+          in
+          let combine : Ast.stmt =
+            For
+              {
+                index = q;
+                lo = Int 1;
+                hi = Int processors;
+                step = Int 1;
+                par = Serial;
+                body =
+                  [
+                    Assign
+                      ( Scalar scalar,
+                        Bin (op, Var scalar, Load (part, [ Var q ])) );
+                  ];
+              }
+          in
+          Ok
+            ( [ init; main; combine ],
+              { Ast.arr_name = part; dims = [ processors ] } )
+      | _ ->
+          Error
+            (Non_constant_bounds
+               "reduction loop must have literal bounds, unit step and a \
+                positive trip count")
+    in
+    let rec splice (b : Ast.block) : Ast.block =
+      List.concat_map
+        (fun (s : Ast.stmt) ->
+          match s with
+          | Assign _ -> [ s ]
+          | If (c, t, f) -> [ Ast.If (c, splice t, splice f) ]
+          | For l
+            when !result = None
+                 && String.equal l.index loop_index
+                 && List.exists
+                      (fun (r : Reduction.t) -> String.equal r.scalar scalar)
+                      (Reduction.detect l.body) -> (
+              match rewrite l with
+              | Ok (replacement, arr_decl) ->
+                  result := Some (Ok arr_decl);
+                  replacement
+              | Error e ->
+                  result := Some (Error e);
+                  [ s ])
+          | For l -> [ Ast.For { l with body = splice l.body } ])
+        b
+    in
+    let body = splice p.body in
+    match !result with
+    | None ->
+        Error
+          (Not_found_loop
+             (Printf.sprintf "no loop with index %s reducing into %s"
+                loop_index scalar))
+    | Some (Error e) -> Error e
+    | Some (Ok arr_decl) ->
+        Ok { p with body; arrays = p.arrays @ [ arr_decl ] }
+  end

@@ -1,0 +1,46 @@
+(** Reduction parallelization: rewrite [s = s op e] loops into
+    per-processor partial results.
+
+    {v
+    do i = 1, n                 doall q = 1, p
+      s = s + e(i)                s_part[q] = 0
+    end                  =>    end
+                                doall q = 1, p
+                                  do i = (q-1)*c + 1, min(q*c, n)   -- c = ceil(n/p)
+                                    s_part[q] = s_part[q] + e(i)
+                                  end
+                                end
+                                do q = 1, p
+                                  s = s + s_part[q]
+                                end
+    v}
+
+    This is exactly the per-task partial-sum idiom of the classic parallel
+    pi programs, derived automatically.
+
+    Floating-point caveat: the rewrite re-associates the combination, so
+    results can differ in the last bits for general float data (they are
+    exact when every partial value is exactly representable, e.g.
+    moderate-magnitude integers). The transformation is therefore opt-in,
+    never applied by the verified pipeline by default. *)
+
+open Loopcoal_ir
+
+type error =
+  | Not_found_loop of string
+  | Not_a_reduction of string
+  | Non_constant_bounds of string
+  | Bad_processors of string
+
+val apply :
+  Ast.program ->
+  loop_index:Ast.var ->
+  scalar:Ast.var ->
+  processors:int ->
+  (Ast.program, error) result
+(** Rewrite the reduction on [scalar] in the first loop with index
+    [loop_index] whose body reduces into it. The loop must have literal
+    bounds with a positive trip count, unit step, and [scalar] must be a
+    declared real scalar. Other statements in the body are kept inside the
+    partitioned loop unchanged. The partial-result array gets a fresh name
+    derived from the scalar. *)

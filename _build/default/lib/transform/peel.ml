@@ -1,0 +1,46 @@
+open Loopcoal_ir
+
+type error =
+  | Not_a_loop of string
+  | Not_constant of string
+  | Bad_count of string
+
+let apply ?(from_end = false) ~count (s : Ast.stmt) =
+  match s with
+  | Assign _ | If _ -> Error (Not_a_loop "statement is not a loop")
+  | For l -> (
+      if count < 1 then Error (Bad_count "peel count must be >= 1")
+      else
+        match (l.lo, l.hi, l.step) with
+        | Int lo, Int hi, Int 1 ->
+            let trips = max 0 (hi - lo + 1) in
+            if count > trips then
+              Error
+                (Bad_count
+                   (Printf.sprintf "cannot peel %d of %d iterations" count
+                      trips))
+            else begin
+              let instance i = Ast.subst_block l.index (Int i) l.body in
+              if from_end then
+                let remainder : Ast.stmt list =
+                  if count = trips then []
+                  else [ For { l with hi = Int (hi - count) } ]
+                in
+                Ok
+                  (remainder
+                  @ List.concat_map instance
+                      (List.init count (fun k -> hi - count + 1 + k)))
+              else
+                let peeled =
+                  List.concat_map instance
+                    (List.init count (fun k -> lo + k))
+                in
+                let remainder : Ast.stmt list =
+                  if count = trips then []
+                  else [ For { l with lo = Int (lo + count) } ]
+                in
+                Ok (peeled @ remainder)
+            end
+        | _ ->
+            Error
+              (Not_constant "peeling needs literal bounds and unit step"))

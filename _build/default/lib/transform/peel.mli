@@ -1,0 +1,26 @@
+(** Loop peeling: split the first (or last) [k] iterations off as
+    straight-line code.
+
+    {v
+    do i = 1, n { B }   =>   B[i := 1] ... B[i := k]
+                             do i = k+1, n { B }
+    v}
+
+    Peeling removes boundary special-cases from the steady-state loop
+    (e.g. a stencil's guarded first row), aligns headers for fusion, and
+    exposes distribution opportunities. It preserves execution order
+    exactly, so it verifies like the others. *)
+
+open Loopcoal_ir
+
+type error =
+  | Not_a_loop of string
+  | Not_constant of string  (** bounds must be literals to materialize *)
+  | Bad_count of string
+
+val apply :
+  ?from_end:bool -> count:int -> Ast.stmt -> (Ast.stmt list, error) result
+(** Peel [count >= 1] iterations from the front (default) or back of a
+    loop with literal bounds and unit step. Peeling the whole trip count
+    yields only straight-line statements; peeling more than the trip
+    count is an error. *)

@@ -1,0 +1,199 @@
+open Loopcoal_ir
+
+type pass = {
+  name : string;
+  transform : Ast.program -> (Ast.program, string) result;
+}
+
+let normalize =
+  { name = "normalize"; transform = (fun p -> Ok (Normalize.program p)) }
+
+let infer_parallel =
+  {
+    name = "infer-parallel";
+    transform =
+      (fun p ->
+        Ok { p with body = Loopcoal_analysis.Loop_class.infer_block p.body });
+  }
+
+let describe_error = function
+  | Coalesce.Not_a_nest m -> "not a nest: " ^ m
+  | Coalesce.Not_coalescible m -> "not coalescible: " ^ m
+  | Coalesce.Bad_strategy m -> "bad strategy: " ^ m
+
+let coalesce ?strategy ?depth () =
+  {
+    name = "coalesce";
+    transform =
+      (fun p ->
+        match Coalesce.apply_program ?strategy ?depth p with
+        | Ok p' -> Ok p'
+        | Error e -> Error (describe_error e));
+  }
+
+let coalesce_all ?strategy () =
+  {
+    name = "coalesce-all";
+    transform =
+      (fun p ->
+        let p', _count = Coalesce.apply_all_program ?strategy p in
+        Ok p');
+  }
+
+let coalesce_chunked ~chunk =
+  {
+    name = Printf.sprintf "coalesce-chunked(%d)" chunk;
+    transform =
+      (fun p ->
+        match Coalesce_chunked.apply_program ~chunk p with
+        | Ok p' -> Ok p'
+        | Error e -> Error (describe_error e));
+  }
+
+let distribute_all =
+  {
+    name = "distribute-all";
+    transform =
+      (fun p ->
+        let p', _count = Distribute.apply_program p in
+        Ok p');
+  }
+
+let fuse_all =
+  {
+    name = "fuse-all";
+    transform =
+      (fun p ->
+        let body, _count = Fuse.apply_block p.Ast.body in
+        Ok { p with Ast.body });
+  }
+
+let hoist_parallel_all =
+  {
+    name = "hoist-parallel";
+    transform =
+      (fun p ->
+        let rec blk (b : Ast.block) : Ast.block = List.map stmt b
+        and stmt (s : Ast.stmt) : Ast.stmt =
+          match s with
+          | Assign _ -> s
+          | If (c, t, f) -> If (c, blk t, blk f)
+          | For _ -> (
+              let s', _ = Interchange.hoist_parallel s in
+              match s' with
+              | For l -> For { l with body = blk l.body }
+              | other -> other)
+        in
+        Ok { p with Ast.body = blk p.Ast.body });
+  }
+
+let cycle_shrink_all =
+  {
+    name = "cycle-shrink-all";
+    transform =
+      (fun p ->
+        let p', _factors = Cycle_shrink.apply_program p in
+        Ok p');
+  }
+
+let interchange_outer =
+  {
+    name = "interchange-outer";
+    transform =
+      (fun p ->
+        let applied = ref false in
+        let rec blk (b : Ast.block) : Ast.block = List.map stmt b
+        and stmt (s : Ast.stmt) : Ast.stmt =
+          match s with
+          | Assign _ -> s
+          | If (c, t, f) -> If (c, blk t, blk f)
+          | For l -> (
+              if !applied then s
+              else
+                match Interchange.apply s with
+                | Ok s' ->
+                    applied := true;
+                    s'
+                | Error _ -> For { l with body = blk l.body })
+        in
+        let body = blk p.body in
+        if !applied then Ok { p with body }
+        else Error "no interchangeable nest found");
+  }
+
+let standard =
+  [
+    normalize;
+    distribute_all;
+    infer_parallel;
+    hoist_parallel_all;
+    coalesce_all ();
+    cycle_shrink_all;
+  ]
+
+type verification_failure = { pass_name : string; detail : string }
+
+type outcome = {
+  program : Ast.program;
+  applied : string list;
+  failures : (string * string) list;
+  verification : verification_failure option;
+}
+
+let observably_equal ?fuel ~reference candidate =
+  let run p =
+    match Eval.run ?fuel p with
+    | st -> Ok st
+    | exception Eval.Runtime_error m -> Error m
+  in
+  match (run reference, run candidate) with
+  | Error _, Error _ -> Ok () (* both fault: equivalent behaviour *)
+  | Error m, Ok _ -> Error ("reference faults (" ^ m ^ ") but candidate runs")
+  | Ok _, Error m -> Error ("candidate faults: " ^ m)
+  | Ok s1, Ok s2 -> (
+      let arrays1, _ = Eval.dump s1 in
+      let arrays2, _ = Eval.dump s2 in
+      let arr_names st = List.map fst st in
+      if arr_names arrays1 <> arr_names arrays2 then
+        Error "different array declarations"
+      else
+        match
+          List.find_opt
+            (fun ((_, d1), (_, d2)) -> d1 <> d2)
+            (List.combine arrays1 arrays2)
+        with
+        | Some ((n, _), _) -> Error ("array " ^ n ^ " differs")
+        | None -> (
+            let scalar_diff =
+              List.find_opt
+                (fun (s : Ast.scalar_decl) ->
+                  Eval.scalar_value s1 s.sc_name
+                  <> Eval.scalar_value s2 s.sc_name)
+                reference.Ast.scalars
+            in
+            match scalar_diff with
+            | Some s -> Error ("scalar " ^ s.Ast.sc_name ^ " differs")
+            | None -> Ok ()))
+
+let run ?(verify = true) ?fuel passes program =
+  let rec go program applied failures = function
+    | [] -> { program; applied; failures; verification = None }
+    | pass :: rest -> (
+        match pass.transform program with
+        | Error reason ->
+            go program applied ((pass.name, reason) :: failures) rest
+        | Ok program' ->
+            if verify then
+              match observably_equal ?fuel ~reference:program program' with
+              | Ok () -> go program' (pass.name :: applied) failures rest
+              | Error detail ->
+                  {
+                    program;
+                    applied;
+                    failures;
+                    verification = Some { pass_name = pass.name; detail };
+                  }
+            else go program' (pass.name :: applied) failures rest)
+  in
+  let o = go program [] [] passes in
+  { o with applied = List.rev o.applied; failures = List.rev o.failures }

@@ -1,0 +1,74 @@
+(** Named pass pipeline with built-in semantic verification.
+
+    A pass maps programs to programs (possibly failing with a reason).
+    [run ~verify] additionally executes the program before and after every
+    pass with the reference interpreter and compares the array stores and
+    the originally-declared scalars — transformation-introduced temporaries
+    are allowed to differ, everything visible to the original program must
+    not. A pass that changes behaviour is reported, not silently applied. *)
+
+open Loopcoal_ir
+
+type pass = { name : string; transform : Ast.program -> (Ast.program, string) result }
+
+val normalize : pass
+val infer_parallel : pass
+(** Promote provable DOALLs to [Parallel] annotations. *)
+
+val coalesce : ?strategy:Index_recovery.strategy -> ?depth:int -> unit -> pass
+(** Coalesce the first coalescible nest. *)
+
+val coalesce_all : ?strategy:Index_recovery.strategy -> unit -> pass
+(** Coalesce every maximal coalescible nest (never fails; identity when
+    there is nothing to do). *)
+
+val interchange_outer : pass
+(** Interchange the two outermost loops of the first interchangeable
+    perfect nest. *)
+
+val coalesce_chunked : chunk:int -> pass
+(** Chunk-coalesce the first coalescible nest with odometer recovery. *)
+
+val distribute_all : pass
+(** Distribute every splittable loop (never fails; identity when there is
+    nothing to split). *)
+
+val fuse_all : pass
+(** Fuse adjacent fusable loops everywhere (never fails). *)
+
+val hoist_parallel_all : pass
+(** Bubble parallel loops outward past serial ancestors wherever the
+    interchange is legal (never fails). *)
+
+val cycle_shrink_all : pass
+(** Cycle-shrink every applicable serial loop (never fails). *)
+
+val standard : pass list
+(** The canonical optimization recipe: normalize, distribute, re-infer
+    parallel annotations, hoist parallel loops outward, coalesce every
+    nest, cycle-shrink what stayed serial. Run it with {!run}, which
+    verifies each step. *)
+
+type verification_failure = {
+  pass_name : string;
+  detail : string;
+}
+
+type outcome = {
+  program : Ast.program;
+  applied : string list;  (** names of passes that ran successfully *)
+  failures : (string * string) list;  (** passes that declined, with reason *)
+  verification : verification_failure option;
+      (** [Some _] when a pass changed observable behaviour; the returned
+          program is the last verified-good one *)
+}
+
+val run : ?verify:bool -> ?fuel:int -> pass list -> Ast.program -> outcome
+(** Apply passes in order. A pass returning [Error] is recorded in
+    [failures] and skipped. With [verify] (default true), a pass whose
+    output misbehaves is rolled back and the pipeline stops. *)
+
+val observably_equal :
+  ?fuel:int -> reference:Ast.program -> Ast.program -> (unit, string) result
+(** The equivalence judgment used by [run]: equal array stores and equal
+    values of the scalars declared by [reference]. *)

@@ -1,0 +1,157 @@
+open Loopcoal_ir
+
+type error =
+  | Not_found_loop of string
+  | Not_privatizable of string
+  | Integer_context of string
+  | Non_constant_bounds of string
+  | Name_taken of string
+
+(* Does the scalar occur in an integer-only context (subscript, loop
+   bound) inside the block? *)
+let used_as_integer scalar block =
+  let in_exprs es = List.exists (fun e -> List.mem scalar (Ast.expr_vars e)) es in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Assign (Scalar _, e) -> in_subscripts e
+    | Assign (Elem (_, subs), e) -> in_exprs subs || in_subscripts e
+    | If (c, t, f) ->
+        cond_subscripts c || List.exists stmt t || List.exists stmt f
+    | For l ->
+        in_exprs [ l.lo; l.hi; l.step ]
+        || List.exists stmt l.body
+  and in_subscripts (e : Ast.expr) =
+    match e with
+    | Int _ | Real _ | Var _ -> false
+    | Neg a -> in_subscripts a
+    | Bin (_, a, b) -> in_subscripts a || in_subscripts b
+    | Load (_, subs) -> in_exprs subs || List.exists in_subscripts subs
+  and cond_subscripts (c : Ast.cond) =
+    match c with
+    | True -> false
+    | Cmp (_, a, b) -> in_subscripts a || in_subscripts b
+    | And (a, b) | Or (a, b) -> cond_subscripts a || cond_subscripts b
+    | Not a -> cond_subscripts a
+  in
+  List.exists stmt block
+
+let rec rebinds_index name (b : Ast.block) =
+  List.exists
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Assign _ -> false
+      | If (_, t, f) -> rebinds_index name t || rebinds_index name f
+      | For l -> String.equal l.index name || rebinds_index name l.body)
+    b
+
+let rec rewrite_expr scalar arr idx (e : Ast.expr) : Ast.expr =
+  match e with
+  | Var v when String.equal v scalar -> Load (arr, [ Var idx ])
+  | Int _ | Real _ | Var _ -> e
+  | Neg a -> Neg (rewrite_expr scalar arr idx a)
+  | Bin (op, a, b) ->
+      Bin (op, rewrite_expr scalar arr idx a, rewrite_expr scalar arr idx b)
+  | Load (a, subs) -> Load (a, List.map (rewrite_expr scalar arr idx) subs)
+
+let rec rewrite_cond scalar arr idx (c : Ast.cond) : Ast.cond =
+  match c with
+  | True -> True
+  | Cmp (op, a, b) ->
+      Cmp (op, rewrite_expr scalar arr idx a, rewrite_expr scalar arr idx b)
+  | And (a, b) ->
+      And (rewrite_cond scalar arr idx a, rewrite_cond scalar arr idx b)
+  | Or (a, b) ->
+      Or (rewrite_cond scalar arr idx a, rewrite_cond scalar arr idx b)
+  | Not a -> Not (rewrite_cond scalar arr idx a)
+
+let rec rewrite_block scalar arr idx (b : Ast.block) : Ast.block =
+  List.map
+    (fun (s : Ast.stmt) : Ast.stmt ->
+      match s with
+      | Assign (Scalar v, e) when String.equal v scalar ->
+          Assign (Elem (arr, [ Var idx ]), rewrite_expr scalar arr idx e)
+      | Assign (lv, e) ->
+          let lv =
+            match lv with
+            | Scalar _ -> lv
+            | Elem (a, subs) ->
+                Elem (a, List.map (rewrite_expr scalar arr idx) subs)
+          in
+          Assign (lv, rewrite_expr scalar arr idx e)
+      | If (c, t, f) ->
+          If
+            ( rewrite_cond scalar arr idx c,
+              rewrite_block scalar arr idx t,
+              rewrite_block scalar arr idx f )
+      | For l ->
+          For
+            {
+              l with
+              lo = rewrite_expr scalar arr idx l.lo;
+              hi = rewrite_expr scalar arr idx l.hi;
+              step = rewrite_expr scalar arr idx l.step;
+              body = rewrite_block scalar arr idx l.body;
+            })
+    b
+
+let apply (p : Ast.program) ~loop_index ~scalar =
+  let declared_real =
+    List.exists
+      (fun (s : Ast.scalar_decl) ->
+        String.equal s.sc_name scalar && s.sc_kind = Kreal)
+      p.scalars
+  in
+  if not declared_real then
+    Error (Integer_context (scalar ^ " is not a declared real scalar"))
+  else begin
+    let result = ref None in
+    let rec find_block (b : Ast.block) : Ast.block =
+      List.map find_stmt b
+    and find_stmt (s : Ast.stmt) : Ast.stmt =
+      match s with
+      | Assign _ -> s
+      | If (c, t, f) -> If (c, find_block t, find_block f)
+      | For l
+        when !result = None
+             && String.equal l.index loop_index
+             && Loopcoal_analysis.Usedef.Vset.mem scalar
+                  (Loopcoal_analysis.Usedef.scalar_writes l.body) -> (
+          match expand l with
+          | Ok (l', arr_decl) ->
+              result := Some (Ok arr_decl);
+              For l'
+          | Error e ->
+              result := Some (Error e);
+              s)
+      | For l -> For { l with body = find_block l.body }
+    and expand (l : Ast.loop) =
+      match (l.lo, l.hi) with
+      | Int lo, Int hi when lo >= 1 && hi >= lo ->
+          if rebinds_index scalar l.body then
+            Error (Name_taken (scalar ^ " is also an inner loop index"))
+          else if used_as_integer scalar l.body then
+            Error
+              (Integer_context
+                 (scalar ^ " is used in a subscript or loop bound"))
+          else if
+            not
+              (Loopcoal_analysis.Usedef.Vset.mem scalar
+                 (Loopcoal_analysis.Privatize.privatizable l.body))
+          then
+            Error
+              (Not_privatizable
+                 (scalar ^ " is not assigned-before-use on every path"))
+          else begin
+            let arr = Ast.fresh_var ~avoid:(Names.in_program p) (scalar ^ "_x") in
+            let body = rewrite_block scalar arr l.index l.body in
+            Ok ({ l with body }, { Ast.arr_name = arr; dims = [ hi ] })
+          end
+      | _ -> Error (Non_constant_bounds "loop bounds must be literals")
+    in
+    let body = find_block p.body in
+    match !result with
+    | None -> Error (Not_found_loop ("no loop with index " ^ loop_index))
+    | Some (Error e) -> Error e
+    | Some (Ok arr_decl) ->
+        Ok { p with body; arrays = p.arrays @ [ arr_decl ] }
+  end

@@ -1,0 +1,42 @@
+(** Scalar expansion: give each iteration of a loop its own copy of a
+    temporary by turning the scalar into an array indexed by the loop
+    variable.
+
+    {v
+    do i = 1, n          do i = 1, n
+      t = A[i]      =>     T[i] = A[i]
+      A[i] = B[i]          A[i] = B[i]
+      B[i] = t             B[i] = T[i]
+    v}
+
+    This removes the anti-dependence on [t] that prevents the loop from
+    being a DOALL. Requirements are checked, not assumed: the scalar must be
+    privatizable in the body (assigned before use on every path, so the
+    expansion cannot observe a stale value), must hold reals in real
+    contexts only (expanded cells live in a real array, so the scalar must
+    not be used as a subscript or loop bound), and the loop must have a
+    constant trip range so the array can be declared. *)
+
+open Loopcoal_ir
+
+type error =
+  | Not_found_loop of string
+  | Not_privatizable of string
+  | Integer_context of string
+  | Non_constant_bounds of string
+  | Name_taken of string
+
+val apply :
+  Ast.program -> loop_index:Ast.var -> scalar:Ast.var -> (Ast.program, error) result
+(** Expand [scalar] in the first loop whose index is [loop_index] and whose
+    body writes the scalar. The new
+    array is named after the scalar ([t -> t_x]) and added to the
+    declarations; the scalar declaration is kept (it may be used elsewhere).
+    After expansion the loop body no longer writes the scalar, and — in the
+    classic pattern above — becomes a provable DOALL.
+
+    Caveat (as in every compiler that performs this transformation): the
+    scalar must not be {e live-out} of the loop. The expanded program
+    leaves the scalar at its pre-loop value, so a read after the loop that
+    expected the last iteration's value would observe a difference. The
+    pass does not check liveness beyond the loop; callers assert it. *)

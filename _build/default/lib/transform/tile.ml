@@ -1,0 +1,93 @@
+open Loopcoal_ir
+module Lc = Loopcoal_analysis.Loop_class
+
+type error = Not_a_nest of string | Not_tileable of string | Bad_tile of string
+
+let simp = Index_recovery.simp
+
+let apply ?(verify_parallel = false) ~avoid ~c1 ~c2 (s : Ast.stmt) =
+  if c1 < 1 || c2 < 1 then Error (Bad_tile "tile sizes must be >= 1")
+  else
+    match s with
+    | Assign _ | If _ -> Error (Not_a_nest "statement is not a loop")
+    | For outer -> (
+        match outer.body with
+        | [ For inner ] ->
+            let normalized (l : Ast.loop) = Normalize.is_normalized l in
+            let rectangular =
+              not
+                (List.mem outer.index
+                   (Ast.expr_vars inner.lo @ Ast.expr_vars inner.hi
+                  @ Ast.expr_vars inner.step))
+            in
+            if not (normalized outer && normalized inner) then
+              Error (Not_tileable "normalize both loops first")
+            else if not rectangular then
+              Error (Not_tileable "inner bounds depend on the outer index")
+            else if outer.par <> Parallel || inner.par <> Parallel then
+              Error (Not_tileable "both loops must be parallel")
+            else if
+              verify_parallel
+              && not (Lc.is_doall outer && Lc.is_doall inner)
+            then
+              Error
+                (Not_tileable
+                   "parallel annotations not confirmed by the analysis")
+            else begin
+              let used =
+                avoid @ Names.in_stmt s
+              in
+              let it = Ast.fresh_var ~avoid:used (outer.index ^ "t") in
+              let jt = Ast.fresh_var ~avoid:(it :: used) (inner.index ^ "t") in
+              let strip (l : Ast.loop) tv c : Ast.expr * Ast.expr * Ast.expr =
+                let cexp : Ast.expr = Int c in
+                ( simp (Ast.Bin (Cdiv, l.hi, cexp)),
+                  simp
+                    (Ast.Bin
+                       (Add, Bin (Mul, Bin (Sub, Var tv, Int 1), cexp), Int 1)),
+                  simp (Ast.Bin (Min, Bin (Mul, Var tv, cexp), l.hi)) )
+              in
+              let n_tiles1, lo1, hi1 = strip outer it c1 in
+              let n_tiles2, lo2, hi2 = strip inner jt c2 in
+              Ok
+                (Ast.For
+                   {
+                     index = it;
+                     lo = Int 1;
+                     hi = n_tiles1;
+                     step = Int 1;
+                     par = Parallel;
+                     body =
+                       [
+                         For
+                           {
+                             index = jt;
+                             lo = Int 1;
+                             hi = n_tiles2;
+                             step = Int 1;
+                             par = Parallel;
+                             body =
+                               [
+                                 For
+                                   {
+                                     outer with
+                                     lo = lo1;
+                                     hi = hi1;
+                                     par = Serial;
+                                     body =
+                                       [
+                                         For
+                                           {
+                                             inner with
+                                             lo = lo2;
+                                             hi = hi2;
+                                             par = Serial;
+                                           };
+                                       ];
+                                   };
+                               ];
+                           };
+                       ];
+                   })
+            end
+        | _ -> Error (Not_a_nest "loop body is not a single inner loop"))

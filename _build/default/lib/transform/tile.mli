@@ -1,0 +1,35 @@
+(** 2-D tiling (blocking) of a doubly parallel perfect nest.
+
+    {v
+    doall i = 1, n1            doall it = 1, ceildiv(n1, c1)
+      doall j = 1, n2            doall jt = 1, ceildiv(n2, c2)
+        BODY            =>         do i = (it-1)*c1+1, min(it*c1, n1)
+                                     do j = (jt-1)*c2+1, min(jt*c2, n2)
+                                       BODY
+    v}
+
+    Tiling {e reorders} iterations (tile by tile instead of row-major), so
+    unlike coalescing it is only legal when the two loops really are
+    independent; both must carry [Parallel] annotations, and with
+    [verify_parallel] they must also pass the dependence analysis. The
+    tile loops form a perfect 2-nest of DOALLs — precisely a new
+    coalescing opportunity, which is how "tile then coalesce the tile
+    space" schedules arise. *)
+
+open Loopcoal_ir
+
+type error =
+  | Not_a_nest of string
+  | Not_tileable of string
+  | Bad_tile of string
+
+val apply :
+  ?verify_parallel:bool ->
+  avoid:Ast.var list ->
+  c1:int ->
+  c2:int ->
+  Ast.stmt ->
+  (Ast.stmt, error) result
+(** Tile the two outermost loops with tile sizes [c1 >= 1], [c2 >= 1].
+    Requires a normalized (lo = 1, step = 1), rectangular, doubly
+    [Parallel] perfect nest of depth >= 2. *)

@@ -1,0 +1,42 @@
+open Loopcoal_ir
+
+type error =
+  | Not_a_loop of string
+  | Not_normalized of string
+  | Bad_factor of string
+
+let simp = Index_recovery.simp
+
+let apply ~avoid ~factor (s : Ast.stmt) =
+  match s with
+  | Assign _ | If _ -> Error (Not_a_loop "statement is not a loop")
+  | For l ->
+      if factor < 2 then Error (Bad_factor "unroll factor must be >= 2")
+      else if not (Normalize.is_normalized l) then
+        Error (Not_normalized "normalize the loop first (lo = 1, step = 1)")
+      else begin
+        let used = avoid @ Names.in_stmt s in
+        let iu = Ast.fresh_var ~avoid:used (l.index ^ "u") in
+        let u : Ast.expr = Int factor in
+        let blocks = simp (Ast.Bin (Div, l.hi, u)) in
+        let base : Ast.expr = Bin (Mul, Bin (Sub, Var iu, Int 1), u) in
+        let body =
+          List.concat_map
+            (fun k ->
+              let value = simp (Ast.Bin (Add, base, Int (k + 1))) in
+              Ast.subst_block l.index value l.body)
+            (List.init factor (fun k -> k))
+        in
+        let unrolled : Ast.stmt =
+          For { l with index = iu; lo = Int 1; hi = blocks; body }
+        in
+        let remainder_lo = simp (Ast.Bin (Add, Bin (Mul, blocks, u), Int 1)) in
+        let needs_remainder =
+          match l.hi with
+          | Int n -> n mod factor <> 0
+          | _ -> true (* symbolic bound: keep the remainder loop *)
+        in
+        if needs_remainder then
+          Ok [ unrolled; For { l with lo = remainder_lo } ]
+        else Ok [ unrolled ]
+      end

@@ -1,0 +1,31 @@
+(** Loop unrolling.
+
+    {v
+    do i = 1, n { B }     do iu = 1, n / u
+                            B[i := (iu-1)*u + 1]
+                      =>    ...
+                            B[i := (iu-1)*u + u]
+                          end
+                          do i = (n/u)*u + 1, n { B }   -- remainder
+    v}
+
+    Unrolling multiplies the work per iteration by [u] without changing
+    the total — exactly the granularity knob of the efficiency analysis:
+    a loop whose body is too small to amortize scheduling overhead can be
+    unrolled until it is not. Execution order is unchanged, so the rewrite
+    is interpreter-verified like the others. *)
+
+open Loopcoal_ir
+
+type error =
+  | Not_a_loop of string
+  | Not_normalized of string
+  | Bad_factor of string
+
+val apply :
+  avoid:Ast.var list -> factor:int -> Ast.stmt -> (Ast.stmt list, error) result
+(** Unroll a normalized loop (lo = 1, step = 1) by [factor >= 2]; returns
+    the unrolled loop and the remainder loop (the remainder is omitted
+    when a constant trip count divides evenly). The unrolled loop keeps
+    the original parallel annotation — its iterations are disjoint groups
+    of the original's. *)

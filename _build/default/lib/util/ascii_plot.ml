@@ -1,0 +1,47 @@
+type series = { label : string; glyph : char; points : (float * float) list }
+
+let bounds series =
+  let all = List.concat_map (fun s -> s.points) series in
+  match all with
+  | [] -> invalid_arg "Ascii_plot: no points"
+  | (x0, y0) :: rest ->
+      List.fold_left
+        (fun (xmin, xmax, ymin, ymax) (x, y) ->
+          (min xmin x, max xmax x, min ymin y, max ymax y))
+        (x0, x0, y0, y0) rest
+
+let render ?(width = 64) ?(height = 20) ?title ~x_label ~y_label series =
+  let xmin, xmax, ymin, ymax = bounds series in
+  (* Widen degenerate ranges so a flat series still renders. *)
+  let xmax = if xmax = xmin then xmin +. 1.0 else xmax in
+  let ymax = if ymax = ymin then ymin +. 1.0 else ymax in
+  let grid = Array.make_matrix height width ' ' in
+  let place s =
+    List.iter
+      (fun (x, y) ->
+        let cx = (x -. xmin) /. (xmax -. xmin) *. float_of_int (width - 1) in
+        let cy = (y -. ymin) /. (ymax -. ymin) *. float_of_int (height - 1) in
+        let col = int_of_float (Float.round cx) in
+        let row = height - 1 - int_of_float (Float.round cy) in
+        grid.(row).(col) <- s.glyph)
+      s.points
+  in
+  List.iter place series;
+  let buf = Buffer.create 2048 in
+  (match title with Some t -> Buffer.add_string buf (t ^ "\n") | None -> ());
+  Buffer.add_string buf (Printf.sprintf "%s (%.3g .. %.3g)\n" y_label ymin ymax);
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "  |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "   %s (%.3g .. %.3g)   legend: %s\n" x_label xmin xmax
+       (String.concat "  "
+          (List.map (fun s -> Printf.sprintf "%c=%s" s.glyph s.label) series)));
+  Buffer.contents buf
+
+let print ?width ?height ?title ~x_label ~y_label series =
+  print_string (render ?width ?height ?title ~x_label ~y_label series)

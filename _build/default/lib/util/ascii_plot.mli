@@ -1,0 +1,27 @@
+(** Minimal ASCII line plots, used to render the "figure" experiments of the
+    reconstructed evaluation as text series.
+
+    Each series is a list of (x, y) points; points are binned onto a
+    character grid and drawn with the series' glyph. *)
+
+type series = { label : string; glyph : char; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** Render series onto a shared grid with axis ranges covering all points.
+    Raises [Invalid_argument] when no series contains a point. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  unit

@@ -1,0 +1,47 @@
+(** Integer arithmetic helpers used throughout the transformation.
+
+    The paper's index-recovery formulas are stated over positive trip counts
+    and one-based indices, so every function here documents (and asserts) its
+    domain rather than silently extending to negatives. *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is [ceil (a / b)] for [b > 0] and any [a].
+    This is the ceiling function the paper's recovery expressions use. *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is [floor (a / b)] for [b > 0] and any [a]. *)
+
+val emod : int -> int -> int
+(** [emod a b] is the Euclidean remainder of [a] by [b > 0]: always in
+    [0, b-1] even for negative [a]. *)
+
+val product : int list -> int
+(** Product of a list; [1] on the empty list. Raises [Invalid_argument] on
+    overflow (detected by division check). *)
+
+val suffix_products : int list -> int list
+(** [suffix_products [n1; ...; nm]] is [[t1; ...; tm]] where
+    [tk = n(k+1) * ... * nm] and [tm = 1]. These are the strides [Tk] of the
+    paper's index-recovery formulas. *)
+
+val checked_mul : int -> int -> int
+(** Overflow-checked multiplication of non-negative ints.
+    Raises [Invalid_argument] on overflow. *)
+
+val pow : int -> int -> int
+(** [pow b e] for [e >= 0], overflow-checked. *)
+
+val ilog2 : int -> int
+(** [ilog2 n] is [floor (log2 n)] for [n >= 1]. *)
+
+val divisors : int -> int list
+(** All positive divisors of [n >= 1], ascending. *)
+
+val factorizations : int -> int -> int list list
+(** [factorizations p m] lists every way to write [p >= 1] as an ordered
+    product of [m >= 1] positive factors, i.e. all [ [p1; ...; pm] ] with
+    [p1 * ... * pm = p]. Used to search per-dimension processor
+    allocations for an uncoalesced nest. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** [clamp ~lo ~hi x] bounds [x] to the inclusive range. *)

@@ -1,0 +1,28 @@
+(** Small deterministic pseudo-random generator (splitmix64-based).
+
+    Benchmarks and property workloads must be reproducible across runs and
+    machines, so we avoid [Stdlib.Random] (whose algorithm may change between
+    compiler releases) and carry explicit state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a seed. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** Derive an independent generator; the parent is advanced. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound-1]; [bound >= 1]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range; [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t x] draws uniformly from [0, x). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

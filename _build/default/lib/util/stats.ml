@@ -1,0 +1,48 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty sample"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] -> invalid_arg "Stats.stddev: empty sample"
+  | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | x :: rest ->
+      let mn = List.fold_left min x rest in
+      let mx = List.fold_left max x rest in
+      { n = List.length xs; mean = mean xs; stddev = stddev xs; min = mn; max = mx }
+
+let percentile xs q =
+  if xs = [] then invalid_arg "Stats.percentile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  if lo = hi then a.(lo)
+  else
+    let w = pos -. float_of_int lo in
+    ((1.0 -. w) *. a.(lo)) +. (w *. a.(hi))
+
+let imbalance xs =
+  let { min = mn; max = mx; _ } = summarize xs in
+  if mx = 0.0 then 0.0 else (mx -. mn) /. mx
+
+let of_ints = List.map float_of_int

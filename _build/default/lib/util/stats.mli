@@ -1,0 +1,26 @@
+(** Descriptive statistics over float samples, used by the bench harness to
+    summarize simulated completion times and load distributions. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation; 0 when n < 2 *)
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs q] for [q] in [0,1], by linear interpolation on the sorted
+    sample. Raises [Invalid_argument] on the empty list or out-of-range q. *)
+
+val imbalance : float list -> float
+(** [imbalance xs] = (max - min) /. max, the load-imbalance ratio of
+    per-processor busy times; 0 when max = 0. *)
+
+val of_ints : int list -> float list

@@ -1,0 +1,93 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ?title headers =
+  if headers = [] then invalid_arg "Table.create: no columns";
+  { title; headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i (h, _) ->
+        let cell_width = function
+          | Cells cs -> String.length (List.nth cs i)
+          | Rule -> 0
+        in
+        List.fold_left (fun w r -> max w (cell_width r)) (String.length h) rows)
+      t.headers
+  in
+  let buf = Buffer.create 1024 in
+  let line ch =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) ch)) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let render_cells cells aligns =
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i and a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a w c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title -> Buffer.add_string buf (title ^ "\n")
+  | None -> ());
+  let aligns = List.map snd t.headers in
+  line '-';
+  render_cells (List.map fst t.headers) (List.map (fun _ -> Left) t.headers);
+  line '=';
+  List.iter
+    (function Cells cs -> render_cells cs aligns | Rule -> line '-')
+    rows;
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let cell_int = string_of_int
+let cell_float ?(dec = 2) x = Printf.sprintf "%.*f" dec x
+let cell_ratio ?(dec = 2) x = Printf.sprintf "%.*fx" dec x
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  (match t.title with
+  | Some title -> Buffer.add_string buf ("# " ^ title ^ "\n")
+  | None -> ());
+  Buffer.add_string buf
+    (String.concat "," (List.map (fun (h, _) -> csv_cell h) t.headers));
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Rule -> ()
+      | Cells cs ->
+          Buffer.add_string buf (String.concat "," (List.map csv_cell cs));
+          Buffer.add_char buf '\n')
+    (List.rev t.rows);
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Fixed-width ASCII tables, used by the bench harness to print the
+    reconstructed tables of the paper's evaluation. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have exactly as many cells as there are columns. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator between row groups. *)
+
+val render : t -> string
+(** Render the whole table, sized to its widest cells. *)
+
+val to_csv : t -> string
+(** The same data as comma-separated values (RFC-4180 quoting for cells
+    containing commas or quotes); rules are dropped, the title becomes a
+    leading comment line. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+val cell_float : ?dec:int -> float -> string
+val cell_ratio : ?dec:int -> float -> string
+(** [cell_ratio x] renders as e.g. ["3.42x"]. *)

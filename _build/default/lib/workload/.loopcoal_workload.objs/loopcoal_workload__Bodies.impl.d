@@ -1,0 +1,1 @@
+lib/workload/bodies.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/workload/kernels.ml: Array Ast Builder Loopcoal_ir

@@ -1,0 +1,1 @@
+lib/workload/workload_cost.ml: Bodies Hashtbl Loopcoal_transform

@@ -1,0 +1,1 @@
+lib/workload/workload_cost.mli: Bodies Loopcoal_transform

@@ -1,0 +1,46 @@
+type t = int list -> float
+
+let uniform c _ = c
+
+let triangular scale indices =
+  match indices with
+  | [] -> invalid_arg "Bodies.triangular: empty index vector"
+  | i :: _ -> scale *. float_of_int i
+
+let anti_triangular ~shape scale indices =
+  match (shape, indices) with
+  | n1 :: _, i :: _ -> scale *. float_of_int (n1 + 1 - i)
+  | _ -> invalid_arg "Bodies.anti_triangular: empty index vector"
+
+(* A stable per-index-vector value in [0,1): hash the vector with the seed
+   through one splitmix64 round so repeated queries agree. *)
+let hashed_unit seed indices =
+  let mix h v =
+    let open Int64 in
+    let h = add h (of_int v) in
+    let h = mul (logxor h (shift_right_logical h 30)) 0xBF58476D1CE4E5B9L in
+    let h = mul (logxor h (shift_right_logical h 27)) 0x94D049BB133111EBL in
+    logxor h (shift_right_logical h 31)
+  in
+  let h = List.fold_left mix (Int64.of_int (seed * 2654435761)) indices in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let random_uniform ~seed ~lo ~hi indices =
+  if hi < lo then invalid_arg "Bodies.random_uniform: hi < lo";
+  lo +. (hashed_unit seed indices *. (hi -. lo))
+
+let bimodal ~seed ~ratio ~small ~big indices =
+  if ratio < 0.0 || ratio > 1.0 then invalid_arg "Bodies.bimodal: bad ratio";
+  if hashed_unit seed indices < ratio then big else small
+
+let total ~shape body =
+  let rec go prefix = function
+    | [] -> body (List.rev prefix)
+    | n :: rest ->
+        let acc = ref 0.0 in
+        for i = 1 to n do
+          acc := !acc +. go (i :: prefix) rest
+        done;
+        !acc
+  in
+  go [] shape

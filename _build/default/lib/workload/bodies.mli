@@ -1,0 +1,28 @@
+(** Per-iteration cost generators for the simulated experiments.
+
+    A body model maps the original (multi-dimensional, 1-based) index
+    vector to an execution cost in instructions. *)
+
+type t = int list -> float
+
+val uniform : float -> t
+(** Every iteration costs the same. *)
+
+val triangular : float -> t
+(** Cost proportional to the first index: iteration [i, ...] costs
+    [scale *. i] — the classic imbalanced workload (e.g. the inner
+    triangular loop of an elimination). *)
+
+val anti_triangular : shape:int list -> float -> t
+(** Cost proportional to [n1 + 1 - i]: heavy iterations first, the case
+    where GSS's decreasing chunks shine. *)
+
+val random_uniform : seed:int -> lo:float -> hi:float -> t
+(** Independent uniform cost per index vector, deterministic in the seed
+    (hash-based, so the cost of an index vector is stable across calls). *)
+
+val bimodal : seed:int -> ratio:float -> small:float -> big:float -> t
+(** A fraction [ratio] of iterations cost [big], the rest [small]. *)
+
+val total : shape:int list -> t -> float
+(** Sum of the body cost over the whole rectangular space. *)

@@ -1,0 +1,359 @@
+open Loopcoal_ir
+module B = Builder
+
+(* ---------- matrix multiply ---------- *)
+
+let fill_a i k : Ast.expr = B.(var i + (int 2 * var k))
+let fill_b k j : Ast.expr = B.(var k - var j)
+
+let matmul ~ra ~ca ~cb : Ast.program =
+  if ra < 1 || ca < 1 || cb < 1 then invalid_arg "Kernels.matmul: bad sizes";
+  B.program
+    ~arrays:[ B.array "A" [ ra; ca ]; B.array "B" [ ca; cb ]; B.array "C" [ ra; cb ] ]
+    [
+      B.doall "i" (B.int 1) (B.int ra)
+        [
+          B.doall "k" (B.int 1) (B.int ca)
+            [ B.store "A" [ B.var "i"; B.var "k" ] (fill_a "i" "k") ];
+        ];
+      B.doall "k" (B.int 1) (B.int ca)
+        [
+          B.doall "j" (B.int 1) (B.int cb)
+            [ B.store "B" [ B.var "k"; B.var "j" ] (fill_b "k" "j") ];
+        ];
+      B.doall "i" (B.int 1) (B.int ra)
+        [
+          B.doall "j" (B.int 1) (B.int cb)
+            [
+              B.store "C" [ B.var "i"; B.var "j" ] (B.real 0.0);
+              B.for_ "k" (B.int 1) (B.int ca)
+                [
+                  B.store "C"
+                    [ B.var "i"; B.var "j" ]
+                    B.(
+                      load "C" [ var "i"; var "j" ]
+                      + (load "A" [ var "i"; var "k" ]
+                        * load "B" [ var "k"; var "j" ]));
+                ];
+            ];
+        ];
+    ]
+
+let matmul_reference ~ra ~ca ~cb =
+  let a = Array.make_matrix ra ca 0.0
+  and b = Array.make_matrix ca cb 0.0
+  and c = Array.make (ra * cb) 0.0 in
+  for i = 1 to ra do
+    for k = 1 to ca do
+      a.(i - 1).(k - 1) <- float_of_int (i + (2 * k))
+    done
+  done;
+  for k = 1 to ca do
+    for j = 1 to cb do
+      b.(k - 1).(j - 1) <- float_of_int (k - j)
+    done
+  done;
+  for i = 1 to ra do
+    for j = 1 to cb do
+      let acc = ref 0.0 in
+      for k = 1 to ca do
+        (* Mirror the IR's accumulation order exactly. *)
+        acc := !acc +. (a.(i - 1).(k - 1) *. b.(k - 1).(j - 1))
+      done;
+      c.(((i - 1) * cb) + (j - 1)) <- !acc
+    done
+  done;
+  c
+
+(* ---------- Gauss-Jordan elimination ---------- *)
+
+(* System setup: AB(i,j) = 1 for i <> j, n+1 on the diagonal (strictly
+   dominant, well conditioned); right-hand sides AB(i, n+t) = i + t. *)
+
+let gauss_jordan ~n ~m : Ast.program =
+  if n < 1 || m < 1 then invalid_arg "Kernels.gauss_jordan: bad sizes";
+  let w = n + m in
+  B.program
+    ~arrays:[ B.array "AB" [ n; w ]; B.array "X" [ n; m ] ]
+    ~scalars:[ B.real_scalar "mult" ]
+    [
+      (* setup *)
+      B.doall "i" (B.int 1) (B.int n)
+        [
+          B.doall "j" (B.int 1) (B.int n)
+            [
+              B.if_
+                B.(var "i" = var "j")
+                [ B.store "AB" [ B.var "i"; B.var "j" ] B.(int n + int 1) ]
+                [ B.store "AB" [ B.var "i"; B.var "j" ] (B.int 1) ];
+            ];
+          B.doall "t" (B.int 1) (B.int m)
+            [
+              B.store "AB"
+                [ B.var "i"; B.(int n + var "t") ]
+                B.(var "i" + var "t");
+            ];
+        ];
+      (* elimination: serial over pivots, parallel over rows *)
+      B.for_ "j" (B.int 1) (B.int n)
+        [
+          B.doall "i" (B.int 1) (B.int n)
+            [
+              B.if_
+                B.(var "i" <> var "j")
+                [
+                  B.assign "mult"
+                    B.(
+                      load "AB" [ var "i"; var "j" ]
+                      / load "AB" [ var "j"; var "j" ]);
+                  B.doall "k"
+                    B.(var "j" + int 1)
+                    (B.int w)
+                    [
+                      B.store "AB"
+                        [ B.var "i"; B.var "k" ]
+                        B.(
+                          load "AB" [ var "i"; var "k" ]
+                          - (var "mult" * load "AB" [ var "j"; var "k" ]));
+                    ];
+                ]
+                [];
+            ];
+        ];
+      (* back-substitution: the coalescible perfect nest *)
+      B.doall "i" (B.int 1) (B.int n)
+        [
+          B.doall "t" (B.int 1) (B.int m)
+            [
+              B.store "X"
+                [ B.var "i"; B.var "t" ]
+                B.(
+                  load "AB" [ var "i"; B.(int n + var "t") ]
+                  / load "AB" [ var "i"; var "i" ]);
+            ];
+        ];
+    ]
+
+let gauss_jordan_reference ~n ~m =
+  let w = n + m in
+  let ab = Array.make_matrix n w 0.0 in
+  for i = 1 to n do
+    for j = 1 to n do
+      ab.(i - 1).(j - 1) <- (if i = j then float_of_int (n + 1) else 1.0)
+    done;
+    for t = 1 to m do
+      ab.(i - 1).(n + t - 1) <- float_of_int (i + t)
+    done
+  done;
+  for j = 1 to n do
+    for i = 1 to n do
+      if i <> j then begin
+        let mult = ab.(i - 1).(j - 1) /. ab.(j - 1).(j - 1) in
+        for k = j + 1 to w do
+          ab.(i - 1).(k - 1) <-
+            ab.(i - 1).(k - 1) -. (mult *. ab.(j - 1).(k - 1))
+        done
+      end
+    done
+  done;
+  let x = Array.make (n * m) 0.0 in
+  for i = 1 to n do
+    for t = 1 to m do
+      x.(((i - 1) * m) + (t - 1)) <-
+        ab.(i - 1).(n + t - 1) /. ab.(i - 1).(i - 1)
+    done
+  done;
+  x
+
+(* ---------- pi by midpoint integration ---------- *)
+
+let calculate_pi ~intervals : Ast.program =
+  if intervals < 1 then invalid_arg "Kernels.calculate_pi: bad size";
+  B.program
+    ~scalars:[ B.real_scalar "pi_val"; B.real_scalar "x" ]
+    [
+      B.for_ "c" (B.int 1) (B.int intervals)
+        [
+          B.assign "x" B.((var "c" - real 0.5) / int intervals);
+          B.assign "pi_val"
+            B.(
+              var "pi_val"
+              + real 4.0
+                / (real 1.0 + (var "x" * var "x"))
+                / int intervals);
+        ];
+    ]
+
+let calculate_pi_reference ~intervals =
+  let acc = ref 0.0 in
+  for c = 1 to intervals do
+    let x = (float_of_int c -. 0.5) /. float_of_int intervals in
+    acc := !acc +. (4.0 /. (1.0 +. (x *. x)) /. float_of_int intervals)
+  done;
+  !acc
+
+(* ---------- five-point stencil ---------- *)
+
+let stencil ~n : Ast.program =
+  if n < 3 then invalid_arg "Kernels.stencil: n must be >= 3";
+  B.program
+    ~arrays:[ B.array "A" [ n; n ]; B.array "B" [ n; n ] ]
+    [
+      B.doall "i" (B.int 1) (B.int n)
+        [
+          B.doall "j" (B.int 1) (B.int n)
+            [ B.store "A" [ B.var "i"; B.var "j" ] B.(var "i" * var "j") ];
+        ];
+      B.doall "i" (B.int 2) B.(int n - int 1)
+        [
+          B.doall "j" (B.int 2)
+            B.(int n - int 1)
+            [
+              B.store "B"
+                [ B.var "i"; B.var "j" ]
+                B.(
+                  (load "A" [ var "i" - int 1; var "j" ]
+                  + load "A" [ var "i" + int 1; var "j" ]
+                  + load "A" [ var "i"; var "j" - int 1 ]
+                  + load "A" [ var "i"; var "j" + int 1 ]
+                  + load "A" [ var "i"; var "j" ])
+                  / real 5.0);
+            ];
+        ];
+    ]
+
+let stencil_reference ~n =
+  let a = Array.make_matrix n n 0.0 in
+  for i = 1 to n do
+    for j = 1 to n do
+      a.(i - 1).(j - 1) <- float_of_int (i * j)
+    done
+  done;
+  let b = Array.make (n * n) 0.0 in
+  for i = 2 to n - 1 do
+    for j = 2 to n - 1 do
+      b.(((i - 1) * n) + (j - 1)) <-
+        (a.(i - 2).(j - 1) +. a.(i).(j - 1) +. a.(i - 1).(j - 2)
+        +. a.(i - 1).(j) +. a.(i - 1).(j - 1))
+        /. 5.0
+    done
+  done;
+  b
+
+(* ---------- array swap through a temporary ---------- *)
+
+let swap ~n : Ast.program =
+  if n < 1 then invalid_arg "Kernels.swap: bad size";
+  B.program
+    ~arrays:[ B.array "A" [ n ]; B.array "B" [ n ] ]
+    ~scalars:[ B.real_scalar "t" ]
+    [
+      B.doall "i" (B.int 1) (B.int n)
+        [ B.store "A" [ B.var "i" ] B.(var "i" * int 3) ];
+      B.doall "i" (B.int 1) (B.int n)
+        [ B.store "B" [ B.var "i" ] B.(int 100 + var "i") ];
+      B.for_ "i" (B.int 1) (B.int n)
+        [
+          B.assign "t" (B.load "A" [ B.var "i" ]);
+          B.store "A" [ B.var "i" ] (B.load "B" [ B.var "i" ]);
+          B.store "B" [ B.var "i" ] (B.var "t");
+        ];
+    ]
+
+(* ---------- wavefront (serial control) ---------- *)
+
+let wavefront ~n : Ast.program =
+  if n < 2 then invalid_arg "Kernels.wavefront: n must be >= 2";
+  B.program
+    ~arrays:[ B.array "A" [ n; n ] ]
+    [
+      B.doall "i" (B.int 1) (B.int n)
+        [
+          B.doall "j" (B.int 1) (B.int n)
+            [ B.store "A" [ B.var "i"; B.var "j" ] B.(var "i" + var "j") ];
+        ];
+      B.for_ "i" (B.int 2) (B.int n)
+        [
+          B.for_ "j" (B.int 2) (B.int n)
+            [
+              B.store "A"
+                [ B.var "i"; B.var "j" ]
+                B.(
+                  load "A" [ var "i" - int 1; var "j" ]
+                  + load "A" [ var "i"; var "j" - int 1 ]);
+            ];
+        ];
+    ]
+
+(* ---------- matrix transpose ---------- *)
+
+let transpose ~n : Ast.program =
+  if n < 1 then invalid_arg "Kernels.transpose: bad size";
+  B.program
+    ~arrays:[ B.array "A" [ n; n ]; B.array "B" [ n; n ] ]
+    [
+      B.doall "i" (B.int 1) (B.int n)
+        [
+          B.doall "j" (B.int 1) (B.int n)
+            [ B.store "A" [ B.var "i"; B.var "j" ] B.((var "i" * int 100) + var "j") ];
+        ];
+      B.doall "i" (B.int 1) (B.int n)
+        [
+          B.doall "j" (B.int 1) (B.int n)
+            [ B.store "B" [ B.var "i"; B.var "j" ] (B.load "A" [ B.var "j"; B.var "i" ]) ];
+        ];
+    ]
+
+let transpose_reference ~n =
+  let b = Array.make (n * n) 0.0 in
+  for i = 1 to n do
+    for j = 1 to n do
+      b.(((i - 1) * n) + (j - 1)) <- float_of_int ((j * 100) + i)
+    done
+  done;
+  b
+
+(* ---------- histogram ---------- *)
+
+(* Bucket keys are a fixed non-affine function of i, (i*7) mod buckets + 1,
+   so the reference mirrors them exactly. (Arrays hold reals, so a
+   data-array-driven subscript is not expressible; the Mod keeps the
+   subscript outside the affine fragment, which is the point.) *)
+let bucket_expr buckets : Ast.expr =
+  B.(((var "i" * int 7) % int buckets) + int 1)
+
+let histogram ~n ~buckets : Ast.program =
+  if n < 1 || buckets < 1 then invalid_arg "Kernels.histogram: bad sizes";
+  B.program
+    ~arrays:[ B.array "H" [ buckets ] ]
+    [
+      B.for_ "i" (B.int 1) (B.int n)
+        [
+          B.store "H"
+            [ bucket_expr buckets ]
+            B.(load "H" [ bucket_expr buckets ] + real 1.0);
+        ];
+    ]
+
+let histogram_reference ~n ~buckets =
+  let h = Array.make buckets 0.0 in
+  for i = 1 to n do
+    let k = ((i * 7) mod buckets) + 1 in
+    h.(k - 1) <- h.(k - 1) +. 1.0
+  done;
+  h
+
+let all_names =
+  [ "matmul"; "gauss_jordan"; "pi"; "stencil"; "swap"; "wavefront";
+    "transpose"; "histogram" ]
+
+let by_name = function
+  | "matmul" -> Some (fun () -> matmul ~ra:8 ~ca:6 ~cb:7)
+  | "gauss_jordan" -> Some (fun () -> gauss_jordan ~n:8 ~m:3)
+  | "pi" -> Some (fun () -> calculate_pi ~intervals:1000)
+  | "stencil" -> Some (fun () -> stencil ~n:10)
+  | "swap" -> Some (fun () -> swap ~n:16)
+  | "wavefront" -> Some (fun () -> wavefront ~n:8)
+  | "transpose" -> Some (fun () -> transpose ~n:10)
+  | "histogram" -> Some (fun () -> histogram ~n:64 ~buckets:10)
+  | _ -> None

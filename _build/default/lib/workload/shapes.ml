@@ -1,0 +1,22 @@
+type t = { label : string; shape : int list }
+
+let standard =
+  [
+    { label = "10x10"; shape = [ 10; 10 ] };
+    { label = "100x4"; shape = [ 100; 4 ] };
+    { label = "4x100"; shape = [ 4; 100 ] };
+    { label = "7x13x5"; shape = [ 7; 13; 5 ] };
+    { label = "32x32x8"; shape = [ 32; 32; 8 ] };
+  ]
+
+let deep =
+  [
+    { label = "64x64"; shape = [ 64; 64 ] };
+    { label = "16x16x16"; shape = [ 16; 16; 16 ] };
+    { label = "8x8x8x8"; shape = [ 8; 8; 8; 8 ] };
+    { label = "4x4x4x4x4"; shape = [ 4; 4; 4; 4; 4 ] };
+    { label = "4x4x4x4x2x2"; shape = [ 4; 4; 4; 4; 2; 2 ] };
+  ]
+
+let find label =
+  List.find_opt (fun s -> String.equal s.label label) (standard @ deep)

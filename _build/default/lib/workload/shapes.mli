@@ -1,0 +1,13 @@
+(** Named nest shapes used across the reconstructed experiments. *)
+
+type t = { label : string; shape : int list }
+
+val standard : t list
+(** The shape set of Table E2: square, skewed both ways, and two 3-D
+    nests. *)
+
+val deep : t list
+(** Depth 2..6 shapes with equal total size, for the recovery-cost table
+    (E1). *)
+
+val find : string -> t option

@@ -1,0 +1,38 @@
+module Ir = Loopcoal_transform.Index_recovery
+
+(* measured_ops sweeps the whole space through the interpreter; memoize it
+   so per-chunk costing stays O(chunk). *)
+let measured_memo : (Ir.strategy * int list, float) Hashtbl.t =
+  Hashtbl.create 32
+
+let measured strategy sizes =
+  match Hashtbl.find_opt measured_memo (strategy, sizes) with
+  | Some v -> v
+  | None ->
+      let v = Ir.measured_ops strategy ~sizes in
+      Hashtbl.add measured_memo (strategy, sizes) v;
+      v
+
+let recovery_per_iteration strategy ~sizes = measured strategy sizes
+
+let coalesced_body ~sizes ~body j = body (Ir.recover_div_mod ~sizes j)
+
+let chunk_cost ~strategy ~sizes ~body ~start ~len =
+  if len < 1 then invalid_arg "Workload_cost.chunk_cost: empty chunk";
+  let cursor = Ir.cursor_start ~sizes start in
+  let body_total = ref 0.0 in
+  for k = 0 to len - 1 do
+    body_total := !body_total +. body (Ir.cursor_indices cursor);
+    if k < len - 1 then Ir.cursor_next cursor
+  done;
+  let recovery =
+    match strategy with
+    | Ir.Div_mod | Ir.Ceiling -> measured strategy sizes *. float_of_int len
+    | Ir.Incremental ->
+        (* Exactly what the cursor sweep above performed: one closed-form
+           initialization plus the odometer steps of this chunk. *)
+        float_of_int (Ir.cursor_ops cursor)
+  in
+  !body_total +. recovery
+
+let total ~sizes ~body = Bodies.total ~shape:sizes body

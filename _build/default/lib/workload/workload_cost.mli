@@ -1,0 +1,28 @@
+(** Adapters turning a multi-dimensional body model into the chunk-cost
+    function the simulator consumes, including the per-iteration index
+    recovery cost of the chosen strategy. *)
+
+val recovery_per_iteration :
+  Loopcoal_transform.Index_recovery.strategy -> sizes:int list -> float
+(** Measured integer-op cost of recovering all indices once
+    ({!Loopcoal_transform.Index_recovery.measured_ops}); for [Incremental]
+    this is the amortized odometer cost. *)
+
+val chunk_cost :
+  strategy:Loopcoal_transform.Index_recovery.strategy ->
+  sizes:int list ->
+  body:Bodies.t ->
+  start:int ->
+  len:int ->
+  float
+(** Cost of executing coalesced iterations [start .. start+len-1]: the sum
+    of body costs (via exact index recovery) plus recovery cost. Closed
+    forms pay their per-iteration cost [len] times; [Incremental] pays one
+    div/mod initialization per chunk plus odometer steps. *)
+
+val coalesced_body : sizes:int list -> body:Bodies.t -> int -> float
+(** Body cost of one coalesced iteration (no recovery overhead). *)
+
+val total : sizes:int list -> body:Bodies.t -> float
+(** Total body cost over the space (no overheads): the numerator of every
+    speedup figure. *)

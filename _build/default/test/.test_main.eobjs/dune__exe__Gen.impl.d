@@ -1,0 +1,1 @@
+test/gen.ml: Ast List Loopcoal Pretty QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Affine Alcotest Ast Builder Depend Gen Kernels List Loop_class Loopcoal Nest Pretty Privatize QCheck Usedef

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Ast Bodies Driver Filename Index_recovery Kernels List Loopcoal Machine Out_channel Policy Sys

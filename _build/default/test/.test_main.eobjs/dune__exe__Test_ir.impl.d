@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast Builder Eval Gen Kernels Lexer List Loopcoal Parser Pipeline Pretty QCheck Result String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bodies Bounds Event_sim Gen Gss Index_recovery Intmath List Loopcoal Machine Policy Printf QCheck String Workload_cost

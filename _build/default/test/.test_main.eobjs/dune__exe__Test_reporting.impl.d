@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alcotest Ast Builder Coalesce Coalesce_chunked Dep_report Event_sim Gantt Index_recovery Kernels List Loopcoal Machine Option Pipeline Policy Pretty String

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Alloc Array Bounds Event_sim Float Gen Granularity Gss Intmath List Loopcoal Machine Policy Printf QCheck Result Static String Trapezoid

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Ast Builder Depend Distance Fuse Gen Interchange List Loop_class Loopcoal Pipeline Pretty Printf QCheck Result String

@@ -1,0 +1,1 @@
+test/test_transform2.ml: Alcotest Ast Builder Coalesce Coalesce_chunked Distribute Eval Fuse Gen Kernels List Loopcoal Nest Parallel_reduce Pipeline QCheck Reduction Result Tile Usedef

@@ -1,0 +1,1 @@
+test/test_transform3.ml: Alcotest Array Ast Bodies Builder Cycle_shrink Distance Driver Event_sim Factoring Gen Index_recovery Kernels List Loopcoal Machine Nest Pipeline Policy QCheck Workload_cost

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_plot Gen Intmath List Loopcoal Prng QCheck Stats String Table

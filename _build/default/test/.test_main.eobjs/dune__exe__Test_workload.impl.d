@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bodies Coalesce Eval Index_recovery Kernels List Loopcoal Option Pipeline Shapes Workload_cost

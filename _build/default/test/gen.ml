@@ -1,0 +1,194 @@
+(* QCheck generators for random IR programs.
+
+   Subscripts are clamped into bounds with min/max so every generated
+   program executes without faulting; this keeps semantic-equivalence
+   properties about transformations from collapsing into "both fault". *)
+
+open Loopcoal
+module G = QCheck.Gen
+
+let small_size = G.int_range 1 5
+
+(* An integer expression over the given index variables (always at least
+   one variable available: literals otherwise). *)
+let int_expr vars : Ast.expr G.t =
+  let open G in
+  let leaf =
+    frequency
+      [
+        (2, map (fun n -> Ast.Int n) (int_range (-4) 9));
+        ( (if vars = [] then 0 else 3),
+          map (fun i -> Ast.Var (List.nth vars i))
+            (int_range 0 (max 0 (List.length vars - 1))) );
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 3,
+              map3
+                (fun op a b -> Ast.Bin (op, a, b))
+                (oneofl [ Ast.Add; Ast.Sub; Ast.Mul ])
+                (self (depth - 1))
+                (self (depth - 1)) );
+            (1, map (fun a -> Ast.Neg a) (self (depth - 1)));
+          ])
+    2
+
+(* Clamp an expression into [1, dim]: min(max(e, 1), dim). *)
+let clamp dim e : Ast.expr =
+  Ast.Bin (Min, Bin (Max, e, Int 1), Int dim)
+
+let array_dims = [ ("W", [ 6; 6 ]); ("V", [ 8 ]); ("U", [ 4; 3; 3 ]) ]
+
+let array_ref vars : (string * Ast.expr list) G.t =
+  let open G in
+  let* name, dims = oneofl array_dims in
+  let+ subs =
+    flatten_l (List.map (fun d -> map (clamp d) (int_expr vars)) dims)
+  in
+  (name, subs)
+
+(* The right-hand side mixes loads and index arithmetic; loads make the
+   value real, plain arithmetic is fine too. *)
+let rhs_expr vars : Ast.expr G.t =
+  let open G in
+  frequency
+    [
+      (2, int_expr vars);
+      ( 3,
+        let* name, subs = array_ref vars in
+        let+ extra = int_expr vars in
+        Ast.Bin (Add, Load (name, subs), extra) );
+    ]
+
+let assign_stmt vars : Ast.stmt G.t =
+  let open G in
+  let* name, subs = array_ref vars in
+  let+ e = rhs_expr vars in
+  Ast.Assign (Elem (name, subs), e)
+
+(* A random statement with nesting budget [depth] and loop-index pool. *)
+let index_pool = [ "i"; "j"; "k"; "l"; "q" ]
+
+let rec stmt_gen vars depth : Ast.stmt G.t =
+  let open G in
+  if depth = 0 || List.length vars >= List.length index_pool then
+    assign_stmt vars
+  else
+    frequency
+      [
+        (3, assign_stmt vars);
+        ( 1,
+          let* c =
+            let* a = int_expr vars and* b = int_expr vars in
+            let+ op = oneofl [ Ast.Lt; Ast.Le; Ast.Eq; Ast.Ge ] in
+            Ast.Cmp (op, a, b)
+          in
+          let* t = block_gen vars (depth - 1) in
+          let+ f = block_gen vars (depth - 1) in
+          Ast.If (c, t, f) );
+        (2, loop_gen vars depth);
+      ]
+
+and block_gen vars depth : Ast.block G.t =
+  let open G in
+  let* n = int_range 1 3 in
+  flatten_l (List.init n (fun _ -> stmt_gen vars depth))
+
+and loop_gen vars depth : Ast.stmt G.t =
+  let open G in
+  let index =
+    List.find (fun v -> not (List.mem v vars)) index_pool
+  in
+  let* lo = int_range 1 3 in
+  let* trips = int_range 0 4 in
+  let* step = int_range 1 3 in
+  let* par = oneofl [ Ast.Serial; Ast.Parallel ] in
+  let+ body = block_gen (index :: vars) (depth - 1) in
+  Ast.For
+    {
+      index;
+      lo = Int lo;
+      hi = Int (lo + (trips * step) - 1);
+      step = Int step;
+      par;
+      body;
+    }
+
+let program_gen : Ast.program G.t =
+  let open G in
+  let+ body = block_gen [] 3 in
+  {
+    Ast.arrays =
+      List.map (fun (n, dims) -> { Ast.arr_name = n; dims }) array_dims;
+    scalars = [ { Ast.sc_name = "s"; sc_kind = Kreal; sc_init = 0.0 } ];
+    body;
+  }
+
+(* A random perfect nest of parallel loops (unit steps, constant bounds)
+   with a non-trivial body — the coalescing target. *)
+let perfect_nest_gen : Ast.program G.t =
+  let open G in
+  let* depth = int_range 2 4 in
+  let indices = List.filteri (fun i _ -> i < depth) index_pool in
+  let* sizes = flatten_l (List.init depth (fun _ -> int_range 1 5)) in
+  let* los = flatten_l (List.init depth (fun _ -> int_range 1 3)) in
+  let+ body = block_gen indices 1 in
+  let rec build idxs szs ls : Ast.stmt =
+    match (idxs, szs, ls) with
+    | [ ix ], [ n ], [ lo ] ->
+        For
+          {
+            index = ix;
+            lo = Int lo;
+            hi = Int (lo + n - 1);
+            step = Int 1;
+            par = Parallel;
+            body;
+          }
+    | ix :: idxs, n :: szs, lo :: ls ->
+        For
+          {
+            index = ix;
+            lo = Int lo;
+            hi = Int (lo + n - 1);
+            step = Int 1;
+            par = Parallel;
+            body = [ build idxs szs ls ];
+          }
+    | _ -> assert false
+  in
+  {
+    Ast.arrays =
+      List.map (fun (n, dims) -> { Ast.arr_name = n; dims }) array_dims;
+    scalars = [];
+    body = [ build indices sizes los ];
+  }
+
+let shrink_program _ = QCheck.Iter.empty
+
+let arbitrary_program =
+  QCheck.make ~print:Pretty.program_to_string ~shrink:shrink_program
+    program_gen
+
+let arbitrary_perfect_nest =
+  QCheck.make ~print:Pretty.program_to_string ~shrink:shrink_program
+    perfect_nest_gen
+
+(* Sizes list for index-recovery properties. *)
+let sizes_gen =
+  let open G in
+  let* depth = int_range 1 5 in
+  flatten_l (List.init depth (fun _ -> int_range 1 7))
+
+let arbitrary_sizes =
+  QCheck.make
+    ~print:(fun s -> String.concat "x" (List.map string_of_int s))
+    sizes_gen
+
+let to_alcotest = QCheck_alcotest.to_alcotest ~verbose:false

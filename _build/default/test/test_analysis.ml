@@ -1,0 +1,490 @@
+(* Analysis tests: affine extraction, use/def, dependence testing,
+   privatization, loop classification and nest detection. *)
+
+open Loopcoal
+module B = Builder
+
+let check = Alcotest.check
+
+(* ---------- Affine ---------- *)
+
+let any_var = fun _ -> true
+
+let test_affine_extract () =
+  let e = B.((int 2 * var "i") + (var "j" * int 3) + int 7) in
+  match Affine.of_expr ~is_index:any_var e with
+  | None -> Alcotest.fail "expected affine"
+  | Some f ->
+      check Alcotest.int "const" 7 f.Affine.const;
+      check Alcotest.int "coeff i" 2 (Affine.coeff f "i");
+      check Alcotest.int "coeff j" 3 (Affine.coeff f "j");
+      check Alcotest.int "coeff k" 0 (Affine.coeff f "k")
+
+let test_affine_cancellation () =
+  let e = B.(var "i" - var "i" + int 4) in
+  match Affine.of_expr ~is_index:any_var e with
+  | Some f ->
+      assert (Affine.is_const f);
+      check Alcotest.int "const" 4 f.Affine.const
+  | None -> Alcotest.fail "expected affine"
+
+let test_affine_rejects_nonlinear () =
+  let bad =
+    [
+      B.(var "i" * var "j");
+      B.(var "i" / int 2);
+      B.(var "i" % int 2);
+      B.load "A" [ B.var "i" ];
+      B.real 1.5;
+      B.cdiv (B.var "i") (B.int 2);
+    ]
+  in
+  List.iter
+    (fun e ->
+      match Affine.of_expr ~is_index:any_var e with
+      | None -> ()
+      | Some _ -> Alcotest.failf "expected non-affine: %s" (Pretty.expr_to_string e))
+    bad
+
+let test_affine_neg_scale () =
+  let e = B.(neg (int 2 * var "i") + int 1) in
+  match Affine.of_expr ~is_index:any_var e with
+  | Some f ->
+      check Alcotest.int "coeff" (-2) (Affine.coeff f "i");
+      check Alcotest.int "const" 1 f.Affine.const
+  | None -> Alcotest.fail "expected affine"
+
+let prop_affine_eval_agrees =
+  (* Evaluating the extracted form equals evaluating the expression, for
+     expressions that are affine. *)
+  QCheck.Test.make ~name:"affine eval agrees with interpreter" ~count:300
+    QCheck.(
+      pair (int_range (-5) 5) (pair (int_range (-5) 5) (int_range (-9) 9)))
+    (fun (a, (b, c)) ->
+      let e = B.((int a * var "i") + (int b * var "j") + int c) in
+      match Affine.of_expr ~is_index:any_var e with
+      | None -> false
+      | Some f ->
+          let valuation = function
+            | "i" -> 3
+            | "j" -> -2
+            | _ -> 0
+          in
+          Affine.eval valuation f = (a * 3) + (b * -2) + c)
+
+let test_affine_to_expr_roundtrip () =
+  let e = B.((int 2 * var "i") + int 5) in
+  match Affine.of_expr ~is_index:any_var e with
+  | Some f -> (
+      match Affine.of_expr ~is_index:any_var (Affine.to_expr f) with
+      | Some f' -> assert (Affine.equal f f')
+      | None -> Alcotest.fail "to_expr not affine")
+  | None -> Alcotest.fail "expected affine"
+
+(* ---------- Usedef ---------- *)
+
+let test_usedef_scalars () =
+  let body =
+    [
+      B.assign "t" B.(var "a" + int 1);
+      B.store "A" [ B.var "t" ] (B.var "b");
+      B.for_ "i" (B.var "n") (B.int 10) [ B.assign "u" (B.var "i") ];
+    ]
+  in
+  let reads = Usedef.scalar_reads body in
+  let writes = Usedef.scalar_writes body in
+  assert (Usedef.Vset.mem "a" reads);
+  assert (Usedef.Vset.mem "b" reads);
+  assert (Usedef.Vset.mem "n" reads);
+  assert (Usedef.Vset.mem "t" reads);
+  (* subscript use *)
+  assert (not (Usedef.Vset.mem "i" reads));
+  (* loop index is bound *)
+  assert (Usedef.Vset.equal writes (Usedef.Vset.of_list [ "t"; "u" ]))
+
+let test_usedef_array_refs () =
+  let body =
+    [
+      B.for_ "i" (B.int 1) (B.int 4)
+        [
+          B.store "A" [ B.var "i" ] B.(load "B" [ var "i" ] + load "A" [ int 1 ]);
+        ];
+    ]
+  in
+  let refs = Usedef.array_refs body in
+  check Alcotest.int "three refs" 3 (List.length refs);
+  let writes = List.filter (fun r -> r.Usedef.write) refs in
+  check Alcotest.int "one write" 1 (List.length writes);
+  List.iter
+    (fun r ->
+      Alcotest.(check (list string)) "enclosing" [ "i" ] r.Usedef.enclosing)
+    refs
+
+(* ---------- Depend: known answers ---------- *)
+
+let mk_query ~range_i : Depend.query =
+  {
+    Depend.classify =
+      (fun v -> if v = "i" then Depend.Coupled Depend.Clt else Depend.Shared);
+    range_of = (fun v -> if v = "i" then range_i else None);
+  }
+
+let sub i = [ (i : Ast.expr) ]
+
+let test_depend_ziv () =
+  (* A(3) vs A(4): never the same element. *)
+  let q = mk_query ~range_i:(Some (1, 10)) in
+  assert (not (Depend.may_depend q (sub (B.int 3)) (sub (B.int 4))));
+  assert (Depend.may_depend q (sub (B.int 3)) (sub (B.int 3)))
+
+let test_depend_gcd () =
+  (* 2i vs 2i'+1: parities differ. *)
+  let q = mk_query ~range_i:(Some (1, 100)) in
+  assert (
+    not
+      (Depend.may_depend q
+         (sub B.(int 2 * var "i"))
+         (sub B.((int 2 * var "i") + int 1))))
+
+let test_depend_strong_siv_distance () =
+  (* i+10 vs i within range width 4: distance exceeds span. *)
+  let q = mk_query ~range_i:(Some (1, 5)) in
+  assert (not (Depend.may_depend q (sub B.(var "i" + int 10)) (sub (B.var "i"))));
+  (* within range width 20: feasible *)
+  let q2 = mk_query ~range_i:(Some (1, 20)) in
+  assert (Depend.may_depend q2 (sub B.(var "i" + int 10)) (sub (B.var "i")))
+
+let test_depend_same_subscript_not_carried () =
+  (* A(i) write vs A(i) read under x < y: cannot collide. *)
+  let q = mk_query ~range_i:(Some (1, 10)) in
+  assert (not (Depend.may_depend q (sub (B.var "i")) (sub (B.var "i"))))
+
+let test_depend_nonaffine_conservative () =
+  let q = mk_query ~range_i:(Some (1, 10)) in
+  assert (Depend.may_depend q (sub B.(var "i" * var "i")) (sub (B.var "i")))
+
+let test_depend_carried () =
+  let classify_rest _ = Depend.Shared in
+  let range_of _ = None in
+  (* A(i) = A(i-1): carried. *)
+  assert (
+    Depend.carried ~level:"i" ~range:(Some (1, 10)) ~classify_rest ~range_of
+      (sub (B.var "i"))
+      (sub B.(var "i" - int 1)));
+  (* A(i) = A(i): not carried. *)
+  assert (
+    not
+      (Depend.carried ~level:"i" ~range:(Some (1, 10)) ~classify_rest
+         ~range_of (sub (B.var "i")) (sub (B.var "i"))));
+  (* single-iteration loop: nothing can be carried. *)
+  assert (
+    not
+      (Depend.carried ~level:"i" ~range:(Some (3, 3)) ~classify_rest ~range_of
+         (sub (B.var "i"))
+         (sub B.(var "i" - int 1))))
+
+let test_depend_shared_symbol_cancels () =
+  (* A(i + n) vs A(i + n - 11) with n an unknown shared symbol and range
+     width 10: the n cancels, distance 11 > 9 -> independent. *)
+  let classify_rest _ = Depend.Shared in
+  let range_of _ = None in
+  assert (
+    not
+      (Depend.carried ~level:"i" ~range:(Some (1, 10)) ~classify_rest
+         ~range_of
+         (sub B.(var "i" + var "n"))
+         (sub B.(var "i" + var "n" - int 11))))
+
+let test_depend_constant_write () =
+  (* A(1) written by every iteration: carried output dependence. *)
+  let classify_rest _ = Depend.Shared in
+  let range_of _ = None in
+  assert (
+    Depend.carried ~level:"i" ~range:(Some (1, 10)) ~classify_rest ~range_of
+      (sub (B.int 1)) (sub (B.int 1)))
+
+let test_depend_multidim () =
+  (* A(i, j) vs A(i, j+1) carried at j but 2nd dim differs at Eq... at
+     level i with j private the distinct-i query: dim 1 forbids it. *)
+  let classify_rest v = if v = "j" then Depend.Private1 else Depend.Shared in
+  let range_of v = if v = "j" then Some (1, 5) else None in
+  assert (
+    not
+      (Depend.carried ~level:"i" ~range:(Some (1, 10)) ~classify_rest
+         ~range_of
+         [ B.var "i"; B.var "j" ]
+         [ B.var "i"; B.(var "j" + int 1) ]))
+
+(* ---------- Privatize ---------- *)
+
+let test_privatizable_simple () =
+  let body =
+    [ B.assign "t" (B.load "A" [ B.int 1 ]); B.store "A" [ B.int 1 ] (B.var "t") ]
+  in
+  assert (Usedef.Vset.mem "t" (Privatize.privatizable body))
+
+let test_privatizable_use_before_def () =
+  let body =
+    [ B.store "A" [ B.int 1 ] (B.var "t"); B.assign "t" (B.int 1) ]
+  in
+  assert (not (Usedef.Vset.mem "t" (Privatize.privatizable body)));
+  assert (Usedef.Vset.mem "t" (Privatize.blocking_scalars body))
+
+let test_privatizable_one_branch_only () =
+  (* Assigned only in the then-branch, used after: not definite. *)
+  let body =
+    [
+      B.if_ B.(var "c" = int 1) [ B.assign "t" (B.int 1) ] [];
+      B.store "A" [ B.int 1 ] (B.var "t");
+    ]
+  in
+  assert (not (Usedef.Vset.mem "t" (Privatize.privatizable body)))
+
+let test_privatizable_both_branches () =
+  let body =
+    [
+      B.if_ B.(var "c" = int 1)
+        [ B.assign "t" (B.int 1) ]
+        [ B.assign "t" (B.int 2) ];
+      B.store "A" [ B.int 1 ] (B.var "t");
+    ]
+  in
+  assert (Usedef.Vset.mem "t" (Privatize.privatizable body))
+
+let test_privatizable_loop_carried_use () =
+  (* Use at the top fed by the assignment at the bottom of an inner loop. *)
+  let body =
+    [
+      B.for_ "k" (B.int 1) (B.int 3)
+        [ B.store "A" [ B.int 1 ] (B.var "t"); B.assign "t" (B.int 1) ];
+    ]
+  in
+  assert (not (Usedef.Vset.mem "t" (Privatize.privatizable body)))
+
+let test_privatizable_assign_in_loop_not_definite_after () =
+  (* The inner loop may run zero times, so a use after it is not covered. *)
+  let body =
+    [
+      B.for_ "k" (B.int 1) (B.var "n") [ B.assign "t" (B.int 1) ];
+      B.store "A" [ B.int 1 ] (B.var "t");
+    ]
+  in
+  assert (not (Usedef.Vset.mem "t" (Privatize.privatizable body)))
+
+(* ---------- Loop_class ---------- *)
+
+let loop_of_stmt = function
+  | Ast.For l -> l
+  | _ -> Alcotest.fail "expected a loop"
+
+let test_doall_disjoint_writes () =
+  let l =
+    loop_of_stmt
+      (B.for_ "i" (B.int 1) (B.int 10)
+         [ B.store "A" [ B.var "i" ] B.(var "i" + int 1) ])
+  in
+  assert (Loop_class.is_doall l)
+
+let test_not_doall_recurrence () =
+  let l =
+    loop_of_stmt
+      (B.for_ "i" (B.int 2) (B.int 10)
+         [ B.store "A" [ B.var "i" ] B.(load "A" [ var "i" - int 1 ] + int 1) ])
+  in
+  assert (not (Loop_class.is_doall l))
+
+let test_not_doall_scalar () =
+  let l =
+    loop_of_stmt
+      (B.for_ "i" (B.int 1) (B.int 10)
+         [ B.assign "s" B.(var "s" + var "i") ])
+  in
+  assert (not (Loop_class.is_doall l))
+
+let test_doall_privatizable_temp () =
+  let l =
+    loop_of_stmt
+      (B.for_ "i" (B.int 1) (B.int 10)
+         [
+           B.assign "t" B.(load "B" [ var "i" ] + int 1);
+           B.store "A" [ B.var "i" ] (B.var "t");
+         ])
+  in
+  assert (Loop_class.is_doall l)
+
+let test_doall_matmul_outer () =
+  let p = Kernels.matmul ~ra:4 ~ca:3 ~cb:5 in
+  (* The compute nest is the third statement; its i and j loops should be
+     provable DOALLs even though a serial k-reduction sits inside. *)
+  match List.nth p.Ast.body 2 with
+  | Ast.For i_loop ->
+      assert (Loop_class.is_doall i_loop);
+      (match i_loop.body with
+      | [ Ast.For j_loop ] -> assert (Loop_class.is_doall j_loop)
+      | _ -> Alcotest.fail "expected perfect i-j nest")
+  | _ -> Alcotest.fail "expected loop"
+
+let test_wavefront_not_doall () =
+  let p = Kernels.wavefront ~n:6 in
+  match List.nth p.Ast.body 1 with
+  | Ast.For i_loop ->
+      assert (not (Loop_class.is_doall i_loop));
+      (match i_loop.body with
+      | [ Ast.For j_loop ] -> assert (not (Loop_class.is_doall j_loop))
+      | _ -> Alcotest.fail "expected nest")
+  | _ -> Alcotest.fail "expected loop"
+
+let test_infer_block () =
+  let body =
+    [
+      B.for_ "i" (B.int 1) (B.int 8)
+        [ B.store "A" [ B.var "i" ] (B.int 1) ];
+    ]
+  in
+  match Loop_class.infer_block body with
+  | [ Ast.For l ] -> assert (l.par = Ast.Parallel)
+  | _ -> Alcotest.fail "expected loop"
+
+let test_infer_and_demote () =
+  let body =
+    [
+      B.doall "i" (B.int 2) (B.int 8)
+        [ B.store "A" [ B.var "i" ] (B.load "A" [ B.(var "i" - int 1) ]) ];
+    ]
+  in
+  match Loop_class.infer_and_demote_block body with
+  | [ Ast.For l ] -> assert (l.par = Ast.Serial)
+  | _ -> Alcotest.fail "expected loop"
+
+let test_verify_annotations () =
+  let body =
+    [
+      B.doall "i" (B.int 2) (B.int 8)
+        [ B.store "A" [ B.var "i" ] (B.load "A" [ B.(var "i" - int 1) ]) ];
+    ]
+  in
+  match Loop_class.verify_annotations body with
+  | [ ("i", _) ] -> ()
+  | other ->
+      Alcotest.failf "expected one problem, got %d" (List.length other)
+
+(* ---------- Nest ---------- *)
+
+let test_nest_extraction () =
+  let p = Kernels.matmul ~ra:4 ~ca:3 ~cb:5 in
+  match List.nth p.Ast.body 2 with
+  | Ast.For l ->
+      let nest = Nest.of_loop l in
+      check Alcotest.int "depth" 2 (Nest.depth nest);
+      Alcotest.(check (list string)) "indices" [ "i"; "j" ] (Nest.index_names nest);
+      (* rebuilding is the identity *)
+      assert (Ast.equal_stmt (Nest.to_stmt nest) (Ast.For l))
+  | _ -> Alcotest.fail "expected loop"
+
+let test_trip_count () =
+  let l = loop_of_stmt (B.for_ "i" (B.int 3) (B.int 10) []) in
+  check Alcotest.(option int) "8 trips" (Some 8) (Nest.trip_count l);
+  let l2 = loop_of_stmt (B.for_ ~step:(B.int 3) "i" (B.int 1) (B.int 10) []) in
+  check Alcotest.(option int) "4 trips" (Some 4) (Nest.trip_count l2);
+  let l3 = loop_of_stmt (B.for_ "i" (B.int 5) (B.int 4) []) in
+  check Alcotest.(option int) "0 trips" (Some 0) (Nest.trip_count l3);
+  let l4 = loop_of_stmt (B.for_ "i" (B.int 1) (B.var "n") []) in
+  check Alcotest.(option int) "unknown" None (Nest.trip_count l4)
+
+let test_coalescible_ok () =
+  let p = Kernels.matmul ~ra:4 ~ca:3 ~cb:5 in
+  match List.nth p.Ast.body 2 with
+  | Ast.For l -> (
+      let nest = Nest.of_loop l in
+      match Nest.check_coalescible ~verify_parallel:true nest ~depth:2 with
+      | Nest.Coalescible -> ()
+      | Nest.Not_coalescible r -> Alcotest.fail r)
+  | _ -> Alcotest.fail "expected loop"
+
+let test_coalescible_rejections () =
+  let serial_inner =
+    B.doall "i" (B.int 1) (B.int 4)
+      [ B.for_ "j" (B.int 1) (B.int 4) [ B.store "A" [ B.var "i" ] (B.int 1) ] ]
+  in
+  let triangular =
+    B.doall "i" (B.int 1) (B.int 4)
+      [
+        B.doall "j" (B.int 1) (B.var "i")
+          [ B.store "A" [ B.var "j" ] (B.int 1) ];
+      ]
+  in
+  let stepped =
+    B.doall ~step:(B.int 2) "i" (B.int 1) (B.int 8)
+      [ B.doall "j" (B.int 1) (B.int 4) [ B.store "A" [ B.var "j" ] (B.int 1) ] ]
+  in
+  let check_rejected name s ~depth =
+    match s with
+    | Ast.For l -> (
+        match Nest.check_coalescible (Nest.of_loop l) ~depth with
+        | Nest.Coalescible -> Alcotest.failf "%s should be rejected" name
+        | Nest.Not_coalescible _ -> ())
+    | _ -> assert false
+  in
+  check_rejected "serial inner" serial_inner ~depth:2;
+  check_rejected "triangular" triangular ~depth:2;
+  check_rejected "non-unit step" stepped ~depth:2;
+  (* depth 1 is not a coalescing *)
+  match serial_inner with
+  | Ast.For l -> (
+      match Nest.check_coalescible (Nest.of_loop l) ~depth:1 with
+      | Nest.Not_coalescible _ -> ()
+      | Nest.Coalescible -> Alcotest.fail "depth 1 must be rejected")
+  | _ -> assert false
+
+let suite =
+  [
+    Alcotest.test_case "affine extraction" `Quick test_affine_extract;
+    Alcotest.test_case "affine cancellation" `Quick test_affine_cancellation;
+    Alcotest.test_case "affine rejects nonlinear" `Quick
+      test_affine_rejects_nonlinear;
+    Alcotest.test_case "affine negation" `Quick test_affine_neg_scale;
+    Gen.to_alcotest prop_affine_eval_agrees;
+    Alcotest.test_case "affine to_expr" `Quick test_affine_to_expr_roundtrip;
+    Alcotest.test_case "usedef scalars" `Quick test_usedef_scalars;
+    Alcotest.test_case "usedef array refs" `Quick test_usedef_array_refs;
+    Alcotest.test_case "ZIV" `Quick test_depend_ziv;
+    Alcotest.test_case "GCD" `Quick test_depend_gcd;
+    Alcotest.test_case "strong SIV distance" `Quick
+      test_depend_strong_siv_distance;
+    Alcotest.test_case "same subscript not carried" `Quick
+      test_depend_same_subscript_not_carried;
+    Alcotest.test_case "non-affine conservative" `Quick
+      test_depend_nonaffine_conservative;
+    Alcotest.test_case "carried" `Quick test_depend_carried;
+    Alcotest.test_case "shared symbols cancel" `Quick
+      test_depend_shared_symbol_cancels;
+    Alcotest.test_case "constant write carried" `Quick
+      test_depend_constant_write;
+    Alcotest.test_case "multi-dimension" `Quick test_depend_multidim;
+    Alcotest.test_case "privatizable simple" `Quick test_privatizable_simple;
+    Alcotest.test_case "use before def" `Quick
+      test_privatizable_use_before_def;
+    Alcotest.test_case "one branch only" `Quick
+      test_privatizable_one_branch_only;
+    Alcotest.test_case "both branches" `Quick test_privatizable_both_branches;
+    Alcotest.test_case "loop-carried use" `Quick
+      test_privatizable_loop_carried_use;
+    Alcotest.test_case "loop assign not definite" `Quick
+      test_privatizable_assign_in_loop_not_definite_after;
+    Alcotest.test_case "doall disjoint writes" `Quick
+      test_doall_disjoint_writes;
+    Alcotest.test_case "recurrence not doall" `Quick test_not_doall_recurrence;
+    Alcotest.test_case "scalar blocks doall" `Quick test_not_doall_scalar;
+    Alcotest.test_case "privatizable temp ok" `Quick
+      test_doall_privatizable_temp;
+    Alcotest.test_case "matmul loops are doall" `Quick test_doall_matmul_outer;
+    Alcotest.test_case "wavefront not doall" `Quick test_wavefront_not_doall;
+    Alcotest.test_case "infer_block" `Quick test_infer_block;
+    Alcotest.test_case "infer_and_demote" `Quick test_infer_and_demote;
+    Alcotest.test_case "verify annotations" `Quick test_verify_annotations;
+    Alcotest.test_case "nest extraction" `Quick test_nest_extraction;
+    Alcotest.test_case "trip counts" `Quick test_trip_count;
+    Alcotest.test_case "coalescible ok" `Quick test_coalescible_ok;
+    Alcotest.test_case "coalescible rejections" `Quick
+      test_coalescible_rejections;
+  ]

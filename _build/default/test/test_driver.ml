@@ -1,0 +1,91 @@
+(* Integration tests for the high-level driver. *)
+
+open Loopcoal
+
+let check = Alcotest.check
+
+let test_load_string () =
+  match Driver.load_string "program\n int s = 0\nbegin\n s = 1\nend" with
+  | Ok p -> check Alcotest.int "one stmt" 1 (List.length p.Ast.body)
+  | Error m -> Alcotest.fail m
+
+let test_load_string_error () =
+  match Driver.load_string "program begin s = end" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_load_file () =
+  let path = Filename.temp_file "loopcoal" ".lc" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "program\n real A[3]\nbegin\n doall i = 1, 3\n A[i] = i\n end\nend");
+  (match Driver.load_file path with
+  | Ok p -> check Alcotest.int "decl" 1 (List.length p.Ast.arrays)
+  | Error m -> Alcotest.fail m);
+  Sys.remove path;
+  match Driver.load_file "/nonexistent/file.lc" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected IO error"
+
+let test_coalesce_report () =
+  let p = Kernels.matmul ~ra:4 ~ca:3 ~cb:4 in
+  match Driver.coalesce_report p with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      check Alcotest.int "nests" 3 r.Driver.nests_coalesced;
+      assert r.Driver.verified;
+      assert (r.Driver.before_text <> r.Driver.after_text)
+
+let test_coalesce_report_nothing_to_do () =
+  let p = Kernels.calculate_pi ~intervals:50 in
+  match Driver.coalesce_report p with
+  | Ok r -> check Alcotest.int "no nests" 0 r.Driver.nests_coalesced
+  | Error m -> Alcotest.fail m
+
+let test_nests_summary () =
+  let p = Kernels.matmul ~ra:4 ~ca:3 ~cb:5 in
+  let infos = Driver.nests p in
+  check Alcotest.int "three top nests" 3 (List.length infos);
+  let compute = List.nth infos 2 in
+  Alcotest.(check (list string)) "indices" [ "i"; "j" ] compute.Driver.indices;
+  Alcotest.(check (option (list int))) "shape" (Some [ 4; 5 ]) compute.Driver.shape;
+  check Alcotest.int "parallel depth" 2 compute.Driver.parallel_depth;
+  check Alcotest.int "coalescible depth" 2 compute.Driver.coalescible_depth
+
+let default_spec =
+  {
+    Driver.shape = [ 60; 25 ];
+    body = Bodies.uniform 200.0;
+    machine = Machine.default ~p:16;
+    strategy = Index_recovery.Incremental;
+  }
+
+let test_simulate_lines () =
+  let coalesced =
+    Driver.simulate_coalesced default_spec ~policy:Policy.Static_block
+  in
+  let nested = Driver.simulate_nested_best default_spec in
+  let outer = Driver.simulate_nested_outer_only default_spec in
+  (* the paper's headline shape: coalesced <= best nested <= outer-only on
+     overhead-bearing machines with this geometry *)
+  assert (coalesced.Driver.completion < nested.Driver.completion);
+  assert (nested.Driver.completion <= outer.Driver.completion);
+  assert (coalesced.Driver.speedup > 1.0);
+  assert (coalesced.Driver.efficiency <= 1.0 +. 1e-9)
+
+let test_serial_time () =
+  let t = Driver.serial_time default_spec in
+  (* 1500 iterations * (200 body + 2 loop control) *)
+  check (Alcotest.float 1e-6) "serial" (1500.0 *. 202.0) t
+
+let suite =
+  [
+    Alcotest.test_case "load string" `Quick test_load_string;
+    Alcotest.test_case "load string error" `Quick test_load_string_error;
+    Alcotest.test_case "load file" `Quick test_load_file;
+    Alcotest.test_case "coalesce report" `Quick test_coalesce_report;
+    Alcotest.test_case "report with nothing to do" `Quick
+      test_coalesce_report_nothing_to_do;
+    Alcotest.test_case "nests summary" `Quick test_nests_summary;
+    Alcotest.test_case "simulate lines" `Quick test_simulate_lines;
+    Alcotest.test_case "serial time" `Quick test_serial_time;
+  ]

@@ -1,0 +1,193 @@
+(* Cross-validation of the C/OpenMP emitter: emit each kernel (plain,
+   coalesced, and collapse-mode), compile with the system C compiler,
+   execute with several OpenMP threads, and compare the printed array
+   store against the reference interpreter. Skipped cleanly when no C
+   compiler is present. *)
+
+open Loopcoal
+
+let cc_available =
+  lazy (Sys.command "cc --version > /dev/null 2>&1" = 0)
+
+let require_cc () =
+  if not (Lazy.force cc_available) then
+    Alcotest.skip ()
+
+let temp_base = Filename.temp_file "loopcoal_emit" ""
+
+let compile_and_run source =
+  let c_file = temp_base ^ ".c" in
+  let exe = temp_base ^ ".exe" in
+  let out_file = temp_base ^ ".out" in
+  Out_channel.with_open_text c_file (fun oc -> output_string oc source);
+  let compile =
+    Printf.sprintf "cc -O1 -fopenmp -o %s %s 2> %s.cerr" exe c_file temp_base
+  in
+  if Sys.command compile <> 0 then Error "compilation failed"
+  else if
+    Sys.command
+      (Printf.sprintf "OMP_NUM_THREADS=3 %s > %s 2>/dev/null" exe out_file)
+    <> 0
+  then Error "execution failed"
+  else
+    Ok
+      (In_channel.with_open_text out_file In_channel.input_lines
+      |> List.map float_of_string)
+
+(* Array part of the interpreter's final store, in dump (sorted) order. *)
+let interpreted_arrays p =
+  let st = Eval.run p in
+  let arrays, _ = Eval.dump st in
+  List.concat_map (fun (_, data) -> Array.to_list data) arrays
+
+let cross_validate name p =
+  require_cc ();
+  match Loopcoal_transform.Emit_c.program_to_c p with
+  | Error m -> Alcotest.failf "%s: emission failed: %s" name m
+  | Ok source -> (
+      match compile_and_run source with
+      | Error m -> Alcotest.failf "%s: %s" name m
+      | Ok values ->
+          let expected = interpreted_arrays p in
+          (* The executable prints arrays first (sorted) then scalars;
+             compare the array prefix. Scalars privatized by OpenMP keep
+             their pre-loop values in C, unlike the sequential
+             interpreter, so they are excluded by design. *)
+          if List.length values < List.length expected then
+            Alcotest.failf "%s: too few output values" name;
+          List.iteri
+            (fun idx want ->
+              let got = List.nth values idx in
+              if abs_float (got -. want) > 1e-9 then
+                Alcotest.failf "%s: array value %d: C %.17g vs interp %.17g"
+                  name idx got want)
+            expected)
+
+let kernels_to_check =
+  (* pi is scalar-only (nothing in the array store) but still checks that
+     the emitted C compiles and runs. *)
+  [ "matmul"; "gauss_jordan"; "stencil"; "swap"; "wavefront"; "transpose";
+    "histogram"; "pi" ]
+
+let test_kernels_plain () =
+  List.iter
+    (fun name -> cross_validate name ((Option.get (Kernels.by_name name)) ()))
+    kernels_to_check
+
+let test_kernels_coalesced () =
+  List.iter
+    (fun name ->
+      let p = (Option.get (Kernels.by_name name)) () in
+      let p', _ = Coalesce.apply_all_program p in
+      cross_validate (name ^ "/coalesced") p')
+    kernels_to_check
+
+let test_kernels_chunk_coalesced () =
+  List.iter
+    (fun name ->
+      let p = (Option.get (Kernels.by_name name)) () in
+      match Coalesce_chunked.apply_program ~chunk:7 p with
+      | Ok p' -> cross_validate (name ^ "/chunked") p'
+      | Error _ -> () (* kernels without a coalescible nest *))
+    kernels_to_check
+
+let test_collapse_mode () =
+  require_cc ();
+  (* collapse-mode emission of the *uncoalesced* nest: OpenMP performs the
+     coalescing. *)
+  let p = Kernels.stencil ~n:9 in
+  match Loopcoal_transform.Emit_c.program_to_c ~collapse:true p with
+  | Error m -> Alcotest.fail m
+  | Ok source ->
+      if
+        not
+          (String.length source > 0
+          && (let found = ref false in
+              String.iteri
+                (fun i _ ->
+                  if
+                    i + 11 <= String.length source
+                    && String.sub source i 11 = "collapse(2)"
+                  then found := true)
+                source;
+              !found))
+      then Alcotest.fail "expected a collapse(2) pragma";
+      (match compile_and_run source with
+      | Error m -> Alcotest.fail m
+      | Ok values ->
+          let expected = interpreted_arrays p in
+          List.iteri
+            (fun idx want ->
+              if abs_float (List.nth values idx -. want) > 1e-9 then
+                Alcotest.failf "collapse: value %d differs" idx)
+            expected)
+
+let test_emission_rejects_invalid () =
+  let bad =
+    Builder.program [ Builder.assign "ghost" (Builder.int 1) ]
+  in
+  match Loopcoal_transform.Emit_c.program_to_c bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid programs must not emit"
+
+let test_expr_emission () =
+  let env = Validate.env_of_program (Builder.program []) in
+  let env = Validate.bind_index env "i" in
+  let cases =
+    [
+      (Builder.(var "i" + int 1), "(i + 1L)");
+      (Builder.cdiv (Builder.var "i") (Builder.int 4), "lc_cdiv(i, 4L)");
+      (Builder.(var "i" % int 3), "(i % 3L)");
+      (Builder.(real 1.5 * var "i"), "(1.5 * (double)i)");
+      (Builder.imin (Builder.var "i") (Builder.int 2), "lc_min(i, 2L)");
+    ]
+  in
+  List.iter
+    (fun (e, want) ->
+      Alcotest.(check string)
+        want want
+        (Loopcoal_transform.Emit_c.expr_to_c env e))
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "expr emission" `Quick test_expr_emission;
+    Alcotest.test_case "rejects invalid programs" `Quick
+      test_emission_rejects_invalid;
+    Alcotest.test_case "kernels (plain)" `Slow test_kernels_plain;
+    Alcotest.test_case "kernels (coalesced)" `Slow test_kernels_coalesced;
+    Alcotest.test_case "kernels (chunk-coalesced)" `Slow
+      test_kernels_chunk_coalesced;
+    Alcotest.test_case "collapse mode" `Slow test_collapse_mode;
+  ]
+
+(* Random-program emission: every generated program must emit, compile
+   and reproduce the interpreter's array store. The generator annotates
+   loops [Parallel] at random — including racy ones — so annotations are
+   first demoted to what the analysis can prove: emitted pragmas then
+   only cover genuinely independent loops, whose execution order cannot
+   matter. Kept small (the C compiler runs per case). *)
+let prop_random_programs_cross_validate =
+  QCheck.Test.make ~name:"random programs emit, compile and agree" ~count:25
+    Gen.arbitrary_program (fun p ->
+      if not (Lazy.force cc_available) then true
+      else
+        let p =
+          { p with Ast.body = Loop_class.infer_and_demote_block p.Ast.body }
+        in
+        match Loopcoal_transform.Emit_c.program_to_c p with
+        | Error _ -> false
+        | Ok source -> (
+            match compile_and_run source with
+            | Error _ -> false
+            | Ok values ->
+                let expected = interpreted_arrays p in
+                List.length values >= List.length expected
+                && List.for_all2
+                     (fun got want -> abs_float (got -. want) <= 1e-9)
+                     (List.filteri
+                        (fun i _ -> i < List.length expected)
+                        values)
+                     expected))
+
+let suite = suite @ [ Gen.to_alcotest prop_random_programs_cross_validate ]

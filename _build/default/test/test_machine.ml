@@ -1,0 +1,240 @@
+(* Machine-simulator tests: exact agreement with analytic bounds on the
+   ideal machine, work conservation, dispatch accounting, queue
+   serialization and the nested fork-join model. *)
+
+open Loopcoal
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-9
+
+let unit_chunk ~start:_ ~len = float_of_int len
+
+let test_static_block_matches_bound () =
+  (* Unit body, zero overhead: completion = ceil(n/p). *)
+  List.iter
+    (fun (n, p) ->
+      let r =
+        Event_sim.simulate ~machine:(Machine.ideal ~p)
+          ~policy:Policy.Static_block ~n ~chunk_cost:unit_chunk
+      in
+      check feq
+        (Printf.sprintf "n=%d p=%d" n p)
+        (float_of_int (Bounds.coalesced_steps ~n ~p))
+        r.Event_sim.completion)
+    [ (100, 16); (100, 7); (3, 8); (1, 1); (0, 4); (1000, 1) ]
+
+let test_work_conservation () =
+  let body ~start ~len =
+    (* arbitrary deterministic positive cost *)
+    float_of_int (len * (2 + (start mod 5)))
+  in
+  List.iter
+    (fun policy ->
+      let n = 237 in
+      let r =
+        Event_sim.simulate ~machine:(Machine.default ~p:9) ~policy ~n
+          ~chunk_cost:body
+      in
+      let busy_total = Array.fold_left ( +. ) 0.0 r.Event_sim.busy in
+      let chunk_total =
+        List.fold_left
+          (fun acc c ->
+            acc +. body ~start:c.Event_sim.start ~len:c.Event_sim.len)
+          0.0 r.Event_sim.trace
+      in
+      check feq (Policy.name policy) chunk_total busy_total;
+      (* every iteration appears exactly once in the trace *)
+      let seen = Array.make (n + 1) 0 in
+      List.iter
+        (fun c ->
+          for j = c.Event_sim.start to c.Event_sim.start + c.Event_sim.len - 1 do
+            seen.(j) <- seen.(j) + 1
+          done)
+        r.Event_sim.trace;
+      for j = 1 to n do
+        if seen.(j) <> 1 then
+          Alcotest.failf "%s: iteration %d seen %d times" (Policy.name policy)
+            j seen.(j)
+      done)
+    [ Policy.Static_block; Policy.Static_cyclic; Policy.Self_sched 1;
+      Policy.Self_sched 10; Policy.Gss ]
+
+let test_completion_lower_bounds () =
+  let machine = Machine.ideal ~p:6 in
+  let chunk_cost ~start ~len =
+    float_of_int len *. (1.0 +. float_of_int (start mod 3))
+  in
+  List.iter
+    (fun policy ->
+      let r = Event_sim.simulate ~machine ~policy ~n:100 ~chunk_cost in
+      let total = Array.fold_left ( +. ) 0.0 r.Event_sim.busy in
+      assert (r.Event_sim.completion +. 1e-9 >= total /. 6.0))
+    [ Policy.Static_block; Policy.Self_sched 4; Policy.Gss ]
+
+let test_gss_dispatch_count_matches () =
+  let n = 500 and p = 8 in
+  let r =
+    Event_sim.simulate ~machine:(Machine.default ~p) ~policy:Policy.Gss ~n
+      ~chunk_cost:unit_chunk
+  in
+  check Alcotest.int "dispatches" (Gss.dispatch_count ~n ~p)
+    r.Event_sim.dispatches;
+  let ss =
+    Event_sim.simulate ~machine:(Machine.default ~p)
+      ~policy:(Policy.Self_sched 1) ~n ~chunk_cost:unit_chunk
+  in
+  check Alcotest.int "SS dispatches = n" n ss.Event_sim.dispatches
+
+let test_serialized_dispatch_hurts () =
+  (* With a serial queue and tiny bodies, dispatch becomes the bottleneck:
+     completion ~ n * dispatch_cost, far above the combining case. *)
+  let n = 400 and p = 16 in
+  let base = Machine.default ~p in
+  let combining =
+    Event_sim.simulate ~machine:base ~policy:(Policy.Self_sched 1) ~n
+      ~chunk_cost:unit_chunk
+  in
+  let serialized =
+    Event_sim.simulate
+      ~machine:{ base with Machine.serialized_dispatch = true }
+      ~policy:(Policy.Self_sched 1) ~n ~chunk_cost:unit_chunk
+  in
+  assert (
+    serialized.Event_sim.completion > 2.0 *. combining.Event_sim.completion);
+  assert (
+    serialized.Event_sim.completion
+    >= float_of_int n *. base.Machine.dispatch_cost)
+
+let test_imbalanced_dynamic_beats_static () =
+  (* Increasing costs (heavy iterations last): static block hands the last
+     processor all the heavy work; GSS's decreasing chunks and pure
+     self-scheduling rebalance. (Heavy-first would defeat GSS too — its
+     first chunk is the largest.) *)
+  let n = 256 and p = 8 in
+  let sizes = [ n ] in
+  let body = Bodies.triangular 4.0 in
+  let chunk_cost =
+    Workload_cost.chunk_cost ~strategy:Index_recovery.Incremental
+      ~sizes ~body
+  in
+  let machine = Machine.default ~p in
+  let run policy = (Event_sim.simulate ~machine ~policy ~n ~chunk_cost).Event_sim.completion in
+  let static = run Policy.Static_block in
+  let gss = run Policy.Gss in
+  let ss = run (Policy.Self_sched 1) in
+  assert (gss < static);
+  assert (ss < static)
+
+let test_nested_ideal_matches_bound () =
+  (* Ideal machine, unit body: nested completion = prod ceil(nk/pk). *)
+  let machine = Machine.ideal ~p:4 in
+  List.iter
+    (fun (shape, alloc) ->
+      let r =
+        Event_sim.simulate_nested ~machine ~shape ~alloc
+          ~body_cost:(Bodies.uniform 1.0)
+      in
+      check feq
+        (Printf.sprintf "shape=%s"
+           (String.concat "x" (List.map string_of_int shape)))
+        (float_of_int (Bounds.nested_steps ~shape ~alloc))
+        r.Event_sim.n_completion)
+    [
+      ([ 10; 10 ], [ 2; 2 ]);
+      ([ 10; 10 ], [ 4; 1 ]);
+      ([ 7; 13; 5 ], [ 1; 4; 1 ]);
+      ([ 3; 3 ], [ 8; 1 ]);
+    ]
+
+let test_nested_fork_count () =
+  let machine = Machine.default ~p:4 in
+  (* Outer-parallel only: the inner loop is serial, one fork total. *)
+  let outer_only =
+    Event_sim.simulate_nested ~machine ~shape:[ 6; 8 ] ~alloc:[ 4; 1 ]
+      ~body_cost:(Bodies.uniform 1.0)
+  in
+  check Alcotest.int "outer-only forks" 1 outer_only.Event_sim.n_forks;
+  (* Inner parallelism: the inner region forks again per outer iteration —
+     the overhead multiplication coalescing removes. *)
+  let both =
+    Event_sim.simulate_nested ~machine ~shape:[ 6; 8 ] ~alloc:[ 2; 2 ]
+      ~body_cost:(Bodies.uniform 1.0)
+  in
+  check Alcotest.int "nested forks" (1 + 6) both.Event_sim.n_forks
+
+let test_nested_overhead_multiplies () =
+  (* A 4x100 nest at p = 16 is the regime coalescing was invented for: the
+     outer loop alone cannot feed 16 processors, and parallelizing the
+     inner loop pays fork + barrier again on every outer iteration. The
+     coalesced loop must beat every per-dimension allocation. *)
+  let p = 16 in
+  let machine = Machine.default ~p in
+  let shape = [ 4; 100 ] in
+  let body = Bodies.uniform 20.0 in
+  let chunk_cost =
+    Workload_cost.chunk_cost ~strategy:Index_recovery.Incremental
+      ~sizes:shape ~body
+  in
+  let coalesced =
+    Event_sim.simulate ~machine ~policy:Policy.Static_block ~n:400 ~chunk_cost
+  in
+  List.iter
+    (fun alloc ->
+      let nested =
+        Event_sim.simulate_nested ~machine ~shape ~alloc ~body_cost:body
+      in
+      if coalesced.Event_sim.completion >= nested.Event_sim.n_completion then
+        Alcotest.failf "coalesced %.0f !< nested(%s) %.0f"
+          coalesced.Event_sim.completion
+          (String.concat "x" (List.map string_of_int alloc))
+          nested.Event_sim.n_completion)
+    (Intmath.factorizations p 2)
+
+let test_rejects_bad_inputs () =
+  Alcotest.check_raises "bad n"
+    (Invalid_argument "Event_sim.simulate: n must be >= 0") (fun () ->
+      ignore
+        (Event_sim.simulate ~machine:(Machine.ideal ~p:2)
+           ~policy:Policy.Static_block ~n:(-1) ~chunk_cost:unit_chunk));
+  Alcotest.check_raises "bad chunk"
+    (Invalid_argument "Event_sim.simulate: chunk size must be >= 1")
+    (fun () ->
+      ignore
+        (Event_sim.simulate ~machine:(Machine.ideal ~p:2)
+           ~policy:(Policy.Self_sched 0) ~n:10 ~chunk_cost:unit_chunk))
+
+let prop_dynamic_work_conserved =
+  QCheck.Test.make ~name:"dynamic simulation conserves iterations" ~count:200
+    (QCheck.triple (QCheck.int_range 0 300) (QCheck.int_range 1 16)
+       (QCheck.int_range 1 9))
+    (fun (n, p, c) ->
+      let r =
+        Event_sim.simulate ~machine:(Machine.default ~p)
+          ~policy:(Policy.Self_sched c) ~n ~chunk_cost:unit_chunk
+      in
+      let covered =
+        List.fold_left (fun acc ch -> acc + ch.Event_sim.len) 0 r.Event_sim.trace
+      in
+      covered = n && Array.fold_left ( +. ) 0.0 r.Event_sim.busy = float_of_int n)
+
+let suite =
+  [
+    Alcotest.test_case "static block matches bound" `Quick
+      test_static_block_matches_bound;
+    Alcotest.test_case "work conservation" `Quick test_work_conservation;
+    Alcotest.test_case "completion lower bounds" `Quick
+      test_completion_lower_bounds;
+    Alcotest.test_case "gss dispatch count" `Quick
+      test_gss_dispatch_count_matches;
+    Alcotest.test_case "serialized dispatch hurts" `Quick
+      test_serialized_dispatch_hurts;
+    Alcotest.test_case "dynamic beats static on imbalance" `Quick
+      test_imbalanced_dynamic_beats_static;
+    Alcotest.test_case "nested matches bound" `Quick
+      test_nested_ideal_matches_bound;
+    Alcotest.test_case "nested fork count" `Quick test_nested_fork_count;
+    Alcotest.test_case "nested overhead multiplies" `Quick
+      test_nested_overhead_multiplies;
+    Alcotest.test_case "rejects bad inputs" `Quick test_rejects_bad_inputs;
+    Gen.to_alcotest prop_dynamic_work_conserved;
+  ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "loopcoal"
+    [
+      ("util", Test_util.suite);
+      ("ir", Test_ir.suite);
+      ("analysis", Test_analysis.suite);
+      ("transform", Test_transform.suite);
+      ("transform2", Test_transform2.suite);
+      ("transform3", Test_transform3.suite);
+      ("soundness", Test_soundness.suite);
+      ("frontend", Test_frontend.suite);
+      ("reporting", Test_reporting.suite);
+      ("emit-c", Test_emit_c.suite);
+      ("sched", Test_sched.suite);
+      ("machine", Test_machine.suite);
+      ("workload", Test_workload.suite);
+      ("driver", Test_driver.suite);
+    ]

@@ -1,0 +1,264 @@
+(* Brute-force soundness checks: the dependence analysis and the distance
+   analysis are compared against exhaustive enumeration of small iteration
+   spaces. The analyses may be conservative (claim a dependence that does
+   not exist) but must never claim independence when a conflict exists —
+   these properties are the foundation every transformation's legality
+   rests on. *)
+
+open Loopcoal
+module G = QCheck.Gen
+module B = Builder
+
+(* A random 1-D affine subscript a*i + b with small coefficients. *)
+type affine_sub = { a : int; b : int }
+
+let sub_gen =
+  let open G in
+  let* a = int_range (-3) 3 in
+  let+ b = int_range (-6) 6 in
+  { a; b }
+
+let sub_expr { a; b } : Ast.expr =
+  Bin (Add, Bin (Mul, Int a, Var "i"), Int b)
+
+let eval_sub { a; b } i = (a * i) + b
+
+(* A conflict between iterations x <> y exists when the two subscript
+   vectors coincide. *)
+let exists_conflict ~lo ~hi subs1 subs2 =
+  let found = ref false in
+  for x = lo to hi do
+    for y = lo to hi do
+      if
+        x <> y
+        && List.for_all2 (fun s1 s2 -> eval_sub s1 x = eval_sub s2 y) subs1 subs2
+      then found := true
+    done
+  done;
+  !found
+
+let case_gen =
+  let open G in
+  let* dims = int_range 1 2 in
+  let* subs1 = flatten_l (List.init dims (fun _ -> sub_gen)) in
+  let* subs2 = flatten_l (List.init dims (fun _ -> sub_gen)) in
+  let* lo = int_range 1 3 in
+  let+ width = int_range 0 8 in
+  (subs1, subs2, lo, lo + width)
+
+let print_case (subs1, subs2, lo, hi) =
+  let show subs =
+    String.concat ", "
+      (List.map (fun s -> Pretty.expr_to_string (sub_expr s)) subs)
+  in
+  Printf.sprintf "A[%s] vs A[%s] on i in [%d, %d]" (show subs1) (show subs2)
+    lo hi
+
+let carried_analysis (subs1, subs2, lo, hi) =
+  Depend.carried ~level:"i" ~range:(Some (lo, hi))
+    ~classify_rest:(fun _ -> Depend.Shared)
+    ~range_of:(fun _ -> None)
+    (List.map sub_expr subs1) (List.map sub_expr subs2)
+
+let prop_carried_sound =
+  QCheck.Test.make
+    ~name:"Depend.carried never misses a real cross-iteration conflict"
+    ~count:2000
+    (QCheck.make ~print:print_case case_gen)
+    (fun ((subs1, subs2, lo, hi) as case) ->
+      (* soundness: real conflict -> analysis reports carried *)
+      (not (exists_conflict ~lo ~hi subs1 subs2)) || carried_analysis case)
+
+let prop_carried_exact_on_strong_siv =
+  (* For equal coefficients (strong SIV) the triangular Banerjee bounds
+     are exact: the analysis must agree with brute force in BOTH
+     directions. *)
+  QCheck.Test.make ~name:"strong SIV carried test is exact" ~count:2000
+    (QCheck.make
+       ~print:(fun (a, b1, b2, lo, w) ->
+         Printf.sprintf "a=%d b1=%d b2=%d range [%d,%d]" a b1 b2 lo (lo + w))
+       G.(
+         let* a = int_range 1 3 in
+         let* b1 = int_range (-6) 6 in
+         let* b2 = int_range (-6) 6 in
+         let* lo = int_range 1 3 in
+         let+ w = int_range 0 8 in
+         (a, b1, b2, lo, w)))
+    (fun (a, b1, b2, lo, w) ->
+      let hi = lo + w in
+      let s1 = { a; b = b1 } and s2 = { a; b = b2 } in
+      exists_conflict ~lo ~hi [ s1 ] [ s2 ]
+      = carried_analysis ([ s1 ], [ s2 ], lo, hi))
+
+(* ---------- distance analysis vs brute force ---------- *)
+
+let min_actual_distance ~lo ~hi subs1 subs2 =
+  let best = ref None in
+  for x = lo to hi do
+    for y = lo to hi do
+      if
+        x <> y
+        && List.for_all2 (fun s1 s2 -> eval_sub s1 x = eval_sub s2 y) subs1 subs2
+      then
+        let d = abs (y - x) in
+        best := Some (match !best with None -> d | Some m -> min m d)
+    done
+  done;
+  !best
+
+let prop_distance_sound =
+  (* If the analysis reports Min_distance d, no conflict may exist at any
+     distance smaller than d (that is what cycle shrinking relies on);
+     No_carried means no conflict at all. *)
+  QCheck.Test.make ~name:"Distance analysis is a valid lower bound"
+    ~count:2000
+    (QCheck.make ~print:print_case case_gen)
+    (fun (subs1, subs2, lo, hi) ->
+      (* Build the loop: body writes A[subs1] and reads A[subs2]. *)
+      let l : Ast.loop =
+        {
+          index = "i";
+          lo = Int lo;
+          hi = Int hi;
+          step = Int 1;
+          par = Serial;
+          body =
+            [
+              Ast.Assign
+                ( Elem ("A", List.map sub_expr subs1),
+                  Load ("A", List.map sub_expr subs2) );
+            ];
+        }
+      in
+      let actual = min_actual_distance ~lo ~hi subs1 subs2 in
+      match Distance.min_carried_distance l with
+      | Distance.Unknown -> true (* always allowed *)
+      | Distance.No_carried -> actual = None
+      | Distance.Min_distance d -> (
+          match actual with
+          | None -> true (* conservative: claimed a dep that is not there *)
+          | Some real -> d <= real))
+
+(* ---------- transformation legality vs brute force ---------- *)
+
+let prop_doall_verdict_sound =
+  (* If the classifier says DOALL, brute force must find no conflict. *)
+  QCheck.Test.make ~name:"Loop_class DOALL verdict is sound" ~count:2000
+    (QCheck.make ~print:print_case case_gen)
+    (fun (subs1, subs2, lo, hi) ->
+      let l : Ast.loop =
+        {
+          index = "i";
+          lo = Int lo;
+          hi = Int hi;
+          step = Int 1;
+          par = Serial;
+          body =
+            [
+              Ast.Assign
+                ( Elem ("A", List.map sub_expr subs1),
+                  Load ("A", List.map sub_expr subs2) );
+            ];
+        }
+      in
+      (not (Loop_class.is_doall l)) || not (exists_conflict ~lo ~hi subs1 subs2))
+
+let suite =
+  [
+    Gen.to_alcotest prop_carried_sound;
+    Gen.to_alcotest prop_carried_exact_on_strong_siv;
+    Gen.to_alcotest prop_distance_sound;
+    Gen.to_alcotest prop_doall_verdict_sound;
+  ]
+
+(* ---------- transformation legality vs actual semantics ----------
+
+   Interchange and fusion decide legality from direction-constrained
+   dependence queries. Here random affine 2-D programs (subscripts chosen
+   to stay in bounds, so every variant executes) check that whenever the
+   transformation accepts, the result is observably equal. *)
+
+let small_shift = G.int_range (-2) 2
+
+(* A[i+a, j+b] over loops i,j in [3, 6] stays within a 10x10 array. *)
+let shifted_ref name =
+  let open G in
+  let* a = small_shift in
+  let+ b = small_shift in
+  (name, a, b)
+
+let two_d_program_gen =
+  let open G in
+  let* w1 = shifted_ref "A" in
+  let* r1 = oneof [ shifted_ref "A"; shifted_ref "Bb" ] in
+  let* w2 = oneof [ shifted_ref "A"; shifted_ref "Bb" ] in
+  let+ r2 = oneof [ shifted_ref "A"; shifted_ref "Bb" ] in
+  let subs a b : Ast.expr list =
+    [ B.(var "i" + int a); B.(var "j" + int b) ] 
+  in
+  let mk_lvalue (name, a, b) : Ast.lvalue = Elem (name, subs a b) in
+  let mk_load (name, a, b) : Ast.expr = Load (name, subs a b) in
+  let body =
+    [
+      Ast.Assign
+        ( mk_lvalue w1,
+          Ast.Bin
+            ( Add,
+              Ast.Bin (Add, mk_load r1, Var "i"),
+              Ast.Bin (Mul, Var "j", Int 3) ) );
+      Ast.Assign (mk_lvalue w2, Ast.Bin (Add, mk_load r2, Var "i"));
+    ]
+  in
+  B.program
+    ~arrays:[ B.array "A" [ 10; 10 ]; B.array "Bb" [ 10; 10 ] ]
+    [
+      B.for_ "i" (B.int 3) (B.int 6)
+        [ B.for_ "j" (B.int 3) (B.int 6) body ];
+    ]
+
+let arbitrary_two_d =
+  QCheck.make ~print:Pretty.program_to_string two_d_program_gen
+
+let prop_interchange_legality_sound =
+  QCheck.Test.make
+    ~name:"accepted interchanges preserve semantics (random affine 2-D)"
+    ~count:500 arbitrary_two_d (fun p ->
+      match p.Ast.body with
+      | [ s ] -> (
+          match Interchange.apply s with
+          | Ok s' ->
+              Result.is_ok
+                (Pipeline.observably_equal ~reference:p
+                   { p with Ast.body = [ s' ] })
+          | Error _ -> true (* declining is always safe *))
+      | _ -> false)
+
+let prop_fusion_legality_sound =
+  QCheck.Test.make
+    ~name:"accepted fusions preserve semantics (random affine loop pairs)"
+    ~count:500
+    (QCheck.pair arbitrary_two_d arbitrary_two_d)
+    (fun (p1, p2) ->
+      (* Take the two outer loops (same headers by construction) as
+         adjacent statements of one program. *)
+      match (p1.Ast.body, p2.Ast.body) with
+      | [ s1 ], [ s2 ] -> (
+          let base =
+            B.program
+              ~arrays:[ B.array "A" [ 10; 10 ]; B.array "Bb" [ 10; 10 ] ]
+              [ s1; s2 ]
+          in
+          match Fuse.apply s1 s2 with
+          | Ok fused ->
+              Result.is_ok
+                (Pipeline.observably_equal ~reference:base
+                   { base with Ast.body = [ fused ] })
+          | Error _ -> true)
+      | _ -> false)
+
+let suite =
+  suite
+  @ [
+      Gen.to_alcotest prop_interchange_legality_sound;
+      Gen.to_alcotest prop_fusion_legality_sound;
+    ]

@@ -1,0 +1,484 @@
+(* Tests for the companion transformations: distribution, fusion, chunked
+   coalescing, reduction parallelization and tiling. *)
+
+open Loopcoal
+module B = Builder
+
+let check = Alcotest.check
+
+let observably_equal p p' =
+  Pipeline.observably_equal ~fuel:500_000 ~reference:p p'
+
+let assert_equal_behaviour name p p' =
+  match observably_equal p p' with
+  | Ok () -> ()
+  | Error detail -> Alcotest.failf "%s: %s" name detail
+
+let arrays_3 = [ B.array "A" [ 8 ]; B.array "B" [ 8 ]; B.array "C" [ 8 ] ]
+
+(* ---------- distribution ---------- *)
+
+let test_distribute_independent () =
+  (* Three statements on disjoint arrays with a forward A->B flow: the
+     A and B statements are ordered, C is free; three loops result. *)
+  let s =
+    B.doall "i" (B.int 1) (B.int 8)
+      [
+        B.store "A" [ B.var "i" ] B.(var "i" + int 1);
+        B.store "B" [ B.var "i" ] (B.load "A" [ B.var "i" ]);
+        B.store "C" [ B.var "i" ] B.(var "i" * int 2);
+      ]
+  in
+  match Distribute.apply s with
+  | Error _ -> Alcotest.fail "should distribute"
+  | Ok pieces ->
+      check Alcotest.int "three loops" 3 (List.length pieces);
+      let p = B.program ~arrays:arrays_3 [ s ] in
+      let p' = B.program ~arrays:arrays_3 pieces in
+      assert_equal_behaviour "distribute" p p';
+      (* order preserved: the A loop must come before the B loop *)
+      let index_of arr =
+        let touches (st : Ast.stmt) =
+          Usedef.Vset.mem arr (Usedef.arrays_touched [ st ])
+        in
+        let rec go i = function
+          | [] -> -1
+          | st :: rest -> if touches st then i else go (i + 1) rest
+        in
+        go 0 pieces
+      in
+      assert (index_of "A" < index_of "B")
+
+let test_distribute_carried_glues () =
+  (* S1 writes A(i); S2 reads A(i-1): carried dependence, same group. *)
+  let s =
+    B.doall "i" (B.int 2) (B.int 8)
+      [
+        B.store "A" [ B.var "i" ] B.(var "i" + int 1);
+        B.store "B" [ B.var "i" ] (B.load "A" [ B.(var "i" - int 1) ]);
+        B.store "C" [ B.var "i" ] (B.int 7);
+      ]
+  in
+  match Distribute.apply s with
+  | Error _ -> Alcotest.fail "C should still split off"
+  | Ok pieces ->
+      check Alcotest.int "two loops" 2 (List.length pieces);
+      (* the A/B group stays together *)
+      let group_sizes =
+        List.map
+          (fun (st : Ast.stmt) ->
+            match st with
+            | Ast.For l -> List.length l.body
+            | _ -> -1)
+          pieces
+      in
+      assert (List.sort compare group_sizes = [ 1; 2 ])
+
+let test_distribute_scalar_glues () =
+  let s =
+    B.doall "i" (B.int 1) (B.int 8)
+      [
+        B.assign "t" (B.load "A" [ B.var "i" ]);
+        B.store "B" [ B.var "i" ] (B.var "t");
+      ]
+  in
+  match Distribute.apply s with
+  | Error (Distribute.Nothing_to_distribute _) -> ()
+  | _ -> Alcotest.fail "scalar flow must glue the statements"
+
+let test_distribute_single_statement () =
+  let s = B.doall "i" (B.int 1) (B.int 8) [ B.store "A" [ B.var "i" ] (B.int 1) ] in
+  match Distribute.apply s with
+  | Error (Distribute.Nothing_to_distribute _) -> ()
+  | _ -> Alcotest.fail "single statement cannot distribute"
+
+let test_distribute_enables_coalescing () =
+  (* The motivating composition: a non-perfect nest (two statements at the
+     outer level) distributes into perfect nests, which then coalesce. *)
+  let p =
+    B.program
+      ~arrays:[ B.array "A" [ 6; 6 ]; B.array "B" [ 6; 6 ] ]
+      [
+        B.doall "i" (B.int 1) (B.int 6)
+          [
+            B.doall "j" (B.int 1) (B.int 6)
+              [ B.store "A" [ B.var "i"; B.var "j" ] B.(var "i" + var "j") ];
+            B.doall "j" (B.int 1) (B.int 6)
+              [ B.store "B" [ B.var "i"; B.var "j" ] B.(var "i" * var "j") ];
+          ];
+      ]
+  in
+  (* before distribution: nothing perfect to coalesce at depth 2 *)
+  let _, n0 = Coalesce.apply_all_program p in
+  check Alcotest.int "no nests before" 0 n0;
+  let distributed, dcount = Distribute.apply_program p in
+  check Alcotest.int "one loop split" 1 dcount;
+  assert_equal_behaviour "distribute" p distributed;
+  let coalesced, n1 = Coalesce.apply_all_program distributed in
+  check Alcotest.int "two nests after" 2 n1;
+  assert_equal_behaviour "distribute+coalesce" p coalesced
+
+let prop_distribute_preserves =
+  QCheck.Test.make ~name:"distribution preserves semantics" ~count:200
+    Gen.arbitrary_program (fun p ->
+      let p', _ = Distribute.apply_program p in
+      Result.is_ok (observably_equal p p'))
+
+(* ---------- fusion ---------- *)
+
+let test_fuse_simple () =
+  let s1 =
+    B.doall "i" (B.int 1) (B.int 8) [ B.store "A" [ B.var "i" ] (B.int 1) ]
+  in
+  let s2 =
+    B.doall "k" (B.int 1) (B.int 8)
+      [ B.store "B" [ B.var "k" ] (B.load "A" [ B.var "k" ]) ]
+  in
+  match Fuse.apply s1 s2 with
+  | Error _ -> Alcotest.fail "should fuse"
+  | Ok fused ->
+      (match fused with
+      | Ast.For l ->
+          check Alcotest.int "two statements" 2 (List.length l.body);
+          assert (l.par = Ast.Parallel)
+      | _ -> Alcotest.fail "expected loop");
+      let p = B.program ~arrays:arrays_3 [ s1; s2 ] in
+      let p' = B.program ~arrays:arrays_3 [ fused ] in
+      assert_equal_behaviour "fuse" p p'
+
+let test_fuse_preventing_dependence () =
+  (* Loop 2 reads A(i+1): under fusion iteration i would read an element
+     the (not yet executed) iteration i+1 of loop 1 writes. *)
+  let s1 =
+    B.doall "i" (B.int 1) (B.int 7) [ B.store "A" [ B.var "i" ] (B.int 1) ]
+  in
+  let s2 =
+    B.doall "i" (B.int 1) (B.int 7)
+      [ B.store "B" [ B.var "i" ] (B.load "A" [ B.(var "i" + int 1) ]) ]
+  in
+  match Fuse.apply s1 s2 with
+  | Error (Fuse.Illegal _) -> ()
+  | _ -> Alcotest.fail "(>) dependence must prevent fusion"
+
+let test_fuse_forward_dep_serializes () =
+  (* Loop 2 reads A(i-1): fusion legal, but the fused loop is carried. *)
+  let s1 =
+    B.doall "i" (B.int 2) (B.int 8) [ B.store "A" [ B.var "i" ] (B.int 1) ]
+  in
+  let s2 =
+    B.doall "i" (B.int 2) (B.int 8)
+      [ B.store "B" [ B.var "i" ] (B.load "A" [ B.(var "i" - int 1) ]) ]
+  in
+  match Fuse.apply s1 s2 with
+  | Error _ -> Alcotest.fail "forward carried dependence permits fusion"
+  | Ok (Ast.For l) ->
+      assert (l.par = Ast.Serial);
+      let p = B.program ~arrays:arrays_3 [ s1; s2 ] in
+      let p' = B.program ~arrays:arrays_3 [ Ast.For l ] in
+      assert_equal_behaviour "fuse forward" p p'
+  | Ok _ -> Alcotest.fail "expected loop"
+
+let test_fuse_header_mismatch () =
+  let s1 = B.doall "i" (B.int 1) (B.int 8) [ B.store "A" [ B.var "i" ] (B.int 1) ] in
+  let s2 = B.doall "i" (B.int 1) (B.int 9) [ B.store "B" [ B.var "i" ] (B.int 1) ] in
+  match Fuse.apply s1 s2 with
+  | Error (Fuse.Not_fusable _) -> ()
+  | _ -> Alcotest.fail "different bounds must not fuse"
+
+let test_fuse_scalar_flow_rejected () =
+  let s1 =
+    B.for_ "i" (B.int 1) (B.int 8) [ B.assign "t" (B.load "A" [ B.var "i" ]) ]
+  in
+  let s2 =
+    B.for_ "i" (B.int 1) (B.int 8) [ B.store "B" [ B.var "i" ] (B.var "t") ]
+  in
+  match Fuse.apply s1 s2 with
+  | Error (Fuse.Illegal _) -> ()
+  | _ -> Alcotest.fail "cross-loop scalar flow must prevent fusion"
+
+let test_fuse_undoes_distribute () =
+  let s =
+    B.doall "i" (B.int 1) (B.int 8)
+      [
+        B.store "A" [ B.var "i" ] B.(var "i" + int 1);
+        B.store "C" [ B.var "i" ] B.(var "i" * int 2);
+      ]
+  in
+  let p = B.program ~arrays:arrays_3 [ s ] in
+  let distributed, _ = Distribute.apply_program p in
+  let refused, count = Fuse.apply_block distributed.Ast.body in
+  check Alcotest.int "one fusion" 1 count;
+  assert_equal_behaviour "fuse.distribute" p { p with Ast.body = refused }
+
+let prop_fuse_preserves =
+  QCheck.Test.make ~name:"fusion preserves semantics" ~count:200
+    Gen.arbitrary_program (fun p ->
+      let body, _ = Fuse.apply_block p.Ast.body in
+      Result.is_ok (observably_equal p { p with Ast.body }))
+
+(* ---------- chunked coalescing ---------- *)
+
+let prop_chunked_coalesce_preserves =
+  QCheck.Test.make
+    ~name:"chunked coalescing preserves semantics (random nests)" ~count:200
+    (QCheck.pair Gen.arbitrary_perfect_nest (QCheck.int_range 1 9))
+    (fun (p, chunk) ->
+      match Coalesce_chunked.apply_program ~chunk p with
+      | Ok p' -> Result.is_ok (observably_equal p p')
+      | Error _ -> false)
+
+let test_chunked_structure () =
+  let p = Kernels.stencil ~n:10 in
+  match Coalesce_chunked.apply_program ~chunk:16 p with
+  | Error _ -> Alcotest.fail "should rewrite"
+  | Ok p' -> (
+      assert_equal_behaviour "chunked stencil" p p';
+      match p'.Ast.body with
+      | Ast.For outer :: _ ->
+          (* 100 iterations in chunks of 16: 7 outer iterations *)
+          check Alcotest.(option int) "7 chunks" (Some 7)
+            (Nest.trip_count outer);
+          assert (outer.par = Ast.Parallel);
+          (* inner serial loop present *)
+          let has_serial_inner =
+            List.exists
+              (fun (s : Ast.stmt) ->
+                match s with
+                | Ast.For l -> l.par = Ast.Serial
+                | _ -> false)
+              outer.body
+          in
+          assert has_serial_inner
+      | _ -> Alcotest.fail "expected loop first")
+
+let test_chunked_cheaper_than_closed_form () =
+  (* The whole point: executed integer ops drop well below the plain
+     coalesced loop's per-iteration closed-form recovery. *)
+  let p = Kernels.stencil ~n:12 in
+  let ops prog =
+    let c = Eval.counters (Eval.run prog) in
+    c.Eval.int_ops + c.Eval.int_divs
+  in
+  let plain, _ = Coalesce.apply_all_program p in
+  match Coalesce_chunked.apply_program ~chunk:32 p with
+  | Error _ -> Alcotest.fail "should rewrite"
+  | Ok chunked -> assert (ops chunked * 2 < ops plain)
+
+let test_chunked_rejects_bad_chunk () =
+  let p = Kernels.stencil ~n:6 in
+  match Coalesce_chunked.apply_program ~chunk:0 p with
+  | Error (Coalesce.Bad_strategy _) -> ()
+  | _ -> Alcotest.fail "chunk 0 must be rejected"
+
+let test_chunked_pipeline_pass () =
+  let p = Kernels.stencil ~n:8 in
+  let o = Pipeline.run [ Pipeline.coalesce_chunked ~chunk:8 ] p in
+  assert (o.Pipeline.verification = None);
+  Alcotest.(check (list string)) "applied" [ "coalesce-chunked(8)" ]
+    o.Pipeline.applied
+
+(* ---------- reduction ---------- *)
+
+let test_reduction_detect () =
+  let body =
+    [
+      B.assign "x" B.((var "c" - real 0.5) / int 100);
+      B.assign "acc" B.(var "acc" + (var "x" * var "x"));
+    ]
+  in
+  match Reduction.detect body with
+  | [ r ] ->
+      check Alcotest.string "scalar" "acc" r.Reduction.scalar;
+      assert (r.Reduction.op = Reduction.Sum)
+  | other -> Alcotest.failf "expected one reduction, got %d" (List.length other)
+
+let test_reduction_detect_product () =
+  let body = [ B.assign "prod" B.(load "V" [ var "i" ] * var "prod") ] in
+  match Reduction.detect body with
+  | [ r ] -> assert (r.Reduction.op = Reduction.Product)
+  | _ -> Alcotest.fail "commutative product form"
+
+let test_reduction_rejects_extra_use () =
+  let body =
+    [
+      B.assign "acc" B.(var "acc" + int 1);
+      B.store "A" [ B.int 1 ] (B.var "acc");
+    ]
+  in
+  check Alcotest.int "no reductions" 0 (List.length (Reduction.detect body))
+
+let test_reduction_rejects_self_rhs () =
+  let body = [ B.assign "acc" B.(var "acc" + (var "acc" * int 2)) ] in
+  check Alcotest.int "no reductions" 0 (List.length (Reduction.detect body))
+
+let test_reduction_rejects_subtraction () =
+  let body = [ B.assign "acc" B.(var "acc" - int 1) ] in
+  check Alcotest.int "no reductions" 0 (List.length (Reduction.detect body))
+
+let reduction_program n =
+  B.program
+    ~arrays:[ B.array "V" [ n ] ]
+    ~scalars:[ B.real_scalar ~init:5.0 "acc" ]
+    [
+      B.doall "i" (B.int 1) (B.int n)
+        [ B.store "V" [ B.var "i" ] B.(var "i" * int 3) ];
+      B.for_ "i" (B.int 1) (B.int n)
+        [ B.assign "acc" B.(var "acc" + load "V" [ var "i" ]) ];
+    ]
+
+let test_parallel_reduce_exact () =
+  (* Integer-valued reals: re-association is exact, so full equality of
+     the final accumulator holds. *)
+  let p = reduction_program 37 in
+  match Parallel_reduce.apply p ~loop_index:"i" ~scalar:"acc" ~processors:8 with
+  | Error _ -> Alcotest.fail "should parallelize"
+  | Ok p' -> (
+      let s1 = Eval.run p and s2 = Eval.run p' in
+      match (Eval.scalar_value s1 "acc", Eval.scalar_value s2 "acc") with
+      | Eval.Vreal a, Eval.Vreal b ->
+          check (Alcotest.float 0.0) "exact sum" a b;
+          (* and the partitioned main loop is parallel *)
+          let has_parallel_q =
+            List.exists
+              (fun (s : Ast.stmt) ->
+                match s with
+                | Ast.For l -> l.par = Ast.Parallel && l.body <> []
+                | _ -> false)
+              p'.Ast.body
+          in
+          assert has_parallel_q
+      | _ -> Alcotest.fail "acc should be real")
+
+let test_parallel_reduce_more_procs_than_iters () =
+  let p = reduction_program 5 in
+  match
+    Parallel_reduce.apply p ~loop_index:"i" ~scalar:"acc" ~processors:16
+  with
+  | Error _ -> Alcotest.fail "should still work"
+  | Ok p' -> (
+      let s1 = Eval.run p and s2 = Eval.run p' in
+      match (Eval.scalar_value s1 "acc", Eval.scalar_value s2 "acc") with
+      | Eval.Vreal a, Eval.Vreal b -> check (Alcotest.float 0.0) "sum" a b
+      | _ -> Alcotest.fail "acc should be real")
+
+let test_parallel_reduce_missing () =
+  let p = Kernels.stencil ~n:6 in
+  match
+    Parallel_reduce.apply p ~loop_index:"i" ~scalar:"nope" ~processors:4
+  with
+  | Error (Parallel_reduce.Not_a_reduction _ | Parallel_reduce.Not_found_loop _)
+    -> ()
+  | _ -> Alcotest.fail "must report missing reduction"
+
+(* ---------- tiling ---------- *)
+
+let tileable_nest n =
+  B.doall "i" (B.int 1) (B.int n)
+    [
+      B.doall "j" (B.int 1) (B.int n)
+        [ B.store "W" [ B.var "i"; B.var "j" ] B.(var "i" * int 10 + var "j") ];
+    ]
+
+let test_tile_structure () =
+  let s = tileable_nest 6 in
+  match Tile.apply ~avoid:[] ~c1:4 ~c2:3 s with
+  | Error _ -> Alcotest.fail "should tile"
+  | Ok (Ast.For it) -> (
+      check Alcotest.(option int) "2 row tiles" (Some 2) (Nest.trip_count it);
+      match it.body with
+      | [ Ast.For jt ] ->
+          check Alcotest.(option int) "2 col tiles" (Some 2)
+            (Nest.trip_count jt);
+          assert (it.par = Ast.Parallel && jt.par = Ast.Parallel)
+      | _ -> Alcotest.fail "expected tile nest")
+  | Ok _ -> Alcotest.fail "expected loop"
+
+let test_tile_preserves_semantics () =
+  let mk body = B.program ~arrays:[ B.array "W" [ 6; 6 ] ] body in
+  let s = tileable_nest 6 in
+  match Tile.apply ~verify_parallel:true ~avoid:[] ~c1:4 ~c2:3 s with
+  | Error _ -> Alcotest.fail "should tile"
+  | Ok s' -> assert_equal_behaviour "tile" (mk [ s ]) (mk [ s' ])
+
+let test_tile_then_coalesce () =
+  (* Tile the space, then coalesce the (parallel) tile loops: the composed
+     schedule form. *)
+  let mk body = B.program ~arrays:[ B.array "W" [ 9; 9 ] ] body in
+  let s = tileable_nest 9 in
+  match Tile.apply ~avoid:[] ~c1:3 ~c2:3 s with
+  | Error _ -> Alcotest.fail "tile failed"
+  | Ok s' -> (
+      let p = mk [ s' ] in
+      match Coalesce.apply_program ~depth:2 p with
+      | Error _ -> Alcotest.fail "tile loops should coalesce"
+      | Ok p' -> assert_equal_behaviour "tile+coalesce" (mk [ s ]) p')
+
+let test_tile_rejects_serial () =
+  let s =
+    B.for_ "i" (B.int 1) (B.int 6)
+      [ B.for_ "j" (B.int 1) (B.int 6) [ B.store "W" [ B.var "i"; B.var "j" ] (B.int 1) ] ]
+  in
+  match Tile.apply ~avoid:[] ~c1:2 ~c2:2 s with
+  | Error (Tile.Not_tileable _) -> ()
+  | _ -> Alcotest.fail "serial nest must not tile"
+
+let test_tile_rejects_bad_sizes () =
+  match Tile.apply ~avoid:[] ~c1:0 ~c2:2 (tileable_nest 6) with
+  | Error (Tile.Bad_tile _) -> ()
+  | _ -> Alcotest.fail "tile size 0 must be rejected"
+
+let suite =
+  [
+    Alcotest.test_case "distribute independent" `Quick
+      test_distribute_independent;
+    Alcotest.test_case "distribute carried glues" `Quick
+      test_distribute_carried_glues;
+    Alcotest.test_case "distribute scalar glues" `Quick
+      test_distribute_scalar_glues;
+    Alcotest.test_case "distribute single stmt" `Quick
+      test_distribute_single_statement;
+    Alcotest.test_case "distribute enables coalescing" `Quick
+      test_distribute_enables_coalescing;
+    Gen.to_alcotest prop_distribute_preserves;
+    Alcotest.test_case "fuse simple" `Quick test_fuse_simple;
+    Alcotest.test_case "fusion-preventing dep" `Quick
+      test_fuse_preventing_dependence;
+    Alcotest.test_case "forward dep serializes" `Quick
+      test_fuse_forward_dep_serializes;
+    Alcotest.test_case "header mismatch" `Quick test_fuse_header_mismatch;
+    Alcotest.test_case "scalar flow rejected" `Quick
+      test_fuse_scalar_flow_rejected;
+    Alcotest.test_case "fuse undoes distribute" `Quick
+      test_fuse_undoes_distribute;
+    Gen.to_alcotest prop_fuse_preserves;
+    Gen.to_alcotest prop_chunked_coalesce_preserves;
+    Alcotest.test_case "chunked structure" `Quick test_chunked_structure;
+    Alcotest.test_case "chunked cheaper ops" `Quick
+      test_chunked_cheaper_than_closed_form;
+    Alcotest.test_case "chunked rejects chunk 0" `Quick
+      test_chunked_rejects_bad_chunk;
+    Alcotest.test_case "chunked pipeline pass" `Quick
+      test_chunked_pipeline_pass;
+    Alcotest.test_case "reduction detect" `Quick test_reduction_detect;
+    Alcotest.test_case "reduction product" `Quick
+      test_reduction_detect_product;
+    Alcotest.test_case "reduction extra use" `Quick
+      test_reduction_rejects_extra_use;
+    Alcotest.test_case "reduction self rhs" `Quick
+      test_reduction_rejects_self_rhs;
+    Alcotest.test_case "reduction subtraction" `Quick
+      test_reduction_rejects_subtraction;
+    Alcotest.test_case "parallel reduce exact" `Quick
+      test_parallel_reduce_exact;
+    Alcotest.test_case "parallel reduce p > n" `Quick
+      test_parallel_reduce_more_procs_than_iters;
+    Alcotest.test_case "parallel reduce missing" `Quick
+      test_parallel_reduce_missing;
+    Alcotest.test_case "tile structure" `Quick test_tile_structure;
+    Alcotest.test_case "tile preserves semantics" `Quick
+      test_tile_preserves_semantics;
+    Alcotest.test_case "tile then coalesce" `Quick test_tile_then_coalesce;
+    Alcotest.test_case "tile rejects serial" `Quick test_tile_rejects_serial;
+    Alcotest.test_case "tile rejects bad sizes" `Quick
+      test_tile_rejects_bad_sizes;
+  ]

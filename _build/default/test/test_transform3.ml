@@ -1,0 +1,380 @@
+(* Tests for dependence distances, cycle shrinking, the factoring policy
+   and the program profiler. *)
+
+open Loopcoal
+module B = Builder
+
+let check = Alcotest.check
+
+let observably_equal p p' =
+  Pipeline.observably_equal ~fuel:500_000 ~reference:p p'
+
+(* ---------- Distance ---------- *)
+
+let loop_of = function
+  | Ast.For l -> l
+  | _ -> Alcotest.fail "expected loop"
+
+let test_distance_simple_recurrence () =
+  let l =
+    loop_of
+      (B.for_ "i" (B.int 1) (B.int 20)
+         [ B.store "A" [ B.(var "i" + int 4) ] (B.load "A" [ B.var "i" ]) ])
+  in
+  match Distance.min_carried_distance l with
+  | Distance.Min_distance 4 -> ()
+  | Distance.Min_distance d -> Alcotest.failf "expected 4, got %d" d
+  | _ -> Alcotest.fail "expected a constant distance"
+
+let test_distance_takes_minimum () =
+  let l =
+    loop_of
+      (B.for_ "i" (B.int 1) (B.int 20)
+         [
+           B.store "A" [ B.(var "i" + int 6) ] (B.load "A" [ B.var "i" ]);
+           B.store "B" [ B.(var "i" + int 3) ] (B.load "B" [ B.var "i" ]);
+         ])
+  in
+  match Distance.min_carried_distance l with
+  | Distance.Min_distance 3 -> ()
+  | _ -> Alcotest.fail "minimum of 6 and 3 is 3"
+
+let test_distance_doall () =
+  let l =
+    loop_of
+      (B.for_ "i" (B.int 1) (B.int 20)
+         [ B.store "A" [ B.var "i" ] (B.load "B" [ B.var "i" ]) ])
+  in
+  assert (Distance.min_carried_distance l = Distance.No_carried)
+
+let test_distance_out_of_range () =
+  (* distance 30 on a 10-iteration loop: never realized. *)
+  let l =
+    loop_of
+      (B.for_ "i" (B.int 1) (B.int 10)
+         [ B.store "A" [ B.(var "i" + int 30) ] (B.load "A" [ B.var "i" ]) ])
+  in
+  assert (Distance.min_carried_distance l = Distance.No_carried)
+
+let test_distance_constant_cell () =
+  (* A(1) written every iteration: conflicts at every distance. *)
+  let l =
+    loop_of
+      (B.for_ "i" (B.int 1) (B.int 10)
+         [ B.store "A" [ B.int 1 ] (B.var "i") ])
+  in
+  assert (Distance.min_carried_distance l = Distance.Min_distance 1)
+
+let test_distance_unknown_nonaffine () =
+  let l =
+    loop_of
+      (B.for_ "i" (B.int 1) (B.int 10)
+         [ B.store "A" [ B.(var "i" * var "i") ] (B.load "A" [ B.var "i" ]) ])
+  in
+  assert (Distance.min_carried_distance l = Distance.Unknown)
+
+let test_distance_conflicting_dims_independent () =
+  (* dim1 forces distance 2, dim2 forces distance 5: impossible. *)
+  let l =
+    loop_of
+      (B.for_ "i" (B.int 1) (B.int 10)
+         [
+           B.store "W"
+             [ B.(var "i" + int 2); B.(var "i" + int 5) ]
+             (B.load "W" [ B.var "i"; B.var "i" ]);
+         ])
+  in
+  assert (Distance.min_carried_distance l = Distance.No_carried)
+
+let test_distance_inner_private_ok () =
+  (* A(i+2, j) vs A(i, j): the private j dimension is satisfiable at
+     distance 0; the level dimension forces 2. *)
+  let l =
+    loop_of
+      (B.for_ "i" (B.int 1) (B.int 10)
+         [
+           B.for_ "j" (B.int 1) (B.int 5)
+             [
+               B.store "W"
+                 [ B.(var "i" + int 2); B.var "j" ]
+                 (B.load "W" [ B.var "i"; B.var "j" ]);
+             ];
+         ])
+  in
+  assert (Distance.min_carried_distance l = Distance.Min_distance 2)
+
+let test_distance_scalar_blocks () =
+  let l =
+    loop_of
+      (B.for_ "i" (B.int 1) (B.int 10)
+         [ B.assign "s" B.(var "s" + var "i") ])
+  in
+  assert (Distance.min_carried_distance l = Distance.Unknown)
+
+(* ---------- Cycle shrinking ---------- *)
+
+let recurrence_program ~n ~dist =
+  B.program
+    ~arrays:[ B.array "A" [ n + dist ]; B.array "B" [ n + dist ] ]
+    [
+      B.doall "i" (B.int 1) (B.int (n + dist))
+        [ B.store "A" [ B.var "i" ] B.(var "i" * int 2) ];
+      B.doall "i" (B.int 1) (B.int (n + dist))
+        [ B.store "B" [ B.var "i" ] B.(int 100 - var "i") ];
+      B.for_ "i" (B.int 1) (B.int n)
+        [
+          B.store "A" [ B.(var "i" + int dist) ] B.(load "B" [ var "i" ] + real 1.0);
+          B.store "B" [ B.(var "i" + int dist) ] B.(load "A" [ var "i" ] * real 2.0);
+        ];
+    ]
+
+let test_cycle_shrink_semantics () =
+  let p = recurrence_program ~n:30 ~dist:5 in
+  let p', factors = Cycle_shrink.apply_program p in
+  Alcotest.(check (list int)) "lambda" [ 5 ] factors;
+  match observably_equal p p' with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "cycle shrinking broke semantics: %s" d
+
+let test_cycle_shrink_structure () =
+  let p = recurrence_program ~n:30 ~dist:5 in
+  let p', _ = Cycle_shrink.apply_program p in
+  match List.nth p'.Ast.body 2 with
+  | Ast.For outer -> (
+      assert (outer.par = Ast.Serial);
+      check Alcotest.(option int) "6 groups" (Some 6) (Nest.trip_count outer);
+      match outer.body with
+      | [ Ast.For inner ] -> assert (inner.par = Ast.Parallel)
+      | _ -> Alcotest.fail "expected inner loop")
+  | _ -> Alcotest.fail "expected loop"
+
+let test_cycle_shrink_skips_doall () =
+  let s =
+    B.for_ "i" (B.int 1) (B.int 10)
+      [ B.store "A" [ B.var "i" ] (B.int 1) ]
+  in
+  match Cycle_shrink.apply ~avoid:[] s with
+  | Error (Cycle_shrink.Not_applicable _) -> ()
+  | _ -> Alcotest.fail "a DOALL has nothing to shrink"
+
+let test_cycle_shrink_skips_distance_1 () =
+  let s =
+    B.for_ "i" (B.int 2) (B.int 10)
+      [ B.store "A" [ B.var "i" ] (B.load "A" [ B.(var "i" - int 1) ]) ]
+  in
+  match Cycle_shrink.apply ~avoid:[] s with
+  | Error (Cycle_shrink.Not_applicable _) -> ()
+  | _ -> Alcotest.fail "distance 1 must not shrink"
+
+let test_cycle_shrink_normalizes () =
+  (* non-unit lower bound: normalization happens on the fly *)
+  let p =
+    B.program
+      ~arrays:[ B.array "A" [ 30 ] ]
+      [
+        B.doall "i" (B.int 1) (B.int 30)
+          [ B.store "A" [ B.var "i" ] B.(var "i") ];
+        B.for_ "i" (B.int 3) (B.int 24)
+          [ B.store "A" [ B.(var "i" + int 4) ] (B.load "A" [ B.var "i" ]) ];
+      ]
+  in
+  let p', factors = Cycle_shrink.apply_program p in
+  Alcotest.(check (list int)) "lambda" [ 4 ] factors;
+  match observably_equal p p' with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "broke: %s" d
+
+(* ---------- Factoring ---------- *)
+
+let test_factoring_sequence () =
+  (* n=100, p=4: batches of 4 chunks of ceil(R/8):
+     13 13 13 13 (48 left) 6 6 6 6 (24) 3 3 3 3 (12) 2 2 2 2 (4) 1 1 1 1 *)
+  Alcotest.(check (list int))
+    "sequence"
+    [ 13; 13; 13; 13; 6; 6; 6; 6; 3; 3; 3; 3; 2; 2; 2; 2; 1; 1; 1; 1 ]
+    (Factoring.chunk_sizes ~n:100 ~p:4)
+
+let prop_factoring_sums =
+  QCheck.Test.make ~name:"factoring chunks sum to n" ~count:300
+    (QCheck.pair (QCheck.int_range 0 5000) (QCheck.int_range 1 64))
+    (fun (n, p) ->
+      let chunks = Factoring.chunk_sizes ~n ~p in
+      List.fold_left ( + ) 0 chunks = n
+      && List.for_all (fun c -> c >= 1) chunks
+      && List.length chunks = Factoring.dispatch_count ~n ~p)
+
+let test_factoring_simulated_matches_sequence () =
+  let n = 500 and p = 8 in
+  let r =
+    Event_sim.simulate ~machine:(Machine.default ~p) ~policy:Policy.Factoring
+      ~n ~chunk_cost:(fun ~start:_ ~len -> float_of_int len)
+  in
+  check Alcotest.int "dispatch count" (Factoring.dispatch_count ~n ~p)
+    r.Event_sim.dispatches;
+  let covered =
+    List.fold_left (fun acc c -> acc + c.Event_sim.len) 0 r.Event_sim.trace
+  in
+  check Alcotest.int "covered" n covered
+
+let test_factoring_balances_triangular () =
+  let n = 256 and p = 8 in
+  let body = Bodies.triangular 4.0 in
+  let chunk_cost =
+    Workload_cost.chunk_cost ~strategy:Index_recovery.Incremental
+      ~sizes:[ n ] ~body
+  in
+  let machine = Machine.default ~p in
+  let run policy =
+    (Event_sim.simulate ~machine ~policy ~n ~chunk_cost).Event_sim.completion
+  in
+  assert (run Policy.Factoring < run Policy.Static_block)
+
+(* ---------- Driver profiling ---------- *)
+
+let test_profile_matmul () =
+  let p = Kernels.matmul ~ra:6 ~ca:5 ~cb:4 in
+  match Driver.profile_first_nest p with
+  | Error m -> Alcotest.fail m
+  | Ok prof ->
+      (* the first nest is the 6x5 initialization of A *)
+      Alcotest.(check (list int)) "shape" [ 6; 5 ] prof.Driver.p_shape;
+      check Alcotest.int "iterations" 30 prof.Driver.p_iterations;
+      assert (prof.Driver.p_body_cost > 0.0)
+
+let test_profile_no_constant_nest () =
+  let p =
+    B.program
+      ~scalars:[ B.int_scalar ~init:3 "n" ]
+      ~arrays:[ B.array "A" [ 10 ] ]
+      [
+        B.doall "i" (B.int 1) (B.var "n")
+          [ B.store "A" [ B.var "i" ] (B.int 1) ];
+      ]
+  in
+  match Driver.profile_first_nest p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "symbolic bounds must not profile"
+
+let test_schedule_program () =
+  let p = Kernels.stencil ~n:16 in
+  match Driver.schedule_program ~p:8 p with
+  | Error m -> Alcotest.fail m
+  | Ok (prof, lines) ->
+      Alcotest.(check (list int)) "shape" [ 16; 16 ] prof.Driver.p_shape;
+      check Alcotest.int "three schedules" 3 (List.length lines);
+      List.iter (fun (l : Driver.sim_line) -> assert (l.Driver.completion > 0.0)) lines
+
+let suite =
+  [
+    Alcotest.test_case "distance recurrence" `Quick
+      test_distance_simple_recurrence;
+    Alcotest.test_case "distance minimum" `Quick test_distance_takes_minimum;
+    Alcotest.test_case "distance doall" `Quick test_distance_doall;
+    Alcotest.test_case "distance out of range" `Quick
+      test_distance_out_of_range;
+    Alcotest.test_case "distance constant cell" `Quick
+      test_distance_constant_cell;
+    Alcotest.test_case "distance non-affine" `Quick
+      test_distance_unknown_nonaffine;
+    Alcotest.test_case "distance conflicting dims" `Quick
+      test_distance_conflicting_dims_independent;
+    Alcotest.test_case "distance inner private" `Quick
+      test_distance_inner_private_ok;
+    Alcotest.test_case "distance scalar blocks" `Quick
+      test_distance_scalar_blocks;
+    Alcotest.test_case "cycle shrink semantics" `Quick
+      test_cycle_shrink_semantics;
+    Alcotest.test_case "cycle shrink structure" `Quick
+      test_cycle_shrink_structure;
+    Alcotest.test_case "cycle shrink skips doall" `Quick
+      test_cycle_shrink_skips_doall;
+    Alcotest.test_case "cycle shrink skips distance 1" `Quick
+      test_cycle_shrink_skips_distance_1;
+    Alcotest.test_case "cycle shrink normalizes" `Quick
+      test_cycle_shrink_normalizes;
+    Alcotest.test_case "factoring sequence" `Quick test_factoring_sequence;
+    Gen.to_alcotest prop_factoring_sums;
+    Alcotest.test_case "factoring simulated" `Quick
+      test_factoring_simulated_matches_sequence;
+    Alcotest.test_case "factoring balances" `Quick
+      test_factoring_balances_triangular;
+    Alcotest.test_case "profile matmul" `Quick test_profile_matmul;
+    Alcotest.test_case "profile symbolic" `Quick test_profile_no_constant_nest;
+    Alcotest.test_case "schedule program" `Quick test_schedule_program;
+  ]
+
+(* ---------- DOACROSS simulation ---------- *)
+
+let test_doacross_serial_when_lambda_1 () =
+  (* distance 1: fully serialized, completion >= n*(body+sync) - sync. *)
+  let machine = Machine.ideal ~p:8 in
+  let r =
+    Event_sim.simulate_doacross ~machine ~n:100 ~lambda:1 ~sync_cost:5.0
+      ~body_cost:(fun _ -> 10.0)
+  in
+  Alcotest.(check (float 1e-9))
+    "chain" ((100.0 *. 10.0) +. (99.0 *. 5.0)) r.Event_sim.d_completion;
+  Alcotest.(check int) "syncs" 99 r.Event_sim.d_syncs
+
+let test_doacross_parallel_when_lambda_large () =
+  (* distance >= n: no waits at all; bounded by the round-robin share. *)
+  let machine = Machine.ideal ~p:4 in
+  let r =
+    Event_sim.simulate_doacross ~machine ~n:100 ~lambda:100 ~sync_cost:5.0
+      ~body_cost:(fun _ -> 10.0)
+  in
+  Alcotest.(check (float 1e-9)) "share-bound" 250.0 r.Event_sim.d_completion;
+  Alcotest.(check int) "no syncs" 0 r.Event_sim.d_syncs
+
+let test_doacross_work_conserved () =
+  let machine = Machine.default ~p:6 in
+  let r =
+    Event_sim.simulate_doacross ~machine ~n:157 ~lambda:4 ~sync_cost:3.0
+      ~body_cost:(fun i -> float_of_int (1 + (i mod 7)))
+  in
+  let total = ref 0.0 in
+  for i = 1 to 157 do
+    total := !total +. float_of_int (1 + (i mod 7))
+  done;
+  Alcotest.(check (float 1e-9))
+    "busy" !total
+    (Array.fold_left ( +. ) 0.0 r.Event_sim.d_busy)
+
+let test_doacross_monotone_in_lambda () =
+  let machine = Machine.ideal ~p:8 in
+  let run lambda =
+    (Event_sim.simulate_doacross ~machine ~n:200 ~lambda ~sync_cost:2.0
+       ~body_cost:(fun _ -> 10.0))
+      .Event_sim.d_completion
+  in
+  let times = List.map run [ 1; 2; 4; 8; 16 ] in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a +. 1e-9 >= b && non_increasing rest
+    | _ -> true
+  in
+  assert (non_increasing times)
+
+let test_doacross_rejects_bad_inputs () =
+  let machine = Machine.ideal ~p:2 in
+  Alcotest.check_raises "lambda 0"
+    (Invalid_argument "Event_sim.simulate_doacross: lambda must be >= 1")
+    (fun () ->
+      ignore
+        (Event_sim.simulate_doacross ~machine ~n:10 ~lambda:0 ~sync_cost:0.0
+           ~body_cost:(fun _ -> 1.0)))
+
+let doacross_suite =
+  [
+    Alcotest.test_case "doacross lambda=1 serial" `Quick
+      test_doacross_serial_when_lambda_1;
+    Alcotest.test_case "doacross lambda>=n parallel" `Quick
+      test_doacross_parallel_when_lambda_large;
+    Alcotest.test_case "doacross work conserved" `Quick
+      test_doacross_work_conserved;
+    Alcotest.test_case "doacross monotone" `Quick
+      test_doacross_monotone_in_lambda;
+    Alcotest.test_case "doacross bad inputs" `Quick
+      test_doacross_rejects_bad_inputs;
+  ]
+
+let suite = suite @ doacross_suite

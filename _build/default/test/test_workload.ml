@@ -1,0 +1,173 @@
+(* Workload library tests: body models, cost adapters, kernel reference
+   agreement. *)
+
+open Loopcoal
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-9
+
+let test_bodies_uniform_total () =
+  check feq "total" 60.0 (Bodies.total ~shape:[ 3; 4 ] (Bodies.uniform 5.0))
+
+let test_bodies_triangular () =
+  let b = Bodies.triangular 2.0 in
+  check feq "i=3" 6.0 (b [ 3; 99 ]);
+  (* total over 4x2: 2 * (1+2+3+4) * 2 columns *)
+  check feq "total" 40.0 (Bodies.total ~shape:[ 4; 2 ] b)
+
+let test_bodies_anti_triangular () =
+  let b = Bodies.anti_triangular ~shape:[ 5; 2 ] 1.0 in
+  check feq "first heaviest" 5.0 (b [ 1; 1 ]);
+  check feq "last lightest" 1.0 (b [ 5; 2 ])
+
+let test_bodies_random_deterministic () =
+  let b = Bodies.random_uniform ~seed:11 ~lo:1.0 ~hi:9.0 in
+  check feq "stable" (b [ 2; 3 ]) (b [ 2; 3 ]);
+  assert (b [ 2; 3 ] >= 1.0 && b [ 2; 3 ] < 9.0);
+  let b2 = Bodies.random_uniform ~seed:12 ~lo:1.0 ~hi:9.0 in
+  assert (b [ 2; 3 ] <> b2 [ 2; 3 ])
+
+let test_bodies_bimodal () =
+  let b = Bodies.bimodal ~seed:5 ~ratio:0.25 ~small:1.0 ~big:50.0 in
+  let count_big = ref 0 in
+  for i = 1 to 1000 do
+    if b [ i ] = 50.0 then incr count_big
+    else if b [ i ] <> 1.0 then Alcotest.fail "value outside modes"
+  done;
+  (* roughly a quarter, generous tolerance *)
+  assert (!count_big > 150 && !count_big < 350)
+
+let test_chunk_cost_sums_bodies () =
+  let sizes = [ 4; 5 ] in
+  let body = Bodies.triangular 1.0 in
+  (* chunk covering the whole space with incremental recovery: body part
+     equals the total *)
+  let c =
+    Workload_cost.chunk_cost ~strategy:Index_recovery.Incremental ~sizes
+      ~body ~start:1 ~len:20
+  in
+  let body_total = Bodies.total ~shape:sizes body in
+  assert (c > body_total);
+  (* additivity of the body part: splitting a closed-form chunk in two
+     preserves total cost exactly (recovery is per-iteration) *)
+  let f s l =
+    Workload_cost.chunk_cost ~strategy:Index_recovery.Ceiling ~sizes ~body
+      ~start:s ~len:l
+  in
+  check feq "split" (f 1 20) (f 1 8 +. f 9 12)
+
+let test_recovery_per_iteration_orders () =
+  let sizes = [ 8; 8; 8 ] in
+  let r s = Workload_cost.recovery_per_iteration s ~sizes in
+  assert (r Index_recovery.Incremental < r Index_recovery.Ceiling);
+  assert (r Index_recovery.Incremental < r Index_recovery.Div_mod)
+
+let test_shapes_lookup () =
+  (match Shapes.find "10x10" with
+  | Some s -> Alcotest.(check (list int)) "shape" [ 10; 10 ] s.Shapes.shape
+  | None -> Alcotest.fail "missing shape");
+  assert (Shapes.find "nope" = None);
+  assert (List.length Shapes.standard = 5);
+  List.iter
+    (fun s -> assert (s.Shapes.shape <> []))
+    (Shapes.standard @ Shapes.deep)
+
+(* ---------- kernels vs references ---------- *)
+
+let test_gauss_jordan_reference () =
+  let p = Kernels.gauss_jordan ~n:7 ~m:3 in
+  let st = Eval.run p in
+  Alcotest.(check (array (float 1e-9)))
+    "X" (Kernels.gauss_jordan_reference ~n:7 ~m:3)
+    (Eval.array_contents st "X")
+
+let test_gauss_jordan_solves () =
+  (* Independent check: A * X ~= B for the generated system. *)
+  let n = 6 and m = 2 in
+  let x = Kernels.gauss_jordan_reference ~n ~m in
+  for i = 1 to n do
+    for t = 1 to m do
+      let lhs = ref 0.0 in
+      for j = 1 to n do
+        let a = if i = j then float_of_int (n + 1) else 1.0 in
+        lhs := !lhs +. (a *. x.(((j - 1) * m) + (t - 1)))
+      done;
+      let b = float_of_int (i + t) in
+      if abs_float (!lhs -. b) > 1e-6 then
+        Alcotest.failf "residual %g at (%d,%d)" (abs_float (!lhs -. b)) i t
+    done
+  done
+
+let test_pi_reference () =
+  let p = Kernels.calculate_pi ~intervals:2000 in
+  let st = Eval.run p in
+  (match Eval.scalar_value st "pi_val" with
+  | Eval.Vreal v ->
+      check (Alcotest.float 1e-12) "matches reference"
+        (Kernels.calculate_pi_reference ~intervals:2000) v;
+      assert (abs_float (v -. 4.0 *. atan 1.0) < 1e-4)
+  | Eval.Vint _ -> Alcotest.fail "pi should be real")
+
+let test_stencil_reference () =
+  let p = Kernels.stencil ~n:9 in
+  let st = Eval.run p in
+  Alcotest.(check (array (float 1e-9)))
+    "B" (Kernels.stencil_reference ~n:9)
+    (Eval.array_contents st "B")
+
+let test_swap_behaviour () =
+  let p = Kernels.swap ~n:10 in
+  let st = Eval.run p in
+  let a = Eval.array_contents st "A" and b = Eval.array_contents st "B" in
+  for i = 1 to 10 do
+    check feq "A holds old B" (100.0 +. float_of_int i) a.(i - 1);
+    check feq "B holds old A" (float_of_int (i * 3)) b.(i - 1)
+  done
+
+let test_kernels_by_name_complete () =
+  List.iter
+    (fun name ->
+      match Kernels.by_name name with
+      | Some mk -> ignore (Eval.run (mk ()))
+      | None -> Alcotest.failf "missing kernel %s" name)
+    Kernels.all_names;
+  assert (Kernels.by_name "missing" = None)
+
+let test_kernel_annotations_sound () =
+  (* Every Parallel annotation in every kernel must either be confirmed by
+     the analysis or appear on a loop whose independence relies on
+     programmer knowledge. We check the strongest statement that holds:
+     coalescing + interpreting preserves semantics for all of them. *)
+  List.iter
+    (fun name ->
+      let mk = Option.get (Kernels.by_name name) in
+      let p = mk () in
+      let p', _ = Coalesce.apply_all_program p in
+      match Pipeline.observably_equal ~fuel:1_000_000 ~reference:p p' with
+      | Ok () -> ()
+      | Error d -> Alcotest.failf "%s: %s" name d)
+    Kernels.all_names
+
+let suite =
+  [
+    Alcotest.test_case "uniform total" `Quick test_bodies_uniform_total;
+    Alcotest.test_case "triangular" `Quick test_bodies_triangular;
+    Alcotest.test_case "anti-triangular" `Quick test_bodies_anti_triangular;
+    Alcotest.test_case "random deterministic" `Quick
+      test_bodies_random_deterministic;
+    Alcotest.test_case "bimodal" `Quick test_bodies_bimodal;
+    Alcotest.test_case "chunk cost sums bodies" `Quick
+      test_chunk_cost_sums_bodies;
+    Alcotest.test_case "recovery cost ordering" `Quick
+      test_recovery_per_iteration_orders;
+    Alcotest.test_case "shapes lookup" `Quick test_shapes_lookup;
+    Alcotest.test_case "gauss-jordan reference" `Quick
+      test_gauss_jordan_reference;
+    Alcotest.test_case "gauss-jordan solves" `Quick test_gauss_jordan_solves;
+    Alcotest.test_case "pi reference" `Quick test_pi_reference;
+    Alcotest.test_case "stencil reference" `Quick test_stencil_reference;
+    Alcotest.test_case "swap behaviour" `Quick test_swap_behaviour;
+    Alcotest.test_case "kernels by name" `Quick test_kernels_by_name_complete;
+    Alcotest.test_case "kernels coalesce soundly" `Quick
+      test_kernel_annotations_sound;
+  ]
