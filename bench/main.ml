@@ -4,6 +4,7 @@
      dune exec bench/main.exe            # every experiment + micro-benches
      dune exec bench/main.exe e3 e5     # selected experiments
      dune exec bench/main.exe micro     # Bechamel micro-benchmarks only
+     dune exec bench/main.exe runtime   # multicore runtime vs interpreter
 
    Each experiment regenerates one reconstructed table or figure of the
    evaluation (see DESIGN.md and EXPERIMENTS.md). *)
@@ -12,7 +13,8 @@ let usage () =
   print_endline "usage: main.exe [e1..e8 | micro | all]...";
   print_endline "available experiments:";
   List.iter (fun (id, _) -> Printf.printf "  %s\n" id) Experiments.all;
-  print_endline "  micro"
+  print_endline "  micro";
+  print_endline "  runtime"
 
 let run_id id =
   match List.assoc_opt id Experiments.all with
@@ -20,9 +22,11 @@ let run_id id =
   | None -> (
       match id with
       | "micro" -> Micro.run ()
+      | "runtime" -> Runtime_bench.run ()
       | "all" ->
           List.iter (fun (_, f) -> f ()) Experiments.all;
-          Micro.run ()
+          Micro.run ();
+          Runtime_bench.run ()
       | _ ->
           Printf.printf "unknown experiment %S\n" id;
           usage ();

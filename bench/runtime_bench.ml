@@ -1,0 +1,201 @@
+(* Runtime bench: measured wall-clock for the compiled multicore runtime
+   vs the tree-walking interpreter, across kernels, scheduling policies
+   and domain counts — with the event simulator's predicted speedup
+   alongside, so the paper's analytic claims can be compared against
+   real execution on every PR.
+
+   Emits BENCH_runtime.json (machine-readable, one record per
+   measurement) and prints a summary table. *)
+
+open Loopcoal
+module Exec = Runtime.Exec
+module Compile = Runtime.Compile
+module Pool = Runtime.Pool
+
+let now () = Unix.gettimeofday ()
+
+(* Minimum of [reps] timed runs; [f] must be self-contained. *)
+let time_min reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = now () in
+    f ();
+    let dt = now () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type record = {
+  kernel : string;
+  engine : string;  (* "interpreter" | "compiled" *)
+  policy : string option;
+  domains : int;
+  iters : int;
+  time_s : float;
+  speedup_vs_interp : float option;
+  speedup_vs_1dom : float option;
+  predicted_speedup : float option;
+}
+
+let ns_per_iter r = r.time_s *. 1e9 /. float_of_int (max 1 r.iters)
+
+let json_of_record r =
+  let opt_f = function
+    | None -> "null"
+    | Some x -> Printf.sprintf "%.4f" x
+  in
+  let opt_s = function
+    | None -> "null"
+    | Some s -> Printf.sprintf "%S" s
+  in
+  Printf.sprintf
+    "    {\"kernel\": %S, \"engine\": %S, \"policy\": %s, \"domains\": %d, \
+     \"iters\": %d, \"time_s\": %.6f, \"ns_per_iter\": %.2f, \
+     \"speedup_vs_interp\": %s, \"speedup_vs_1dom\": %s, \
+     \"predicted_speedup\": %s}"
+    r.kernel r.engine (opt_s r.policy) r.domains r.iters r.time_s
+    (ns_per_iter r)
+    (opt_f r.speedup_vs_interp)
+    (opt_f r.speedup_vs_1dom)
+    (opt_f r.predicted_speedup)
+
+let bench_policies =
+  [
+    Policy.Static_block;
+    Policy.Static_cyclic;
+    Policy.Self_sched 1;
+    Policy.Self_sched 16;
+    Policy.Gss;
+    Policy.Factoring;
+    Policy.Trapezoid;
+  ]
+
+let domain_counts =
+  let host = Domain.recommended_domain_count () in
+  List.sort_uniq compare [ 1; 2; 4; min 8 host ]
+
+(* Predicted coalesced speedup from the event simulator at p domains,
+   using the interpreter-profiled body cost of the kernel's first
+   constant nest (the same pipeline `loopc schedule` uses). *)
+let predicted prog ~policy ~p =
+  match Driver.schedule_program ~policy ~p prog with
+  | Error _ -> None
+  | Ok (_, lines) -> (
+      match lines with
+      | (l : Driver.sim_line) :: _ -> Some l.Driver.speedup
+      | [] -> None)
+
+let bench_kernel ~out (name, mk) =
+  let prog : Ast.program = mk () in
+  (* Iteration count measured once by the reference interpreter; the
+     same denominator is used for every engine so ns/iter is
+     comparable. *)
+  let st = Eval.run ~fuel:max_int prog in
+  let iters = (Eval.counters st).Eval.loop_iters in
+  let t_interp = time_min 3 (fun () -> ignore (Eval.run ~fuel:max_int prog)) in
+  out
+    {
+      kernel = name;
+      engine = "interpreter";
+      policy = None;
+      domains = 1;
+      iters;
+      time_s = t_interp;
+      speedup_vs_interp = None;
+      speedup_vs_1dom = None;
+      predicted_speedup = None;
+    };
+  let compiled = Compile.compile prog in
+  let t_seq =
+    time_min 5 (fun () -> ignore (Exec.run_compiled ~domains:1 compiled))
+  in
+  out
+    {
+      kernel = name;
+      engine = "compiled";
+      policy = None;
+      domains = 1;
+      iters;
+      time_s = t_seq;
+      speedup_vs_interp = Some (t_interp /. t_seq);
+      speedup_vs_1dom = Some 1.0;
+      predicted_speedup = None;
+    };
+  List.iter
+    (fun domains ->
+      if domains > 1 then
+        Pool.with_pool domains (fun pool ->
+            List.iter
+              (fun policy ->
+                let t_par =
+                  time_min 3 (fun () ->
+                      ignore (Exec.run_compiled ~pool ~policy compiled))
+                in
+                out
+                  {
+                    kernel = name;
+                    engine = "compiled";
+                    policy = Some (Policy.name policy);
+                    domains;
+                    iters;
+                    time_s = t_par;
+                    speedup_vs_interp = Some (t_interp /. t_par);
+                    speedup_vs_1dom = Some (t_seq /. t_par);
+                    predicted_speedup = predicted prog ~policy ~p:domains;
+                  })
+              bench_policies))
+    domain_counts
+
+let bench_kernels =
+  [
+    ("matmul", fun () -> Kernels.matmul ~ra:48 ~ca:48 ~cb:48);
+    ("stencil", fun () -> Kernels.stencil ~n:180);
+    ("transpose", fun () -> Kernels.transpose ~n:200);
+    ("gauss_jordan", fun () -> Kernels.gauss_jordan ~n:48 ~m:6);
+  ]
+
+let run () =
+  let records = ref [] in
+  let t =
+    Table.create
+      [
+        ("kernel", Table.Left);
+        ("engine", Table.Left);
+        ("policy", Table.Left);
+        ("domains", Table.Right);
+        ("ns/iter", Table.Right);
+        ("vs interp", Table.Right);
+        ("vs 1-dom", Table.Right);
+        ("predicted", Table.Right);
+      ]
+  in
+  let out r =
+    records := r :: !records;
+    let opt = function None -> "-" | Some x -> Printf.sprintf "%.2fx" x in
+    Table.add_row t
+      [
+        r.kernel;
+        r.engine;
+        (match r.policy with None -> "-" | Some p -> p);
+        Table.cell_int r.domains;
+        Table.cell_float ~dec:1 (ns_per_iter r);
+        opt r.speedup_vs_interp;
+        opt r.speedup_vs_1dom;
+        opt r.predicted_speedup;
+      ]
+  in
+  Printf.printf "== runtime: measured wall-clock (host: %d core(s)) ==\n%!"
+    (Domain.recommended_domain_count ());
+  List.iter (bench_kernel ~out) bench_kernels;
+  Table.print t;
+  let records = List.rev !records in
+  let oc = open_out "BENCH_runtime.json" in
+  Printf.fprintf oc
+    "{\n  \"host_cores\": %d,\n  \"note\": \"speedups are wall-clock; \
+     predicted is the event simulator's coalesced speedup at the same p\",\n\
+     \  \"results\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.map json_of_record records));
+  close_out oc;
+  Printf.printf "wrote BENCH_runtime.json (%d records)\n%!"
+    (List.length records)

@@ -624,6 +624,118 @@ let emit_c_cmd =
           (compile with cc -O2 -fopenmp).")
     Term.(const run $ collapse_flag $ program_arg)
 
+(* ---------- run (compiled runtime) ---------- *)
+
+let run_cmd =
+  let parallel_flag =
+    Arg.(
+      value & flag
+      & info [ "parallel" ]
+          ~doc:
+            "Execute parallel loops across OCaml domains (one fork-join \
+             per coalesced nest). Without this flag the staged program \
+             runs sequentially.")
+  in
+  let procs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "p" ] ~docv:"P"
+          ~doc:
+            "Domains for $(b,--parallel); 0 (default) uses the \
+             recommended domain count of the machine.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv L.Policy.Gss
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"block | cyclic | ss | chunk:N | gss | factoring | tss.")
+  in
+  let coalesce_flag =
+    Arg.(
+      value & flag
+      & info [ "coalesce" ]
+          ~doc:"Apply the coalescing transformation before staging.")
+  in
+  let compare_flag =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Also run the reference interpreter and check that the final \
+             arrays are identical.")
+  in
+  let time_flag =
+    Arg.(
+      value & flag & info [ "time" ] ~doc:"Report wall-clock execution time.")
+  in
+  let run parallel procs policy coalesce compare time p =
+    report_validation p;
+    let p =
+      if not coalesce then p
+      else
+        let p', n = L.Coalesce.apply_all_program p in
+        Printf.eprintf "coalesced %d nest(s)\n" n;
+        p'
+    in
+    let domains =
+      if not parallel then 1
+      else if procs > 0 then procs
+      else Domain.recommended_domain_count ()
+    in
+    match L.Runtime.Compile.compile_result p with
+    | Error m ->
+        Printf.eprintf "staging error: %s\n" m;
+        exit 1
+    | Ok compiled -> (
+        let t0 = Unix.gettimeofday () in
+        match L.Runtime.Exec.run_compiled ~domains ~policy compiled with
+        | exception L.Runtime.Compile.Error m ->
+            Printf.eprintf "runtime error: %s\n" m;
+            exit 1
+        | outcome ->
+            let elapsed = Unix.gettimeofday () -. t0 in
+            Printf.printf "engine: compiled runtime, %d domain(s), policy %s\n"
+              domains (L.Policy.name policy);
+            List.iter
+              (fun (name, v) ->
+                match (v : L.Eval.value) with
+                | Vint n -> Printf.printf "scalar %s = %d\n" name n
+                | Vreal x -> Printf.printf "scalar %s = %g\n" name x)
+              outcome.L.Runtime.Exec.scalars;
+            List.iter
+              (fun (name, data) ->
+                Printf.printf "array %s: %d elements, sum %g\n" name
+                  (Array.length data)
+                  (Array.fold_left ( +. ) 0.0 data))
+              outcome.L.Runtime.Exec.arrays;
+            if time then Printf.printf "wall time: %.6f s\n" elapsed;
+            if compare then
+              match L.Eval.run p with
+              | exception L.Eval.Runtime_error m ->
+                  Printf.eprintf
+                    "interpreter faulted (%s) but compiled run succeeded\n" m;
+                  exit 1
+              | st ->
+                  if L.Runtime.Exec.agrees_with_interpreter outcome st then
+                    print_endline "interpreter equivalence: arrays identical"
+                  else begin
+                    print_endline "interpreter equivalence: MISMATCH";
+                    exit 1
+                  end)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Stage a program into closures and execute it with the compiled \
+          runtime — sequentially, or with $(b,--parallel) across OCaml \
+          domains under a real scheduling policy (static block/cyclic, \
+          self-scheduling via atomic fetch-and-add, GSS, factoring, \
+          trapezoid).")
+    Term.(
+      const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
+      $ compare_flag $ time_flag $ program_arg)
+
 (* ---------- kernel ---------- *)
 
 let kernel_cmd =
@@ -654,6 +766,6 @@ let main =
     [ show_cmd; analyze_cmd; coalesce_cmd; distribute_cmd; fuse_cmd;
       reduce_cmd; shrink_cmd; unroll_cmd; peel_cmd; interchange_cmd;
       tile_cmd; optimize_cmd; emit_c_cmd; simulate_cmd; schedule_cmd;
-      kernel_cmd ]
+      run_cmd; kernel_cmd ]
 
 let () = exit (Cmd.eval main)

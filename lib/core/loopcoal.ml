@@ -46,6 +46,7 @@ module Trapezoid = Loopcoal_sched.Trapezoid
 module Alloc = Loopcoal_sched.Alloc
 module Bounds = Loopcoal_sched.Bounds
 module Granularity = Loopcoal_sched.Granularity
+module Runtime = Loopcoal_runtime
 module Machine = Loopcoal_machine.Machine
 module Event_sim = Loopcoal_machine.Event_sim
 module Gantt = Loopcoal_machine.Gantt

@@ -12,8 +12,19 @@ type counters = {
   mutable branches : int;
 }
 
+(* An array entry carries its dimensions both as the declared list and as
+   flat arrays together with precomputed row-major strides, so the hot
+   [offset] path indexes straight into them instead of re-deriving strides
+   with a fold on every load/store. *)
+type array_entry = {
+  dims : int list;
+  edims : int array;
+  estrides : int array;
+  data : float array;
+}
+
 type state = {
-  arrays : (string, int list * float array) Hashtbl.t;
+  arrays : (string, array_entry) Hashtbl.t;
   scalars : (string, value) Hashtbl.t;
   ctr : counters;
   mutable fuel : int;
@@ -22,6 +33,11 @@ type state = {
 exception Runtime_error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let make_entry dims data =
+  let edims = Array.of_list dims in
+  let estrides = Array.of_list (Loopcoal_util.Intmath.suffix_products dims) in
+  { dims; edims; estrides; data }
 
 let fresh_counters () =
   {
@@ -34,17 +50,26 @@ let fresh_counters () =
     branches = 0;
   }
 
-(* Row-major flattening of 1-based subscripts, bounds-checked. *)
-let offset name dims subs =
-  if List.length dims <> List.length subs then
-    error "array %s: %d subscripts for %d dimensions" name (List.length subs)
-      (List.length dims);
-  List.fold_left2
-    (fun acc d s ->
-      if s < 1 || s > d then
-        error "array %s: subscript %d out of bounds 1..%d" name s d;
-      (acc * d) + (s - 1))
-    0 dims subs
+(* Row-major flattening of 1-based subscripts, bounds-checked, using the
+   strides precomputed at state creation. *)
+let offset name entry subs =
+  let m = Array.length entry.edims in
+  let rec go k acc = function
+    | [] ->
+        if k = m then acc
+        else
+          error "array %s: %d subscripts for %d dimensions" name k m
+    | s :: rest ->
+        if k >= m then
+          error "array %s: %d subscripts for %d dimensions" name
+            (k + List.length rest + 1)
+            m;
+        let d = entry.edims.(k) in
+        if s < 1 || s > d then
+          error "array %s: subscript %d out of bounds 1..%d" name s d;
+        go (k + 1) (acc + ((s - 1) * entry.estrides.(k))) rest
+  in
+  go 0 0 subs
 
 let as_int name = function
   | Vint n -> n
@@ -77,10 +102,10 @@ let rec eval_expr st env = function
   | Load (a, subs) -> (
       match Hashtbl.find_opt st.arrays a with
       | None -> error "unbound array %s" a
-      | Some (dims, data) ->
+      | Some entry ->
           let ss = List.map (fun e -> as_int "subscript" (eval_expr st env e)) subs in
           st.ctr.loads <- st.ctr.loads + 1;
-          Vreal data.(offset a dims ss))
+          Vreal entry.data.(offset a entry ss))
   | Bin (op, a, b) -> eval_bin st op (eval_expr st env a) (eval_expr st env b)
 
 and eval_bin st op va vb =
@@ -157,11 +182,11 @@ let rec exec_stmt st env = function
   | Assign (Elem (a, subs), e) -> (
       match Hashtbl.find_opt st.arrays a with
       | None -> error "unbound array %s" a
-      | Some (dims, data) ->
+      | Some entry ->
           let ss = List.map (fun s -> as_int "subscript" (eval_expr st env s)) subs in
           let x = to_real (eval_expr st env e) in
           st.ctr.stores <- st.ctr.stores + 1;
-          data.(offset a dims ss) <- x)
+          entry.data.(offset a entry ss) <- x)
   | If (c, t, f) ->
       st.ctr.branches <- st.ctr.branches + 1;
       if eval_cond st env c then exec_block st env t else exec_block st env f
@@ -199,7 +224,8 @@ let run ?(fuel = 10_000_000) ?(array_init = 0.0) (p : program) =
       if a.dims = [] || List.exists (fun d -> d < 1) a.dims then
         error "array %s: dimensions must be positive" a.arr_name;
       let size = Loopcoal_util.Intmath.product a.dims in
-      Hashtbl.add st.arrays a.arr_name (a.dims, Array.make size array_init))
+      Hashtbl.add st.arrays a.arr_name
+        (make_entry a.dims (Array.make size array_init)))
     p.arrays;
   List.iter
     (fun s ->
@@ -219,7 +245,7 @@ let counters st = st.ctr
 
 let array_contents st name =
   match Hashtbl.find_opt st.arrays name with
-  | Some (_, data) -> data
+  | Some entry -> entry.data
   | None -> error "unbound array %s" name
 
 let scalar_value st name =
@@ -229,7 +255,7 @@ let scalar_value st name =
 
 let dump st =
   let arrays =
-    Hashtbl.fold (fun name (_, data) acc -> (name, data) :: acc) st.arrays []
+    Hashtbl.fold (fun name e acc -> (name, e.data) :: acc) st.arrays []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let scalars =

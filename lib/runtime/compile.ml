@@ -1,0 +1,557 @@
+(* Staging compiler: AST -> closure tree.
+
+   The reference interpreter ([Loopcoal_ir.Eval]) re-resolves every name
+   through hash tables, walks subscript lists with folds, and boxes every
+   value in [Vint]/[Vreal] on every single operation. This module pays
+   all of that exactly once, at staging time:
+
+   - every scalar and loop index is resolved to a slot in a flat [int
+     array] or [float array];
+   - every array reference is resolved to a slot in a [float array
+     array] with its dimensions and row-major strides captured in the
+     closure (1-d and 2-d references are specialized to straight-line
+     index arithmetic);
+   - expression kinds (int vs real) are inferred statically, so the
+     compiled closures are monomorphic [env -> int] / [env -> float]
+     functions with no tag dispatch;
+   - a [For] loop annotated [Parallel] that is not already inside a
+     parallel region is compiled to a {!plan}: the maximal rectangular
+     perfectly-nested parallel prefix is flattened into one coalesced
+     iteration space, executed through the [env]'s [fork] hook. The
+     executor ([Exec]) decides whether a plan runs sequentially or
+     across domains.
+
+   Bounds checks and the interpreter's runtime error conditions
+   (division by zero, non-positive steps, subscripts out of range) are
+   preserved; operation counters and fuel are not — the compiled runtime
+   exists to measure wall-clock time, not abstract op counts. *)
+
+open Loopcoal_ir
+module Reduction = Loopcoal_analysis.Reduction
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ---------- runtime representation ---------- *)
+
+type env = {
+  ints : int array;  (** loop indexes and integer scalars *)
+  reals : float array;  (** real scalars *)
+  arrays : float array array;  (** shared array data, one slot per decl *)
+  mutable fork : plan -> env -> unit;
+      (** how to execute a parallel plan encountered in this context *)
+}
+
+and plan = {
+  depth : int;  (** flattened nest depth, >= 1 *)
+  index_slots : int array;  (** int slots of the nest indexes, outer first *)
+  index_names : string array;
+  lo_x : (env -> int) array;  (** per-level lower bounds *)
+  hi_x : (env -> int) array;  (** per-level upper bounds (inclusive) *)
+  step_x : env -> int;  (** outermost step; inner levels are unit-step *)
+  body : env -> unit;  (** one iteration; index slots already set *)
+  reductions : red array;
+}
+
+and red = {
+  r_name : string;
+  r_slot : int;
+  r_real : bool;  (** slot lives in [reals] (else [ints]) *)
+  r_op : Reduction.op;
+}
+
+type iexp = env -> int
+type rexp = env -> float
+type code = env -> unit
+type cexp = I of iexp | R of rexp
+
+(* ---------- compile-time context ---------- *)
+
+type slot = Si of int | Sr of int
+
+type array_info = {
+  a_slot : int;
+  a_dims : int array;
+  a_strides : int array;
+  a_size : int;
+}
+
+type ctx = {
+  arr_tbl : (string, array_info) Hashtbl.t;
+  sc_tbl : (string, slot) Hashtbl.t;
+  mutable scope : (string * int) list;  (** loop index -> int slot *)
+  mutable n_ints : int;
+  mutable n_reals : int;
+}
+
+let fresh_int ctx =
+  let s = ctx.n_ints in
+  ctx.n_ints <- s + 1;
+  s
+
+let fresh_real ctx =
+  let s = ctx.n_reals in
+  ctx.n_reals <- s + 1;
+  s
+
+(* ---------- kind-directed expression compilation ---------- *)
+
+let to_i what = function
+  | I f -> f
+  | R _ -> error "%s: expected an integer value" what
+
+let to_r = function
+  | R f -> f
+  | I f -> fun env -> float_of_int (f env)
+
+let compile_load ctx a subs_c : rexp =
+  match Hashtbl.find_opt ctx.arr_tbl a with
+  | None -> error "unbound array %s" a
+  | Some info ->
+      if List.length subs_c <> Array.length info.a_dims then
+        error "array %s: %d subscripts for %d dimensions" a
+          (List.length subs_c)
+          (Array.length info.a_dims);
+      let subs = List.map (to_i "subscript") subs_c in
+      let slot = info.a_slot in
+      let oob s d = error "array %s: subscript %d out of bounds 1..%d" a s d in
+      (match (subs, info.a_dims) with
+      | [ s1 ], [| d1 |] ->
+          fun env ->
+            let i1 = s1 env in
+            if i1 < 1 || i1 > d1 then oob i1 d1;
+            env.arrays.(slot).(i1 - 1)
+      | [ s1; s2 ], [| d1; d2 |] ->
+          fun env ->
+            let i1 = s1 env in
+            if i1 < 1 || i1 > d1 then oob i1 d1;
+            let i2 = s2 env in
+            if i2 < 1 || i2 > d2 then oob i2 d2;
+            env.arrays.(slot).(((i1 - 1) * d2) + (i2 - 1))
+      | subs, dims ->
+          let subs = Array.of_list subs in
+          let strides = info.a_strides in
+          fun env ->
+            let off = ref 0 in
+            for k = 0 to Array.length subs - 1 do
+              let s = subs.(k) env in
+              if s < 1 || s > dims.(k) then oob s dims.(k);
+              off := !off + ((s - 1) * strides.(k))
+            done;
+            env.arrays.(slot).(!off))
+
+let compile_store ctx a subs_c (value : rexp) : code =
+  match Hashtbl.find_opt ctx.arr_tbl a with
+  | None -> error "unbound array %s" a
+  | Some info ->
+      if List.length subs_c <> Array.length info.a_dims then
+        error "array %s: %d subscripts for %d dimensions" a
+          (List.length subs_c)
+          (Array.length info.a_dims);
+      let subs = List.map (to_i "subscript") subs_c in
+      let slot = info.a_slot in
+      let oob s d = error "array %s: subscript %d out of bounds 1..%d" a s d in
+      (match (subs, info.a_dims) with
+      | [ s1 ], [| d1 |] ->
+          fun env ->
+            let i1 = s1 env in
+            if i1 < 1 || i1 > d1 then oob i1 d1;
+            env.arrays.(slot).(i1 - 1) <- value env
+      | [ s1; s2 ], [| d1; d2 |] ->
+          fun env ->
+            let i1 = s1 env in
+            if i1 < 1 || i1 > d1 then oob i1 d1;
+            let i2 = s2 env in
+            if i2 < 1 || i2 > d2 then oob i2 d2;
+            env.arrays.(slot).(((i1 - 1) * d2) + (i2 - 1)) <- value env
+      | subs, dims ->
+          let subs = Array.of_list subs in
+          let strides = info.a_strides in
+          fun env ->
+            let off = ref 0 in
+            for k = 0 to Array.length subs - 1 do
+              let s = subs.(k) env in
+              if s < 1 || s > dims.(k) then oob s dims.(k);
+              off := !off + ((s - 1) * strides.(k))
+            done;
+            env.arrays.(slot).(!off) <- value env)
+
+let rec compile_expr ctx (e : Ast.expr) : cexp =
+  match e with
+  | Int n -> I (fun _ -> n)
+  | Real x -> R (fun _ -> x)
+  | Var v -> (
+      match List.assoc_opt v ctx.scope with
+      | Some s -> I (fun env -> env.ints.(s))
+      | None -> (
+          match Hashtbl.find_opt ctx.sc_tbl v with
+          | Some (Si s) -> I (fun env -> env.ints.(s))
+          | Some (Sr s) -> R (fun env -> env.reals.(s))
+          | None -> error "unbound variable %s" v))
+  | Neg a -> (
+      match compile_expr ctx a with
+      | I f -> I (fun env -> -f env)
+      | R f -> R (fun env -> -.f env))
+  | Load (a, subs) ->
+      R (compile_load ctx a (List.map (compile_expr ctx) subs))
+  | Bin (op, a, b) -> compile_bin ctx op (compile_expr ctx a) (compile_expr ctx b)
+
+and compile_bin _ctx op ca cb : cexp =
+  let arith fint freal =
+    match (ca, cb) with
+    | I fa, I fb -> I (fun env -> fint (fa env) (fb env))
+    | _ ->
+        let fa = to_r ca and fb = to_r cb in
+        R (fun env -> freal (fa env) (fb env))
+  in
+  match (op : Ast.binop) with
+  | Add -> arith ( + ) ( +. )
+  | Sub -> arith ( - ) ( -. )
+  | Mul -> arith ( * ) ( *. )
+  | Min -> arith min min
+  | Max -> arith max max
+  | Div -> (
+      match (ca, cb) with
+      | I fa, I fb ->
+          I
+            (fun env ->
+              let b = fb env in
+              if b = 0 then error "integer division by zero";
+              (* Fortran-style truncating division. *)
+              fa env / b)
+      | _ ->
+          let fa = to_r ca and fb = to_r cb in
+          R (fun env -> fa env /. fb env))
+  | Mod ->
+      let fa = to_i "mod" ca and fb = to_i "mod" cb in
+      I
+        (fun env ->
+          let b = fb env in
+          if b = 0 then error "mod by zero";
+          fa env mod b)
+  | Cdiv ->
+      let fa = to_i "ceildiv" ca and fb = to_i "ceildiv" cb in
+      I
+        (fun env ->
+          let b = fb env in
+          if b <= 0 then error "ceildiv: non-positive divisor %d" b;
+          Loopcoal_util.Intmath.cdiv (fa env) b)
+
+let compile_cmp (op : Ast.relop) ca cb : env -> bool =
+  match (ca, cb) with
+  | I fa, I fb -> (
+      match op with
+      | Eq -> fun env -> fa env = fb env
+      | Ne -> fun env -> fa env <> fb env
+      | Lt -> fun env -> fa env < fb env
+      | Le -> fun env -> fa env <= fb env
+      | Gt -> fun env -> fa env > fb env
+      | Ge -> fun env -> fa env >= fb env)
+  | _ -> (
+      let fa = to_r ca and fb = to_r cb in
+      match op with
+      | Eq -> fun env -> fa env = fb env
+      | Ne -> fun env -> fa env <> fb env
+      | Lt -> fun env -> fa env < fb env
+      | Le -> fun env -> fa env <= fb env
+      | Gt -> fun env -> fa env > fb env
+      | Ge -> fun env -> fa env >= fb env)
+
+let rec compile_cond ctx (c : Ast.cond) : env -> bool =
+  match c with
+  | True -> fun _ -> true
+  | Cmp (op, a, b) ->
+      compile_cmp op (compile_expr ctx a) (compile_expr ctx b)
+  | And (a, b) ->
+      let fa = compile_cond ctx a and fb = compile_cond ctx b in
+      fun env -> fa env && fb env
+  | Or (a, b) ->
+      let fa = compile_cond ctx a and fb = compile_cond ctx b in
+      fun env -> fa env || fb env
+  | Not a ->
+      let fa = compile_cond ctx a in
+      fun env -> not (fa env)
+
+(* ---------- statement compilation ---------- *)
+
+let seq (codes : code list) : code =
+  match codes with
+  | [] -> fun _ -> ()
+  | [ c ] -> c
+  | [ a; b ] ->
+      fun env ->
+        a env;
+        b env
+  | l ->
+      let arr = Array.of_list l in
+      fun env ->
+        for k = 0 to Array.length arr - 1 do
+          arr.(k) env
+        done
+
+(* Scalar names assigned anywhere in a block (used to reject flattening a
+   nest whose inner bounds could be mutated by the body — the interpreter
+   re-evaluates bounds per outer iteration, a flattened plan does not). *)
+let rec assigned_scalars (b : Ast.block) =
+  List.concat_map
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Assign (Scalar v, _) -> [ v ]
+      | Assign (Elem _, _) -> []
+      | If (_, t, f) -> assigned_scalars t @ assigned_scalars f
+      | For l -> assigned_scalars l.body)
+    b
+
+let rec compile_stmt ctx ~in_par (s : Ast.stmt) : code =
+  match s with
+  | Assign (Scalar v, e) -> (
+      if List.mem_assoc v ctx.scope then
+        error "cannot assign to loop index %s" v;
+      let ce = compile_expr ctx e in
+      match Hashtbl.find_opt ctx.sc_tbl v with
+      | None -> error "unbound scalar %s" v
+      | Some (Si slot) -> (
+          match ce with
+          | I f -> fun env -> env.ints.(slot) <- f env
+          | R _ -> error "assigning real to int scalar %s" v)
+      | Some (Sr slot) ->
+          let f = to_r ce in
+          fun env -> env.reals.(slot) <- f env)
+  | Assign (Elem (a, subs), e) ->
+      compile_store ctx a
+        (List.map (compile_expr ctx) subs)
+        (to_r (compile_expr ctx e))
+  | If (c, t, f) ->
+      let fc = compile_cond ctx c in
+      let ft = compile_block ctx ~in_par t in
+      let ff = compile_block ctx ~in_par f in
+      fun env -> if fc env then ft env else ff env
+  | For l when (not in_par) && l.par = Parallel -> compile_parallel_nest ctx l
+  | For l -> compile_serial_loop ctx ~in_par l
+
+and compile_serial_loop ctx ~in_par (l : Ast.loop) : code =
+  let flo = to_i "loop bound" (compile_expr ctx l.lo) in
+  let fhi = to_i "loop bound" (compile_expr ctx l.hi) in
+  let fstep = to_i "loop step" (compile_expr ctx l.step) in
+  let slot = fresh_int ctx in
+  let saved = ctx.scope in
+  ctx.scope <- (l.index, slot) :: saved;
+  let body = compile_block ctx ~in_par l.body in
+  ctx.scope <- saved;
+  let index = l.index in
+  fun env ->
+    let lo = flo env and hi = fhi env and step = fstep env in
+    if step <= 0 then error "loop %s: step must be positive" index;
+    let i = ref lo in
+    while !i <= hi do
+      env.ints.(slot) <- !i;
+      body env;
+      i := !i + step
+    done
+
+(* Flatten the maximal rectangular perfectly-nested parallel prefix rooted
+   at [l] into a single plan, mirroring [Nest.check_coalescible]: every
+   extended level must be a singleton-body [Parallel] loop with syntactic
+   unit step, distinct index, and bounds free of outer nest indexes. The
+   body must not assign scalars that the inner bounds read. *)
+and compile_parallel_nest ctx (l : Ast.loop) : code =
+  let rec collect acc (cur : Ast.loop) =
+    let names = List.map (fun (x : Ast.loop) -> x.index) (List.rev (cur :: acc)) in
+    match cur.body with
+    | [ For inner ]
+      when inner.par = Parallel
+           && Ast.equal_expr inner.step (Ast.Int 1)
+           && (not (List.mem inner.index names))
+           && (let bound_vars =
+                 Ast.expr_vars inner.lo @ Ast.expr_vars inner.hi
+               in
+               (not (List.exists (fun v -> List.mem v names) bound_vars))
+               && not
+                    (List.exists
+                       (fun v -> List.mem v (assigned_scalars inner.body))
+                       bound_vars)) ->
+        collect (cur :: acc) inner
+    | _ -> (List.rev (cur :: acc), cur.body)
+  in
+  let loops, inner_body = collect [] l in
+  let depth = List.length loops in
+  let lo_x =
+    Array.of_list
+      (List.map
+         (fun (x : Ast.loop) -> to_i "loop bound" (compile_expr ctx x.lo))
+         loops)
+  in
+  let hi_x =
+    Array.of_list
+      (List.map
+         (fun (x : Ast.loop) -> to_i "loop bound" (compile_expr ctx x.hi))
+         loops)
+  in
+  let step_x = to_i "loop step" (compile_expr ctx (List.hd loops).step) in
+  let index_names =
+    Array.of_list (List.map (fun (x : Ast.loop) -> x.index) loops)
+  in
+  let saved = ctx.scope in
+  let index_slots =
+    Array.map
+      (fun name ->
+        let slot = fresh_int ctx in
+        ctx.scope <- (name, slot) :: ctx.scope;
+        slot)
+      index_names
+  in
+  let body = compile_block ctx ~in_par:true inner_body in
+  (* Recognized scalar reductions in the flattened body get per-domain
+     partial results and an ordered merge in the executor. *)
+  let reductions =
+    Reduction.detect inner_body
+    |> List.filter_map (fun (r : Reduction.t) ->
+           if List.mem_assoc r.Reduction.scalar ctx.scope then None
+           else
+             match Hashtbl.find_opt ctx.sc_tbl r.Reduction.scalar with
+             | Some (Si s) ->
+                 Some
+                   {
+                     r_name = r.Reduction.scalar;
+                     r_slot = s;
+                     r_real = false;
+                     r_op = r.Reduction.op;
+                   }
+             | Some (Sr s) ->
+                 Some
+                   {
+                     r_name = r.Reduction.scalar;
+                     r_slot = s;
+                     r_real = true;
+                     r_op = r.Reduction.op;
+                   }
+             | None -> None)
+    |> Array.of_list
+  in
+  ctx.scope <- saved;
+  let plan =
+    { depth; index_slots; index_names; lo_x; hi_x; step_x; body; reductions }
+  in
+  fun env -> env.fork plan env
+
+and compile_block ctx ~in_par (b : Ast.block) : code =
+  seq (List.map (compile_stmt ctx ~in_par) b)
+
+(* ---------- program compilation ---------- *)
+
+type t = {
+  prog_code : code;
+  n_ints : int;
+  n_reals : int;
+  int_init : (int * int) list;  (** (slot, value) for int scalars *)
+  real_init : (int * float) list;
+  array_decls : (string * int * int) array;  (** name, slot, flat size *)
+  scalar_slots : (string * slot) list;  (** declared scalars, by name *)
+}
+
+let compile (p : Ast.program) : t =
+  let ctx =
+    {
+      arr_tbl = Hashtbl.create 16;
+      sc_tbl = Hashtbl.create 16;
+      scope = [];
+      n_ints = 0;
+      n_reals = 0;
+    }
+  in
+  List.iteri
+    (fun slot (a : Ast.array_decl) ->
+      if Hashtbl.mem ctx.arr_tbl a.arr_name then
+        error "duplicate array %s" a.arr_name;
+      if a.dims = [] || List.exists (fun d -> d < 1) a.dims then
+        error "array %s: dimensions must be positive" a.arr_name;
+      Hashtbl.add ctx.arr_tbl a.arr_name
+        {
+          a_slot = slot;
+          a_dims = Array.of_list a.dims;
+          a_strides =
+            Array.of_list (Loopcoal_util.Intmath.suffix_products a.dims);
+          a_size = Loopcoal_util.Intmath.product a.dims;
+        })
+    p.arrays;
+  let int_init = ref [] and real_init = ref [] in
+  List.iter
+    (fun (s : Ast.scalar_decl) ->
+      if Hashtbl.mem ctx.sc_tbl s.sc_name || Hashtbl.mem ctx.arr_tbl s.sc_name
+      then error "duplicate declaration %s" s.sc_name;
+      match s.sc_kind with
+      | Kint ->
+          let slot = fresh_int ctx in
+          int_init := (slot, int_of_float s.sc_init) :: !int_init;
+          Hashtbl.add ctx.sc_tbl s.sc_name (Si slot)
+      | Kreal ->
+          let slot = fresh_real ctx in
+          real_init := (slot, s.sc_init) :: !real_init;
+          Hashtbl.add ctx.sc_tbl s.sc_name (Sr slot))
+    p.scalars;
+  let prog_code = compile_block ctx ~in_par:false p.body in
+  {
+    prog_code;
+    n_ints = ctx.n_ints;
+    n_reals = ctx.n_reals;
+    int_init = !int_init;
+    real_init = !real_init;
+    array_decls =
+      Array.of_list
+        (List.map
+           (fun (a : Ast.array_decl) ->
+             let info = Hashtbl.find ctx.arr_tbl a.arr_name in
+             (a.arr_name, info.a_slot, info.a_size))
+           p.arrays);
+    scalar_slots =
+      List.map
+        (fun (s : Ast.scalar_decl) ->
+          (s.sc_name, Hashtbl.find ctx.sc_tbl s.sc_name))
+        p.scalars;
+  }
+
+let compile_result p =
+  match compile p with t -> Ok t | exception Error m -> Error m
+
+(* ---------- environments ---------- *)
+
+let make_env ?(array_init = 0.0) t ~fork =
+  let env =
+    {
+      ints = Array.make (max 1 t.n_ints) 0;
+      reals = Array.make (max 1 t.n_reals) 0.0;
+      arrays =
+        Array.map (fun (_, _, size) -> Array.make size array_init) t.array_decls;
+      fork;
+    }
+  in
+  List.iter (fun (slot, v) -> env.ints.(slot) <- v) t.int_init;
+  List.iter (fun (slot, v) -> env.reals.(slot) <- v) t.real_init;
+  env
+
+let clone_env env =
+  {
+    ints = Array.copy env.ints;
+    reals = Array.copy env.reals;
+    arrays = env.arrays;
+    (* shared *)
+    fork = env.fork;
+  }
+
+let run_code t env = t.prog_code env
+
+(* ---------- result readback ---------- *)
+
+let read_arrays t env =
+  Array.to_list t.array_decls
+  |> List.map (fun (name, slot, _) -> (name, env.arrays.(slot)))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let read_scalars t env =
+  t.scalar_slots
+  |> List.map (fun (name, slot) ->
+         match slot with
+         | Si s -> (name, Eval.Vint env.ints.(s))
+         | Sr s -> (name, Eval.Vreal env.reals.(s)))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

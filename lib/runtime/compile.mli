@@ -1,0 +1,70 @@
+(** Staging compiler: AST -> closure tree over slot-resolved state.
+
+    Compilation resolves every name once — scalars and loop indexes to
+    slots in flat arrays, array references to pre-computed row-major
+    strides — and infers int/real kinds statically, so the resulting
+    closures execute with no hash lookups, no list folds and no value
+    boxing on the hot path. Parallel loops (outside an enclosing parallel
+    region) compile to {!plan}s: flattened, coalesced iteration spaces
+    dispatched through the environment's [fork] hook, which the executor
+    binds to sequential or multi-domain execution.
+
+    The interpreter's runtime error conditions (bounds, zero division,
+    non-positive steps, int/real mismatches) are preserved as
+    {!exception:Error}; its operation counters and fuel are not. *)
+
+open Loopcoal_ir
+
+exception Error of string
+(** Raised both at staging time (unbound names, static type errors,
+    assignment to a loop index, bad declarations) and at run time
+    (bounds violations, division by zero, non-positive steps). *)
+
+type env = {
+  ints : int array;
+  reals : float array;
+  arrays : float array array;
+  mutable fork : plan -> env -> unit;
+}
+
+and plan = {
+  depth : int;
+  index_slots : int array;
+  index_names : string array;
+  lo_x : (env -> int) array;
+  hi_x : (env -> int) array;
+  step_x : env -> int;
+  body : env -> unit;
+  reductions : red array;
+}
+
+and red = {
+  r_name : string;
+  r_slot : int;
+  r_real : bool;
+  r_op : Loopcoal_analysis.Reduction.op;
+}
+
+type t
+
+val compile : Ast.program -> t
+(** Stage a program. Raises {!exception:Error} on programs the
+    interpreter would also reject, and on statically detectable type
+    errors the interpreter would only hit when the offending statement
+    executes. *)
+
+val compile_result : Ast.program -> (t, string) result
+
+val make_env : ?array_init:float -> t -> fork:(plan -> env -> unit) -> env
+(** Fresh initial store: arrays filled with [array_init] (default 0.0),
+    scalars at their declared initial values. *)
+
+val clone_env : env -> env
+(** Private copies of the scalar stores; the array data stays shared. *)
+
+val run_code : t -> env -> unit
+
+val read_arrays : t -> env -> (string * float array) list
+(** Final array contents, sorted by name (same order as [Eval.dump]). *)
+
+val read_scalars : t -> env -> (string * Eval.value) list

@@ -1,0 +1,326 @@
+(* Parallel executor for compiled programs.
+
+   A {!Compile.plan} is one coalesced iteration space [1..N] (the product
+   of the flattened nest's trip counts). This module runs plans either
+   sequentially or across OCaml 5 domains under the paper's scheduling
+   policies, reusing the chunk formulas of [lib/sched] as live
+   dispatchers:
+
+   - [Static_block] / [Static_cyclic]: ownership from [Static.block] /
+     [Static.cyclic], no synchronization at all after the fork;
+   - [Self_sched c]: one [Atomic.fetch_and_add] on the coalesced index
+     per dispatch — the paper's "single synchronized access to the shared
+     loop index" claim, executed for real;
+   - [Gss] / [Factoring] / [Trapezoid]: the chunk-size sequences from
+     [Gss.chunk_sizes] etc., served from an atomic chunk queue.
+
+   Within a chunk, the multi-index is recovered once by div/mod and then
+   advanced with the O(1) odometer step of [Index_recovery]'s incremental
+   strategy — no per-iteration division.
+
+   Per-domain state: each domain gets a private copy of the scalar store
+   (arrays are shared; DOALL iterations write disjoint elements by
+   assumption of the [Parallel] annotation). After the join, recognized
+   reductions are merged in domain order from their identity-initialized
+   partials, and the remaining scalars are adopted from the domain that
+   executed the highest coalesced iteration, matching the sequential
+   last-iteration semantics for privatizable scalars. *)
+
+module Policy = Loopcoal_sched.Policy
+module Static = Loopcoal_sched.Static
+module Gss = Loopcoal_sched.Gss
+module Factoring = Loopcoal_sched.Factoring
+module Trapezoid = Loopcoal_sched.Trapezoid
+module Reduction = Loopcoal_analysis.Reduction
+open Loopcoal_ir
+open Compile
+
+let error fmt = Printf.ksprintf (fun s -> raise (Compile.Error s)) fmt
+
+(* ---------- plan geometry ---------- *)
+
+type space = {
+  sizes : int array;  (** per-level trip counts *)
+  los : int array;
+  his : int array;
+  step0 : int;  (** outermost step *)
+  total : int;
+}
+
+let space_of (plan : plan) env =
+  let depth = plan.depth in
+  let los = Array.map (fun f -> f env) plan.lo_x in
+  let his = Array.map (fun f -> f env) plan.hi_x in
+  let step0 = plan.step_x env in
+  if step0 <= 0 then
+    error "loop %s: step must be positive" plan.index_names.(0);
+  let sizes =
+    Array.init depth (fun k ->
+        if k = 0 then max 0 ((his.(0) - los.(0) + step0) / step0)
+        else max 0 (his.(k) - los.(k) + 1))
+  in
+  let total = Array.fold_left ( * ) 1 sizes in
+  { sizes; los; his; step0; total }
+
+(* Set the nest indexes for coalesced iteration [t] (1-based): one round
+   of div/mod, used once per chunk. *)
+let set_cursor (plan : plan) sp env t =
+  let rem = ref (t - 1) in
+  for k = plan.depth - 1 downto 1 do
+    env.ints.(plan.index_slots.(k)) <- sp.los.(k) + (!rem mod sp.sizes.(k));
+    rem := !rem / sp.sizes.(k)
+  done;
+  env.ints.(plan.index_slots.(0)) <- sp.los.(0) + (!rem * sp.step0)
+
+(* Odometer advance: increment the innermost index, carry outward on
+   overflow. O(1) amortized; no division. *)
+let advance (plan : plan) sp env =
+  let rec bump k =
+    if k = 0 then
+      env.ints.(plan.index_slots.(0)) <-
+        env.ints.(plan.index_slots.(0)) + sp.step0
+    else begin
+      let v = env.ints.(plan.index_slots.(k)) + 1 in
+      if v > sp.his.(k) then begin
+        env.ints.(plan.index_slots.(k)) <- sp.los.(k);
+        bump (k - 1)
+      end
+      else env.ints.(plan.index_slots.(k)) <- v
+    end
+  in
+  bump (plan.depth - 1)
+
+(* Run the contiguous chunk [t0 .. t0+len-1] of the coalesced space. *)
+let run_chunk (plan : plan) sp env t0 len =
+  if len > 0 then begin
+    set_cursor plan sp env t0;
+    plan.body env;
+    for _ = 2 to len do
+      advance plan sp env;
+      plan.body env
+    done
+  end
+
+(* ---------- sequential execution ---------- *)
+
+let rec seq_fork (plan : plan) env =
+  let saved_fork = env.fork in
+  env.fork <- seq_fork;
+  let sp = space_of plan env in
+  run_chunk plan sp env 1 sp.total;
+  env.fork <- saved_fork
+
+(* ---------- reduction merge ---------- *)
+
+let identity_of (r : red) =
+  match r.r_op with Reduction.Sum -> 0.0 | Reduction.Product -> 1.0
+
+let reset_partials (plan : plan) env =
+  Array.iter
+    (fun r ->
+      if r.r_real then env.reals.(r.r_slot) <- identity_of r
+      else
+        env.ints.(r.r_slot) <-
+          (match r.r_op with Reduction.Sum -> 0 | Reduction.Product -> 1))
+    plan.reductions
+
+let merge_reductions (plan : plan) master clones =
+  Array.iter
+    (fun r ->
+      if r.r_real then begin
+        let acc = ref master.reals.(r.r_slot) in
+        Array.iter
+          (fun c ->
+            let partial = c.reals.(r.r_slot) in
+            acc :=
+              (match r.r_op with
+              | Reduction.Sum -> !acc +. partial
+              | Reduction.Product -> !acc *. partial))
+          clones;
+        master.reals.(r.r_slot) <- !acc
+      end
+      else begin
+        let acc = ref master.ints.(r.r_slot) in
+        Array.iter
+          (fun c ->
+            let partial = c.ints.(r.r_slot) in
+            acc :=
+              (match r.r_op with
+              | Reduction.Sum -> !acc + partial
+              | Reduction.Product -> !acc * partial))
+          clones;
+        master.ints.(r.r_slot) <- !acc
+      end)
+    plan.reductions
+
+(* ---------- parallel execution ---------- *)
+
+(* Per-domain dispatch loop for one policy over [1..n]. [run] receives
+   (t0, len) chunks; must be called with ascending t0 within a domain. *)
+let dispatch policy ~n ~p ~(q : int) ~run =
+  match (policy : Policy.t) with
+  | Static_block ->
+      (* Contiguous blocks, identical to Static.block ownership. *)
+      let sched = Static.block ~n ~p in
+      List.iter (fun (t0, len) -> run t0 len) (Static.chunks_of sched q)
+  | Static_cyclic ->
+      let t = ref (q + 1) in
+      while !t <= n do
+        run !t 1;
+        t := !t + p
+      done
+  | Self_sched _ | Gss | Factoring | Trapezoid ->
+      assert false (* dynamic policies are dispatched from shared state *)
+
+let parallel_fork pool policy (plan : plan) master =
+  let p = Pool.size pool in
+  let sp = space_of plan master in
+  let n = sp.total in
+  if n = 0 then ()
+  else if p = 1 || n = 1 then seq_fork plan master
+  else begin
+    let clones =
+      Array.init p (fun _ ->
+          let c = clone_env master in
+          c.fork <- seq_fork;
+          reset_partials plan c;
+          c)
+    in
+    let hi_t = Array.make p 0 in
+    let run_on q t0 len =
+      run_chunk plan sp clones.(q) t0 len;
+      if t0 + len - 1 > hi_t.(q) then hi_t.(q) <- t0 + len - 1
+    in
+    let worker : int -> unit =
+      match (policy : Policy.t) with
+      | Static_block | Static_cyclic ->
+          fun q -> dispatch policy ~n ~p ~q ~run:(run_on q)
+      | Self_sched c ->
+          (* The paper's self-scheduling: a single shared coalesced index,
+             advanced with one atomic fetch-and-add per dispatch. *)
+          let next = Atomic.make 1 in
+          fun q ->
+            let continue_ = ref true in
+            while !continue_ do
+              let t0 = Atomic.fetch_and_add next c in
+              if t0 > n then continue_ := false
+              else run_on q t0 (min c (n - t0 + 1))
+            done
+      | Gss | Factoring | Trapezoid ->
+          (* Precompute the policy's chunk-size sequence (a function of n
+             and p only) and serve it from an atomic queue: one
+             fetch-and-add per dispatch, chunks in dispatch order. *)
+          let sizes =
+            match policy with
+            | Gss -> Gss.chunk_sizes ~n ~p
+            | Factoring -> Factoring.chunk_sizes ~n ~p
+            | Trapezoid -> Trapezoid.chunk_sizes ~n ~p
+            | _ -> assert false
+          in
+          let chunks =
+            let arr = Array.make (List.length sizes) (0, 0) in
+            let t0 = ref 1 in
+            List.iteri
+              (fun k len ->
+                arr.(k) <- (!t0, len);
+                t0 := !t0 + len)
+              sizes;
+            arr
+          in
+          let next = Atomic.make 0 in
+          fun q ->
+            let continue_ = ref true in
+            while !continue_ do
+              let k = Atomic.fetch_and_add next 1 in
+              if k >= Array.length chunks then continue_ := false
+              else begin
+                let t0, len = chunks.(k) in
+                run_on q t0 len
+              end
+            done
+    in
+    (* Save the master's pre-loop reduction values: they are the base of
+       the merge and must survive the wholesale scalar adoption below. *)
+    let saved_ints =
+      Array.map
+        (fun r -> if r.r_real then 0 else master.ints.(r.r_slot))
+        plan.reductions
+    in
+    let saved_reals =
+      Array.map
+        (fun r -> if r.r_real then master.reals.(r.r_slot) else 0.0)
+        plan.reductions
+    in
+    Pool.run pool worker;
+    (* Merge: adopt scalars from the domain that ran the highest
+       iteration (sequential last-iteration-wins semantics for
+       privatized scalars), then fold reduction partials in domain
+       order on top of the master's pre-loop value. *)
+    let qlast = ref (-1) in
+    Array.iteri
+      (fun q t -> if t > 0 && (!qlast < 0 || t > hi_t.(!qlast)) then qlast := q)
+      hi_t;
+    if !qlast >= 0 then begin
+      Array.blit clones.(!qlast).ints 0 master.ints 0 (Array.length master.ints);
+      Array.blit clones.(!qlast).reals 0 master.reals 0
+        (Array.length master.reals)
+    end;
+    Array.iteri
+      (fun k (r : red) ->
+        if r.r_real then master.reals.(r.r_slot) <- saved_reals.(k)
+        else master.ints.(r.r_slot) <- saved_ints.(k))
+      plan.reductions;
+    merge_reductions plan master clones
+  end
+
+(* ---------- whole-program entry points ---------- *)
+
+type outcome = {
+  arrays : (string * float array) list;
+  scalars : (string * Eval.value) list;
+}
+
+let outcome_of t env =
+  { arrays = Compile.read_arrays t env; scalars = Compile.read_scalars t env }
+
+let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
+    ?(domains = 1) (t : Compile.t) =
+  if domains < 1 then invalid_arg "Exec.run_compiled: domains must be >= 1";
+  (match Policy.validate policy with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Exec.run_compiled: " ^ m));
+  let go pool =
+    let fork =
+      match pool with
+      | None -> seq_fork
+      | Some pool -> parallel_fork pool policy
+    in
+    let env = Compile.make_env ~array_init t ~fork in
+    Compile.run_code t env;
+    outcome_of t env
+  in
+  match pool with
+  | Some p -> go (if Pool.size p > 1 then Some p else None)
+  | None ->
+      if domains = 1 then go None
+      else Pool.with_pool domains (fun p -> go (Some p))
+
+let run ?array_init ?pool ?policy ?domains (p : Loopcoal_ir.Ast.program) =
+  run_compiled ?array_init ?pool ?policy ?domains (Compile.compile p)
+
+(* Differential check against the reference interpreter: arrays must be
+   exactly equal; scalar comparison is optional because non-reduction
+   scalars assigned inside a parallel loop follow privatization (not
+   interleaving) semantics. *)
+let agrees_with_interpreter ?(compare_scalars = false) (outcome : outcome)
+    (st : Eval.state) =
+  let arrays, scalars = Eval.dump st in
+  List.length arrays = List.length outcome.arrays
+  && List.for_all2
+       (fun (n1, d1) (n2, d2) -> String.equal n1 n2 && d1 = d2)
+       arrays outcome.arrays
+  && ((not compare_scalars)
+     || List.length scalars = List.length outcome.scalars
+        && List.for_all2
+             (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && v1 = v2)
+             scalars outcome.scalars)

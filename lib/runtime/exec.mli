@@ -1,0 +1,61 @@
+(** Parallel executor: runs compiled programs on OCaml 5 domains under
+    the paper's scheduling policies.
+
+    Each compiled parallel plan (a flattened DOALL nest) is one coalesced
+    iteration space executed with a single fork-join. Static block/cyclic
+    ownership comes from [Static]; self-scheduling performs one atomic
+    fetch-and-add on the shared coalesced index per dispatch; GSS,
+    factoring and trapezoid serve their [chunk_sizes] sequences from an
+    atomic chunk queue. Within a chunk, indexes are recovered once by
+    div/mod and advanced with the O(1) odometer step.
+
+    Arrays are shared between domains (DOALL iterations write disjoint
+    elements by assumption of the [Parallel] annotation); scalars are
+    per-domain private. After the join, recognized reductions are merged
+    in domain order and remaining scalars are adopted from the domain
+    that executed the highest coalesced iteration. *)
+
+open Loopcoal_ir
+
+type outcome = {
+  arrays : (string * float array) list;  (** sorted by name *)
+  scalars : (string * Eval.value) list;  (** sorted by name *)
+}
+
+val seq_fork : Compile.plan -> Compile.env -> unit
+(** Run a plan sequentially in ascending coalesced order (the exact
+    iteration order of the original nest). *)
+
+val parallel_fork : Pool.t -> Loopcoal_sched.Policy.t -> Compile.plan ->
+  Compile.env -> unit
+(** Run a plan across the pool's domains under the given policy. *)
+
+val run_compiled :
+  ?array_init:float ->
+  ?pool:Pool.t ->
+  ?policy:Loopcoal_sched.Policy.t ->
+  ?domains:int ->
+  Compile.t ->
+  outcome
+(** Execute a compiled program. With [domains = 1] (default) and no
+    [pool], every plan runs sequentially. With [domains = p > 1], a
+    fresh pool of [p] domains is created for the run; passing [pool]
+    instead reuses an existing pool (its size wins over [domains]).
+    [policy] (default [Static_block]) selects the dispatcher for
+    parallel plans. Raises [Compile.Error] on runtime faults. *)
+
+val run :
+  ?array_init:float ->
+  ?pool:Pool.t ->
+  ?policy:Loopcoal_sched.Policy.t ->
+  ?domains:int ->
+  Ast.program ->
+  outcome
+(** [compile] + [run_compiled]. *)
+
+val agrees_with_interpreter :
+  ?compare_scalars:bool -> outcome -> Eval.state -> bool
+(** Differential check against the reference interpreter: arrays must be
+    element-wise identical. [compare_scalars] (default false) also
+    requires exact scalar agreement — meaningful for sequential runs and
+    for programs whose parallel-loop scalars are recognized reductions. *)

@@ -1,0 +1,103 @@
+(* A small fork-join pool over OCaml 5 domains.
+
+   The pool spawns [size - 1] worker domains once; the calling domain
+   itself acts as worker 0, so a pool of size p uses exactly p domains.
+   [run] publishes one job (a function of the worker id), wakes every
+   worker, participates, and waits for all of them — one fork-join,
+   which is precisely the synchronization shape the coalescing
+   transformation reduces a nest to. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  cond_job : Condition.t;
+  cond_done : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable generation : int;
+  mutable remaining : int;
+  mutable stop : bool;
+  errors : exn option array;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let worker_loop t q =
+  let seen = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.mutex;
+    while t.generation = !seen && not t.stop do
+      Condition.wait t.cond_job t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      continue_ := false
+    end
+    else begin
+      seen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      let err = match job q with () -> None | exception e -> Some e in
+      Mutex.lock t.mutex;
+      t.errors.(q) <- err;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.signal t.cond_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      cond_job = Condition.create ();
+      cond_done = Condition.create ();
+      job = None;
+      generation = 0;
+      remaining = 0;
+      stop = false;
+      errors = Array.make size None;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (size - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let run t f =
+  if t.size = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    Array.fill t.errors 0 t.size None;
+    t.job <- Some f;
+    t.remaining <- t.size - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.cond_job;
+    Mutex.unlock t.mutex;
+    (* The caller is worker 0. *)
+    (match f 0 with () -> () | exception e -> t.errors.(0) <- Some e);
+    Mutex.lock t.mutex;
+    while t.remaining > 0 do
+      Condition.wait t.cond_done t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    (* Re-raise the lowest-id failure for determinism. *)
+    Array.iter (function Some e -> raise e | None -> ()) t.errors
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.cond_job;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool size f =
+  let t = create size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

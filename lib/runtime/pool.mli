@@ -1,0 +1,28 @@
+(** Fork-join pool over OCaml 5 domains.
+
+    A pool of size [p] owns [p - 1] spawned worker domains; the caller of
+    {!run} participates as worker [0], so a parallel region occupies
+    exactly [p] domains. Workers persist across {!run} calls, which keeps
+    the per-region cost to one broadcast + one join — the single
+    fork-join the paper's coalesced loops are scheduled with. *)
+
+type t
+
+val create : int -> t
+(** [create p] spawns [p - 1] workers. Raises [Invalid_argument] for
+    [p < 1]. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f q] for every worker id [q] in [0 .. size-1]
+    concurrently and returns when all have finished. If any worker
+    raises, the exception of the lowest worker id is re-raised after the
+    join (all workers still complete). *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. The pool must not be used
+    afterwards. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool p f] runs [f] with a fresh pool and always shuts it down. *)

@@ -15,4 +15,5 @@ let () =
       ("machine", Test_machine.suite);
       ("workload", Test_workload.suite);
       ("driver", Test_driver.suite);
+      ("runtime", Test_runtime.suite);
     ]

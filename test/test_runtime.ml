@@ -1,0 +1,346 @@
+(* Runtime tests: the staging compiler and the multi-domain executor.
+
+   The load-bearing property: for every built-in kernel and every
+   scheduling policy, parallel execution on 1, 2 and 4 domains produces
+   arrays bit-identical to the sequential reference interpreter —
+   including reduction kernels, whose per-domain partials merge exactly
+   because the test reductions accumulate integral values (FP addition
+   of integers is exact, so any association agrees bit-for-bit). *)
+
+open Loopcoal
+module B = Builder
+module Exec = Runtime.Exec
+module Compile = Runtime.Compile
+module Pool = Runtime.Pool
+
+let all_policies =
+  [
+    Policy.Static_block;
+    Policy.Static_cyclic;
+    Policy.Self_sched 1;
+    Policy.Self_sched 7;
+    Policy.Gss;
+    Policy.Factoring;
+    Policy.Trapezoid;
+  ]
+
+let domain_counts = [ 1; 2; 4 ]
+
+let check_against_interp ?(compare_scalars = false) ~what prog ~domains
+    ~policy =
+  let st = Eval.run prog in
+  let outcome = Exec.run ~domains ~policy prog in
+  if not (Exec.agrees_with_interpreter ~compare_scalars outcome st) then
+    Alcotest.failf "%s: parallel (%d domains, %s) differs from interpreter"
+      what domains (Policy.name policy)
+
+(* ---------- every kernel x every policy x 1/2/4 domains ---------- *)
+
+let test_kernels_all_policies () =
+  List.iter
+    (fun name ->
+      let prog = Option.get (Kernels.by_name name) () in
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun domains ->
+              (* Sequential staging must reproduce the full store exactly;
+                 with domains > 1, arrays must still be bit-identical. *)
+              check_against_interp ~compare_scalars:(domains = 1)
+                ~what:("kernel " ^ name) prog ~domains ~policy)
+            domain_counts)
+        all_policies)
+    Kernels.all_names
+
+(* ---------- reduction kernels ---------- *)
+
+(* Integral sum over a depth-2 DOALL nest: exact under any association,
+   so the domain-ordered merge must agree bit-for-bit. *)
+let sum_nest =
+  B.program
+    ~scalars:[ B.real_scalar "s" ]
+    [
+      B.doall "i" (B.int 1) (B.int 37)
+        [
+          B.doall "j" (B.int 1) (B.int 23)
+            [ B.assign "s" B.(var "s" + (var "i" * var "j")) ];
+        ];
+    ]
+
+(* Integral product: s starts at 1 and doubles 40 times (exact in
+   double precision). *)
+let product_loop =
+  B.program
+    ~scalars:[ B.real_scalar ~init:1.0 "s" ]
+    [
+      B.doall "i" (B.int 1) (B.int 40)
+        [ B.assign "s" B.(var "s" * real 2.0) ];
+    ]
+
+(* A reduction alongside independent array writes, three levels deep. *)
+let mixed_reduction =
+  B.program
+    ~arrays:[ B.array "U" [ 4; 3; 3 ] ]
+    ~scalars:[ B.real_scalar "acc" ]
+    [
+      B.doall "i" (B.int 1) (B.int 4)
+        [
+          B.doall "j" (B.int 1) (B.int 3)
+            [
+              B.doall "k" (B.int 1) (B.int 3)
+                [
+                  B.store "U"
+                    [ B.var "i"; B.var "j"; B.var "k" ]
+                    B.((var "i" * int 100) + (var "j" * int 10) + var "k");
+                  B.assign "acc"
+                    B.(var "acc" + (var "i" + var "j" + var "k"));
+                ];
+            ];
+        ];
+    ]
+
+let test_reduction_kernels () =
+  List.iter
+    (fun (what, prog) ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun domains ->
+              check_against_interp ~compare_scalars:true ~what prog ~domains
+                ~policy)
+            domain_counts)
+        all_policies)
+    [
+      ("sum nest", sum_nest);
+      ("product loop", product_loop);
+      ("mixed reduction", mixed_reduction);
+    ]
+
+(* ---------- coalesced IR through the runtime ---------- *)
+
+let test_coalesced_program () =
+  let prog = Kernels.matmul ~ra:7 ~ca:5 ~cb:6 in
+  let coalesced, n = Coalesce.apply_all_program prog in
+  Alcotest.(check bool) "something coalesced" true (n > 0);
+  let st = Eval.run prog in
+  List.iter
+    (fun domains ->
+      let outcome = Exec.run ~domains ~policy:Policy.Gss coalesced in
+      if not (Exec.agrees_with_interpreter outcome st) then
+        Alcotest.failf
+          "coalesced matmul (%d domains) differs from original interpreter"
+          domains)
+    domain_counts
+
+(* ---------- error parity with the interpreter ---------- *)
+
+let interp_errors prog =
+  match Eval.run prog with
+  | _ -> false
+  | exception Eval.Runtime_error _ -> true
+
+let compiled_errors prog =
+  match Exec.run ~domains:1 prog with
+  | _ -> false
+  | exception Compile.Error _ -> true
+
+let test_error_parity () =
+  let cases =
+    [
+      ( "div by zero",
+        B.program
+          ~scalars:[ B.int_scalar "s" ]
+          [ B.assign "s" B.(int 1 / int 0) ] );
+      ( "store out of bounds",
+        B.program
+          ~arrays:[ B.array "A" [ 4 ] ]
+          [ B.store "A" [ B.int 5 ] (B.real 1.0) ] );
+      ( "load out of bounds in loop",
+        B.program
+          ~arrays:[ B.array "A" [ 4 ] ]
+          [
+            B.doall "i" (B.int 1) (B.int 9)
+              [ B.store "A" [ B.var "i" ] (B.real 0.5) ];
+          ] );
+      ( "non-positive step",
+        B.program
+          [ B.for_ ~step:(B.int 0) "i" (B.int 1) (B.int 3) [] ] );
+      ( "mod by zero",
+        B.program
+          ~scalars:[ B.int_scalar "s" ]
+          [ B.assign "s" B.(int 7 % int 0) ] );
+    ]
+  in
+  List.iter
+    (fun (what, prog) ->
+      Alcotest.(check bool) (what ^ ": interpreter errors") true
+        (interp_errors prog);
+      Alcotest.(check bool) (what ^ ": compiled errors") true
+        (compiled_errors prog))
+    cases;
+  (* Parallel faults must propagate through the join, too. *)
+  let oob =
+    B.program
+      ~arrays:[ B.array "A" [ 4 ] ]
+      [
+        B.doall "i" (B.int 1) (B.int 9)
+          [ B.store "A" [ B.var "i" ] (B.real 0.5) ];
+      ]
+  in
+  Alcotest.(check bool) "parallel bounds fault propagates" true
+    (match Exec.run ~domains:2 ~policy:(Policy.Self_sched 1) oob with
+    | _ -> false
+    | exception Compile.Error _ -> true)
+
+let test_assign_to_index_rejected () =
+  let prog =
+    B.program
+      ~scalars:[ B.int_scalar "i" ]
+      [ B.doall "i" (B.int 1) (B.int 3) [ B.assign "i" (B.int 0) ] ]
+  in
+  match Compile.compile_result prog with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "assignment to loop index should be rejected"
+
+(* ---------- pool ---------- *)
+
+let test_pool_runs_all_workers () =
+  Pool.with_pool 4 (fun pool ->
+      let hits = Array.make 4 0 in
+      Pool.run pool (fun q -> hits.(q) <- hits.(q) + 1);
+      Pool.run pool (fun q -> hits.(q) <- hits.(q) + 1);
+      Alcotest.(check (array int)) "each worker ran twice" [| 2; 2; 2; 2 |] hits)
+
+let test_pool_propagates_exception () =
+  Pool.with_pool 3 (fun pool ->
+      match Pool.run pool (fun q -> if q = 2 then failwith "boom") with
+      | () -> Alcotest.fail "expected exception"
+      | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+  (* The pool must survive a failed run. *)
+  Pool.with_pool 2 (fun pool ->
+      (match Pool.run pool (fun _ -> failwith "x") with
+      | () -> ()
+      | exception Failure _ -> ());
+      let ok = ref false in
+      Pool.run pool (fun q -> if q = 0 then ok := true);
+      Alcotest.(check bool) "usable after failure" true !ok)
+
+(* ---------- properties ---------- *)
+
+(* Staging correctness: arbitrary programs, sequential compiled execution
+   must reproduce the interpreter's full final store. *)
+let prop_compiled_seq_equals_interp =
+  QCheck.Test.make ~count:60 ~name:"compiled(1 domain) = interpreter"
+    Gen.arbitrary_program (fun prog ->
+      let st = Eval.run prog in
+      let outcome = Exec.run ~domains:1 prog in
+      Exec.agrees_with_interpreter ~compare_scalars:true outcome st)
+
+(* Conflict-free rectangular DOALL nests: parallel execution under every
+   policy and 1/2/4 domains is bit-identical on arrays. Writes target
+   distinct elements by construction (subscripts are exactly the nest
+   indexes), so the DOALL annotation is genuinely valid. *)
+let doall_nest_gen : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* depth = int_range 1 3 in
+  let dims =
+    match depth with 1 -> [ 8 ] | 2 -> [ 6; 6 ] | _ -> [ 4; 3; 3 ]
+  in
+  let target = match depth with 1 -> "V" | 2 -> "W" | _ -> "U" in
+  let indices =
+    List.filteri (fun k _ -> k < depth) [ "i"; "j"; "k" ]
+  in
+  let* sizes = flatten_l (List.map (fun d -> int_range 1 d) dims) in
+  (* Loads only from arrays other than the store target: reading the
+     written array would be a cross-iteration dependence, making the
+     DOALL annotation (and hence order-independence) invalid. *)
+  let other_ref =
+    let sources = List.filter (fun (n, _) -> n <> target) Gen.array_dims in
+    let* name, adims = oneofl sources in
+    let+ subs =
+      flatten_l (List.map (fun d -> map (Gen.clamp d) (Gen.int_expr indices)) adims)
+    in
+    Ast.Load (name, subs)
+  in
+  let+ rhs =
+    frequency
+      [
+        (2, Gen.int_expr indices);
+        ( 3,
+          let* l = other_ref in
+          let+ extra = Gen.int_expr indices in
+          Ast.Bin (Add, l, extra) );
+      ]
+  in
+  let body =
+    [ Ast.Assign (Elem (target, List.map (fun v -> Ast.Var v) indices), rhs) ]
+  in
+  let rec build idxs szs : Ast.stmt =
+    match (idxs, szs) with
+    | [ ix ], [ n ] ->
+        For
+          {
+            index = ix;
+            lo = Int 1;
+            hi = Int n;
+            step = Int 1;
+            par = Parallel;
+            body;
+          }
+    | ix :: idxs, n :: szs ->
+        For
+          {
+            index = ix;
+            lo = Int 1;
+            hi = Int n;
+            step = Int 1;
+            par = Parallel;
+            body = [ build idxs szs ];
+          }
+    | _ -> assert false
+  in
+  {
+    Ast.arrays =
+      List.map
+        (fun (n, dims) -> { Ast.arr_name = n; dims })
+        [ ("W", [ 6; 6 ]); ("V", [ 8 ]); ("U", [ 4; 3; 3 ]) ];
+    scalars = [];
+    body = [ build indices sizes ];
+  }
+
+let arbitrary_doall_nest =
+  QCheck.make ~print:Pretty.program_to_string doall_nest_gen
+
+let prop_parallel_equals_interp =
+  QCheck.Test.make ~count:25
+    ~name:"parallel DOALL nest = interpreter (all policies, 1/2/4 domains)"
+    arbitrary_doall_nest (fun prog ->
+      let st = Eval.run prog in
+      List.for_all
+        (fun policy ->
+          List.for_all
+            (fun domains ->
+              let outcome = Exec.run ~domains ~policy prog in
+              Exec.agrees_with_interpreter outcome st)
+            domain_counts)
+        all_policies)
+
+let suite =
+  [
+    Alcotest.test_case "kernels x policies x domains" `Quick
+      test_kernels_all_policies;
+    Alcotest.test_case "reduction kernels bit-identical" `Quick
+      test_reduction_kernels;
+    Alcotest.test_case "coalesced IR through runtime" `Quick
+      test_coalesced_program;
+    Alcotest.test_case "error parity with interpreter" `Quick
+      test_error_parity;
+    Alcotest.test_case "assign to index rejected" `Quick
+      test_assign_to_index_rejected;
+    Alcotest.test_case "pool runs all workers" `Quick
+      test_pool_runs_all_workers;
+    Alcotest.test_case "pool propagates exceptions" `Quick
+      test_pool_propagates_exception;
+    Gen.to_alcotest prop_compiled_seq_equals_interp;
+    Gen.to_alcotest prop_parallel_equals_interp;
+  ]
