@@ -4,8 +4,16 @@
    alongside, so the paper's analytic claims can be compared against
    real execution on every PR.
 
+   Each parallel configuration is additionally run once under the
+   tracing layer, so every record carries measured dispatch behaviour
+   (chunks dispatched, load imbalance, sync ops per iteration), and the
+   simulator's model is scored against the traced execution in a final
+   model-check table. Rows with more domains than host cores are marked
+   oversubscribed: their wall-clock "scaling" is time-slicing, not
+   parallelism.
+
    Emits BENCH_runtime.json (machine-readable, one record per
-   measurement) and prints a summary table. *)
+   measurement) and prints summary tables. *)
 
 open Loopcoal
 module Exec = Runtime.Exec
@@ -35,6 +43,10 @@ type record = {
   speedup_vs_interp : float option;
   speedup_vs_1dom : float option;
   predicted_speedup : float option;
+  chunks_dispatched : int option;  (* traced, whole program *)
+  imbalance : float option;  (* traced, max/mean busy of largest region *)
+  sync_ops_per_iter : float option;  (* traced, whole program *)
+  note : string option;
 }
 
 let ns_per_iter r = r.time_s *. 1e9 /. float_of_int (max 1 r.iters)
@@ -44,6 +56,10 @@ let json_of_record r =
     | None -> "null"
     | Some x -> Printf.sprintf "%.4f" x
   in
+  let opt_i = function
+    | None -> "null"
+    | Some n -> string_of_int n
+  in
   let opt_s = function
     | None -> "null"
     | Some s -> Printf.sprintf "%S" s
@@ -52,12 +68,17 @@ let json_of_record r =
     "    {\"kernel\": %S, \"engine\": %S, \"policy\": %s, \"domains\": %d, \
      \"iters\": %d, \"time_s\": %.6f, \"ns_per_iter\": %.2f, \
      \"speedup_vs_interp\": %s, \"speedup_vs_1dom\": %s, \
-     \"predicted_speedup\": %s}"
+     \"predicted_speedup\": %s, \"chunks_dispatched\": %s, \
+     \"imbalance\": %s, \"sync_ops_per_iter\": %s, \"note\": %s}"
     r.kernel r.engine (opt_s r.policy) r.domains r.iters r.time_s
     (ns_per_iter r)
     (opt_f r.speedup_vs_interp)
     (opt_f r.speedup_vs_1dom)
     (opt_f r.predicted_speedup)
+    (opt_i r.chunks_dispatched)
+    (opt_f r.imbalance)
+    (opt_f r.sync_ops_per_iter)
+    (opt_s r.note)
 
 let bench_policies =
   [
@@ -70,9 +91,9 @@ let bench_policies =
     Policy.Trapezoid;
   ]
 
-let domain_counts =
-  let host = Domain.recommended_domain_count () in
-  List.sort_uniq compare [ 1; 2; 4; min 8 host ]
+let host_cores = Domain.recommended_domain_count ()
+
+let domain_counts = List.sort_uniq compare [ 1; 2; 4; min 8 host_cores ]
 
 (* Predicted coalesced speedup from the event simulator at p domains,
    using the interpreter-profiled body cost of the kernel's first
@@ -85,7 +106,38 @@ let predicted prog ~policy ~p =
       | (l : Driver.sim_line) :: _ -> Some l.Driver.speedup
       | [] -> None)
 
-let bench_kernel ~out (name, mk) =
+(* The simulator's full prediction for the profiled nest: dispatch count
+   and busy-time balance, not just the speedup headline. *)
+let predicted_side (prof : Driver.profile) ~policy ~p =
+  let sizes = prof.Driver.p_shape in
+  let n = Intmath.product sizes in
+  let chunk_cost =
+    Workload_cost.chunk_cost ~strategy:Index_recovery.Incremental ~sizes
+      ~body:(Bodies.uniform prof.Driver.p_body_cost)
+  in
+  let machine = Machine.default ~p in
+  let r = Event_sim.simulate ~machine ~policy ~n ~chunk_cost in
+  let spec =
+    {
+      Driver.shape = sizes;
+      body = Bodies.uniform prof.Driver.p_body_cost;
+      machine;
+      strategy = Index_recovery.Incremental;
+    }
+  in
+  let busy = r.Event_sim.busy in
+  let max_busy = Array.fold_left Float.max 0.0 busy in
+  let mean_busy =
+    Array.fold_left ( +. ) 0.0 busy /. float_of_int (max 1 (Array.length busy))
+  in
+  ( n,
+    {
+      Model_check.speedup = Driver.serial_time spec /. r.Event_sim.completion;
+      dispatches = r.Event_sim.dispatches;
+      imbalance = (if mean_busy <= 0.0 then 1.0 else max_busy /. mean_busy);
+    } )
+
+let bench_kernel ~out ~score (name, mk) =
   let prog : Ast.program = mk () in
   (* Iteration count measured once by the reference interpreter; the
      same denominator is used for every engine so ns/iter is
@@ -104,6 +156,10 @@ let bench_kernel ~out (name, mk) =
       speedup_vs_interp = None;
       speedup_vs_1dom = None;
       predicted_speedup = None;
+      chunks_dispatched = None;
+      imbalance = None;
+      sync_ops_per_iter = None;
+      note = None;
     };
   let compiled = Compile.compile prog in
   let t_seq =
@@ -120,7 +176,16 @@ let bench_kernel ~out (name, mk) =
       speedup_vs_interp = Some (t_interp /. t_seq);
       speedup_vs_1dom = Some 1.0;
       predicted_speedup = None;
+      chunks_dispatched = None;
+      imbalance = None;
+      sync_ops_per_iter = None;
+      note = None;
     };
+  let prof =
+    match Driver.profile_first_nest prog with
+    | Ok prof -> Some prof
+    | Error _ -> None
+  in
   List.iter
     (fun domains ->
       if domains > 1 then
@@ -131,6 +196,43 @@ let bench_kernel ~out (name, mk) =
                   time_min 3 (fun () ->
                       ignore (Exec.run_compiled ~pool ~policy compiled))
                 in
+                (* One extra traced run: the measured dispatch behaviour
+                   of this exact configuration. *)
+                let tracer = Trace.create ~p:domains () in
+                ignore (Exec.run_compiled ~pool ~policy ~trace:tracer compiled);
+                let m = Metrics.of_trace (Trace.snapshot tracer) in
+                let note =
+                  if domains > host_cores then
+                    Some
+                      (Printf.sprintf
+                         "oversubscribed: %d domains on %d host core(s); \
+                          wall-clock scaling reflects time-slicing"
+                         domains host_cores)
+                  else None
+                in
+                (match prof with
+                | None -> ()
+                | Some prof -> (
+                    let nest_n, pside = predicted_side prof ~policy ~p:domains in
+                    (* Score against the first traced region that executed
+                       the profiled nest, when there is one. *)
+                    match
+                      List.find_opt
+                        (fun (f : Metrics.fork_metrics) -> f.Metrics.n = nest_n)
+                        m.Metrics.forks
+                    with
+                    | None -> ()
+                    | Some f ->
+                        score
+                          (Model_check.score ~kernel:name
+                             ~policy:(Policy.name policy) ~domains
+                             ~predicted:pside
+                             ~measured:
+                               {
+                                 Model_check.speedup = t_seq /. t_par;
+                                 dispatches = f.Metrics.chunks_dispatched;
+                                 imbalance = f.Metrics.imbalance;
+                               })));
                 out
                   {
                     kernel = name;
@@ -142,6 +244,13 @@ let bench_kernel ~out (name, mk) =
                     speedup_vs_interp = Some (t_interp /. t_par);
                     speedup_vs_1dom = Some (t_seq /. t_par);
                     predicted_speedup = predicted prog ~policy ~p:domains;
+                    chunks_dispatched = Some m.Metrics.total_chunks;
+                    imbalance = Some m.Metrics.imbalance;
+                    sync_ops_per_iter =
+                      Some
+                        (float_of_int m.Metrics.total_sync_ops
+                        /. float_of_int (max 1 m.Metrics.total_iters));
+                    note;
                   })
               bench_policies))
     domain_counts
@@ -156,6 +265,7 @@ let bench_kernels =
 
 let run () =
   let records = ref [] in
+  let scores = ref [] in
   let t =
     Table.create
       [
@@ -167,11 +277,15 @@ let run () =
         ("vs interp", Table.Right);
         ("vs 1-dom", Table.Right);
         ("predicted", Table.Right);
+        ("chunks", Table.Right);
+        ("imbalance", Table.Right);
+        ("sync/iter", Table.Right);
       ]
   in
   let out r =
     records := r :: !records;
     let opt = function None -> "-" | Some x -> Printf.sprintf "%.2fx" x in
+    let opt_plain fmt = function None -> "-" | Some x -> Printf.sprintf fmt x in
     Table.add_row t
       [
         r.kernel;
@@ -182,19 +296,30 @@ let run () =
         opt r.speedup_vs_interp;
         opt r.speedup_vs_1dom;
         opt r.predicted_speedup;
+        opt_plain "%d" r.chunks_dispatched;
+        opt_plain "%.2f" r.imbalance;
+        opt_plain "%.4f" r.sync_ops_per_iter;
       ]
   in
+  let score s = scores := s :: !scores in
   Printf.printf "== runtime: measured wall-clock (host: %d core(s)) ==\n%!"
-    (Domain.recommended_domain_count ());
-  List.iter (bench_kernel ~out) bench_kernels;
+    host_cores;
+  List.iter (bench_kernel ~out ~score) bench_kernels;
   Table.print t;
+  (match List.rev !scores with
+  | [] -> ()
+  | scores ->
+      Table.print (Model_check.table scores);
+      print_endline (Model_check.summary scores));
   let records = List.rev !records in
   let oc = open_out "BENCH_runtime.json" in
   Printf.fprintf oc
     "{\n  \"host_cores\": %d,\n  \"note\": \"speedups are wall-clock; \
-     predicted is the event simulator's coalesced speedup at the same p\",\n\
+     predicted is the event simulator's coalesced speedup at the same p; \
+     chunks/imbalance/sync_ops_per_iter are traced from a real run; rows \
+     noted oversubscribed exceed the host's cores\",\n\
      \  \"results\": [\n%s\n  ]\n}\n"
-    (Domain.recommended_domain_count ())
+    host_cores
     (String.concat ",\n" (List.map json_of_record records));
   close_out oc;
   Printf.printf "wrote BENCH_runtime.json (%d records)\n%!"

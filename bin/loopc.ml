@@ -667,10 +667,37 @@ let run_cmd =
   in
   let time_flag =
     Arg.(
-      value & flag & info [ "time" ] ~doc:"Report wall-clock execution time.")
+      value & flag
+      & info [ "time" ]
+          ~doc:
+            "Report wall-clock execution time as one stable \
+             machine-readable line: $(b,time engine=... domains=... \
+             policy=... wall_s=...).")
   in
-  let run parallel procs policy coalesce compare time p =
+  let trace_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "loopc_trace.json") (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record per-domain dispatch events (chunk ranges, monotonic \
+             timestamps) and write a Chrome trace_event JSON file \
+             (default $(b,loopc_trace.json)) for about://tracing.")
+  in
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Trace the run and print scheduler metrics (dispatches, sync \
+             ops per iteration, load imbalance, fork/join latency) plus a \
+             measured ASCII Gantt chart, side by side with the event \
+             simulator's predicted schedule when the program's first nest \
+             is profilable.")
+  in
+  let run parallel procs policy coalesce compare time trace_file metrics p =
     report_validation p;
+    let orig = p in
     let p =
       if not coalesce then p
       else
@@ -688,8 +715,14 @@ let run_cmd =
         Printf.eprintf "staging error: %s\n" m;
         exit 1
     | Ok compiled -> (
+        let tracer =
+          if trace_file <> None || metrics then
+            Some (L.Trace.create ~p:domains ())
+          else None
+        in
         let t0 = Unix.gettimeofday () in
-        match L.Runtime.Exec.run_compiled ~domains ~policy compiled with
+        match L.Runtime.Exec.run_compiled ~domains ~policy ?trace:tracer
+                compiled with
         | exception L.Runtime.Compile.Error m ->
             Printf.eprintf "runtime error: %s\n" m;
             exit 1
@@ -709,7 +742,76 @@ let run_cmd =
                   (Array.length data)
                   (Array.fold_left ( +. ) 0.0 data))
               outcome.L.Runtime.Exec.arrays;
-            if time then Printf.printf "wall time: %.6f s\n" elapsed;
+            (match tracer with
+            | None -> ()
+            | Some tracer ->
+                let tr = L.Trace.snapshot tracer in
+                (match trace_file with
+                | None -> ()
+                | Some file ->
+                    L.Chrome_trace.to_file file tr;
+                    Printf.printf
+                      "wrote Chrome trace %s (%d chunks, %d regions); load \
+                       it in about://tracing\n"
+                      file
+                      (Array.length tr.L.Trace.chunks)
+                      (Array.length tr.L.Trace.forks));
+                if metrics then begin
+                  let m = L.Metrics.of_trace tr in
+                  L.Table.print (L.Report.metrics_table m);
+                  (* The biggest region carries the story: per-worker
+                     breakdown and measured-vs-predicted Gantt. *)
+                  match
+                    List.fold_left
+                      (fun best (f : L.Metrics.fork_metrics) ->
+                        match best with
+                        | Some (b : L.Metrics.fork_metrics)
+                          when b.L.Metrics.iterations >= f.L.Metrics.iterations
+                          ->
+                            best
+                        | _ -> Some f)
+                      None m.L.Metrics.forks
+                  with
+                  | None -> ()
+                  | Some f ->
+                      L.Table.print (L.Report.worker_table f);
+                      let measured =
+                        L.Report.measured_gantt ~width:60 tr
+                          ~epoch:f.L.Metrics.epoch
+                      in
+                      let predicted =
+                        match L.Driver.profile_first_nest orig with
+                        | Error _ -> None
+                        | Ok prof ->
+                            let sizes = prof.L.Driver.p_shape in
+                            let n = L.Intmath.product sizes in
+                            if n <> f.L.Metrics.n then None
+                            else
+                              let chunk_cost =
+                                L.Workload_cost.chunk_cost
+                                  ~strategy:L.Index_recovery.Incremental
+                                  ~sizes
+                                  ~body:
+                                    (L.Bodies.uniform prof.L.Driver.p_body_cost)
+                              in
+                              let r =
+                                L.Event_sim.simulate
+                                  ~machine:(L.Machine.default ~p:domains)
+                                  ~policy ~n ~chunk_cost
+                              in
+                              Some (L.Gantt.render ~width:60 r)
+                      in
+                      print_string
+                        (match predicted with
+                        | Some pred ->
+                            L.Report.side_by_side measured
+                              ("predicted (event simulator)\n" ^ pred)
+                        | None -> measured)
+                end);
+            if time then
+              print_endline
+                (L.Report.time_line ~engine:"compiled" ~domains
+                   ~policy:(L.Policy.name policy) ~wall_s:elapsed);
             if compare then
               match L.Eval.run p with
               | exception L.Eval.Runtime_error m ->
@@ -734,7 +836,7 @@ let run_cmd =
           trapezoid).")
     Term.(
       const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
-      $ compare_flag $ time_flag $ program_arg)
+      $ compare_flag $ time_flag $ trace_arg $ metrics_flag $ program_arg)
 
 (* ---------- kernel ---------- *)
 

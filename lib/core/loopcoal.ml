@@ -43,6 +43,7 @@ module Static = Loopcoal_sched.Static
 module Gss = Loopcoal_sched.Gss
 module Factoring = Loopcoal_sched.Factoring
 module Trapezoid = Loopcoal_sched.Trapezoid
+module Chunks = Loopcoal_sched.Chunks
 module Alloc = Loopcoal_sched.Alloc
 module Bounds = Loopcoal_sched.Bounds
 module Granularity = Loopcoal_sched.Granularity
@@ -50,6 +51,11 @@ module Runtime = Loopcoal_runtime
 module Machine = Loopcoal_machine.Machine
 module Event_sim = Loopcoal_machine.Event_sim
 module Gantt = Loopcoal_machine.Gantt
+module Model_check = Loopcoal_machine.Model_check
+module Trace = Loopcoal_obs.Trace
+module Metrics = Loopcoal_obs.Metrics
+module Chrome_trace = Loopcoal_obs.Chrome_trace
+module Report = Loopcoal_obs.Report
 module Bodies = Loopcoal_workload.Bodies
 module Workload_cost = Loopcoal_workload.Workload_cost
 module Kernels = Loopcoal_workload.Kernels

@@ -1,39 +1,58 @@
-let render ?(width = 72) (r : Event_sim.result) =
-  if r.Event_sim.trace = [] then invalid_arg "Gantt.render: empty trace";
-  let p =
-    1 + List.fold_left (fun m c -> max m c.Event_sim.proc) 0 r.Event_sim.trace
-  in
-  let horizon =
-    List.fold_left
-      (fun m c -> Float.max m (c.Event_sim.issue_time +. c.Event_sim.cost))
-      1e-9 r.Event_sim.trace
-  in
-  let scale t =
-    int_of_float (t /. horizon *. float_of_int (width - 1))
-  in
-  let rows = Array.init p (fun _ -> Bytes.make width ' ') in
-  let nth_on_proc = Array.make p 0 in
+type span = { row : int; t0 : float; t1 : float }
+
+let render_spans ?(width = 72) ?(rows = 0) ?header spans =
+  if spans = [] then invalid_arg "Gantt.render_spans: empty span list";
   List.iter
-    (fun c ->
-      let row = rows.(c.Event_sim.proc) in
-      let glyph =
-        if nth_on_proc.(c.Event_sim.proc) mod 2 = 0 then '#' else '='
-      in
-      nth_on_proc.(c.Event_sim.proc) <- nth_on_proc.(c.Event_sim.proc) + 1;
-      let a = scale c.Event_sim.issue_time in
-      let b = max a (scale (c.Event_sim.issue_time +. c.Event_sim.cost)) in
+    (fun s ->
+      if s.row < 0 then invalid_arg "Gantt.render_spans: negative row";
+      if s.t1 < s.t0 then invalid_arg "Gantt.render_spans: span ends before it starts")
+    spans;
+  let p =
+    max rows (1 + List.fold_left (fun m s -> max m s.row) 0 spans)
+  in
+  let horizon = List.fold_left (fun m s -> Float.max m s.t1) 1e-9 spans in
+  let scale t = int_of_float (t /. horizon *. float_of_int (width - 1)) in
+  let rows = Array.init p (fun _ -> Bytes.make width ' ') in
+  let nth_on_row = Array.make p 0 in
+  List.iter
+    (fun s ->
+      let row = rows.(s.row) in
+      let glyph = if nth_on_row.(s.row) mod 2 = 0 then '#' else '=' in
+      nth_on_row.(s.row) <- nth_on_row.(s.row) + 1;
+      let a = scale s.t0 in
+      let b = max a (scale s.t1) in
       for x = a to min b (width - 1) do
         Bytes.set row x glyph
       done)
-    r.Event_sim.trace;
+    spans;
   let buf = Buffer.create (p * (width + 8)) in
-  Buffer.add_string buf
-    (Printf.sprintf "time 0 .. %.0f (completion %.0f, %d dispatches)\n"
-       horizon r.Event_sim.completion r.Event_sim.dispatches);
+  (match header with
+  | None -> ()
+  | Some h -> Buffer.add_string buf (h ^ "\n"));
   Array.iteri
     (fun q row ->
-      Buffer.add_string buf (Printf.sprintf "p%-3d |%s|\n" q (Bytes.to_string row)))
+      Buffer.add_string buf
+        (Printf.sprintf "p%-3d |%s|\n" q (Bytes.to_string row)))
     rows;
   Buffer.contents buf
+
+let render ?width (r : Event_sim.result) =
+  if r.Event_sim.trace = [] then invalid_arg "Gantt.render: empty trace";
+  let spans =
+    List.map
+      (fun c ->
+        {
+          row = c.Event_sim.proc;
+          t0 = c.Event_sim.issue_time;
+          t1 = c.Event_sim.issue_time +. c.Event_sim.cost;
+        })
+      r.Event_sim.trace
+  in
+  let horizon = List.fold_left (fun m s -> Float.max m s.t1) 1e-9 spans in
+  let header =
+    Printf.sprintf "time 0 .. %.0f (completion %.0f, %d dispatches)" horizon
+      r.Event_sim.completion r.Event_sim.dispatches
+  in
+  render_spans ?width ~header spans
 
 let print ?width r = print_string (render ?width r)

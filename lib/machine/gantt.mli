@@ -1,9 +1,29 @@
-(** ASCII Gantt rendering of a simulation trace: one row per processor,
+(** ASCII Gantt rendering of a dispatch trace: one row per processor,
     time left to right, each chunk drawn over its execution span with a
     glyph that alternates between consecutive chunks so dispatch
-    boundaries stay visible. Idle time is blank. *)
+    boundaries stay visible. Idle time is blank.
+
+    The span renderer is shared by the event simulator's {e predicted}
+    schedules and the runtime tracer's {e measured} ones, so the two can
+    be put side by side in the same visual language. *)
+
+type span = {
+  row : int;  (** processor / domain, 0-based *)
+  t0 : float;  (** span start, any consistent unit *)
+  t1 : float;  (** span end; [t1 >= t0] *)
+}
+
+val render_spans :
+  ?width:int -> ?rows:int -> ?header:string -> span list -> string
+(** Render arbitrary spans, scaled to the latest [t1]. Spans on a row are
+    drawn in list order with alternating glyphs. [rows] forces a minimum
+    row count, so processors that executed nothing still show as (empty)
+    rows. Raises [Invalid_argument] on an empty list or a negative
+    row. *)
 
 val render : ?width:int -> Event_sim.result -> string
-(** Raises [Invalid_argument] on an empty trace. *)
+(** The simulator's trace through {!render_spans}, with a header line
+    reporting horizon, completion and dispatch count. Raises
+    [Invalid_argument] on an empty trace. *)
 
 val print : ?width:int -> Event_sim.result -> unit

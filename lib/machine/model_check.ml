@@ -1,0 +1,86 @@
+module Table = Loopcoal_util.Table
+
+type side = { speedup : float; dispatches : int; imbalance : float }
+
+type score = {
+  kernel : string;
+  policy : string;
+  domains : int;
+  predicted : side;
+  measured : side;
+  speedup_log2_err : float;
+  dispatches_exact : bool;
+  grade : string;
+}
+
+let log2 x = log x /. log 2.0
+
+let score ~kernel ~policy ~domains ~predicted ~measured =
+  let err =
+    if predicted.speedup <= 0.0 || measured.speedup <= 0.0 then infinity
+    else Float.abs (log2 (measured.speedup /. predicted.speedup))
+  in
+  {
+    kernel;
+    policy;
+    domains;
+    predicted;
+    measured;
+    speedup_log2_err = err;
+    dispatches_exact = predicted.dispatches = measured.dispatches;
+    grade = (if err < 0.5 then "good" else if err < 1.0 then "fair" else "poor");
+  }
+
+let table scores =
+  let t =
+    Table.create ~title:"model check: event simulator vs traced execution"
+      [
+        ("kernel", Table.Left);
+        ("policy", Table.Left);
+        ("domains", Table.Right);
+        ("pred speedup", Table.Right);
+        ("meas speedup", Table.Right);
+        ("log2 err", Table.Right);
+        ("pred disp", Table.Right);
+        ("meas disp", Table.Right);
+        ("pred imbal", Table.Right);
+        ("meas imbal", Table.Right);
+        ("grade", Table.Left);
+      ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row t
+        [
+          s.kernel;
+          s.policy;
+          Table.cell_int s.domains;
+          Table.cell_ratio s.predicted.speedup;
+          Table.cell_ratio s.measured.speedup;
+          Table.cell_float s.speedup_log2_err;
+          Table.cell_int s.predicted.dispatches;
+          Table.cell_int s.measured.dispatches;
+          Table.cell_float s.predicted.imbalance;
+          Table.cell_float s.measured.imbalance;
+          s.grade;
+        ])
+    scores;
+  t
+
+let summary scores =
+  let count g = List.length (List.filter (fun s -> s.grade = g) scores) in
+  match scores with
+  | [] -> "model check: no scores"
+  | _ ->
+      let worst =
+        List.fold_left
+          (fun (w : score) s ->
+            if s.speedup_log2_err > w.speedup_log2_err then s else w)
+          (List.hd scores) (List.tl scores)
+      in
+      Printf.sprintf
+        "model check: %d good, %d fair, %d poor of %d; worst %s/%s@%d \
+         (predicted %.2fx, measured %.2fx)"
+        (count "good") (count "fair") (count "poor") (List.length scores)
+        worst.kernel worst.policy worst.domains worst.predicted.speedup
+        worst.measured.speedup

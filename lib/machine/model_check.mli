@@ -1,0 +1,44 @@
+(** Predicted-vs-measured scoring of the machine model.
+
+    The event simulator predicts completion, dispatch counts and load
+    balance per (kernel, policy, domain count); the runtime tracer
+    measures the same quantities on real OCaml domains. This module puts
+    the two side by side and grades how well the analytic model held up —
+    the paper's overhead claims, checked instead of assumed.
+
+    Both sides arrive as plain numbers, so this module depends on
+    neither the simulator's nor the tracer's internals. *)
+
+type side = {
+  speedup : float;  (** vs the 1-worker baseline of the same engine *)
+  dispatches : int;
+  imbalance : float;  (** max/mean per-worker busy time; 1.0 = perfect *)
+}
+
+type score = {
+  kernel : string;
+  policy : string;
+  domains : int;
+  predicted : side;
+  measured : side;
+  speedup_log2_err : float;
+      (** [|log2 (measured.speedup / predicted.speedup)|]: 0 = exact,
+          1 = off by 2x in either direction *)
+  dispatches_exact : bool;
+  grade : string;  (** "good" (< 0.5), "fair" (< 1.0), "poor" *)
+}
+
+val score :
+  kernel:string ->
+  policy:string ->
+  domains:int ->
+  predicted:side ->
+  measured:side ->
+  score
+
+val table : score list -> Loopcoal_util.Table.t
+(** One row per score: kernel, policy, domains, predicted vs measured
+    speedup, dispatch match, imbalance on both sides, grade. *)
+
+val summary : score list -> string
+(** One line: how many scores fell in each grade, and the worst case. *)

@@ -1,0 +1,14 @@
+(** Chrome [trace_event] export: load the file in [about://tracing] (or
+    [ui.perfetto.dev]) to inspect a measured schedule interactively.
+
+    One process, one thread row per worker domain, plus a synthetic
+    "fork-join" row carrying the whole-region spans. Chunk events are
+    complete ("X") events with microsecond timestamps relative to the
+    first fork of the trace; each carries its coalesced [(start, len)]
+    range and epoch as arguments. *)
+
+val to_string : Trace.t -> string
+(** The trace as a JSON object [{"traceEvents": [...], ...}]. *)
+
+val to_file : string -> Trace.t -> unit
+(** Write [to_string] to a file. *)

@@ -1,0 +1,129 @@
+module Table = Loopcoal_util.Table
+module Policy = Loopcoal_sched.Policy
+module Gantt = Loopcoal_machine.Gantt
+
+let ms ns = float_of_int ns /. 1e6
+let us ns = float_of_int ns /. 1e3
+
+let metrics_table (m : Metrics.t) =
+  let t =
+    Table.create ~title:"traced scheduler metrics (per fork-join region)"
+      [
+        ("epoch", Table.Right);
+        ("policy", Table.Left);
+        ("n", Table.Right);
+        ("p", Table.Right);
+        ("chunks", Table.Right);
+        ("sync/iter", Table.Right);
+        ("imbalance", Table.Right);
+        ("wall ms", Table.Right);
+        ("fork us", Table.Right);
+        ("join us", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (f : Metrics.fork_metrics) ->
+      Table.add_row t
+        [
+          Table.cell_int f.Metrics.epoch;
+          Policy.name f.Metrics.policy;
+          Table.cell_int f.Metrics.n;
+          Table.cell_int f.Metrics.p;
+          Table.cell_int f.Metrics.chunks_dispatched;
+          Table.cell_float ~dec:4 f.Metrics.sync_ops_per_iter;
+          Table.cell_float f.Metrics.imbalance;
+          Table.cell_float ~dec:3 (ms f.Metrics.wall_ns);
+          Table.cell_float ~dec:1 (us f.Metrics.fork_latency_ns);
+          Table.cell_float ~dec:1 (us f.Metrics.join_latency_ns);
+        ])
+    m.Metrics.forks;
+  t
+
+let worker_table (f : Metrics.fork_metrics) =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "epoch %d (%s, n=%d): per-worker breakdown"
+           f.Metrics.epoch
+           (Policy.name f.Metrics.policy)
+           f.Metrics.n)
+      [
+        ("worker", Table.Right);
+        ("chunks", Table.Right);
+        ("busy ms", Table.Right);
+        ("idle ms", Table.Right);
+        ("wait us", Table.Right);
+      ]
+  in
+  Array.iteri
+    (fun w busy ->
+      Table.add_row t
+        [
+          Table.cell_int w;
+          Table.cell_int f.Metrics.chunks_per_worker.(w);
+          Table.cell_float ~dec:3 (ms busy);
+          Table.cell_float ~dec:3 (ms f.Metrics.idle_ns.(w));
+          Table.cell_float ~dec:1 (us f.Metrics.dispatch_wait_ns.(w));
+        ])
+    f.Metrics.busy_ns;
+  t
+
+let measured_gantt ?width (tr : Trace.t) ~epoch =
+  let fork =
+    match
+      Array.to_list tr.Trace.forks
+      |> List.find_opt (fun (f : Trace.fork) -> f.Trace.f_epoch = epoch)
+    with
+    | Some f -> f
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Report.measured_gantt: no epoch %d in trace" epoch)
+  in
+  let spans =
+    Array.to_list tr.Trace.chunks
+    |> List.filter_map (fun (c : Trace.chunk) ->
+           if c.Trace.epoch <> epoch then None
+           else
+             Some
+               {
+                 Gantt.row = c.Trace.worker;
+                 t0 = us (c.Trace.t0 - fork.Trace.f_t0);
+                 t1 = us (c.Trace.t1 - fork.Trace.f_t0);
+               })
+  in
+  if spans = [] then
+    invalid_arg
+      (Printf.sprintf "Report.measured_gantt: epoch %d has no chunks" epoch);
+  let chunks = List.length spans in
+  let header =
+    Printf.sprintf "measured: %s n=%d p=%d, %d dispatches, %.1f us wall"
+      (Policy.name fork.Trace.f_policy)
+      fork.Trace.f_n fork.Trace.f_p chunks
+      (us (fork.Trace.f_t1 - fork.Trace.f_t0))
+  in
+  Gantt.render_spans ?width ~rows:fork.Trace.f_p ~header spans
+
+let side_by_side ?(gap = "   ") left right =
+  let split s = String.split_on_char '\n' s in
+  let strip = function
+    | lines when List.length lines > 0 && List.nth lines (List.length lines - 1) = "" ->
+        List.filteri (fun i _ -> i < List.length lines - 1) lines
+    | lines -> lines
+  in
+  let l = strip (split left) and r = strip (split right) in
+  let widest = List.fold_left (fun m s -> max m (String.length s)) 0 l in
+  let rec zip l r acc =
+    match (l, r) with
+    | [], [] -> List.rev acc
+    | lh :: lt, [] -> zip lt [] ((lh ^ "\n") :: acc)
+    | [], rh :: rt ->
+        zip [] rt ((String.make widest ' ' ^ gap ^ rh ^ "\n") :: acc)
+    | lh :: lt, rh :: rt ->
+        let pad = String.make (widest - String.length lh) ' ' in
+        zip lt rt ((lh ^ pad ^ gap ^ rh ^ "\n") :: acc)
+  in
+  String.concat "" (zip l r [])
+
+let time_line ~engine ~domains ~policy ~wall_s =
+  Printf.sprintf "time engine=%s domains=%d policy=%s wall_s=%.6f" engine
+    domains policy wall_s

@@ -1,0 +1,30 @@
+(** Human- and machine-facing renderings of a trace.
+
+    The measured Gantt uses the same span renderer as the event
+    simulator's predicted one ({!Loopcoal_machine.Gantt.render_spans}),
+    so {!side_by_side} can place prediction and measurement in one
+    visual frame. *)
+
+val metrics_table : Metrics.t -> Loopcoal_util.Table.t
+(** One row per fork-join region: policy, n, chunks dispatched, sync
+    ops/iteration, imbalance, wall time, fork and join latency. *)
+
+val worker_table : Metrics.fork_metrics -> Loopcoal_util.Table.t
+(** One row per worker of a region: chunks, busy, idle, dispatch wait. *)
+
+val measured_gantt : ?width:int -> Trace.t -> epoch:int -> string
+(** ASCII Gantt of one fork-join region, one row per worker, time in
+    microseconds from the fork. Raises [Invalid_argument] on an unknown
+    epoch or a region with no chunks. *)
+
+val side_by_side : ?gap:string -> string -> string -> string
+(** [side_by_side left right] joins two multi-line blocks horizontally,
+    padding the left block to its widest line. *)
+
+val time_line :
+  engine:string -> domains:int -> policy:string -> wall_s:float -> string
+(** The stable machine-readable timing line emitted by [loopc run
+    --time]: [time engine=<e> domains=<d> policy=<p> wall_s=<seconds>].
+    Keys are fixed, space-separated, values contain no spaces; [wall_s]
+    uses six decimal places. Covered by a format test — change it and
+    the test together, it is parsed by scripts and CI. *)

@@ -28,10 +28,9 @@
 
 module Policy = Loopcoal_sched.Policy
 module Static = Loopcoal_sched.Static
-module Gss = Loopcoal_sched.Gss
-module Factoring = Loopcoal_sched.Factoring
-module Trapezoid = Loopcoal_sched.Trapezoid
+module Chunks = Loopcoal_sched.Chunks
 module Reduction = Loopcoal_analysis.Reduction
+module Trace = Loopcoal_obs.Trace
 open Loopcoal_ir
 open Compile
 
@@ -110,6 +109,23 @@ let rec seq_fork (plan : plan) env =
   run_chunk plan sp env 1 sp.total;
   env.fork <- saved_fork
 
+(* Traced sequential fork: the whole space is one chunk on worker 0,
+   recorded as a static block (which it literally is). Nested parallel
+   loops inside the region run — and are timed — within this chunk, so
+   only the outermost fork hook traces. *)
+let seq_fork_traced tracer (plan : plan) env =
+  let saved_fork = env.fork in
+  env.fork <- seq_fork;
+  let sp = space_of plan env in
+  Trace.fork_begin tracer ~policy:Policy.Static_block ~n:sp.total ~p:1;
+  let a = Trace.now () in
+  run_chunk plan sp env 1 sp.total;
+  let b = Trace.now () in
+  if sp.total > 0 then
+    Trace.record tracer ~worker:0 ~start:1 ~len:sp.total ~t0:a ~t1:b;
+  Trace.fork_end tracer;
+  env.fork <- saved_fork
+
 (* ---------- reduction merge ---------- *)
 
 let identity_of (r : red) =
@@ -172,13 +188,19 @@ let dispatch policy ~n ~p ~(q : int) ~run =
   | Self_sched _ | Gss | Factoring | Trapezoid ->
       assert false (* dynamic policies are dispatched from shared state *)
 
-let parallel_fork pool policy (plan : plan) master =
+let parallel_fork ?trace pool policy (plan : plan) master =
   let p = Pool.size pool in
   let sp = space_of plan master in
   let n = sp.total in
   if n = 0 then ()
-  else if p = 1 || n = 1 then seq_fork plan master
+  else if p = 1 || n = 1 then
+    match trace with
+    | None -> seq_fork plan master
+    | Some tracer -> seq_fork_traced tracer plan master
   else begin
+    (match trace with
+    | None -> ()
+    | Some tracer -> Trace.fork_begin tracer ~policy ~n ~p);
     let clones =
       Array.init p (fun _ ->
           let c = clone_env master in
@@ -187,9 +209,22 @@ let parallel_fork pool policy (plan : plan) master =
           c)
     in
     let hi_t = Array.make p 0 in
-    let run_on q t0 len =
-      run_chunk plan sp clones.(q) t0 len;
-      if t0 + len - 1 > hi_t.(q) then hi_t.(q) <- t0 + len - 1
+    (* The probe is selected here, once per fork: with tracing off the
+       executed closure is exactly the untraced one — no timestamp, no
+       branch, no write on the chunk path. *)
+    let run_on =
+      match trace with
+      | None ->
+          fun q t0 len ->
+            run_chunk plan sp clones.(q) t0 len;
+            if t0 + len - 1 > hi_t.(q) then hi_t.(q) <- t0 + len - 1
+      | Some tracer ->
+          fun q t0 len ->
+            let a = Trace.now () in
+            run_chunk plan sp clones.(q) t0 len;
+            let b = Trace.now () in
+            Trace.record tracer ~worker:q ~start:t0 ~len ~t0:a ~t1:b;
+            if t0 + len - 1 > hi_t.(q) then hi_t.(q) <- t0 + len - 1
     in
     let worker : int -> unit =
       match (policy : Policy.t) with
@@ -207,26 +242,10 @@ let parallel_fork pool policy (plan : plan) master =
               else run_on q t0 (min c (n - t0 + 1))
             done
       | Gss | Factoring | Trapezoid ->
-          (* Precompute the policy's chunk-size sequence (a function of n
-             and p only) and serve it from an atomic queue: one
-             fetch-and-add per dispatch, chunks in dispatch order. *)
-          let sizes =
-            match policy with
-            | Gss -> Gss.chunk_sizes ~n ~p
-            | Factoring -> Factoring.chunk_sizes ~n ~p
-            | Trapezoid -> Trapezoid.chunk_sizes ~n ~p
-            | _ -> assert false
-          in
-          let chunks =
-            let arr = Array.make (List.length sizes) (0, 0) in
-            let t0 = ref 1 in
-            List.iteri
-              (fun k len ->
-                arr.(k) <- (!t0, len);
-                t0 := !t0 + len)
-              sizes;
-            arr
-          in
+          (* The policy's closed-form chunk sequence (a function of n and
+             p only), served from an atomic queue: one fetch-and-add per
+             dispatch, chunks in dispatch order. *)
+          let chunks = Option.get (Chunks.dynamic_sequence policy ~n ~p) in
           let next = Atomic.make 0 in
           fun q ->
             let continue_ = ref true in
@@ -270,7 +289,13 @@ let parallel_fork pool policy (plan : plan) master =
         if r.r_real then master.reals.(r.r_slot) <- saved_reals.(k)
         else master.ints.(r.r_slot) <- saved_ints.(k))
       plan.reductions;
-    merge_reductions plan master clones
+    merge_reductions plan master clones;
+    (* The traced region closes after the merge: its wall time is the
+       full fork-to-usable-result span, so join latency includes the
+       barrier wait and the serial reduction fold. *)
+    match trace with
+    | None -> ()
+    | Some tracer -> Trace.fork_end tracer
   end
 
 (* ---------- whole-program entry points ---------- *)
@@ -284,16 +309,17 @@ let outcome_of t env =
   { arrays = Compile.read_arrays t env; scalars = Compile.read_scalars t env }
 
 let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
-    ?(domains = 1) (t : Compile.t) =
+    ?(domains = 1) ?trace (t : Compile.t) =
   if domains < 1 then invalid_arg "Exec.run_compiled: domains must be >= 1";
   (match Policy.validate policy with
   | Ok () -> ()
   | Error m -> invalid_arg ("Exec.run_compiled: " ^ m));
   let go pool =
     let fork =
-      match pool with
-      | None -> seq_fork
-      | Some pool -> parallel_fork pool policy
+      match (pool, trace) with
+      | None, None -> seq_fork
+      | None, Some tracer -> seq_fork_traced tracer
+      | Some pool, _ -> parallel_fork ?trace pool policy
     in
     let env = Compile.make_env ~array_init t ~fork in
     Compile.run_code t env;
@@ -305,8 +331,9 @@ let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
       if domains = 1 then go None
       else Pool.with_pool domains (fun p -> go (Some p))
 
-let run ?array_init ?pool ?policy ?domains (p : Loopcoal_ir.Ast.program) =
-  run_compiled ?array_init ?pool ?policy ?domains (Compile.compile p)
+let run ?array_init ?pool ?policy ?domains ?trace
+    (p : Loopcoal_ir.Ast.program) =
+  run_compiled ?array_init ?pool ?policy ?domains ?trace (Compile.compile p)
 
 (* Differential check against the reference interpreter: arrays must be
    exactly equal; scalar comparison is optional because non-reduction

@@ -26,8 +26,13 @@ val seq_fork : Compile.plan -> Compile.env -> unit
 (** Run a plan sequentially in ascending coalesced order (the exact
     iteration order of the original nest). *)
 
-val parallel_fork : Pool.t -> Loopcoal_sched.Policy.t -> Compile.plan ->
-  Compile.env -> unit
+val parallel_fork :
+  ?trace:Loopcoal_obs.Trace.collector ->
+  Pool.t ->
+  Loopcoal_sched.Policy.t ->
+  Compile.plan ->
+  Compile.env ->
+  unit
 (** Run a plan across the pool's domains under the given policy. *)
 
 val run_compiled :
@@ -35,6 +40,7 @@ val run_compiled :
   ?pool:Pool.t ->
   ?policy:Loopcoal_sched.Policy.t ->
   ?domains:int ->
+  ?trace:Loopcoal_obs.Trace.collector ->
   Compile.t ->
   outcome
 (** Execute a compiled program. With [domains = 1] (default) and no
@@ -42,13 +48,24 @@ val run_compiled :
     fresh pool of [p] domains is created for the run; passing [pool]
     instead reuses an existing pool (its size wins over [domains]).
     [policy] (default [Static_block]) selects the dispatcher for
-    parallel plans. Raises [Compile.Error] on runtime faults. *)
+    parallel plans. Raises [Compile.Error] on runtime faults.
+
+    [trace] turns on dispatch tracing: every top-level parallel region
+    opens a fork-join epoch in the collector and every executed chunk is
+    recorded with monotonic timestamps from its executing domain. The
+    collector must have at least as many worker slots as the pool has
+    domains. With no [trace] (the default) the untraced code paths run —
+    tracing has strictly zero cost when off. Regions that fall back to
+    sequential execution (one domain, or a single-iteration space) are
+    recorded as a one-chunk [Static_block] region at [p = 1], since that
+    is the dispatch that actually happened. *)
 
 val run :
   ?array_init:float ->
   ?pool:Pool.t ->
   ?policy:Loopcoal_sched.Policy.t ->
   ?domains:int ->
+  ?trace:Loopcoal_obs.Trace.collector ->
   Ast.program ->
   outcome
 (** [compile] + [run_compiled]. *)

@@ -1,0 +1,64 @@
+module Im = Loopcoal_util.Intmath
+
+let check ~n ~p =
+  if n < 0 then invalid_arg "Chunks: n must be >= 0";
+  if p < 1 then invalid_arg "Chunks: p must be >= 1"
+
+let self_sched_sizes ~n ~c =
+  let rec go remaining acc =
+    if remaining = 0 then List.rev acc
+    else
+      let take = min c remaining in
+      go (remaining - take) (take :: acc)
+  in
+  go n []
+
+let dynamic_sizes policy ~n ~p =
+  check ~n ~p;
+  match (policy : Policy.t) with
+  | Static_block | Static_cyclic -> None
+  | Self_sched c -> Some (self_sched_sizes ~n ~c)
+  | Gss -> Some (Gss.chunk_sizes ~n ~p)
+  | Factoring -> Some (Factoring.chunk_sizes ~n ~p)
+  | Trapezoid -> Some (Trapezoid.chunk_sizes ~n ~p)
+
+let sequence_of_sizes sizes =
+  let arr = Array.make (List.length sizes) (0, 0) in
+  let t0 = ref 1 in
+  List.iteri
+    (fun k len ->
+      arr.(k) <- (!t0, len);
+      t0 := !t0 + len)
+    sizes;
+  arr
+
+let dynamic_sequence policy ~n ~p =
+  Option.map sequence_of_sizes (dynamic_sizes policy ~n ~p)
+
+let count policy ~n ~p =
+  check ~n ~p;
+  match (policy : Policy.t) with
+  | Static_block -> min p n
+  | Static_cyclic ->
+      (* Contiguous runs of cyclic ownership: singletons when p > 1, one
+         whole-range run per (single) processor otherwise. *)
+      if n = 0 then 0 else if p = 1 then 1 else n
+  | Self_sched c -> Im.cdiv n c
+  | Gss -> Gss.dispatch_count ~n ~p
+  | Factoring -> Factoring.dispatch_count ~n ~p
+  | Trapezoid -> Trapezoid.dispatch_count ~n ~p
+
+let sync_ops policy ~n ~p =
+  check ~n ~p;
+  if n = 0 then 0
+  else if not (Policy.is_dynamic policy) then 0
+  else count policy ~n ~p + p
+
+let per_worker_bound policy ~n ~p =
+  check ~n ~p;
+  match (policy : Policy.t) with
+  | Static_block -> 1
+  | Static_cyclic -> if p = 1 then 1 else Im.cdiv n p
+  | Self_sched _ | Gss | Factoring | Trapezoid ->
+      (* Any one worker could claim every chunk. *)
+      count policy ~n ~p

@@ -16,4 +16,5 @@ let () =
       ("workload", Test_workload.suite);
       ("driver", Test_driver.suite);
       ("runtime", Test_runtime.suite);
+      ("obs", Test_obs.suite);
     ]

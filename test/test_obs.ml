@@ -1,0 +1,517 @@
+(* Observability tests: the tracing layer, its derived metrics, and the
+   machine-readable surfaces built on them.
+
+   The load-bearing invariants:
+   - traced chunks exactly partition [1..N] for every policy and domain
+     count (the executor dispatched everything, once);
+   - dynamic policies' traced dispatch counts equal the closed-form
+     chunk sequences of [lib/sched] — the paper's analytic counts,
+     observed;
+   - running with tracing changes no computed result bit;
+   - the Chrome trace export is valid JSON; the --time line is stably
+     parseable. *)
+
+open Loopcoal
+module B = Builder
+module Exec = Runtime.Exec
+
+let all_policies =
+  [
+    Policy.Static_block;
+    Policy.Static_cyclic;
+    Policy.Self_sched 1;
+    Policy.Self_sched 7;
+    Policy.Gss;
+    Policy.Factoring;
+    Policy.Trapezoid;
+  ]
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* One perfect doubly-parallel nest: a single fork-join region of
+   23 * 11 = 253 coalesced iterations. *)
+let nest_rows = 23
+let nest_cols = 11
+let nest_n = nest_rows * nest_cols
+
+let single_nest =
+  B.program
+    ~arrays:[ B.array "W" [ nest_rows; nest_cols ] ]
+    [
+      B.doall "i" (B.int 1) (B.int nest_rows)
+        [
+          B.doall "j" (B.int 1) (B.int nest_cols)
+            [ B.store "W" [ B.var "i"; B.var "j" ] B.(var "i" + var "j") ];
+        ];
+    ]
+
+let traced_run ?(prog = single_nest) ~domains ~policy () =
+  let tracer = Trace.create ~p:domains () in
+  let outcome = Exec.run ~domains ~policy ~trace:tracer prog in
+  (outcome, Trace.snapshot tracer)
+
+(* ---------- partition invariant ---------- *)
+
+let test_partition_all_policies () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun domains ->
+          (* Single-nest and multi-nest programs both tile exactly. *)
+          List.iter
+            (fun (what, prog) ->
+              let _, tr = traced_run ~prog ~domains ~policy () in
+              match Metrics.check_partition tr with
+              | Ok () -> ()
+              | Error m ->
+                  Alcotest.failf "%s (%s, %d domains): %s" what
+                    (Policy.name policy) domains m)
+            [
+              ("single nest", single_nest);
+              ("matmul", Kernels.matmul ~ra:7 ~ca:5 ~cb:6);
+            ])
+        domain_counts)
+    all_policies
+
+let test_partition_detects_gap_and_overlap () =
+  let fake chunks =
+    let c = Trace.create ~p:2 () in
+    Trace.fork_begin c ~policy:Policy.Gss ~n:10 ~p:2;
+    List.iter
+      (fun (start, len) ->
+        Trace.record c ~worker:0 ~start ~len ~t0:0 ~t1:1)
+      chunks;
+    Trace.fork_end c;
+    Trace.snapshot c
+  in
+  (match Metrics.check_partition (fake [ (1, 4); (6, 5) ]) with
+  | Ok () -> Alcotest.fail "gap not detected"
+  | Error _ -> ());
+  (match Metrics.check_partition (fake [ (1, 6); (6, 5) ]) with
+  | Ok () -> Alcotest.fail "overlap not detected"
+  | Error _ -> ());
+  (match Metrics.check_partition (fake [ (1, 4); (5, 6) ]) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "exact tiling rejected: %s" m);
+  match Metrics.check_partition (fake [ (1, 4) ]) with
+  | Ok () -> Alcotest.fail "truncation not detected"
+  | Error _ -> ()
+
+(* ---------- dispatch counts vs closed forms ---------- *)
+
+let test_dispatch_counts_match_closed_forms () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun domains ->
+          if domains > 1 then begin
+            let _, tr = traced_run ~domains ~policy () in
+            let m = Metrics.of_trace tr in
+            match m.Metrics.forks with
+            | [ f ] ->
+                Alcotest.(check int)
+                  (Printf.sprintf "%s @ %d domains: n" (Policy.name policy)
+                     domains)
+                  nest_n f.Metrics.n;
+                Alcotest.(check int)
+                  (Printf.sprintf "%s @ %d domains: dispatches"
+                     (Policy.name policy) domains)
+                  (Chunks.count policy ~n:nest_n ~p:domains)
+                  f.Metrics.chunks_dispatched;
+                Alcotest.(check int)
+                  (Printf.sprintf "%s @ %d domains: sync ops"
+                     (Policy.name policy) domains)
+                  (Chunks.sync_ops policy ~n:nest_n ~p:domains)
+                  f.Metrics.sync_ops
+            | forks ->
+                Alcotest.failf "expected one fork region, got %d"
+                  (List.length forks)
+          end)
+        domain_counts)
+    all_policies
+
+(* The three decaying policies, against their own chunk_sizes modules —
+   not just through Chunks — so a drift in either shows up. *)
+let test_decaying_policies_exact () =
+  List.iter
+    (fun (policy, closed_form) ->
+      List.iter
+        (fun domains ->
+          let _, tr = traced_run ~domains ~policy () in
+          let m = Metrics.of_trace tr in
+          let f = List.hd m.Metrics.forks in
+          Alcotest.(check int)
+            (Printf.sprintf "%s @ %d: closed form" (Policy.name policy) domains)
+            (closed_form ~n:nest_n ~p:domains)
+            f.Metrics.chunks_dispatched)
+        [ 2; 4 ])
+    [
+      (Policy.Gss, Gss.dispatch_count);
+      (Policy.Factoring, Factoring.dispatch_count);
+      (Policy.Trapezoid, Trapezoid.dispatch_count);
+    ]
+
+(* Traced chunk boundaries of the dynamic policies must be exactly the
+   closed-form (start, len) sequence — not merely the same count. *)
+let test_chunk_boundaries_match_sequence () =
+  List.iter
+    (fun policy ->
+      let domains = 4 in
+      let _, tr = traced_run ~domains ~policy () in
+      let expected =
+        match Chunks.dynamic_sequence policy ~n:nest_n ~p:domains with
+        | Some seq -> seq
+        | None -> Alcotest.fail "dynamic policy has no sequence"
+      in
+      let traced =
+        Array.to_list tr.Trace.chunks
+        |> List.map (fun (c : Trace.chunk) -> (c.Trace.start, c.Trace.len))
+        |> List.sort compare
+      in
+      let expected = Array.to_list expected |> List.sort compare in
+      Alcotest.(check (list (pair int int)))
+        (Policy.name policy ^ ": chunk boundaries")
+        expected traced)
+    [ Policy.Self_sched 7; Policy.Gss; Policy.Factoring; Policy.Trapezoid ]
+
+(* ---------- tracing is observation only ---------- *)
+
+let outcomes_identical (a : Exec.outcome) (b : Exec.outcome) =
+  a.Exec.arrays = b.Exec.arrays && a.Exec.scalars = b.Exec.scalars
+
+let test_tracing_changes_nothing () =
+  List.iter
+    (fun name ->
+      let prog = Option.get (Kernels.by_name name) () in
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun domains ->
+              let plain = Exec.run ~domains ~policy prog in
+              let traced, _ = traced_run ~prog ~domains ~policy () in
+              if not (outcomes_identical plain traced) then
+                Alcotest.failf
+                  "kernel %s (%s, %d domains): traced run differs" name
+                  (Policy.name policy) domains)
+            domain_counts)
+        [ Policy.Static_block; Policy.Gss ])
+    Kernels.all_names
+
+(* ---------- metrics sanity ---------- *)
+
+let test_metrics_accounting () =
+  let _, tr = traced_run ~domains:4 ~policy:Policy.Factoring () in
+  let m = Metrics.of_trace tr in
+  let f = List.hd m.Metrics.forks in
+  Alcotest.(check int) "iterations covered" nest_n f.Metrics.iterations;
+  Alcotest.(check int) "worker arrays sized p" 4
+    (Array.length f.Metrics.busy_ns);
+  Alcotest.(check int) "chunk counts sum" f.Metrics.chunks_dispatched
+    (Array.fold_left ( + ) 0 f.Metrics.chunks_per_worker);
+  Alcotest.(check bool) "imbalance >= 1" true (f.Metrics.imbalance >= 1.0);
+  Alcotest.(check bool) "imbalance <= p" true
+    (f.Metrics.imbalance <= 4.0 +. 1e-9);
+  let busy_total = Array.fold_left ( + ) 0 f.Metrics.busy_ns in
+  Alcotest.(check bool) "busy time positive" true (busy_total > 0);
+  Alcotest.(check bool) "wall >= max busy" true
+    (f.Metrics.wall_ns >= Array.fold_left max 0 f.Metrics.busy_ns);
+  Alcotest.(check bool) "sync/iter matches closed form" true
+    (Float.abs
+       (f.Metrics.sync_ops_per_iter
+       -. float_of_int (Chunks.sync_ops Policy.Factoring ~n:nest_n ~p:4)
+          /. float_of_int nest_n)
+    < 1e-12)
+
+let test_sequential_region_traced_as_block () =
+  let _, tr = traced_run ~domains:1 ~policy:Policy.Gss () in
+  match Array.to_list tr.Trace.forks with
+  | [ f ] ->
+      Alcotest.(check string) "seq fallback policy" "static-block"
+        (Policy.name f.Trace.f_policy);
+      Alcotest.(check int) "seq fallback p" 1 f.Trace.f_p;
+      Alcotest.(check int) "one chunk" 1 (Array.length tr.Trace.chunks)
+  | forks -> Alcotest.failf "expected one region, got %d" (List.length forks)
+
+(* ---------- Chunks closed forms (property) ---------- *)
+
+let prop_chunks_sequence_tiles =
+  QCheck.Test.make ~count:200 ~name:"Chunks.dynamic_sequence tiles [1..n]"
+    QCheck.(pair (int_range 0 400) (int_range 1 16))
+    (fun (n, p) ->
+      List.for_all
+        (fun policy ->
+          match Chunks.dynamic_sequence policy ~n ~p with
+          | None -> true
+          | Some seq ->
+              let total = Array.fold_left (fun acc (_, l) -> acc + l) 0 seq in
+              let sorted_ok =
+                Array.to_list seq
+                |> List.fold_left
+                     (fun (ok, next) (start, len) ->
+                       (ok && start = next && len > 0, next + len))
+                     (true, 1)
+                |> fst
+              in
+              total = n && sorted_ok
+              && Array.length seq = Chunks.count policy ~n ~p
+              && (n = 0 || Chunks.sync_ops policy ~n ~p = Array.length seq + p))
+        [ Policy.Self_sched 1; Policy.Self_sched 5; Policy.Gss;
+          Policy.Factoring; Policy.Trapezoid ])
+
+let prop_chunks_static_counts =
+  QCheck.Test.make ~count:200 ~name:"Chunks.count static policies"
+    QCheck.(pair (int_range 0 400) (int_range 1 16))
+    (fun (n, p) ->
+      Chunks.count Policy.Static_block ~n ~p = min p n
+      && Chunks.sync_ops Policy.Static_block ~n ~p = 0
+      && Chunks.sync_ops Policy.Static_cyclic ~n ~p = 0
+      &&
+      let cyclic = Chunks.count Policy.Static_cyclic ~n ~p in
+      if n = 0 then cyclic = 0 else if p = 1 then cyclic = 1 else cyclic = n)
+
+(* ---------- Chrome trace export ---------- *)
+
+(* A minimal JSON syntax checker: accepts exactly one value spanning the
+   whole input. Enough to guarantee about://tracing will not reject the
+   file on syntax. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let peek () = if !pos >= n then fail () else s.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let lit w =
+    String.iter
+      (fun c ->
+        if peek () <> c then fail ();
+        advance ())
+      w
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then fail ()
+  in
+  let string_ () =
+    if peek () <> '"' then fail ();
+    advance ();
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          advance ();
+          go ()
+      | _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> string_ ()
+    | 't' -> lit "true"
+    | 'f' -> lit "false"
+    | 'n' -> lit "null"
+    | '-' | '0' .. '9' -> number ()
+    | _ -> fail ()
+  and obj () =
+    advance ();
+    skip_ws ();
+    if peek () = '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_ ();
+        skip_ws ();
+        if peek () <> ':' then fail ();
+        advance ();
+        value ();
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            members ()
+        | '}' -> advance ()
+        | _ -> fail ()
+      in
+      members ()
+  and arr () =
+    advance ();
+    skip_ws ();
+    if peek () = ']' then advance ()
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            elems ()
+        | ']' -> advance ()
+        | _ -> fail ()
+      in
+      elems ()
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | b -> b
+  | exception Exit -> false
+
+let test_chrome_trace_valid_json () =
+  List.iter
+    (fun (domains, policy) ->
+      let _, tr = traced_run ~domains ~policy () in
+      let s = Chrome_trace.to_string tr in
+      Alcotest.(check bool)
+        (Printf.sprintf "valid JSON (%s, %d domains)" (Policy.name policy)
+           domains)
+        true (json_valid s);
+      (* One event per chunk and fork, plus p+2 metadata events, all
+         inside the traceEvents array. *)
+      let count_needle needle =
+        let rec go from acc =
+          match String.index_from_opt s from '"' with
+          | None -> acc
+          | Some _ -> (
+              match
+                if from + String.length needle <= String.length s then
+                  String.sub s from (String.length needle) = needle
+                else false
+              with
+              | true -> go (from + 1) (acc + 1)
+              | false -> go (from + 1) acc)
+        in
+        go 0 0
+      in
+      let chunk_events = count_needle "\"name\":\"chunk [" in
+      Alcotest.(check int) "one event per chunk"
+        (Array.length tr.Trace.chunks)
+        chunk_events)
+    [ (1, Policy.Static_block); (4, Policy.Gss) ]
+
+let test_chrome_trace_escapes () =
+  Alcotest.(check bool) "json self-test rejects garbage" false
+    (json_valid "{\"a\": [1, 2,}");
+  Alcotest.(check bool) "json self-test accepts object" true
+    (json_valid "{\"a\": [1, 2.5e-3, \"x\\\"y\"], \"b\": null}\n")
+
+(* ---------- the --time line and renderers ---------- *)
+
+let test_time_line_format () =
+  let line =
+    Report.time_line ~engine:"compiled" ~domains:4 ~policy:"GSS"
+      ~wall_s:0.001234
+  in
+  Alcotest.(check string) "exact format"
+    "time engine=compiled domains=4 policy=GSS wall_s=0.001234" line;
+  (* Machine-parseable: split on spaces, each field key=value. *)
+  match String.split_on_char ' ' line with
+  | "time" :: fields ->
+      let kv =
+        List.map
+          (fun f ->
+            match String.index_opt f '=' with
+            | Some i ->
+                ( String.sub f 0 i,
+                  String.sub f (i + 1) (String.length f - i - 1) )
+            | None -> Alcotest.failf "field %S is not key=value" f)
+          fields
+      in
+      Alcotest.(check (list string)) "stable keys"
+        [ "engine"; "domains"; "policy"; "wall_s" ]
+        (List.map fst kv);
+      Alcotest.(check int) "domains parses" 4
+        (int_of_string (List.assoc "domains" kv));
+      Alcotest.(check bool) "wall_s parses" true
+        (float_of_string (List.assoc "wall_s" kv) > 0.0)
+  | _ -> Alcotest.fail "line must start with 'time '"
+
+let test_measured_gantt_rows () =
+  let _, tr = traced_run ~domains:4 ~policy:Policy.Trapezoid () in
+  let f = (Metrics.of_trace tr).Metrics.forks |> List.hd in
+  let g = Report.measured_gantt ~width:40 tr ~epoch:f.Metrics.epoch in
+  let rows =
+    String.split_on_char '\n' g
+    |> List.filter (fun l -> String.length l > 0 && l.[0] = 'p')
+  in
+  (* Every forked worker gets a row, even one that executed nothing. *)
+  Alcotest.(check int) "one row per worker" 4 (List.length rows)
+
+let test_side_by_side () =
+  let joined = Report.side_by_side "aa\nb\n" "xxx\nyyyy\nz\n" in
+  Alcotest.(check (list string)) "lines paired and padded"
+    [ "aa   xxx"; "b    yyyy"; "     z"; "" ]
+    (String.split_on_char '\n' joined)
+
+let test_model_check_grades () =
+  let side speedup = { Model_check.speedup; dispatches = 10; imbalance = 1.0 } in
+  let s =
+    Model_check.score ~kernel:"k" ~policy:"GSS" ~domains:4
+      ~predicted:(side 4.0) ~measured:(side 3.0)
+  in
+  Alcotest.(check string) "within 2x is good" "good" s.Model_check.grade;
+  Alcotest.(check bool) "dispatches exact" true s.Model_check.dispatches_exact;
+  let s =
+    Model_check.score ~kernel:"k" ~policy:"GSS" ~domains:4
+      ~predicted:(side 4.0) ~measured:(side 0.5)
+  in
+  Alcotest.(check string) "8x off is poor" "poor" s.Model_check.grade;
+  (* Table and summary render without raising. *)
+  Alcotest.(check bool) "summary mentions counts" true
+    (String.length (Model_check.summary [ s ]) > 0);
+  ignore (Table.render (Model_check.table [ s ]))
+
+let suite =
+  [
+    Alcotest.test_case "chunks partition [1..N] (all policies x domains)"
+      `Quick test_partition_all_policies;
+    Alcotest.test_case "partition check detects gaps/overlaps" `Quick
+      test_partition_detects_gap_and_overlap;
+    Alcotest.test_case "dispatch counts match closed forms" `Quick
+      test_dispatch_counts_match_closed_forms;
+    Alcotest.test_case "GSS/factoring/TSS exact dispatch counts" `Quick
+      test_decaying_policies_exact;
+    Alcotest.test_case "chunk boundaries match closed-form sequence" `Quick
+      test_chunk_boundaries_match_sequence;
+    Alcotest.test_case "tracing changes no result bit" `Quick
+      test_tracing_changes_nothing;
+    Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+    Alcotest.test_case "sequential fallback traced as static block" `Quick
+      test_sequential_region_traced_as_block;
+    Alcotest.test_case "chrome trace is valid JSON" `Quick
+      test_chrome_trace_valid_json;
+    Alcotest.test_case "json checker self-test" `Quick
+      test_chrome_trace_escapes;
+    Alcotest.test_case "--time line format is stable" `Quick
+      test_time_line_format;
+    Alcotest.test_case "measured gantt has one row per worker" `Quick
+      test_measured_gantt_rows;
+    Alcotest.test_case "side-by-side pairing" `Quick test_side_by_side;
+    Alcotest.test_case "model check grading" `Quick test_model_check_grades;
+    Gen.to_alcotest prop_chunks_sequence_tiles;
+    Gen.to_alcotest prop_chunks_static_counts;
+  ]
