@@ -5,6 +5,7 @@
      dune exec bench/main.exe e3 e5     # selected experiments
      dune exec bench/main.exe micro     # Bechamel micro-benchmarks only
      dune exec bench/main.exe runtime   # multicore runtime vs interpreter
+     dune exec bench/main.exe verify    # static race verifier on deep nests
 
    Each experiment regenerates one reconstructed table or figure of the
    evaluation (see DESIGN.md and EXPERIMENTS.md). *)
@@ -14,7 +15,8 @@ let usage () =
   print_endline "available experiments:";
   List.iter (fun (id, _) -> Printf.printf "  %s\n" id) Experiments.all;
   print_endline "  micro";
-  print_endline "  runtime"
+  print_endline "  runtime";
+  print_endline "  verify"
 
 let run_id id =
   match List.assoc_opt id Experiments.all with
@@ -23,10 +25,12 @@ let run_id id =
       match id with
       | "micro" -> Micro.run ()
       | "runtime" -> Runtime_bench.run ()
+      | "verify" -> Verify_bench.run ()
       | "all" ->
           List.iter (fun (_, f) -> f ()) Experiments.all;
           Micro.run ();
-          Runtime_bench.run ()
+          Runtime_bench.run ();
+          Verify_bench.run ()
       | _ ->
           Printf.printf "unknown experiment %S\n" id;
           usage ();

@@ -695,7 +695,18 @@ let run_cmd =
              simulator's predicted schedule when the program's first nest \
              is profilable.")
   in
-  let run parallel procs policy coalesce compare time trace_file metrics p =
+  let sanitize_flag =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Instrument every array access with race-sanitizer shadow \
+             cells: write/write and read/write conflicts between distinct \
+             iterations of the same parallel region are reported after \
+             the run, and the exit status is nonzero if any were seen.")
+  in
+  let run parallel procs policy coalesce compare time trace_file metrics
+      sanitize p =
     report_validation p;
     let orig = p in
     let p =
@@ -710,7 +721,7 @@ let run_cmd =
       else if procs > 0 then procs
       else Domain.recommended_domain_count ()
     in
-    match L.Runtime.Compile.compile_result p with
+    match L.Runtime.Compile.compile_result ~sanitize p with
     | Error m ->
         Printf.eprintf "staging error: %s\n" m;
         exit 1
@@ -720,9 +731,16 @@ let run_cmd =
             Some (L.Trace.create ~p:domains ())
           else None
         in
+        let shadow =
+          if sanitize then
+            Some
+              (L.Runtime.Sanitize.create
+                 (L.Runtime.Compile.shadow_layout compiled))
+          else None
+        in
         let t0 = Unix.gettimeofday () in
         match L.Runtime.Exec.run_compiled ~domains ~policy ?trace:tracer
-                compiled with
+                ?shadow compiled with
         | exception L.Runtime.Compile.Error m ->
             Printf.eprintf "runtime error: %s\n" m;
             exit 1
@@ -812,19 +830,24 @@ let run_cmd =
               print_endline
                 (L.Report.time_line ~engine:"compiled" ~domains
                    ~policy:(L.Policy.name policy) ~wall_s:elapsed);
-            if compare then
-              match L.Eval.run p with
-              | exception L.Eval.Runtime_error m ->
-                  Printf.eprintf
-                    "interpreter faulted (%s) but compiled run succeeded\n" m;
-                  exit 1
-              | st ->
-                  if L.Runtime.Exec.agrees_with_interpreter outcome st then
-                    print_endline "interpreter equivalence: arrays identical"
-                  else begin
-                    print_endline "interpreter equivalence: MISMATCH";
-                    exit 1
-                  end)
+            (if compare then
+               match L.Eval.run p with
+               | exception L.Eval.Runtime_error m ->
+                   Printf.eprintf
+                     "interpreter faulted (%s) but compiled run succeeded\n" m;
+                   exit 1
+               | st ->
+                   if L.Runtime.Exec.agrees_with_interpreter outcome st then
+                     print_endline "interpreter equivalence: arrays identical"
+                   else begin
+                     print_endline "interpreter equivalence: MISMATCH";
+                     exit 1
+                   end);
+            match shadow with
+            | Some sh ->
+                print_endline (L.Runtime.Sanitize.summary_to_string sh);
+                if snd (L.Runtime.Sanitize.results sh) > 0 then exit 1
+            | None -> ())
   in
   Cmd.v
     (Cmd.info "run"
@@ -836,7 +859,77 @@ let run_cmd =
           trapezoid).")
     Term.(
       const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
-      $ compare_flag $ time_flag $ trace_arg $ metrics_flag $ program_arg)
+      $ compare_flag $ time_flag $ trace_arg $ metrics_flag $ sanitize_flag
+      $ program_arg)
+
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let strict_flag =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit nonzero on warnings too, not just errors.")
+  in
+  let coalesce_flag =
+    Arg.(
+      value & flag
+      & info [ "coalesce" ]
+          ~doc:
+            "Coalesce every nest first and check the transformed program, \
+             feeding the verifier the recovery metadata the transformation \
+             emits.")
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Program in the loopc surface language.")
+  in
+  let run json strict coalesce strategy path =
+    match L.Driver.load_file path with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    | Ok p ->
+        let p, hints =
+          if coalesce then
+            let p', metas = L.Coalesce.apply_all_program_meta ~strategy p in
+            ( p',
+              List.filter_map
+                (fun (m : L.Coalesce.recovery_meta) ->
+                  Option.map
+                    (fun digits ->
+                      {
+                        L.Verify.h_coalesced = m.L.Coalesce.rm_coalesced;
+                        h_digits = digits;
+                      })
+                    m.L.Coalesce.rm_digits)
+                metas )
+          else (p, [])
+        in
+        let res = L.Verify.check_program ~hints p in
+        let report = L.Verify.report ~target:path res in
+        print_string
+          (if json then L.Diag.render_json report
+           else L.Diag.render_text report);
+        let e, w, _ = L.Diag.counts res.L.Verify.diags in
+        if e > 0 || (strict && w > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify that every parallel region the runtime would \
+          fork is race-free; diagnostics use stable LCnnn codes.")
+    Term.(
+      const run $ json_flag $ strict_flag $ coalesce_flag $ strategy_arg
+      $ path_arg)
 
 (* ---------- kernel ---------- *)
 
@@ -868,6 +961,6 @@ let main =
     [ show_cmd; analyze_cmd; coalesce_cmd; distribute_cmd; fuse_cmd;
       reduce_cmd; shrink_cmd; unroll_cmd; peel_cmd; interchange_cmd;
       tile_cmd; optimize_cmd; emit_c_cmd; simulate_cmd; schedule_cmd;
-      run_cmd; kernel_cmd ]
+      run_cmd; check_cmd; kernel_cmd ]
 
 let () = exit (Cmd.eval main)

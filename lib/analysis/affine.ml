@@ -53,7 +53,28 @@ let rec of_expr ~is_index (e : Ast.expr) =
       | Some fa, Some fb when is_const fa -> Some (scale fa.const fb)
       | Some fa, Some fb when is_const fb -> Some (scale fb.const fa)
       | _ -> None)
-  | Bin ((Div | Mod | Cdiv | Min | Max), _, _) -> None
+  | Bin (((Div | Mod | Cdiv) as op), a, b) -> (
+      (* Division is affine when it is trivial: any value divided by 1 is
+         itself ([Div] truncates toward zero, so this holds for negatives
+         too), [x mod 1] is 0, and a constant divided by a constant folds
+         outright. Everything else stays non-affine. *)
+      match (of_expr ~is_index a, of_expr ~is_index b) with
+      | Some fa, Some fb when is_const fb && fb.const = 1 -> (
+          match op with
+          | Div | Cdiv -> Some fa
+          | Mod -> Some (const 0)
+          | Add | Sub | Mul | Min | Max -> assert false)
+      | Some fa, Some fb when is_const fa && is_const fb && fb.const <> 0 -> (
+          match op with
+          | Div -> Some (const (fa.const / fb.const))
+          | Mod -> Some (const (fa.const mod fb.const))
+          | Cdiv ->
+              if fb.const > 0 then
+                Some (const (Loopcoal_util.Intmath.cdiv fa.const fb.const))
+              else None
+          | Add | Sub | Mul | Min | Max -> assert false)
+      | _ -> None)
+  | Bin ((Min | Max), _, _) -> None
 
 and combine ~is_index f a b =
   match (of_expr ~is_index a, of_expr ~is_index b) with

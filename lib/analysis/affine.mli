@@ -14,7 +14,9 @@ type form = {
 val of_expr : is_index:(Ast.var -> bool) -> Ast.expr -> form option
 (** Extract an affine form. [is_index] says which variables may appear with
     coefficients; any other variable, array load, division, or non-linear
-    product yields [None]. *)
+    product yields [None]. Trivial divisions stay affine: [e / 1],
+    [ceildiv(e, 1)] fold to [e], [e mod 1] folds to [0], and
+    constant/constant division folds to its value. *)
 
 val const : int -> form
 val add : form -> form -> form

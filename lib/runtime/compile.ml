@@ -41,6 +41,10 @@ type env = {
   arrays : float array array;  (** shared array data, one slot per decl *)
   mutable fork : plan -> env -> unit;
       (** how to execute a parallel plan encountered in this context *)
+  mutable iter_id : int;
+      (** coalesced iteration currently executing, 0 outside forks *)
+  shadow : Sanitize.t option;
+      (** race-sanitizer shadow state, shared across clones *)
 }
 
 and plan = {
@@ -83,6 +87,7 @@ type ctx = {
   mutable scope : (string * int) list;  (** loop index -> int slot *)
   mutable n_ints : int;
   mutable n_reals : int;
+  sanitize : bool;  (** instrument array accesses with shadow-cell hooks *)
 }
 
 let fresh_int ctx =
@@ -105,9 +110,54 @@ let to_r = function
   | R f -> f
   | I f -> fun env -> float_of_int (f env)
 
+(* Bounds-checked flat element offset of a reference, as a closure. Used
+   by the sanitizer instrumentation, which needs the offset by itself
+   before touching the data array. *)
+let offset_closure info a subs : iexp =
+  let oob s d = error "array %s: subscript %d out of bounds 1..%d" a s d in
+  match (subs, info.a_dims) with
+  | [ s1 ], [| d1 |] ->
+      fun env ->
+        let i1 = s1 env in
+        if i1 < 1 || i1 > d1 then oob i1 d1;
+        i1 - 1
+  | [ s1; s2 ], [| d1; d2 |] ->
+      fun env ->
+        let i1 = s1 env in
+        if i1 < 1 || i1 > d1 then oob i1 d1;
+        let i2 = s2 env in
+        if i2 < 1 || i2 > d2 then oob i2 d2;
+        ((i1 - 1) * d2) + (i2 - 1)
+  | subs, dims ->
+      let subs = Array.of_list subs in
+      let strides = info.a_strides in
+      fun env ->
+        let off = ref 0 in
+        for k = 0 to Array.length subs - 1 do
+          let s = subs.(k) env in
+          if s < 1 || s > dims.(k) then oob s dims.(k);
+          off := !off + ((s - 1) * strides.(k))
+        done;
+        !off
+
 let compile_load ctx a subs_c : rexp =
   match Hashtbl.find_opt ctx.arr_tbl a with
   | None -> error "unbound array %s" a
+  | Some info when ctx.sanitize ->
+      if List.length subs_c <> Array.length info.a_dims then
+        error "array %s: %d subscripts for %d dimensions" a
+          (List.length subs_c)
+          (Array.length info.a_dims);
+      let subs = List.map (to_i "subscript") subs_c in
+      let slot = info.a_slot in
+      let off = offset_closure info a subs in
+      fun env ->
+        let o = off env in
+        (match env.shadow with
+        | Some sh when env.iter_id > 0 ->
+            Sanitize.on_read sh ~slot ~off:o ~iter:env.iter_id
+        | _ -> ());
+        env.arrays.(slot).(o)
   | Some info ->
       if List.length subs_c <> Array.length info.a_dims then
         error "array %s: %d subscripts for %d dimensions" a
@@ -144,6 +194,22 @@ let compile_load ctx a subs_c : rexp =
 let compile_store ctx a subs_c (value : rexp) : code =
   match Hashtbl.find_opt ctx.arr_tbl a with
   | None -> error "unbound array %s" a
+  | Some info when ctx.sanitize ->
+      if List.length subs_c <> Array.length info.a_dims then
+        error "array %s: %d subscripts for %d dimensions" a
+          (List.length subs_c)
+          (Array.length info.a_dims);
+      let subs = List.map (to_i "subscript") subs_c in
+      let slot = info.a_slot in
+      let off = offset_closure info a subs in
+      fun env ->
+        let o = off env in
+        let v = value env in
+        (match env.shadow with
+        | Some sh when env.iter_id > 0 ->
+            Sanitize.on_write sh ~slot ~off:o ~iter:env.iter_id
+        | _ -> ());
+        env.arrays.(slot).(o) <- v
   | Some info ->
       if List.length subs_c <> Array.length info.a_dims then
         error "array %s: %d subscripts for %d dimensions" a
@@ -450,7 +516,7 @@ type t = {
   scalar_slots : (string * slot) list;  (** declared scalars, by name *)
 }
 
-let compile (p : Ast.program) : t =
+let compile ?(sanitize = false) (p : Ast.program) : t =
   let ctx =
     {
       arr_tbl = Hashtbl.create 16;
@@ -458,6 +524,7 @@ let compile (p : Ast.program) : t =
       scope = [];
       n_ints = 0;
       n_reals = 0;
+      sanitize;
     }
   in
   List.iteri
@@ -511,12 +578,14 @@ let compile (p : Ast.program) : t =
         p.scalars;
   }
 
-let compile_result p =
-  match compile p with t -> Ok t | exception Error m -> Error m
+let compile_result ?sanitize p =
+  match compile ?sanitize p with t -> Ok t | exception Error m -> Error m
+
+let shadow_layout t = Array.map (fun (name, _, size) -> (name, size)) t.array_decls
 
 (* ---------- environments ---------- *)
 
-let make_env ?(array_init = 0.0) t ~fork =
+let make_env ?(array_init = 0.0) ?shadow t ~fork =
   let env =
     {
       ints = Array.make (max 1 t.n_ints) 0;
@@ -524,6 +593,8 @@ let make_env ?(array_init = 0.0) t ~fork =
       arrays =
         Array.map (fun (_, _, size) -> Array.make size array_init) t.array_decls;
       fork;
+      iter_id = 0;
+      shadow;
     }
   in
   List.iter (fun (slot, v) -> env.ints.(slot) <- v) t.int_init;
@@ -537,6 +608,9 @@ let clone_env env =
     arrays = env.arrays;
     (* shared *)
     fork = env.fork;
+    iter_id = 0;
+    shadow = env.shadow;
+    (* shared *)
   }
 
 let run_code t env = t.prog_code env

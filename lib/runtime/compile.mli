@@ -25,6 +25,13 @@ type env = {
   reals : float array;
   arrays : float array array;
   mutable fork : plan -> env -> unit;
+  mutable iter_id : int;
+      (** coalesced iteration currently executing, 0 outside forks; kept
+          up to date by the executor so sanitizer hooks can attribute
+          accesses to iterations *)
+  shadow : Sanitize.t option;
+      (** race-sanitizer shadow state, shared across clones; consulted
+          only by code compiled with [~sanitize:true] *)
 }
 
 and plan = {
@@ -47,15 +54,22 @@ and red = {
 
 type t
 
-val compile : Ast.program -> t
+val compile : ?sanitize:bool -> Ast.program -> t
 (** Stage a program. Raises {!exception:Error} on programs the
     interpreter would also reject, and on statically detectable type
     errors the interpreter would only hit when the offending statement
-    executes. *)
+    executes. With [~sanitize:true] (default false), every array access
+    additionally drives the {!Sanitize} shadow cells through the
+    environment's [shadow] field. *)
 
-val compile_result : Ast.program -> (t, string) result
+val compile_result : ?sanitize:bool -> Ast.program -> (t, string) result
 
-val make_env : ?array_init:float -> t -> fork:(plan -> env -> unit) -> env
+val shadow_layout : t -> (string * int) array
+(** Per-slot array names and flat sizes, in slot order — the layout
+    {!Sanitize.create} expects. *)
+
+val make_env :
+  ?array_init:float -> ?shadow:Sanitize.t -> t -> fork:(plan -> env -> unit) -> env
 (** Fresh initial store: arrays filled with [array_init] (default 0.0),
     scalars at their declared initial values. *)
 

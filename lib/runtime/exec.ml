@@ -89,24 +89,36 @@ let advance (plan : plan) sp env =
   in
   bump (plan.depth - 1)
 
-(* Run the contiguous chunk [t0 .. t0+len-1] of the coalesced space. *)
+(* Run the contiguous chunk [t0 .. t0+len-1] of the coalesced space. The
+   environment's [iter_id] tracks the running coalesced iteration so
+   sanitizer-instrumented bodies can attribute their accesses. *)
 let run_chunk (plan : plan) sp env t0 len =
   if len > 0 then begin
     set_cursor plan sp env t0;
+    env.iter_id <- t0;
     plan.body env;
-    for _ = 2 to len do
+    for k = 2 to len do
       advance plan sp env;
+      env.iter_id <- t0 + k - 1;
       plan.body env
     done
   end
+
+(* A new fork is a new sanitizer epoch: conflicts are only races between
+   iterations of the {e same} fork. Called from the forking thread,
+   before any domain starts. *)
+let new_epoch env =
+  match env.shadow with Some sh -> Sanitize.new_epoch sh | None -> ()
 
 (* ---------- sequential execution ---------- *)
 
 let rec seq_fork (plan : plan) env =
   let saved_fork = env.fork in
   env.fork <- seq_fork;
+  new_epoch env;
   let sp = space_of plan env in
   run_chunk plan sp env 1 sp.total;
+  env.iter_id <- 0;
   env.fork <- saved_fork
 
 (* Traced sequential fork: the whole space is one chunk on worker 0,
@@ -116,6 +128,7 @@ let rec seq_fork (plan : plan) env =
 let seq_fork_traced tracer (plan : plan) env =
   let saved_fork = env.fork in
   env.fork <- seq_fork;
+  new_epoch env;
   let sp = space_of plan env in
   Trace.fork_begin tracer ~policy:Policy.Static_block ~n:sp.total ~p:1;
   let a = Trace.now () in
@@ -124,6 +137,7 @@ let seq_fork_traced tracer (plan : plan) env =
   if sp.total > 0 then
     Trace.record tracer ~worker:0 ~start:1 ~len:sp.total ~t0:a ~t1:b;
   Trace.fork_end tracer;
+  env.iter_id <- 0;
   env.fork <- saved_fork
 
 (* ---------- reduction merge ---------- *)
@@ -201,6 +215,7 @@ let parallel_fork ?trace pool policy (plan : plan) master =
     (match trace with
     | None -> ()
     | Some tracer -> Trace.fork_begin tracer ~policy ~n ~p);
+    new_epoch master;
     let clones =
       Array.init p (fun _ ->
           let c = clone_env master in
@@ -309,7 +324,7 @@ let outcome_of t env =
   { arrays = Compile.read_arrays t env; scalars = Compile.read_scalars t env }
 
 let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
-    ?(domains = 1) ?trace (t : Compile.t) =
+    ?(domains = 1) ?trace ?shadow (t : Compile.t) =
   if domains < 1 then invalid_arg "Exec.run_compiled: domains must be >= 1";
   (match Policy.validate policy with
   | Ok () -> ()
@@ -321,7 +336,7 @@ let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
       | None, Some tracer -> seq_fork_traced tracer
       | Some pool, _ -> parallel_fork ?trace pool policy
     in
-    let env = Compile.make_env ~array_init t ~fork in
+    let env = Compile.make_env ~array_init ?shadow t ~fork in
     Compile.run_code t env;
     outcome_of t env
   in
@@ -334,6 +349,15 @@ let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
 let run ?array_init ?pool ?policy ?domains ?trace
     (p : Loopcoal_ir.Ast.program) =
   run_compiled ?array_init ?pool ?policy ?domains ?trace (Compile.compile p)
+
+(* Compile with shadow instrumentation, run, and return the observed
+   conflicts alongside the outcome. *)
+let run_sanitized ?array_init ?pool ?policy ?domains ?limit
+    (p : Loopcoal_ir.Ast.program) =
+  let t = Compile.compile ~sanitize:true p in
+  let sh = Sanitize.create ?limit (Compile.shadow_layout t) in
+  let outcome = run_compiled ?array_init ?pool ?policy ?domains ~shadow:sh t in
+  (outcome, sh)
 
 (* Differential check against the reference interpreter: arrays must be
    exactly equal; scalar comparison is optional because non-reduction

@@ -41,6 +41,7 @@ val run_compiled :
   ?policy:Loopcoal_sched.Policy.t ->
   ?domains:int ->
   ?trace:Loopcoal_obs.Trace.collector ->
+  ?shadow:Sanitize.t ->
   Compile.t ->
   outcome
 (** Execute a compiled program. With [domains = 1] (default) and no
@@ -58,7 +59,11 @@ val run_compiled :
     tracing has strictly zero cost when off. Regions that fall back to
     sequential execution (one domain, or a single-iteration space) are
     recorded as a one-chunk [Static_block] region at [p = 1], since that
-    is the dispatch that actually happened. *)
+    is the dispatch that actually happened.
+
+    [shadow] attaches race-sanitizer shadow state to the run; it only
+    has an effect on programs compiled with [Compile.compile
+    ~sanitize:true]. Prefer {!run_sanitized}, which wires both ends. *)
 
 val run :
   ?array_init:float ->
@@ -69,6 +74,23 @@ val run :
   Ast.program ->
   outcome
 (** [compile] + [run_compiled]. *)
+
+val run_sanitized :
+  ?array_init:float ->
+  ?pool:Pool.t ->
+  ?policy:Loopcoal_sched.Policy.t ->
+  ?domains:int ->
+  ?limit:int ->
+  Ast.program ->
+  outcome * Sanitize.t
+(** Compile with [~sanitize:true], run with fresh shadow state, and
+    return it alongside the outcome; inspect with {!Sanitize.results} or
+    {!Sanitize.summary_to_string}. On a race-free program the sanitizer
+    reports nothing, on any policy and domain count; on a racy one
+    reports are schedule-dependent, except under 1 domain where every
+    same-element cross-iteration conflict is flagged deterministically.
+    [limit] caps retained reports (default 1024; the total is always
+    counted). *)
 
 val agrees_with_interpreter :
   ?compare_scalars:bool -> outcome -> Eval.state -> bool

@@ -1,0 +1,41 @@
+(** Dynamic race sanitizer: per-element shadow cells recording the fork
+    epoch and coalesced iteration id of the last write and last read of
+    every array element. Instrumented code ([Compile] with
+    [~sanitize:true]) flags write/write and read/write conflicts between
+    {e distinct} iterations of the same fork.
+
+    On a race-free program the sanitizer reports nothing, on any
+    scheduler and domain count; on a racy one reports are best-effort
+    (schedule-dependent), except under 1 domain where every
+    same-element cross-iteration conflict is flagged
+    deterministically. *)
+
+type kind = Ww | Rw
+
+type report = {
+  rep_kind : kind;
+  rep_array : string;
+  rep_offset : int;  (** flat 0-based element offset *)
+  rep_iter_a : int;  (** earlier access, coalesced iteration id *)
+  rep_iter_b : int;  (** conflicting access *)
+}
+
+type t
+
+val create : ?limit:int -> (string * int) array -> t
+(** [create layout] with [layout] the per-slot array names and flat
+    sizes (see [Compile.shadow_layout]). At most [limit] (default 1024)
+    reports are retained; the rest are only counted. *)
+
+val new_epoch : t -> unit
+(** Called by the executor at each fork, from the forking thread. *)
+
+val on_read : t -> slot:int -> off:int -> iter:int -> unit
+val on_write : t -> slot:int -> off:int -> iter:int -> unit
+
+val results : t -> report list * int
+(** Retained reports in detection order, and the total count. *)
+
+val kind_to_string : kind -> string
+val report_to_string : report -> string
+val summary_to_string : t -> string

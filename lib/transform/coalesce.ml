@@ -6,6 +6,12 @@ type result = {
   new_scalars : Ast.scalar_decl list;
   coalesced_index : Ast.var;
   recovered : Ast.var list;
+  digit_sizes : (Ast.var * int) list option;
+}
+
+type recovery_meta = {
+  rm_coalesced : Ast.var;
+  rm_digits : (Ast.var * int) list option;
 }
 
 type error =
@@ -151,12 +157,23 @@ let apply ?(strategy = Index_recovery.Ceiling) ?depth
                 body = recovery @ pr.inner_body;
               }
           in
+          let digit_sizes =
+            (* Constant sizes become verifier metadata: the digit names
+               and radices of the recovery block, outermost first. *)
+            List.fold_right
+              (fun (v, (size : Ast.expr)) acc ->
+                match (size, acc) with
+                | Int n, Some rest -> Some ((v, n) :: rest)
+                | _ -> None)
+              pr.sizes (Some [])
+          in
           Ok
             {
               stmt;
               new_scalars = List.map int_decl recovered;
               coalesced_index = j;
               recovered;
+              digit_sizes;
             })
 
 (* Add declarations for recovered indices, skipping names already declared
@@ -213,14 +230,15 @@ let apply_program ?strategy ?depth ?verify_parallel (p : Ast.program) =
   | Some r -> Ok (add_decls { p with body } r.new_scalars)
   | None -> Error (Not_coalescible "no coalescible nest found")
 
-let apply_all_program ?strategy ?(verify_parallel = false) (p : Ast.program) =
+let apply_all_program_meta ?strategy ?(verify_parallel = false)
+    (p : Ast.program) =
   (match strategy with
   | Some Index_recovery.Incremental ->
       invalid_arg "Coalesce.apply_all_program: incremental strategy"
   | Some (Index_recovery.Div_mod | Index_recovery.Ceiling) | None -> ());
   let avoid = ref (Names.in_program p) in
   let decls = ref [] in
-  let count = ref 0 in
+  let metas = ref [] in
   let try_depths (l : Ast.loop) =
     let max_d = Nest.depth (Nest.of_loop l) in
     let rec go d =
@@ -241,7 +259,9 @@ let apply_all_program ?strategy ?(verify_parallel = false) (p : Ast.program) =
     | For l -> (
         match try_depths l with
         | Some r ->
-            incr count;
+            metas :=
+              { rm_coalesced = r.coalesced_index; rm_digits = r.digit_sizes }
+              :: !metas;
             avoid := r.coalesced_index :: (r.recovered @ !avoid);
             decls := !decls @ r.new_scalars;
             (* Recurse below the recovery code: deeper serial regions may
@@ -264,4 +284,8 @@ let apply_all_program ?strategy ?(verify_parallel = false) (p : Ast.program) =
         | None -> For { l with body = blk l.body })
   and blk b = List.map stmt b in
   let body = blk p.body in
-  (add_decls { p with body } !decls, !count)
+  (add_decls { p with body } !decls, List.rev !metas)
+
+let apply_all_program ?strategy ?verify_parallel (p : Ast.program) =
+  let p', metas = apply_all_program_meta ?strategy ?verify_parallel p in
+  (p', List.length metas)

@@ -38,6 +38,17 @@ type result = {
           indices do *)
   coalesced_index : Ast.var;
   recovered : Ast.var list;  (** names holding the original indices *)
+  digit_sizes : (Ast.var * int) list option;
+      (** recovery metadata for the static verifier: each recovered
+          index with its constant radix Nk, outermost first; [None]
+          when any coalesced dimension has a symbolic bound *)
+}
+
+(** Per-nest recovery metadata collected by {!apply_all_program_meta},
+    keyed by the (fresh, hence unique) coalesced index name. *)
+type recovery_meta = {
+  rm_coalesced : Ast.var;
+  rm_digits : (Ast.var * int) list option;
 }
 
 type error =
@@ -110,3 +121,12 @@ val apply_all_program :
     sub-nest is still coalesced). Returns the rewritten program and the
     number of nests coalesced; a program with no opportunity is returned
     unchanged with count 0. *)
+
+val apply_all_program_meta :
+  ?strategy:Index_recovery.strategy ->
+  ?verify_parallel:bool ->
+  Ast.program ->
+  Ast.program * recovery_meta list
+(** Like {!apply_all_program} but returning per-nest recovery metadata
+    (textual order) instead of a bare count, for handing to the static
+    verifier. *)

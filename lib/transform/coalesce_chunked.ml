@@ -99,6 +99,9 @@ let apply ?depth ?(verify_parallel = false) ~avoid ~chunk (s : Ast.stmt) =
                 recovered;
             coalesced_index = jc;
             recovered;
+            (* Chunked recovery is odometer-style, not per-iteration
+               closed form; the verifier has no metadata to consume. *)
+            digit_sizes = None;
           }
 
 let apply_program ?depth ?verify_parallel ~chunk (p : Ast.program) =

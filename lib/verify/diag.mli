@@ -1,0 +1,50 @@
+(** Diagnostics framework for the static race verifier.
+
+    Codes are stable and part of the CLI contract (golden tests pin both
+    renderers byte-for-byte): LC001–LC003 are errors (proven or
+    unexcludable races), LC004/LC005/LC009 are warnings (the analysis had
+    to give up), LC006–LC008 are informational. The AST carries no source
+    positions, so locations are structural: the 1-based ordinal of the
+    parallel region in textual order, plus the subject (array or scalar)
+    the diagnostic is about. *)
+
+type severity = Info | Warning | Error
+
+val severity_to_string : severity -> string
+
+type t = {
+  code : string;  (** stable "LCnnn" identifier *)
+  severity : severity;
+  region : int;  (** 1-based region ordinal; 0 = whole program *)
+  subject : string;  (** array or scalar concerned; may be empty *)
+  message : string;
+}
+
+val make :
+  code:string ->
+  severity:severity ->
+  region:int ->
+  subject:string ->
+  string ->
+  t
+
+val catalog : (string * severity * string) list
+(** Every known code with its fixed severity and summary, in code order. *)
+
+val severity_of_code : string -> severity option
+
+val counts : t list -> int * int * int
+(** (errors, warnings, infos) *)
+
+val worst : t list -> severity option
+
+type region_info = {
+  ri_ordinal : int;
+  ri_label : string;  (** e.g. ["doall j"] or ["doall i.k"] *)
+  ri_iters : int option;  (** iteration count when statically known *)
+}
+
+type report = { target : string; regions : region_info list; diags : t list }
+
+val render_text : report -> string
+val render_json : report -> string

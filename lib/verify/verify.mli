@@ -1,0 +1,42 @@
+(** Static DOALL race verifier over the regions the runtime forks.
+
+    For each parallel region the runtime executor would fork (discovery
+    mirrors [Loopcoal_runtime.Compile] exactly), enumerates every
+    read/write and write/write pair of array references and asks whether
+    two {e distinct} iterations of the flattened (coalesced) index space
+    can touch the same element, via {!Depend.carried} per level.
+    Coalesced single-loop regions are first put in quotient/remainder
+    normal form ({!Qnf}), turning index-recovery scalars back into
+    bounded pseudo-indices, so the verdict on a coalesced program equals
+    the verdict on the original nest. *)
+
+open Loopcoal_ir
+
+(** Recovery metadata forwarded from the coalescing transformation
+    (see [Coalesce.recovery_meta]): the coalesced index name and the
+    recovered digits with constant sizes, outermost first. *)
+type hint = { h_coalesced : Ast.var; h_digits : (Ast.var * int) list }
+
+type verdict =
+  | Race_free  (** every pair proven independent *)
+  | Unverified  (** analysis gave up somewhere (warnings) *)
+  | Racy  (** at least one conflict could not be excluded (errors) *)
+
+type region = {
+  ordinal : int;  (** 1-based, textual order *)
+  indices : Ast.var list;  (** analysis levels: nest or pseudo indices *)
+  label : string;  (** e.g. ["doall j"] or ["doall i.k"] *)
+  iterations : int option;
+  verdict : verdict;
+  diags : Diag.t list;
+}
+
+type result = { regions : region list; diags : Diag.t list }
+
+val check_program : ?hints:hint list -> Ast.program -> result
+
+val report : ?target:string -> result -> Diag.report
+(** Package for the {!Diag} renderers; [target] is the file name. *)
+
+val race_free : result -> bool
+(** Every region proven [Race_free]. *)

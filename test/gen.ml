@@ -170,6 +170,132 @@ let perfect_nest_gen : Ast.program G.t =
     body = [ build indices sizes los ];
   }
 
+(* Programs whose subscripts are affine in the loop indices and
+   statically in bounds — exactly the fragment the race verifier
+   analyses without giving up. Races are generated on purpose (constant
+   subscripts under a write, shifted reads against writes); differential
+   properties filter on the static verdict. Unlike [program_gen], no
+   min/max clamping: that would make every subscript non-affine. *)
+
+let verifiable_arrays = [ ("P", [ 12 ]); ("Q", [ 12 ]); ("R", [ 6; 8 ]) ]
+
+(* An in-bounds affine subscript for a dimension of size [d] over index
+   pool [idxs] = (name, size) with all loops running [1..size]. *)
+let affine_sub idxs d : Ast.expr G.t =
+  let open G in
+  let usable = List.filter (fun (_, size) -> size <= d) idxs in
+  let direct =
+    List.map
+      (fun (v, size) ->
+        ( 3,
+          let+ off = int_range 0 (d - size) in
+          if off = 0 then Ast.Var v else Ast.Bin (Add, Var v, Int off) ))
+      usable
+  in
+  let reversed =
+    List.map
+      (fun (v, size) ->
+        ( 1,
+          let+ off = int_range 0 (d - size) in
+          Ast.Bin (Sub, Int (size + 1 + off), Var v) ))
+      usable
+  in
+  frequency ((2, map (fun c -> Ast.Int c) (int_range 1 d)) :: direct @ reversed)
+
+let affine_ref idxs : (string * Ast.expr list) G.t =
+  let open G in
+  let* name, dims = oneofl verifiable_arrays in
+  let+ subs = flatten_l (List.map (affine_sub idxs) dims) in
+  (name, subs)
+
+let affine_rhs idxs : Ast.expr G.t =
+  let open G in
+  frequency
+    [
+      (1, map (fun n -> Ast.Real (float_of_int n)) (int_range 0 9));
+      ( 3,
+        let+ name, subs = affine_ref idxs in
+        Ast.Load (name, subs) );
+      ( 2,
+        let* name, subs = affine_ref idxs in
+        let+ name2, subs2 = affine_ref idxs in
+        Ast.Bin (Add, Load (name, subs), Load (name2, subs2)) );
+    ]
+
+let verifiable_stmt idxs : Ast.stmt G.t =
+  let open G in
+  frequency
+    [
+      ( 6,
+        let* name, subs = affine_ref idxs in
+        let+ e = affine_rhs idxs in
+        Ast.Assign (Elem (name, subs), e) );
+      (* Sum reduction: race-free, exercises the LC008 path. *)
+      ( 1,
+        let+ e = affine_rhs idxs in
+        Ast.Assign (Scalar "s", Bin (Add, Var "s", e)) );
+      (* Privatizable temporary: written before read each iteration. *)
+      ( 1,
+        let* e = affine_rhs idxs in
+        let+ name, subs = affine_ref idxs in
+        let block =
+          [
+            Ast.Assign (Ast.Scalar "t", e);
+            Ast.Assign (Elem (name, subs), Ast.Var "t");
+          ]
+        in
+        (* flattened below; wrap as If true to keep one stmt *)
+        Ast.If (Ast.True, block, []) );
+    ]
+
+let verifiable_nest_gen : Ast.stmt G.t =
+  let open G in
+  let* depth = int_range 1 2 in
+  let indices = List.filteri (fun i _ -> i < depth) [ "i"; "j" ] in
+  let* sizes = flatten_l (List.init depth (fun _ -> int_range 2 4)) in
+  let idxs = List.combine indices sizes in
+  let* n = int_range 1 3 in
+  let* body = flatten_l (List.init n (fun _ -> verifiable_stmt idxs)) in
+  let rec build = function
+    | [] -> assert false
+    | [ (ix, size) ] ->
+        Ast.For
+          {
+            index = ix;
+            lo = Int 1;
+            hi = Int size;
+            step = Int 1;
+            par = Parallel;
+            body;
+          }
+    | (ix, size) :: rest ->
+        Ast.For
+          {
+            index = ix;
+            lo = Int 1;
+            hi = Int size;
+            step = Int 1;
+            par = Parallel;
+            body = [ build rest ];
+          }
+  in
+  return (build idxs)
+
+let verifiable_program_gen : Ast.program G.t =
+  let open G in
+  let* n = int_range 1 2 in
+  let+ nests = flatten_l (List.init n (fun _ -> verifiable_nest_gen)) in
+  {
+    Ast.arrays =
+      List.map (fun (n, dims) -> { Ast.arr_name = n; dims }) verifiable_arrays;
+    scalars =
+      [
+        { Ast.sc_name = "s"; sc_kind = Kreal; sc_init = 0.0 };
+        { Ast.sc_name = "t"; sc_kind = Kreal; sc_init = 0.0 };
+      ];
+    body = nests;
+  }
+
 let shrink_program _ = QCheck.Iter.empty
 
 let arbitrary_program =

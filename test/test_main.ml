@@ -17,4 +17,5 @@ let () =
       ("driver", Test_driver.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
+      ("verify", Test_verify.suite);
     ]
