@@ -35,7 +35,7 @@ let time_min reps f =
 
 type record = {
   kernel : string;
-  engine : string;  (* "interpreter" | "compiled" *)
+  engine : string;  (* "interpreter" | "closure" | "bytecode" *)
   policy : string option;
   domains : int;
   iters : int;
@@ -93,7 +93,17 @@ let bench_policies =
 
 let host_cores = Domain.recommended_domain_count ()
 
-let domain_counts = List.sort_uniq compare [ 1; 2; 4; min 8 host_cores ]
+(* The default sweep never exceeds the host's cores: oversubscribed rows
+   measure time-slicing, not parallelism, and made headline
+   speedup_vs_1dom numbers on small hosts read as regressions. They are
+   opt-in via --oversubscribe. *)
+let domain_counts ~oversubscribe =
+  List.sort_uniq compare [ 1; 2; 4; min 8 host_cores ]
+  |> List.filter (fun d -> d <= host_cores || oversubscribe)
+
+(* The compiled engines measured at every configuration; the
+   tree-walking interpreter is sequential-only. *)
+let engines = [ ("closure", Exec.Closure); ("bytecode", Exec.Bytecode) ]
 
 (* Predicted coalesced speedup from the event simulator at p domains,
    using the interpreter-profiled body cost of the kernel's first
@@ -137,7 +147,7 @@ let predicted_side (prof : Driver.profile) ~policy ~p =
       imbalance = (if mean_busy <= 0.0 then 1.0 else max_busy /. mean_busy);
     } )
 
-let bench_kernel ~out ~score (name, mk) =
+let bench_kernel ~out ~score ~domain_counts (name, mk) =
   let prog : Ast.program = mk () in
   (* Iteration count measured once by the reference interpreter; the
      same denominator is used for every engine so ns/iter is
@@ -162,25 +172,34 @@ let bench_kernel ~out ~score (name, mk) =
       note = None;
     };
   let compiled = Compile.compile prog in
-  let t_seq =
-    time_min 5 (fun () -> ignore (Exec.run_compiled ~domains:1 compiled))
+  (* Sequential baseline per engine; parallel rows report their
+     speedup_vs_1dom against the same engine's baseline. *)
+  let seq_times =
+    List.map
+      (fun (ename, engine) ->
+        let t_seq =
+          time_min 5 (fun () ->
+              ignore (Exec.run_compiled ~domains:1 ~engine compiled))
+        in
+        out
+          {
+            kernel = name;
+            engine = ename;
+            policy = None;
+            domains = 1;
+            iters;
+            time_s = t_seq;
+            speedup_vs_interp = Some (t_interp /. t_seq);
+            speedup_vs_1dom = Some 1.0;
+            predicted_speedup = None;
+            chunks_dispatched = None;
+            imbalance = None;
+            sync_ops_per_iter = None;
+            note = None;
+          };
+        (ename, (engine, t_seq)))
+      engines
   in
-  out
-    {
-      kernel = name;
-      engine = "compiled";
-      policy = None;
-      domains = 1;
-      iters;
-      time_s = t_seq;
-      speedup_vs_interp = Some (t_interp /. t_seq);
-      speedup_vs_1dom = Some 1.0;
-      predicted_speedup = None;
-      chunks_dispatched = None;
-      imbalance = None;
-      sync_ops_per_iter = None;
-      note = None;
-    };
   let prof =
     match Driver.profile_first_nest prog with
     | Ok prof -> Some prof
@@ -192,66 +211,78 @@ let bench_kernel ~out ~score (name, mk) =
         Pool.with_pool domains (fun pool ->
             List.iter
               (fun policy ->
-                let t_par =
-                  time_min 3 (fun () ->
-                      ignore (Exec.run_compiled ~pool ~policy compiled))
-                in
-                (* One extra traced run: the measured dispatch behaviour
-                   of this exact configuration. *)
-                let tracer = Trace.create ~p:domains () in
-                ignore (Exec.run_compiled ~pool ~policy ~trace:tracer compiled);
-                let m = Metrics.of_trace (Trace.snapshot tracer) in
-                let note =
-                  if domains > host_cores then
-                    Some
-                      (Printf.sprintf
-                         "oversubscribed: %d domains on %d host core(s); \
-                          wall-clock scaling reflects time-slicing"
-                         domains host_cores)
-                  else None
-                in
-                (match prof with
-                | None -> ()
-                | Some prof -> (
-                    let nest_n, pside = predicted_side prof ~policy ~p:domains in
-                    (* Score against the first traced region that executed
-                       the profiled nest, when there is one. *)
-                    match
-                      List.find_opt
-                        (fun (f : Metrics.fork_metrics) -> f.Metrics.n = nest_n)
-                        m.Metrics.forks
-                    with
-                    | None -> ()
-                    | Some f ->
-                        score
-                          (Model_check.score ~kernel:name
-                             ~policy:(Policy.name policy) ~domains
-                             ~predicted:pside
-                             ~measured:
-                               {
-                                 Model_check.speedup = t_seq /. t_par;
-                                 dispatches = f.Metrics.chunks_dispatched;
-                                 imbalance = f.Metrics.imbalance;
-                               })));
-                out
-                  {
-                    kernel = name;
-                    engine = "compiled";
-                    policy = Some (Policy.name policy);
-                    domains;
-                    iters;
-                    time_s = t_par;
-                    speedup_vs_interp = Some (t_interp /. t_par);
-                    speedup_vs_1dom = Some (t_seq /. t_par);
-                    predicted_speedup = predicted prog ~policy ~p:domains;
-                    chunks_dispatched = Some m.Metrics.total_chunks;
-                    imbalance = Some m.Metrics.imbalance;
-                    sync_ops_per_iter =
-                      Some
-                        (float_of_int m.Metrics.total_sync_ops
-                        /. float_of_int (max 1 m.Metrics.total_iters));
-                    note;
-                  })
+                List.iter
+                  (fun (ename, (engine, t_seq)) ->
+                    let t_par =
+                      time_min 3 (fun () ->
+                          ignore (Exec.run_compiled ~pool ~policy ~engine compiled))
+                    in
+                    (* One extra traced run: the measured dispatch
+                       behaviour of this exact configuration. *)
+                    let tracer = Trace.create ~p:domains () in
+                    ignore
+                      (Exec.run_compiled ~pool ~policy ~engine ~trace:tracer
+                         compiled);
+                    let m = Metrics.of_trace (Trace.snapshot tracer) in
+                    let note =
+                      if domains > host_cores then
+                        Some
+                          (Printf.sprintf
+                             "oversubscribed: %d domains on %d host core(s); \
+                              wall-clock scaling reflects time-slicing"
+                             domains host_cores)
+                      else None
+                    in
+                    (* The simulator is scored against the default
+                       (bytecode) engine only, once per configuration. *)
+                    (if String.equal ename "bytecode" then
+                       match prof with
+                       | None -> ()
+                       | Some prof -> (
+                           let nest_n, pside =
+                             predicted_side prof ~policy ~p:domains
+                           in
+                           (* Score against the first traced region that
+                              executed the profiled nest, when there is
+                              one. *)
+                           match
+                             List.find_opt
+                               (fun (f : Metrics.fork_metrics) ->
+                                 f.Metrics.n = nest_n)
+                               m.Metrics.forks
+                           with
+                           | None -> ()
+                           | Some f ->
+                               score
+                                 (Model_check.score ~kernel:name
+                                    ~policy:(Policy.name policy) ~domains
+                                    ~predicted:pside
+                                    ~measured:
+                                      {
+                                        Model_check.speedup = t_seq /. t_par;
+                                        dispatches = f.Metrics.chunks_dispatched;
+                                        imbalance = f.Metrics.imbalance;
+                                      })));
+                    out
+                      {
+                        kernel = name;
+                        engine = ename;
+                        policy = Some (Policy.name policy);
+                        domains;
+                        iters;
+                        time_s = t_par;
+                        speedup_vs_interp = Some (t_interp /. t_par);
+                        speedup_vs_1dom = Some (t_seq /. t_par);
+                        predicted_speedup = predicted prog ~policy ~p:domains;
+                        chunks_dispatched = Some m.Metrics.total_chunks;
+                        imbalance = Some m.Metrics.imbalance;
+                        sync_ops_per_iter =
+                          Some
+                            (float_of_int m.Metrics.total_sync_ops
+                            /. float_of_int (max 1 m.Metrics.total_iters));
+                        note;
+                      })
+                  seq_times)
               bench_policies))
     domain_counts
 
@@ -263,7 +294,25 @@ let bench_kernels =
     ("gauss_jordan", fun () -> Kernels.gauss_jordan ~n:48 ~m:6);
   ]
 
-let run () =
+(* The CI perf-smoke gate: kernels whose 1-domain bytecode ns/iter must
+   not exceed the closure engine's by more than 5% (a relative guard —
+   absolute thresholds flake on shared runners). *)
+let gate_kernels = [ "matmul"; "stencil"; "transpose" ]
+
+let geomean = function
+  | [] -> nan
+  | l ->
+      exp
+        (List.fold_left (fun a x -> a +. log x) 0.0 l
+        /. float_of_int (List.length l))
+
+let run ?(oversubscribe = false) ?(gate = false) () =
+  let kernels =
+    if gate then
+      List.filter (fun (n, _) -> List.mem n gate_kernels) bench_kernels
+    else bench_kernels
+  in
+  let domain_counts = if gate then [ 1 ] else domain_counts ~oversubscribe in
   let records = ref [] in
   let scores = ref [] in
   let t =
@@ -304,7 +353,7 @@ let run () =
   let score s = scores := s :: !scores in
   Printf.printf "== runtime: measured wall-clock (host: %d core(s)) ==\n%!"
     host_cores;
-  List.iter (bench_kernel ~out ~score) bench_kernels;
+  List.iter (bench_kernel ~out ~score ~domain_counts) kernels;
   Table.print t;
   (match List.rev !scores with
   | [] -> ()
@@ -314,13 +363,83 @@ let run () =
   let records = List.rev !records in
   let oc = open_out "BENCH_runtime.json" in
   Printf.fprintf oc
-    "{\n  \"host_cores\": %d,\n  \"note\": \"speedups are wall-clock; \
-     predicted is the event simulator's coalesced speedup at the same p; \
-     chunks/imbalance/sync_ops_per_iter are traced from a real run; rows \
-     noted oversubscribed exceed the host's cores\",\n\
+    "{\n  \"host_cores\": %d,\n  \"note\": \"engine is interpreter, closure \
+     (staged closure tree) or bytecode (flat register tape, strip-mined); \
+     speedups are wall-clock; speedup_vs_1dom is against the same engine at \
+     1 domain; predicted is the event simulator's coalesced speedup at the \
+     same p; chunks/imbalance/sync_ops_per_iter are traced from a real run; \
+     rows noted oversubscribed exceed the host's cores (opt-in via \
+     --oversubscribe)\",\n\
      \  \"results\": [\n%s\n  ]\n}\n"
     host_cores
     (String.concat ",\n" (List.map json_of_record records));
   close_out oc;
   Printf.printf "wrote BENCH_runtime.json (%d records)\n%!"
-    (List.length records)
+    (List.length records);
+  (* Closure-vs-bytecode headline at 1 domain, and the perf gate. *)
+  let seq_row kname ename =
+    List.find_opt
+      (fun r ->
+        String.equal r.kernel kname
+        && String.equal r.engine ename
+        && r.domains = 1 && r.policy = None)
+      records
+  in
+  let pairs =
+    List.filter_map
+      (fun (kname, _) ->
+        match (seq_row kname "closure", seq_row kname "bytecode") with
+        | Some c, Some b -> Some (kname, ns_per_iter c, ns_per_iter b)
+        | _ -> None)
+      kernels
+  in
+  let st =
+    Table.create
+      [
+        ("kernel", Table.Left);
+        ("closure ns/iter", Table.Right);
+        ("bytecode ns/iter", Table.Right);
+        ("speedup", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (k, c, b) ->
+      Table.add_row st
+        [
+          k;
+          Table.cell_float ~dec:1 c;
+          Table.cell_float ~dec:1 b;
+          Printf.sprintf "%.2fx" (c /. b);
+        ])
+    pairs;
+  Printf.printf "\n== bytecode vs closure engine, 1 domain ==\n";
+  Table.print st;
+  (match pairs with
+  | [] -> ()
+  | _ ->
+      Printf.printf "geomean speedup: %.2fx\n%!"
+        (geomean (List.map (fun (_, c, b) -> c /. b) pairs)));
+  if gate then begin
+    let failures =
+      List.filter (fun (_, c, b) -> b > c *. 1.05) pairs
+      @
+      (* Every gate kernel must have produced both rows. *)
+      List.filter_map
+        (fun k ->
+          if List.exists (fun (k', _, _) -> String.equal k k') pairs then None
+          else Some (k, nan, nan))
+        gate_kernels
+    in
+    match failures with
+    | [] -> Printf.printf "perf gate: OK (bytecode <= 1.05x closure ns/iter)\n%!"
+    | fs ->
+        List.iter
+          (fun (k, c, b) ->
+            Printf.printf
+              "perf gate FAILED: %s bytecode %.1f ns/iter > 1.05 x closure \
+               %.1f ns/iter\n\
+               %!"
+              k b c)
+          fs;
+        exit 1
+  end

@@ -626,6 +626,25 @@ let emit_c_cmd =
 
 (* ---------- run (compiled runtime) ---------- *)
 
+type run_engine = Interp | Closure | Bytecode
+
+let run_engine_name = function
+  | Interp -> "interp"
+  | Closure -> "closure"
+  | Bytecode -> "bytecode"
+
+let engine_conv =
+  let parse = function
+    | "interp" -> Ok Interp
+    | "closure" -> Ok Closure
+    | "bytecode" -> Ok Bytecode
+    | s ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown engine %S (interp|closure|bytecode)" s))
+  in
+  Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (run_engine_name e))
+
 let run_cmd =
   let parallel_flag =
     Arg.(
@@ -705,8 +724,21 @@ let run_cmd =
              iterations of the same parallel region are reported after \
              the run, and the exit status is nonzero if any were seen.")
   in
+  let engine_arg =
+    Arg.(
+      value
+      & opt engine_conv Bytecode
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution tier: $(b,bytecode) (default) runs plan bodies on \
+             a flat register tape with strip-mined unchecked inner loops, \
+             $(b,closure) calls the staged closure tree once per \
+             iteration, $(b,interp) uses the sequential reference \
+             interpreter (incompatible with $(b,--parallel), \
+             $(b,--trace), $(b,--metrics) and $(b,--sanitize)).")
+  in
   let run parallel procs policy coalesce compare time trace_file metrics
-      sanitize p =
+      sanitize engine p =
     report_validation p;
     let orig = p in
     let p =
@@ -720,6 +752,48 @@ let run_cmd =
       if not parallel then 1
       else if procs > 0 then procs
       else Domain.recommended_domain_count ()
+    in
+    match engine with
+    | Interp -> (
+        if parallel || trace_file <> None || metrics || sanitize then begin
+          Printf.eprintf
+            "error: --engine interp is the sequential reference \
+             interpreter; it supports none of --parallel, --trace, \
+             --metrics, --sanitize\n";
+          exit 1
+        end;
+        if compare then
+          prerr_endline "note: --compare is a no-op under --engine interp";
+        let t0 = Unix.gettimeofday () in
+        match L.Eval.run p with
+        | exception L.Eval.Runtime_error m ->
+            Printf.eprintf "runtime error: %s\n" m;
+            exit 1
+        | st ->
+            let elapsed = Unix.gettimeofday () -. t0 in
+            print_endline "engine: reference interpreter, 1 domain(s)";
+            let arrays, scalars = L.Eval.dump st in
+            List.iter
+              (fun (name, v) ->
+                match (v : L.Eval.value) with
+                | Vint n -> Printf.printf "scalar %s = %d\n" name n
+                | Vreal x -> Printf.printf "scalar %s = %g\n" name x)
+              scalars;
+            List.iter
+              (fun (name, data) ->
+                Printf.printf "array %s: %d elements, sum %g\n" name
+                  (Array.length data)
+                  (Array.fold_left ( +. ) 0.0 data))
+              arrays;
+            if time then
+              print_endline
+                (L.Report.time_line ~engine:"interp" ~domains:1
+                   ~policy:(L.Policy.name policy) ~wall_s:elapsed))
+    | (Closure | Bytecode) as eng -> (
+    let exec_engine =
+      match eng with
+      | Closure -> L.Runtime.Exec.Closure
+      | _ -> L.Runtime.Exec.Bytecode
     in
     match L.Runtime.Compile.compile_result ~sanitize p with
     | Error m ->
@@ -739,15 +813,16 @@ let run_cmd =
           else None
         in
         let t0 = Unix.gettimeofday () in
-        match L.Runtime.Exec.run_compiled ~domains ~policy ?trace:tracer
-                ?shadow compiled with
+        match L.Runtime.Exec.run_compiled ~domains ~policy ~engine:exec_engine
+                ?trace:tracer ?shadow compiled with
         | exception L.Runtime.Compile.Error m ->
             Printf.eprintf "runtime error: %s\n" m;
             exit 1
         | outcome ->
             let elapsed = Unix.gettimeofday () -. t0 in
-            Printf.printf "engine: compiled runtime, %d domain(s), policy %s\n"
-              domains (L.Policy.name policy);
+            Printf.printf
+              "engine: compiled runtime (%s), %d domain(s), policy %s\n"
+              (run_engine_name eng) domains (L.Policy.name policy);
             List.iter
               (fun (name, v) ->
                 match (v : L.Eval.value) with
@@ -828,7 +903,7 @@ let run_cmd =
                 end);
             if time then
               print_endline
-                (L.Report.time_line ~engine:"compiled" ~domains
+                (L.Report.time_line ~engine:(run_engine_name eng) ~domains
                    ~policy:(L.Policy.name policy) ~wall_s:elapsed);
             (if compare then
                match L.Eval.run p with
@@ -847,20 +922,22 @@ let run_cmd =
             | Some sh ->
                 print_endline (L.Runtime.Sanitize.summary_to_string sh);
                 if snd (L.Runtime.Sanitize.results sh) > 0 then exit 1
-            | None -> ())
+            | None -> ()))
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Stage a program into closures and execute it with the compiled \
-          runtime — sequentially, or with $(b,--parallel) across OCaml \
-          domains under a real scheduling policy (static block/cyclic, \
+         "Compile a program and execute it with the multicore runtime — \
+          sequentially, or with $(b,--parallel) across OCaml domains \
+          under a real scheduling policy (static block/cyclic, \
           self-scheduling via atomic fetch-and-add, GSS, factoring, \
-          trapezoid).")
+          trapezoid). $(b,--engine) picks the execution tier: the flat \
+          register-tape bytecode (default), the staged closure tree, or \
+          the reference interpreter.")
     Term.(
       const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
       $ compare_flag $ time_flag $ trace_arg $ metrics_flag $ sanitize_flag
-      $ program_arg)
+      $ engine_arg $ program_arg)
 
 (* ---------- check ---------- *)
 

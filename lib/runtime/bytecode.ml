@@ -1,0 +1,1033 @@
+(* Bytecode tier: staged plan bodies lowered to a flat register tape.
+
+   The tape is a linear [instr array] over the same register files the
+   closure tier uses (the environment's [ints]/[reals] slot arrays), so
+   reductions, scalar privatization and the executor's adoption/merge
+   logic work unchanged. Control flow is absolute jumps; expression
+   trees become three-address instructions over fresh temporary
+   registers allocated from the host compiler's slot counters.
+
+   Address arithmetic is kept symbolic through lowering as affine forms
+   [base + sum coef*reg]. Each array access records, besides the checked
+   per-subscript form, its flat offset split into a strip-invariant part
+   (hoisted once per strip into a scratch register) and a variant part
+   (evaluated per execution); and a per-subscript symbolic range used by
+   [prepare] to decide, once per fork, whether the access can run with
+   [Array.unsafe_get/set] for that fork's whole iteration space. *)
+
+open Loopcoal_ir
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ---------- affine forms ---------- *)
+
+(* value = base + sum_i coefs.(i) * ints.(regs.(i)); regs strictly
+   ascending, coefs non-zero. *)
+type aff = { base : int; coefs : int array; regs : int array }
+
+let aff_const n = { base = n; coefs = [||]; regs = [||] }
+let aff_reg r = { base = 0; coefs = [| 1 |]; regs = [| r |] }
+let aff_is_const (a : aff) = Array.length a.regs = 0
+
+let aff_terms (a : aff) =
+  Array.to_list (Array.map2 (fun c r -> (c, r)) a.coefs a.regs)
+
+let aff_make base terms =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (c, r) ->
+      let c0 = Option.value ~default:0 (Hashtbl.find_opt tbl r) in
+      Hashtbl.replace tbl r (c0 + c))
+    terms;
+  let terms =
+    Hashtbl.fold (fun r c acc -> if c = 0 then acc else (r, c) :: acc) tbl []
+    |> List.sort compare
+  in
+  {
+    base;
+    coefs = Array.of_list (List.map snd terms);
+    regs = Array.of_list (List.map fst terms);
+  }
+
+let aff_add a b = aff_make (a.base + b.base) (aff_terms a @ aff_terms b)
+
+let aff_scale k a =
+  if k = 0 then aff_const 0
+  else { a with base = k * a.base; coefs = Array.map (fun c -> k * c) a.coefs }
+
+let aff_sub a b = aff_add a (aff_scale (-1) b)
+
+let[@inline] aff_eval (ints : int array) (a : aff) =
+  let acc = ref a.base in
+  for m = 0 to Array.length a.coefs - 1 do
+    acc :=
+      !acc
+      + Array.unsafe_get a.coefs m
+        * Array.unsafe_get ints (Array.unsafe_get a.regs m)
+  done;
+  !acc
+
+(* ---------- symbolic ranges ---------- *)
+
+(* Conservative interval skeleton for an int value over one fork:
+   [Rplan k] is the fork's level-k index range, [Rreg r] a register the
+   tape never writes (so its fork-entry value is its value throughout),
+   [Rspan (lo, hi)] a serial-loop index, [Rux] unknown. Evaluated once
+   per fork by [prepare]; any [Rux] poisons the access to checked. *)
+type rng =
+  | Rux
+  | Rconst of int
+  | Rplan of int
+  | Rreg of int
+  | Raff of int * (int * rng) array
+  | Rmul of rng * rng
+  | Rmin of rng * rng
+  | Rmax of rng * rng
+  | Rspan of rng * rng
+
+let r_addc c r =
+  if c = 0 then r
+  else
+    match r with
+    | Rconst x -> Rconst (x + c)
+    | Raff (b, ts) -> Raff (b + c, ts)
+    | _ -> Raff (c, [| (1, r) |])
+
+let r_add a b =
+  match (a, b) with
+  | Rconst x, r | r, Rconst x -> r_addc x r
+  | _ -> Raff (0, [| (1, a); (1, b) |])
+
+let r_sub a b =
+  match b with
+  | Rconst y -> r_addc (-y) a
+  | _ -> Raff (0, [| (1, a); (-1, b) |])
+
+let r_scale k r =
+  if k = 0 then Rconst 0
+  else if k = 1 then r
+  else match r with Rconst x -> Rconst (k * x) | _ -> Raff (0, [| (k, r) |])
+
+let rec rng_eval ~ints ~lo ~hi (r : rng) : (int * int) option =
+  let go = rng_eval ~ints ~lo ~hi in
+  match r with
+  | Rux -> None
+  | Rconst n -> Some (n, n)
+  | Rplan k -> Some (lo.(k), hi.(k))
+  | Rreg s ->
+      let v = ints.(s) in
+      Some (v, v)
+  | Raff (base, terms) ->
+      let acc = ref (Some (base, base)) in
+      Array.iter
+        (fun (c, t) ->
+          match (!acc, go t) with
+          | Some (a, b), Some (x, y) ->
+              let p = c * x and q = c * y in
+              acc := Some (a + min p q, b + max p q)
+          | _ -> acc := None)
+        terms;
+      !acc
+  | Rmul (a, b) -> (
+      match (go a, go b) with
+      | Some (al, ah), Some (bl, bh) ->
+          let p1 = al * bl and p2 = al * bh and p3 = ah * bl and p4 = ah * bh in
+          Some (min (min p1 p2) (min p3 p4), max (max p1 p2) (max p3 p4))
+      | _ -> None)
+  | Rmin (a, b) -> (
+      match (go a, go b) with
+      | Some (al, ah), Some (bl, bh) -> Some (min al bl, min ah bh)
+      | _ -> None)
+  | Rmax (a, b) -> (
+      match (go a, go b) with
+      | Some (al, ah), Some (bl, bh) -> Some (max al bl, max ah bh)
+      | _ -> None)
+  | Rspan (a, b) -> (
+      (* A serial index takes values in [lo .. hi]; executed accesses
+         only see iterations where lo <= hi, so the hull is sound. *)
+      match (go a, go b) with
+      | Some (al, _), Some (_, bh) -> Some (al, bh)
+      | _ -> None)
+
+(* ---------- instruction set ---------- *)
+
+type instr =
+  | Iconst of int * int
+  | Iaff of int * aff  (** dst <- affine combination; also mov/add/sub *)
+  | Imul of int * int * int
+  | Idiv of int * int * int
+  | Imod of int * int * int
+  | Icdiv of int * int * int
+  | Imin of int * int * int
+  | Imax of int * int * int
+  | Istep of int * string  (** raise unless reg > 0 (serial loop step) *)
+  | Fconst of int * float
+  | Fmov of int * int
+  | Fadd of int * int * int
+  | Fsub of int * int * int
+  | Fmul of int * int * int
+  | Fdiv of int * int * int
+  | Fmin of int * int * int
+  | Fmax of int * int * int
+  | Fneg of int * int
+  | Fofi of int * int  (** float register <- int register *)
+  | Fmac of int * int * int * int  (** d <- a +. x *. y (fused peephole) *)
+  | Fmsb of int * int * int * int  (** d <- a -. x *. y (fused peephole) *)
+  | Fload of int * int  (** dst real reg <- element via access id *)
+  | Fstore of int * int  (** element via access id <- src real reg *)
+  | Jmp of int
+  | Jii of Ast.relop * int * int * int  (** jump if int cmp holds *)
+  | Jff of Ast.relop * int * int * int  (** jump if float cmp holds *)
+  | Iloop of int * aff * int * int
+      (** serial-loop back-edge, rotated: reg <- incr; jump to target
+          while reg <= bound-reg *)
+  | Iloopc of int * int * int * int
+      (** back-edge with constant step: reg <- reg + c; jump while
+          reg <= bound-reg *)
+
+type access = {
+  ac_slot : int;
+  ac_name : string;
+  ac_dims : int array;
+  ac_strides : int array;
+  ac_subs : aff array;  (** per-subscript, for the checked path *)
+  ac_rngs : rng array;  (** per-subscript symbolic ranges *)
+  ac_inv : aff;  (** strip-invariant offset part (includes base) *)
+  ac_var : aff;  (** strip-variant offset part (base 0) *)
+  ac_vk : vkind;  (** variant part specialized for the unsafe path *)
+}
+
+(* Variant offset shapes, specialized so the common one- and two-term
+   forms avoid the generic affine loop on the unsafe path. *)
+and vkind =
+  | V0
+  | V1 of int * int  (** coef, reg *)
+  | V2 of int * int * int * int  (** coef1, reg1, coef2, reg2 *)
+  | Vn
+
+type tape = {
+  tp_pre : instr array;  (** strip prologue: float-constant loads only *)
+  tp_ops : instr array;
+  tp_accs : access array;
+  tp_sanitize : bool;
+}
+
+let sanitized t = t.tp_sanitize
+let n_instrs t = Array.length t.tp_ops
+let n_accesses t = Array.length t.tp_accs
+
+(* ---------- lowering ---------- *)
+
+exception Unsupported
+
+type binding = Bint of int | Breal of int
+
+type array_ref = {
+  ba_slot : int;
+  ba_name : string;
+  ba_dims : int array;
+  ba_strides : int array;
+}
+
+(* An int value during lowering: affine form plus symbolic range. Float
+   values are just the register holding them. *)
+type ival = { va : aff; vr : rng }
+type xval = Xi of ival | Xr of int
+
+type raw_access = {
+  ra_ref : array_ref;
+  ra_subs : aff array;
+  ra_rngs : rng array;
+  ra_off : aff;
+}
+
+type st = {
+  lookup : string -> binding option;
+  arr : string -> array_ref option;
+  fresh_i : unit -> int;
+  fresh_r : unit -> int;
+  assigned : string list;
+  plan_names : string array;
+  plan_slots : int array;
+  sanitize : bool;
+  mutable scope : (string * (int * rng)) list;  (** serial-loop indexes *)
+  mutable promo : (string * Ast.expr list * int) list;
+      (** array elements promoted to real registers across a serial loop:
+          (array, subscript exprs, register) *)
+  mutable code : instr array;
+  mutable len : int;
+  mutable pre : instr list;  (** reversed float-constant prologue *)
+  consts : (float, int) Hashtbl.t;
+  mutable raccs : raw_access list;  (** reversed *)
+  mutable nacc : int;
+  written : (int, unit) Hashtbl.t;  (** int regs the tape writes *)
+  pinned : (int, unit) Hashtbl.t;
+      (** real regs with a live value (promoted elements, assigned
+          scalars): peepholes must not steal or drop writes to them *)
+}
+
+let emit st i =
+  if st.len = Array.length st.code then begin
+    let bigger = Array.make (max 64 (2 * st.len)) (Jmp 0) in
+    Array.blit st.code 0 bigger 0 st.len;
+    st.code <- bigger
+  end;
+  st.code.(st.len) <- i;
+  st.len <- st.len + 1;
+  match i with
+  | Iconst (d, _)
+  | Iaff (d, _)
+  | Imul (d, _, _)
+  | Idiv (d, _, _)
+  | Imod (d, _, _)
+  | Icdiv (d, _, _)
+  | Imin (d, _, _)
+  | Imax (d, _, _)
+  | Iloop (d, _, _, _)
+  | Iloopc (d, _, _, _) ->
+      Hashtbl.replace st.written d ()
+  | _ -> ()
+
+let patch st pos target =
+  st.code.(pos) <-
+    (match st.code.(pos) with
+    | Jmp _ -> Jmp target
+    | Jii (op, a, b, _) -> Jii (op, a, b, target)
+    | Jff (op, a, b, _) -> Jff (op, a, b, target)
+    | _ -> assert false)
+
+let patch_all st positions target =
+  List.iter (fun p -> patch st p target) positions
+
+(* Materialize an int value into a register (reusing the register when
+   the form already is one). *)
+let materialize st (v : ival) =
+  match v.va with
+  | { base = 0; coefs = [| 1 |]; regs = [| r |] } -> r
+  | { base; coefs = [||]; regs = [||] } ->
+      let d = st.fresh_i () in
+      emit st (Iconst (d, base));
+      d
+  | a ->
+      let d = st.fresh_i () in
+      emit st (Iaff (d, a));
+      d
+
+(* Float constants load once per strip (prologue), not per use. *)
+let float_const st x =
+  match Hashtbl.find_opt st.consts x with
+  | Some r -> r
+  | None ->
+      let r = st.fresh_r () in
+      st.pre <- Fconst (r, x) :: st.pre;
+      Hashtbl.add st.consts x r;
+      r
+
+let to_real st = function
+  | Xr r -> r
+  | Xi v ->
+      if aff_is_const v.va then float_const st (float_of_int v.va.base)
+      else begin
+        let s = materialize st v in
+        let d = st.fresh_r () in
+        emit st (Fofi (d, s));
+        d
+      end
+
+let to_int = function Xi v -> v | Xr _ -> raise Unsupported
+
+(* Move [src] into [dst] — retargeting the just-emitted producer of
+   [src] instead when [src] is its single-use destination temporary.
+   [dst] becomes pinned; pinned registers are never retargeted, since a
+   write to them is observable beyond the producing expression. *)
+let emit_mov st dst src =
+  Hashtbl.replace st.pinned dst ();
+  if dst <> src then begin
+    let retarget =
+      if st.len = 0 || Hashtbl.mem st.pinned src then None
+      else
+        match st.code.(st.len - 1) with
+        | Fadd (d, a, b) when d = src -> Some (Fadd (dst, a, b))
+        | Fsub (d, a, b) when d = src -> Some (Fsub (dst, a, b))
+        | Fmul (d, a, b) when d = src -> Some (Fmul (dst, a, b))
+        | Fdiv (d, a, b) when d = src -> Some (Fdiv (dst, a, b))
+        | Fmin (d, a, b) when d = src -> Some (Fmin (dst, a, b))
+        | Fmax (d, a, b) when d = src -> Some (Fmax (dst, a, b))
+        | Fmac (d, a, x, y) when d = src -> Some (Fmac (dst, a, x, y))
+        | Fmsb (d, a, x, y) when d = src -> Some (Fmsb (dst, a, x, y))
+        | Fneg (d, a) when d = src -> Some (Fneg (dst, a))
+        | Fofi (d, a) when d = src -> Some (Fofi (dst, a))
+        | Fload (d, id) when d = src -> Some (Fload (dst, id))
+        | _ -> None
+    in
+    match retarget with
+    | Some i -> st.code.(st.len - 1) <- i
+    | None -> emit st (Fmov (dst, src))
+  end
+
+(* ---------- serial-loop register promotion analysis ---------- *)
+
+(* Scalars assigned and loop indexes bound anywhere in a block. *)
+let rec block_writes b = List.concat_map stmt_writes b
+
+and stmt_writes = function
+  | Ast.Assign (Scalar v, _) -> [ v ]
+  | Assign (Elem _, _) -> []
+  | If (_, t, f) -> block_writes t @ block_writes f
+  | For l -> l.index :: block_writes l.body
+
+(* Every array access in a block, as (name, subscripts). *)
+let rec expr_accesses acc = function
+  | Ast.Int _ | Real _ | Var _ -> acc
+  | Bin (_, a, b) -> expr_accesses (expr_accesses acc a) b
+  | Neg a -> expr_accesses acc a
+  | Load (a, subs) -> List.fold_left expr_accesses ((a, subs) :: acc) subs
+
+let rec cond_accesses acc = function
+  | Ast.True -> acc
+  | Cmp (_, a, b) -> expr_accesses (expr_accesses acc a) b
+  | And (a, b) | Or (a, b) -> cond_accesses (cond_accesses acc a) b
+  | Not a -> cond_accesses acc a
+
+let rec block_accesses acc b = List.fold_left stmt_accesses acc b
+
+and stmt_accesses acc = function
+  | Ast.Assign (Scalar _, e) -> expr_accesses acc e
+  | Assign (Elem (a, subs), e) ->
+      expr_accesses (List.fold_left expr_accesses ((a, subs) :: acc) subs) e
+  | If (c, t, f) -> block_accesses (block_accesses (cond_accesses acc c) t) f
+  | For l ->
+      block_accesses
+        (expr_accesses (expr_accesses (expr_accesses acc l.lo) l.hi) l.step)
+        l.body
+
+let rec expr_has_load = function
+  | Ast.Int _ | Real _ | Var _ -> false
+  | Bin (_, a, b) -> expr_has_load a || expr_has_load b
+  | Neg a -> expr_has_load a
+  | Load _ -> true
+
+let subs_equal s1 s2 =
+  List.length s1 = List.length s2 && List.for_all2 Ast.equal_expr s1 s2
+
+(* Arrays whose every access in the loop body is the same loop-invariant
+   element: candidates for promotion to a register across the loop. The
+   subscripts must not read arrays or anything the body writes (so the
+   element cannot alias another access or move between iterations), and
+   at least one store must sit unconditionally at the top level so the
+   loop, once entered, always writes the element — keeping the sunk
+   store equivalent to what the loop would have written. *)
+let promotable (l : Ast.loop) =
+  let writes = l.index :: block_writes l.body in
+  let accs = block_accesses [] l.body in
+  let top_stores =
+    List.filter_map
+      (function Ast.Assign (Elem (a, subs), _) -> Some (a, subs) | _ -> None)
+      l.body
+  in
+  let ok (a, subs) =
+    List.for_all
+      (fun (a', subs') -> (not (String.equal a a')) || subs_equal subs subs')
+      accs
+    && (not (List.exists expr_has_load subs))
+    && List.for_all
+         (fun s -> List.for_all (fun v -> not (List.mem v writes)) (Ast.expr_vars s))
+         subs
+  in
+  let seen = Hashtbl.create 4 in
+  List.filter
+    (fun (a, subs) ->
+      if Hashtbl.mem seen a then false
+      else begin
+        Hashtbl.add seen a ();
+        ok (a, subs)
+      end)
+    top_stores
+
+let plan_level st v =
+  let n = Array.length st.plan_names in
+  let rec go k =
+    if k >= n then None
+    else if String.equal st.plan_names.(k) v then Some k
+    else go (k + 1)
+  in
+  go 0
+
+let make_access st aname (subs : ival list) =
+  match st.arr aname with
+  | None -> raise Unsupported
+  | Some info ->
+      if List.length subs <> Array.length info.ba_dims then raise Unsupported;
+      let subs = Array.of_list subs in
+      let off = ref (aff_const (-Array.fold_left ( + ) 0 info.ba_strides)) in
+      Array.iteri
+        (fun k v -> off := aff_add !off (aff_scale info.ba_strides.(k) v.va))
+        subs;
+      let id = st.nacc in
+      st.nacc <- id + 1;
+      st.raccs <-
+        {
+          ra_ref = info;
+          ra_subs = Array.map (fun v -> v.va) subs;
+          ra_rngs = Array.map (fun v -> v.vr) subs;
+          ra_off = !off;
+        }
+        :: st.raccs;
+      id
+
+let rec lower_expr st (e : Ast.expr) : xval =
+  match e with
+  | Int n -> Xi { va = aff_const n; vr = Rconst n }
+  | Real x -> Xr (float_const st x)
+  | Var v -> (
+      match List.assoc_opt v st.scope with
+      | Some (r, rng) -> Xi { va = aff_reg r; vr = rng }
+      | None -> (
+          match plan_level st v with
+          | Some k -> Xi { va = aff_reg st.plan_slots.(k); vr = Rplan k }
+          | None -> (
+              match st.lookup v with
+              | Some (Bint s) ->
+                  let vr =
+                    if List.mem v st.assigned || Hashtbl.mem st.written s then
+                      Rux
+                    else Rreg s
+                  in
+                  Xi { va = aff_reg s; vr }
+              | Some (Breal s) -> Xr s
+              | None -> raise Unsupported)))
+  | Neg a -> (
+      match lower_expr st a with
+      | Xi v -> Xi { va = aff_scale (-1) v.va; vr = r_scale (-1) v.vr }
+      | Xr r ->
+          let d = st.fresh_r () in
+          emit st (Fneg (d, r));
+          Xr d)
+  | Load (a, subs) -> (
+      match
+        List.find_opt
+          (fun (a', subs', _) -> String.equal a a' && subs_equal subs subs')
+          st.promo
+      with
+      | Some (_, _, r) -> Xr r
+      | None ->
+          let subs = List.map (fun s -> to_int (lower_expr st s)) subs in
+          let id = make_access st a subs in
+          let d = st.fresh_r () in
+          emit st (Fload (d, id));
+          Xr d)
+  | Bin (op, a, b) -> lower_bin st op (lower_expr st a) (lower_expr st b)
+
+and lower_bin st (op : Ast.binop) xa xb : xval =
+  let int3 mk vr va vb =
+    let ra = materialize st va and rb = materialize st vb in
+    let d = st.fresh_i () in
+    emit st (mk d ra rb);
+    Xi { va = aff_reg d; vr }
+  in
+  let flt2 mk =
+    let ra = to_real st xa and rb = to_real st xb in
+    let d = st.fresh_r () in
+    emit st (mk d ra rb);
+    Xr d
+  in
+  (* Multiply-accumulate peephole: a +/- x*y where the product is the
+     instruction just emitted fuses into one dispatch. Product
+     destinations are single-use temporaries, so dropping the [Fmul] is
+     safe; the replacement lands at the same position, keeping already
+     patched jump targets valid. *)
+  let fuse_mac ~add =
+    let ra = to_real st xa in
+    let rb = to_real st xb in
+    let d = st.fresh_r () in
+    let last = if st.len > 0 then Some st.code.(st.len - 1) else None in
+    (match last with
+    | Some (Fmul (t, x, y)) when t = rb && not (Hashtbl.mem st.pinned t) ->
+        st.len <- st.len - 1;
+        emit st (if add then Fmac (d, ra, x, y) else Fmsb (d, ra, x, y))
+    | Some (Fmul (t, x, y)) when t = ra && add && not (Hashtbl.mem st.pinned t)
+      ->
+        st.len <- st.len - 1;
+        emit st (Fmac (d, rb, x, y))
+    | _ -> emit st (if add then Fadd (d, ra, rb) else Fsub (d, ra, rb)));
+    Xr d
+  in
+  match (op, xa, xb) with
+  | Add, Xi a, Xi b -> Xi { va = aff_add a.va b.va; vr = r_add a.vr b.vr }
+  | Sub, Xi a, Xi b -> Xi { va = aff_sub a.va b.va; vr = r_sub a.vr b.vr }
+  | Mul, Xi a, Xi b when aff_is_const a.va ->
+      Xi { va = aff_scale a.va.base b.va; vr = r_scale a.va.base b.vr }
+  | Mul, Xi a, Xi b when aff_is_const b.va ->
+      Xi { va = aff_scale b.va.base a.va; vr = r_scale b.va.base a.vr }
+  | Mul, Xi a, Xi b -> int3 (fun d x y -> Imul (d, x, y)) (Rmul (a.vr, b.vr)) a b
+  | Min, Xi a, Xi b -> int3 (fun d x y -> Imin (d, x, y)) (Rmin (a.vr, b.vr)) a b
+  | Max, Xi a, Xi b -> int3 (fun d x y -> Imax (d, x, y)) (Rmax (a.vr, b.vr)) a b
+  | Div, Xi a, Xi b -> int3 (fun d x y -> Idiv (d, x, y)) Rux a b
+  | Mod, Xi a, Xi b -> int3 (fun d x y -> Imod (d, x, y)) Rux a b
+  | Cdiv, Xi a, Xi b -> int3 (fun d x y -> Icdiv (d, x, y)) Rux a b
+  | (Mod | Cdiv), _, _ -> raise Unsupported
+  | Add, _, _ -> fuse_mac ~add:true
+  | Sub, _, _ -> fuse_mac ~add:false
+  | Mul, _, _ -> flt2 (fun d x y -> Fmul (d, x, y))
+  | Div, _, _ -> flt2 (fun d x y -> Fdiv (d, x, y))
+  | Min, _, _ -> flt2 (fun d x y -> Fmin (d, x, y))
+  | Max, _, _ -> flt2 (fun d x y -> Fmax (d, x, y))
+
+(* Lower a condition to branch chains. Returns the positions of pending
+   jumps taken when the condition is true resp. false; both lists must
+   be patched by the caller. Short-circuit order matches the closure
+   tier. *)
+let rec lower_cond st (c : Ast.cond) : int list * int list =
+  match c with
+  | True ->
+      let p = st.len in
+      emit st (Jmp (-1));
+      ([ p ], [])
+  | Cmp (op, a, b) -> (
+      match (lower_expr st a, lower_expr st b) with
+      | Xi va, Xi vb ->
+          let ra = materialize st va and rb = materialize st vb in
+          let pt = st.len in
+          emit st (Jii (op, ra, rb, -1));
+          let pf = st.len in
+          emit st (Jmp (-1));
+          ([ pt ], [ pf ])
+      | xa, xb ->
+          let ra = to_real st xa and rb = to_real st xb in
+          let pt = st.len in
+          emit st (Jff (op, ra, rb, -1));
+          let pf = st.len in
+          emit st (Jmp (-1));
+          ([ pt ], [ pf ]))
+  | And (a, b) ->
+      let ta, fa = lower_cond st a in
+      patch_all st ta st.len;
+      let tb, fb = lower_cond st b in
+      (tb, fa @ fb)
+  | Or (a, b) ->
+      let ta, fa = lower_cond st a in
+      patch_all st fa st.len;
+      let tb, fb = lower_cond st b in
+      (ta @ tb, fb)
+  | Not a ->
+      let t, f = lower_cond st a in
+      (f, t)
+
+let rec lower_stmt st (s : Ast.stmt) =
+  match s with
+  | Assign (Scalar v, e) -> (
+      if List.mem_assoc v st.scope || plan_level st v <> None then
+        raise Unsupported;
+      match st.lookup v with
+      | Some (Bint slot) -> (
+          match lower_expr st e with
+          | Xi iv -> emit st (Iaff (slot, iv.va))
+          | Xr _ -> raise Unsupported)
+      | Some (Breal slot) ->
+          let r = to_real st (lower_expr st e) in
+          emit_mov st slot r
+      | None -> raise Unsupported)
+  | Assign (Elem (a, subs), e) -> (
+      match
+        List.find_opt
+          (fun (a', subs', _) -> String.equal a a' && subs_equal subs subs')
+          st.promo
+      with
+      | Some (_, _, reg) ->
+          let r = to_real st (lower_expr st e) in
+          emit_mov st reg r
+      | None ->
+          let subs = List.map (fun x -> to_int (lower_expr st x)) subs in
+          let id = make_access st a subs in
+          let r = to_real st (lower_expr st e) in
+          emit st (Fstore (r, id)))
+  | If (c, t, []) ->
+      let tp, fp = lower_cond st c in
+      patch_all st tp st.len;
+      lower_block st t;
+      patch_all st fp st.len
+  | If (c, t, f) ->
+      let tp, fp = lower_cond st c in
+      patch_all st tp st.len;
+      lower_block st t;
+      let pend = st.len in
+      emit st (Jmp (-1));
+      patch_all st fp st.len;
+      lower_block st f;
+      patch st pend st.len
+  | For l -> lower_serial_loop st l
+
+and lower_serial_loop st (l : Ast.loop) =
+  let lo = to_int (lower_expr st l.lo) in
+  let hi = to_int (lower_expr st l.hi) in
+  let step = to_int (lower_expr st l.step) in
+  let ri = st.fresh_i () in
+  emit st (Iaff (ri, lo.va));
+  (* Snapshot the bound and step once per entry, like the closure tier:
+     the body may mutate scalars they read. *)
+  let rh = st.fresh_i () in
+  emit st (Iaff (rh, hi.va));
+  let back =
+    if aff_is_const step.va && step.va.base > 0 then
+      let c = step.va.base in
+      fun top -> Iloopc (ri, c, rh, top)
+    else begin
+      let rs = st.fresh_i () in
+      emit st (Iaff (rs, step.va));
+      emit st (Istep (rs, l.index));
+      let incr = aff_make 0 [ (1, ri); (1, rs) ] in
+      fun top -> Iloop (ri, incr, rh, top)
+    end
+  in
+  (* Rotated loop: one entry guard, then a single fused
+     increment-test-branch dispatch per iteration. *)
+  let pentry = st.len in
+  emit st (Jii (Gt, ri, rh, -1));
+  (* Register promotion: a loop-invariant element the body always
+     stores loads once here — after the trip-count guard, so a
+     zero-trip loop touches nothing — lives in a register for the whole
+     loop, and stores back once past the back edge. Skipped on
+     sanitized tapes, which keep the per-iteration shadow protocol. *)
+  let promos =
+    if st.sanitize then []
+    else
+      List.filter_map
+        (fun (a, subs) ->
+          if List.exists (fun (a', _, _) -> String.equal a a') st.promo then
+            None
+          else begin
+            let lowered = List.map (fun x -> to_int (lower_expr st x)) subs in
+            let id = make_access st a lowered in
+            let r = st.fresh_r () in
+            Hashtbl.replace st.pinned r ();
+            emit st (Fload (r, id));
+            Some (a, subs, r, id)
+          end)
+        (promotable l)
+  in
+  st.promo <- List.map (fun (a, s, r, _) -> (a, s, r)) promos @ st.promo;
+  let top = st.len in
+  st.scope <- (l.index, (ri, Rspan (lo.vr, hi.vr))) :: st.scope;
+  lower_block st l.body;
+  st.scope <- List.tl st.scope;
+  let n_promo = List.length promos in
+  st.promo <- List.filteri (fun i _ -> i >= n_promo) st.promo;
+  emit st (back top);
+  List.iter (fun (_, _, r, id) -> emit st (Fstore (r, id))) promos;
+  patch st pentry st.len
+
+and lower_block st (b : Ast.block) = List.iter (lower_stmt st) b
+
+let lower ~lookup ~array_ref ~fresh_int ~fresh_real ~assigned ~plan_names
+    ~plan_slots ~sanitize (body : Ast.block) : tape option =
+  let st =
+    {
+      lookup;
+      arr = array_ref;
+      fresh_i = fresh_int;
+      fresh_r = fresh_real;
+      assigned;
+      plan_names;
+      plan_slots;
+      sanitize;
+      scope = [];
+      promo = [];
+      code = Array.make 64 (Jmp 0);
+      len = 0;
+      pre = [];
+      consts = Hashtbl.create 8;
+      raccs = [];
+      nacc = 0;
+      written = Hashtbl.create 16;
+      pinned = Hashtbl.create 8;
+    }
+  in
+  match lower_block st body with
+  | exception Unsupported -> None
+  | () ->
+      let jj = plan_slots.(Array.length plan_slots - 1) in
+      let finish (ra : raw_access) =
+        (* Split the flat offset: terms over registers the tape never
+           writes and that are not the strip index are constant for a
+           whole strip. *)
+        let inv = ref [] and var = ref [] in
+        Array.iteri
+          (fun m r ->
+            let t = (ra.ra_off.coefs.(m), r) in
+            if r = jj || Hashtbl.mem st.written r then var := t :: !var
+            else inv := t :: !inv)
+          ra.ra_off.regs;
+        let ac_var = aff_make 0 !var in
+        let ac_vk =
+          match Array.length ac_var.regs with
+          | 0 -> V0
+          | 1 -> V1 (ac_var.coefs.(0), ac_var.regs.(0))
+          | 2 ->
+              V2
+                ( ac_var.coefs.(0),
+                  ac_var.regs.(0),
+                  ac_var.coefs.(1),
+                  ac_var.regs.(1) )
+          | _ -> Vn
+        in
+        {
+          ac_slot = ra.ra_ref.ba_slot;
+          ac_name = ra.ra_ref.ba_name;
+          ac_dims = ra.ra_ref.ba_dims;
+          ac_strides = ra.ra_ref.ba_strides;
+          ac_subs = ra.ra_subs;
+          ac_rngs = ra.ra_rngs;
+          ac_inv = aff_make ra.ra_off.base !inv;
+          ac_var;
+          ac_vk;
+        }
+      in
+      Some
+        {
+          tp_pre = Array.of_list (List.rev st.pre);
+          tp_ops = Array.sub st.code 0 st.len;
+          tp_accs =
+            Array.map finish (Array.of_list (List.rev st.raccs));
+          tp_sanitize = sanitize;
+        }
+
+(* ---------- per-fork preparation ---------- *)
+
+type prep = { pr_unsafe : bool array }
+
+let prepare tape ~ints ~lo ~hi =
+  let n = Array.length tape.tp_accs in
+  let flags =
+    if tape.tp_sanitize then Array.make n false
+    else
+      Array.init n (fun i ->
+          let ac = tape.tp_accs.(i) in
+          let ok = ref true in
+          Array.iteri
+            (fun k r ->
+              match rng_eval ~ints ~lo ~hi r with
+              | Some (l, h) when 1 <= l && h <= ac.ac_dims.(k) -> ()
+              | _ -> ok := false)
+            ac.ac_rngs;
+          !ok)
+  in
+  { pr_unsafe = flags }
+
+let unsafe_flags p = Array.copy p.pr_unsafe
+let make_scratch tape = Array.make (max 1 (Array.length tape.tp_accs)) 0
+
+(* ---------- execution ---------- *)
+
+let checked_offset ints (ac : access) =
+  let off = ref 0 in
+  for k = 0 to Array.length ac.ac_subs - 1 do
+    let s = aff_eval ints (Array.unsafe_get ac.ac_subs k) in
+    let d = Array.unsafe_get ac.ac_dims k in
+    if s < 1 || s > d then
+      error "array %s: subscript %d out of bounds 1..%d" ac.ac_name s d;
+    off := !off + ((s - 1) * Array.unsafe_get ac.ac_strides k)
+  done;
+  !off
+
+let[@inline] icmp (op : Ast.relop) x y =
+  match op with
+  | Eq -> x = y
+  | Ne -> x <> y
+  | Lt -> x < y
+  | Le -> x <= y
+  | Gt -> x > y
+  | Ge -> x >= y
+
+let[@inline] fcmp (op : Ast.relop) (x : float) (y : float) =
+  match op with
+  | Eq -> x = y
+  | Ne -> x <> y
+  | Lt -> x < y
+  | Le -> x <= y
+  | Gt -> x > y
+  | Ge -> x >= y
+
+let exec_strip tape prep ~ints ~reals ~arrays ~shadow ~inv ~jslot ~j0 ~jstep
+    ~len ~iter0 =
+  let ops = tape.tp_ops and accs = tape.tp_accs in
+  let unsafe = prep.pr_unsafe in
+  (* Strip prologue: float constants, then hoisted invariant offsets. *)
+  Array.iter
+    (function
+      | Fconst (d, x) -> Array.unsafe_set reals d x | _ -> assert false)
+    tape.tp_pre;
+  for a = 0 to Array.length accs - 1 do
+    Array.unsafe_set inv a (aff_eval ints (Array.unsafe_get accs a).ac_inv)
+  done;
+  let stop = Array.length ops in
+  let j = ref j0 in
+  for k = 0 to len - 1 do
+    Array.unsafe_set ints jslot !j;
+    let iter = iter0 + k in
+    let pc = ref 0 in
+    while !pc < stop do
+      match Array.unsafe_get ops !pc with
+      | Iconst (d, v) ->
+          Array.unsafe_set ints d v;
+          incr pc
+      | Iaff (d, a) ->
+          Array.unsafe_set ints d (aff_eval ints a);
+          incr pc
+      | Imul (d, a, b) ->
+          Array.unsafe_set ints d
+            (Array.unsafe_get ints a * Array.unsafe_get ints b);
+          incr pc
+      | Idiv (d, a, b) ->
+          let y = Array.unsafe_get ints b in
+          if y = 0 then error "integer division by zero";
+          Array.unsafe_set ints d (Array.unsafe_get ints a / y);
+          incr pc
+      | Imod (d, a, b) ->
+          let y = Array.unsafe_get ints b in
+          if y = 0 then error "mod by zero";
+          Array.unsafe_set ints d (Array.unsafe_get ints a mod y);
+          incr pc
+      | Icdiv (d, a, b) ->
+          let y = Array.unsafe_get ints b in
+          if y <= 0 then error "ceildiv: non-positive divisor %d" y;
+          Array.unsafe_set ints d
+            (Loopcoal_util.Intmath.cdiv (Array.unsafe_get ints a) y);
+          incr pc
+      | Imin (d, a, b) ->
+          let x = Array.unsafe_get ints a and y = Array.unsafe_get ints b in
+          Array.unsafe_set ints d (if x <= y then x else y);
+          incr pc
+      | Imax (d, a, b) ->
+          let x = Array.unsafe_get ints a and y = Array.unsafe_get ints b in
+          Array.unsafe_set ints d (if x >= y then x else y);
+          incr pc
+      | Istep (r, name) ->
+          if Array.unsafe_get ints r <= 0 then
+            error "loop %s: step must be positive" name;
+          incr pc
+      | Fconst (d, x) ->
+          Array.unsafe_set reals d x;
+          incr pc
+      | Fmov (d, s) ->
+          Array.unsafe_set reals d (Array.unsafe_get reals s);
+          incr pc
+      | Fadd (d, a, b) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a +. Array.unsafe_get reals b);
+          incr pc
+      | Fsub (d, a, b) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a -. Array.unsafe_get reals b);
+          incr pc
+      | Fmul (d, a, b) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a *. Array.unsafe_get reals b);
+          incr pc
+      | Fdiv (d, a, b) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a /. Array.unsafe_get reals b);
+          incr pc
+      | Fmin (d, a, b) ->
+          let x = Array.unsafe_get reals a and y = Array.unsafe_get reals b in
+          Array.unsafe_set reals d (if x <= y then x else y);
+          incr pc
+      | Fmax (d, a, b) ->
+          let x = Array.unsafe_get reals a and y = Array.unsafe_get reals b in
+          Array.unsafe_set reals d (if x >= y then x else y);
+          incr pc
+      | Fneg (d, s) ->
+          Array.unsafe_set reals d (-.Array.unsafe_get reals s);
+          incr pc
+      | Fofi (d, s) ->
+          Array.unsafe_set reals d (float_of_int (Array.unsafe_get ints s));
+          incr pc
+      | Fmac (d, a, x, y) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a
+            +. (Array.unsafe_get reals x *. Array.unsafe_get reals y));
+          incr pc
+      | Fmsb (d, a, x, y) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a
+            -. (Array.unsafe_get reals x *. Array.unsafe_get reals y));
+          incr pc
+      | Fload (d, id) ->
+          let ac = Array.unsafe_get accs id in
+          let off =
+            if Array.unsafe_get unsafe id then
+              Array.unsafe_get inv id
+              + (match ac.ac_vk with
+                | V0 -> 0
+                | V1 (c, r) -> c * Array.unsafe_get ints r
+                | V2 (c1, r1, c2, r2) ->
+                    (c1 * Array.unsafe_get ints r1)
+                    + (c2 * Array.unsafe_get ints r2)
+                | Vn -> aff_eval ints ac.ac_var)
+            else checked_offset ints ac
+          in
+          (match shadow with
+          | Some sh -> Sanitize.on_read sh ~slot:ac.ac_slot ~off ~iter
+          | None -> ());
+          Array.unsafe_set reals d
+            (Array.unsafe_get (Array.unsafe_get arrays ac.ac_slot) off);
+          incr pc
+      | Fstore (s, id) ->
+          let ac = Array.unsafe_get accs id in
+          let off =
+            if Array.unsafe_get unsafe id then
+              Array.unsafe_get inv id
+              + (match ac.ac_vk with
+                | V0 -> 0
+                | V1 (c, r) -> c * Array.unsafe_get ints r
+                | V2 (c1, r1, c2, r2) ->
+                    (c1 * Array.unsafe_get ints r1)
+                    + (c2 * Array.unsafe_get ints r2)
+                | Vn -> aff_eval ints ac.ac_var)
+            else checked_offset ints ac
+          in
+          (match shadow with
+          | Some sh -> Sanitize.on_write sh ~slot:ac.ac_slot ~off ~iter
+          | None -> ());
+          Array.unsafe_set
+            (Array.unsafe_get arrays ac.ac_slot)
+            off (Array.unsafe_get reals s);
+          incr pc
+      | Jmp t -> pc := t
+      | Jii (op, a, b, t) ->
+          if icmp op (Array.unsafe_get ints a) (Array.unsafe_get ints b) then
+            pc := t
+          else incr pc
+      | Jff (op, a, b, t) ->
+          if fcmp op (Array.unsafe_get reals a) (Array.unsafe_get reals b) then
+            pc := t
+          else incr pc
+      | Iloop (r, a, bnd, top) ->
+          let v = aff_eval ints a in
+          Array.unsafe_set ints r v;
+          if v <= Array.unsafe_get ints bnd then pc := top else incr pc
+      | Iloopc (r, c, bnd, top) ->
+          let v = Array.unsafe_get ints r + c in
+          Array.unsafe_set ints r v;
+          if v <= Array.unsafe_get ints bnd then pc := top else incr pc
+    done;
+    j := !j + jstep
+  done
+
+(* ---------- strip geometry ---------- *)
+
+let strip_bounds ~inner ~t0 ~len =
+  if inner <= 0 || len <= 0 then []
+  else begin
+    let tlast = t0 + len - 1 in
+    let rec go t acc =
+      if t > tlast then List.rev acc
+      else begin
+        let pos = (t - 1) mod inner in
+        let slen = min (tlast - t + 1) (inner - pos) in
+        go (t + slen) ((t, slen) :: acc)
+      end
+    in
+    go t0 []
+  end

@@ -1,0 +1,120 @@
+(** Bytecode execution tier: staged bodies lowered to a flat register
+    tape, strip-mined over the innermost coalesced digit.
+
+    The closure tier ({!Compile}) removes name resolution and boxing but
+    still pays an OCaml closure call per expression node, re-derives
+    every subscript from the odometer state, and bounds-checks every
+    access on every iteration. This module lowers the same staged body
+    one level further, into a linear array of register-machine
+    instructions — int and float register files, array operations
+    carrying precomputed row-major strides — executed by a tight
+    dispatch loop with no closures on the hot path.
+
+    Three optimizations the closure tier cannot express:
+
+    - {b strip mining}: the executor decomposes each schedule chunk into
+      maximal runs over the innermost coalesced digit and executes each
+      run as one strip: the inner index advances by a constant
+      increment, with no odometer carry and no div/mod, and the
+      sanitizer [iter_id] is one base plus the in-strip offset;
+    - {b invariant hoisting}: every access's flat offset is split into a
+      strip-invariant affine part (outer indexes, unmodified scalars),
+      evaluated once per strip into a scratch register, and a variant
+      part evaluated per execution;
+    - {b checked-then-unsafe access}: {!prepare} evaluates each
+      subscript's symbolic range over the fork's whole iteration space;
+      accesses whose range provably fits the array extents use
+      [Array.unsafe_get]/[unsafe_set] inside strips, all others fall
+      back to the per-execution checked path with interpreter-identical
+      error messages. Tapes lowered with [~sanitize:true] never take the
+      unsafe path: every access runs checked and drives the
+      {!Sanitize} shadow cells with its iteration id.
+
+    Lowering is total on the staged subset or it is nothing: any
+    construct the tape cannot express makes {!lower} return [None] and
+    the plan keeps executing on the closure tier. *)
+
+open Loopcoal_ir
+
+exception Error of string
+(** Runtime faults on the tape (bounds, zero division, non-positive
+    steps), with messages identical to the closure tier's
+    [Compile.Error]. The executor re-raises them as [Compile.Error]. *)
+
+(** How the host compiler resolves a free name: an int or float register
+    (= scalar slot) in the shared environment. *)
+type binding = Bint of int | Breal of int
+
+type array_ref = {
+  ba_slot : int;
+  ba_name : string;
+  ba_dims : int array;
+  ba_strides : int array;  (** row-major suffix products *)
+}
+
+type tape
+
+val lower :
+  lookup:(string -> binding option) ->
+  array_ref:(string -> array_ref option) ->
+  fresh_int:(unit -> int) ->
+  fresh_real:(unit -> int) ->
+  assigned:string list ->
+  plan_names:string array ->
+  plan_slots:int array ->
+  sanitize:bool ->
+  Ast.block ->
+  tape option
+(** Lower a coalesced plan body. [plan_names]/[plan_slots] are the
+    flattened nest's indexes, outer first; the last slot is the strip
+    index. [lookup] resolves free names exactly as the staging compiler
+    scoped them; [assigned] lists scalars the body assigns (their values
+    cannot participate in range analysis). [fresh_int]/[fresh_real]
+    allocate temporary registers from the host register files. Returns
+    [None] when some construct cannot be expressed on the tape. *)
+
+val sanitized : tape -> bool
+val n_instrs : tape -> int
+val n_accesses : tape -> int
+
+type prep
+(** Per-fork preparation: which accesses may run unchecked, valid for
+    every chunk of that fork's iteration space. *)
+
+val prepare : tape -> ints:int array -> lo:int array -> hi:int array -> prep
+(** Decide checked-vs-unsafe per access for a fork whose level-[k] index
+    ranges over [lo.(k) .. hi.(k)] (inclusive, actual attained values).
+    [ints] supplies the values of fork-invariant registers referenced by
+    bounds or subscripts. On a sanitized tape every flag is false. *)
+
+val unsafe_flags : prep -> bool array
+(** Copy of the per-access unsafe flags, in access order. *)
+
+val make_scratch : tape -> int array
+(** Per-domain scratch for hoisted invariant offsets; never shared. *)
+
+val exec_strip :
+  tape ->
+  prep ->
+  ints:int array ->
+  reals:float array ->
+  arrays:float array array ->
+  shadow:Sanitize.t option ->
+  inv:int array ->
+  jslot:int ->
+  j0:int ->
+  jstep:int ->
+  len:int ->
+  iter0:int ->
+  unit
+(** Execute [len] consecutive iterations: the strip index register
+    [jslot] takes [j0], [j0+jstep], ... and the [k]-th iteration runs
+    the tape with sanitizer iteration id [iter0 + k]. Outer index
+    registers must already be set. [inv] is a {!make_scratch} array;
+    invariant offset parts are (re)hoisted into it on entry. *)
+
+val strip_bounds : inner:int -> t0:int -> len:int -> (int * int) list
+(** Pure model of the executor's chunk decomposition: the maximal
+    contiguous strips [(t_start, strip_len)] covering coalesced range
+    [t0 .. t0+len-1] without crossing a boundary of the innermost digit
+    of size [inner]. Empty when [len <= 0] or [inner <= 0]. *)

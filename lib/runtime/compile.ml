@@ -56,6 +56,10 @@ and plan = {
   step_x : env -> int;  (** outermost step; inner levels are unit-step *)
   body : env -> unit;  (** one iteration; index slots already set *)
   reductions : red array;
+  tape : Bytecode.tape option;
+      (** the body lowered to the bytecode tier, when expressible; the
+          executor's bytecode engine dispatches strips over it and falls
+          back to [body] when [None] *)
 }
 
 and red = {
@@ -87,6 +91,7 @@ type ctx = {
   mutable scope : (string * int) list;  (** loop index -> int slot *)
   mutable n_ints : int;
   mutable n_reals : int;
+  mutable plans : plan list;  (** compiled parallel plans, reversed *)
   sanitize : bool;  (** instrument array accesses with shadow-cell hooks *)
 }
 
@@ -495,10 +500,54 @@ and compile_parallel_nest ctx (l : Ast.loop) : code =
              | None -> None)
     |> Array.of_list
   in
+  (* Lower the same body to the bytecode tier while the nest indexes are
+     still in scope. Names resolve exactly as the closure compile did;
+     temporaries come from the same slot counters, so [make_env] sizes
+     the register files for both tiers. *)
+  let tape =
+    let scope_now = ctx.scope in
+    let lookup v =
+      match List.assoc_opt v scope_now with
+      | Some s -> Some (Bytecode.Bint s)
+      | None -> (
+          match Hashtbl.find_opt ctx.sc_tbl v with
+          | Some (Si s) -> Some (Bytecode.Bint s)
+          | Some (Sr s) -> Some (Bytecode.Breal s)
+          | None -> None)
+    in
+    let array_ref a =
+      Option.map
+        (fun info ->
+          {
+            Bytecode.ba_slot = info.a_slot;
+            ba_name = a;
+            ba_dims = info.a_dims;
+            ba_strides = info.a_strides;
+          })
+        (Hashtbl.find_opt ctx.arr_tbl a)
+    in
+    Bytecode.lower ~lookup ~array_ref
+      ~fresh_int:(fun () -> fresh_int ctx)
+      ~fresh_real:(fun () -> fresh_real ctx)
+      ~assigned:(assigned_scalars inner_body)
+      ~plan_names:index_names ~plan_slots:index_slots ~sanitize:ctx.sanitize
+      inner_body
+  in
   ctx.scope <- saved;
   let plan =
-    { depth; index_slots; index_names; lo_x; hi_x; step_x; body; reductions }
+    {
+      depth;
+      index_slots;
+      index_names;
+      lo_x;
+      hi_x;
+      step_x;
+      body;
+      reductions;
+      tape;
+    }
   in
+  ctx.plans <- plan :: ctx.plans;
   fun env -> env.fork plan env
 
 and compile_block ctx ~in_par (b : Ast.block) : code =
@@ -514,6 +563,7 @@ type t = {
   real_init : (int * float) list;
   array_decls : (string * int * int) array;  (** name, slot, flat size *)
   scalar_slots : (string * slot) list;  (** declared scalars, by name *)
+  prog_plans : plan list;  (** parallel plans, in compilation order *)
 }
 
 let compile ?(sanitize = false) (p : Ast.program) : t =
@@ -524,6 +574,7 @@ let compile ?(sanitize = false) (p : Ast.program) : t =
       scope = [];
       n_ints = 0;
       n_reals = 0;
+      plans = [];
       sanitize;
     }
   in
@@ -576,12 +627,14 @@ let compile ?(sanitize = false) (p : Ast.program) : t =
         (fun (s : Ast.scalar_decl) ->
           (s.sc_name, Hashtbl.find ctx.sc_tbl s.sc_name))
         p.scalars;
+    prog_plans = List.rev ctx.plans;
   }
 
 let compile_result ?sanitize p =
   match compile ?sanitize p with t -> Ok t | exception Error m -> Error m
 
 let shadow_layout t = Array.map (fun (name, _, size) -> (name, size)) t.array_decls
+let plans t = t.prog_plans
 
 (* ---------- environments ---------- *)
 

@@ -43,6 +43,10 @@ and plan = {
   step_x : env -> int;
   body : env -> unit;
   reductions : red array;
+  tape : Bytecode.tape option;
+      (** the body lowered to the bytecode tier ({!Bytecode.lower}), or
+          [None] when it contains a construct the tape cannot express —
+          the bytecode engine then falls back to [body] for this plan *)
 }
 
 and red = {
@@ -67,6 +71,10 @@ val compile_result : ?sanitize:bool -> Ast.program -> (t, string) result
 val shadow_layout : t -> (string * int) array
 (** Per-slot array names and flat sizes, in slot order — the layout
     {!Sanitize.create} expects. *)
+
+val plans : t -> plan list
+(** Every compiled parallel plan, in compilation order — for engine
+    introspection (how many bodies lowered to the bytecode tier). *)
 
 val make_env :
   ?array_init:float -> ?shadow:Sanitize.t -> t -> fork:(plan -> env -> unit) -> env

@@ -104,6 +104,66 @@ let run_chunk (plan : plan) sp env t0 len =
     done
   end
 
+(* ---------- engines ---------- *)
+
+type engine = Closure | Bytecode
+
+(* Bytecode chunk runner: decompose the chunk into maximal runs over the
+   innermost coalesced digit (see [Bytecode.strip_bounds]) and execute
+   each run as one strip — outer indexes set once by div/mod, the inner
+   index advanced by a constant increment on the tape. Chunk boundaries
+   are exactly those of the closure engine, so traces and metrics are
+   unchanged. *)
+let run_chunk_bytecode (plan : plan) sp env tape prep inv t0 len =
+  if len > 0 then begin
+    let depth = plan.depth in
+    let inner = sp.sizes.(depth - 1) in
+    let jslot = plan.index_slots.(depth - 1) in
+    let jlo = sp.los.(depth - 1) in
+    let jstep = if depth = 1 then sp.step0 else 1 in
+    let shadow = if Bytecode.sanitized tape then env.shadow else None in
+    let tlast = t0 + len - 1 in
+    let t = ref t0 in
+    try
+      while !t <= tlast do
+        let pos = (!t - 1) mod inner in
+        let slen = min (tlast - !t + 1) (inner - pos) in
+        if depth > 1 then set_cursor plan sp env !t;
+        env.iter_id <- !t;
+        Bytecode.exec_strip tape prep ~ints:env.ints ~reals:env.reals
+          ~arrays:env.arrays ~shadow ~inv ~jslot
+          ~j0:(jlo + (pos * jstep))
+          ~jstep ~len:slen ~iter0:!t;
+        t := !t + slen
+      done
+    with Bytecode.Error m -> raise (Compile.Error m)
+  end
+
+(* Per-fork bytecode preparation: the checked-vs-unsafe decision is made
+   once against the fork's whole iteration space, so it is valid for
+   every chunk any domain will dispatch. *)
+let bytecode_prep (plan : plan) sp env =
+  match plan.tape with
+  | Some tape when sp.total > 0 ->
+      let hi =
+        Array.init plan.depth (fun k ->
+            if k = 0 then sp.los.(0) + ((sp.sizes.(0) - 1) * sp.step0)
+            else sp.his.(k))
+      in
+      Some (tape, Bytecode.prepare tape ~ints:env.ints ~lo:sp.los ~hi)
+  | _ -> None
+
+(* Bind the chunk runner for one (engine, plan, env): tape dispatch when
+   the bytecode engine is selected and the plan lowered, closure
+   dispatch otherwise. The invariant-offset scratch is per-binding, so
+   every domain hoists into its own. *)
+let chunk_runner (plan : plan) sp prep env : int -> int -> unit =
+  match prep with
+  | Some (tape, pr) ->
+      let inv = Bytecode.make_scratch tape in
+      fun t0 len -> run_chunk_bytecode plan sp env tape pr inv t0 len
+  | None -> fun t0 len -> run_chunk plan sp env t0 len
+
 (* A new fork is a new sanitizer epoch: conflicts are only races between
    iterations of the {e same} fork. Called from the forking thread,
    before any domain starts. *)
@@ -112,27 +172,37 @@ let new_epoch env =
 
 (* ---------- sequential execution ---------- *)
 
-let rec seq_fork (plan : plan) env =
+let rec seq_fork_e engine (plan : plan) env =
   let saved_fork = env.fork in
-  env.fork <- seq_fork;
+  env.fork <- seq_fork_e engine;
   new_epoch env;
   let sp = space_of plan env in
-  run_chunk plan sp env 1 sp.total;
+  let prep =
+    match engine with Bytecode -> bytecode_prep plan sp env | Closure -> None
+  in
+  let run = chunk_runner plan sp prep env in
+  run 1 sp.total;
   env.iter_id <- 0;
   env.fork <- saved_fork
+
+let seq_fork = seq_fork_e Bytecode
 
 (* Traced sequential fork: the whole space is one chunk on worker 0,
    recorded as a static block (which it literally is). Nested parallel
    loops inside the region run — and are timed — within this chunk, so
    only the outermost fork hook traces. *)
-let seq_fork_traced tracer (plan : plan) env =
+let seq_fork_traced_e engine tracer (plan : plan) env =
   let saved_fork = env.fork in
-  env.fork <- seq_fork;
+  env.fork <- seq_fork_e engine;
   new_epoch env;
   let sp = space_of plan env in
+  let prep =
+    match engine with Bytecode -> bytecode_prep plan sp env | Closure -> None
+  in
+  let run = chunk_runner plan sp prep env in
   Trace.fork_begin tracer ~policy:Policy.Static_block ~n:sp.total ~p:1;
   let a = Trace.now () in
-  run_chunk plan sp env 1 sp.total;
+  run 1 sp.total;
   let b = Trace.now () in
   if sp.total > 0 then
     Trace.record tracer ~worker:0 ~start:1 ~len:sp.total ~t0:a ~t1:b;
@@ -202,27 +272,35 @@ let dispatch policy ~n ~p ~(q : int) ~run =
   | Self_sched _ | Gss | Factoring | Trapezoid ->
       assert false (* dynamic policies are dispatched from shared state *)
 
-let parallel_fork ?trace pool policy (plan : plan) master =
+let parallel_fork_e engine ?trace pool policy (plan : plan) master =
   let p = Pool.size pool in
   let sp = space_of plan master in
   let n = sp.total in
   if n = 0 then ()
   else if p = 1 || n = 1 then
     match trace with
-    | None -> seq_fork plan master
-    | Some tracer -> seq_fork_traced tracer plan master
+    | None -> seq_fork_e engine plan master
+    | Some tracer -> seq_fork_traced_e engine tracer plan master
   else begin
     (match trace with
     | None -> ()
     | Some tracer -> Trace.fork_begin tracer ~policy ~n ~p);
     new_epoch master;
+    (* The unsafe/checked decision is shared (it covers the whole
+       space); each domain's runner hoists into private scratch. *)
+    let prep =
+      match engine with
+      | Bytecode -> bytecode_prep plan sp master
+      | Closure -> None
+    in
     let clones =
       Array.init p (fun _ ->
           let c = clone_env master in
-          c.fork <- seq_fork;
+          c.fork <- seq_fork_e engine;
           reset_partials plan c;
           c)
     in
+    let runners = Array.map (fun c -> chunk_runner plan sp prep c) clones in
     let hi_t = Array.make p 0 in
     (* The probe is selected here, once per fork: with tracing off the
        executed closure is exactly the untraced one — no timestamp, no
@@ -231,12 +309,12 @@ let parallel_fork ?trace pool policy (plan : plan) master =
       match trace with
       | None ->
           fun q t0 len ->
-            run_chunk plan sp clones.(q) t0 len;
+            runners.(q) t0 len;
             if t0 + len - 1 > hi_t.(q) then hi_t.(q) <- t0 + len - 1
       | Some tracer ->
           fun q t0 len ->
             let a = Trace.now () in
-            run_chunk plan sp clones.(q) t0 len;
+            runners.(q) t0 len;
             let b = Trace.now () in
             Trace.record tracer ~worker:q ~start:t0 ~len ~t0:a ~t1:b;
             if t0 + len - 1 > hi_t.(q) then hi_t.(q) <- t0 + len - 1
@@ -313,6 +391,9 @@ let parallel_fork ?trace pool policy (plan : plan) master =
     | Some tracer -> Trace.fork_end tracer
   end
 
+let parallel_fork ?trace pool policy plan master =
+  parallel_fork_e Bytecode ?trace pool policy plan master
+
 (* ---------- whole-program entry points ---------- *)
 
 type outcome = {
@@ -324,7 +405,7 @@ let outcome_of t env =
   { arrays = Compile.read_arrays t env; scalars = Compile.read_scalars t env }
 
 let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
-    ?(domains = 1) ?trace ?shadow (t : Compile.t) =
+    ?(domains = 1) ?(engine = Bytecode) ?trace ?shadow (t : Compile.t) =
   if domains < 1 then invalid_arg "Exec.run_compiled: domains must be >= 1";
   (match Policy.validate policy with
   | Ok () -> ()
@@ -332,9 +413,9 @@ let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
   let go pool =
     let fork =
       match (pool, trace) with
-      | None, None -> seq_fork
-      | None, Some tracer -> seq_fork_traced tracer
-      | Some pool, _ -> parallel_fork ?trace pool policy
+      | None, None -> seq_fork_e engine
+      | None, Some tracer -> seq_fork_traced_e engine tracer
+      | Some pool, _ -> parallel_fork_e engine ?trace pool policy
     in
     let env = Compile.make_env ~array_init ?shadow t ~fork in
     Compile.run_code t env;
@@ -346,17 +427,20 @@ let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
       if domains = 1 then go None
       else Pool.with_pool domains (fun p -> go (Some p))
 
-let run ?array_init ?pool ?policy ?domains ?trace
+let run ?array_init ?pool ?policy ?domains ?engine ?trace
     (p : Loopcoal_ir.Ast.program) =
-  run_compiled ?array_init ?pool ?policy ?domains ?trace (Compile.compile p)
+  run_compiled ?array_init ?pool ?policy ?domains ?engine ?trace
+    (Compile.compile p)
 
 (* Compile with shadow instrumentation, run, and return the observed
    conflicts alongside the outcome. *)
-let run_sanitized ?array_init ?pool ?policy ?domains ?limit
+let run_sanitized ?array_init ?pool ?policy ?domains ?engine ?limit
     (p : Loopcoal_ir.Ast.program) =
   let t = Compile.compile ~sanitize:true p in
   let sh = Sanitize.create ?limit (Compile.shadow_layout t) in
-  let outcome = run_compiled ?array_init ?pool ?policy ?domains ~shadow:sh t in
+  let outcome =
+    run_compiled ?array_init ?pool ?policy ?domains ?engine ~shadow:sh t
+  in
   (outcome, sh)
 
 (* Differential check against the reference interpreter: arrays must be

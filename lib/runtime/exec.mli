@@ -22,9 +22,20 @@ type outcome = {
   scalars : (string * Eval.value) list;  (** sorted by name *)
 }
 
+type engine = Closure | Bytecode
+(** How plan bodies execute within chunks. [Closure] calls the staged
+    closure tree once per iteration, advancing the odometer. [Bytecode]
+    (the default) dispatches each chunk as contiguous strips over the
+    innermost coalesced digit on the plan's lowered tape
+    ({!Bytecode.tape}): invariant address parts hoisted per strip,
+    accesses proven in-range for the whole fork run unchecked. Chunk
+    boundaries, schedules, traces and results are identical across
+    engines; plans whose body could not be lowered fall back to the
+    closure path per plan. *)
+
 val seq_fork : Compile.plan -> Compile.env -> unit
 (** Run a plan sequentially in ascending coalesced order (the exact
-    iteration order of the original nest). *)
+    iteration order of the original nest), on the default engine. *)
 
 val parallel_fork :
   ?trace:Loopcoal_obs.Trace.collector ->
@@ -33,13 +44,15 @@ val parallel_fork :
   Compile.plan ->
   Compile.env ->
   unit
-(** Run a plan across the pool's domains under the given policy. *)
+(** Run a plan across the pool's domains under the given policy, on the
+    default engine. *)
 
 val run_compiled :
   ?array_init:float ->
   ?pool:Pool.t ->
   ?policy:Loopcoal_sched.Policy.t ->
   ?domains:int ->
+  ?engine:engine ->
   ?trace:Loopcoal_obs.Trace.collector ->
   ?shadow:Sanitize.t ->
   Compile.t ->
@@ -70,6 +83,7 @@ val run :
   ?pool:Pool.t ->
   ?policy:Loopcoal_sched.Policy.t ->
   ?domains:int ->
+  ?engine:engine ->
   ?trace:Loopcoal_obs.Trace.collector ->
   Ast.program ->
   outcome
@@ -80,6 +94,7 @@ val run_sanitized :
   ?pool:Pool.t ->
   ?policy:Loopcoal_sched.Policy.t ->
   ?domains:int ->
+  ?engine:engine ->
   ?limit:int ->
   Ast.program ->
   outcome * Sanitize.t

@@ -1,0 +1,423 @@
+(* Bytecode execution tier: strip geometry, checked-then-unsafe access,
+   register promotion, and differential equivalence against both the
+   closure engine and the reference interpreter.
+
+   The strip decomposition is pinned exactly (it determines which
+   iterations run without an odometer step), and every differential
+   property runs all policies on 1, 2 and 4 domains so chunk boundaries
+   land both inside and across inner-digit runs. *)
+
+open Loopcoal
+module B = Builder
+module Exec = Runtime.Exec
+module Compile = Runtime.Compile
+module Bytecode = Runtime.Bytecode
+module Sanitize = Runtime.Sanitize
+
+let all_policies =
+  [
+    Policy.Static_block;
+    Policy.Static_cyclic;
+    Policy.Self_sched 1;
+    Policy.Self_sched 7;
+    Policy.Gss;
+    Policy.Factoring;
+    Policy.Trapezoid;
+  ]
+
+let domain_counts = [ 1; 2; 4 ]
+let engines = [ Exec.Closure; Exec.Bytecode ]
+
+let check_all_engines ~what prog =
+  let st = Eval.run prog in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun engine ->
+              let outcome = Exec.run ~domains ~policy ~engine prog in
+              if not (Exec.agrees_with_interpreter outcome st) then
+                Alcotest.failf "%s: %s engine (%d domains, %s) differs"
+                  what
+                  (match engine with
+                  | Exec.Closure -> "closure"
+                  | Exec.Bytecode -> "bytecode")
+                  domains (Policy.name policy))
+            engines)
+        domain_counts)
+    all_policies
+
+(* ---------- strip geometry ---------- *)
+
+let strips = Alcotest.(list (pair int int))
+
+let test_strip_bounds () =
+  (* A chunk entering mid-digit: partial strip, full strip, partial
+     strip. *)
+  Alcotest.check strips "mid-digit entry"
+    [ (3, 3); (6, 5); (11, 2) ]
+    (Bytecode.strip_bounds ~inner:5 ~t0:3 ~len:10);
+  (* Aligned chunks decompose into whole digits. *)
+  Alcotest.check strips "aligned" [ (5, 4); (9, 4) ]
+    (Bytecode.strip_bounds ~inner:4 ~t0:5 ~len:8);
+  (* Singleton inner digit: every iteration is its own strip. *)
+  Alcotest.check strips "inner size 1"
+    [ (4, 1); (5, 1); (6, 1) ]
+    (Bytecode.strip_bounds ~inner:1 ~t0:4 ~len:3);
+  (* A one-iteration chunk strictly inside a digit. *)
+  Alcotest.check strips "singleton chunk" [ (7, 1) ]
+    (Bytecode.strip_bounds ~inner:5 ~t0:7 ~len:1);
+  (* Degenerate inputs produce no strips. *)
+  Alcotest.check strips "empty chunk" [] (Bytecode.strip_bounds ~inner:5 ~t0:3 ~len:0);
+  Alcotest.check strips "empty space" [] (Bytecode.strip_bounds ~inner:0 ~t0:1 ~len:4);
+  (* Coverage: strips tile the chunk exactly, in order. *)
+  for inner = 1 to 7 do
+    for t0 = 1 to 9 do
+      for len = 0 to 11 do
+        let ss = Bytecode.strip_bounds ~inner ~t0 ~len in
+        let covered = List.fold_left (fun acc (_, n) -> acc + n) 0 ss in
+        Alcotest.(check int) "strips cover the chunk" len covered;
+        ignore
+          (List.fold_left
+             (fun expect (t, n) ->
+               Alcotest.(check int) "strips are contiguous" expect t;
+               Alcotest.(check bool) "strip stays inside one digit" true
+                 (n <= inner - ((t - 1) mod inner));
+               t + n)
+             t0 ss)
+      done
+    done
+  done
+
+(* ---------- unit programs pinning engine behaviour ---------- *)
+
+(* Depth-1 space with a non-unit step: strips advance the loop variable
+   by the step itself. *)
+let nonunit_step_flat =
+  B.program
+    ~arrays:[ B.array "V" [ 8 ] ]
+    [
+      B.doall ~step:(B.int 3) "i" (B.int 1) (B.int 8)
+        [ B.store "V" [ B.var "i" ] B.(var "i" * int 2) ];
+    ]
+
+(* Non-unit outer step over a unit inner loop: the outer digit changes
+   between strips, the inner one within them. *)
+let nonunit_step_outer =
+  B.program
+    ~arrays:[ B.array "W" [ 6; 6 ] ]
+    [
+      B.doall ~step:(B.int 2) "i" (B.int 1) (B.int 6)
+        [
+          B.doall "j" (B.int 1) (B.int 6)
+            [ B.store "W" [ B.var "i"; B.var "j" ] B.((var "i" * int 10) + var "j") ];
+        ];
+    ]
+
+(* Innermost digit of size one: every strip is a single iteration. *)
+let singleton_inner =
+  B.program
+    ~arrays:[ B.array "W" [ 6; 6 ] ]
+    [
+      B.doall "i" (B.int 1) (B.int 6)
+        [
+          B.doall "j" (B.int 1) (B.int 1)
+            [ B.store "W" [ B.var "i"; B.var "j" ] (B.var "i") ];
+        ];
+    ]
+
+(* Empty coalesced space: no fork, no writes. *)
+let empty_space =
+  B.program
+    ~arrays:[ B.array "V" [ 8 ] ]
+    [ B.doall "i" (B.int 1) (B.int 0) [ B.store "V" [ B.int 1 ] (B.real 99.0) ] ]
+
+(* Zero-trip serial loop inside the nest: the promoted element must not
+   be loaded or stored at all (W stays at its initial value). *)
+let zero_trip_serial =
+  B.program
+    ~arrays:[ B.array "W" [ 6; 6 ] ]
+    [
+      B.doall "i" (B.int 1) (B.int 6)
+        [
+          B.doall "j" (B.int 1) (B.int 6)
+            [
+              B.for_ "k" (B.int 1) (B.int 0)
+                [
+                  B.store "W"
+                    [ B.var "i"; B.var "j" ]
+                    B.(load "W" [ var "i"; var "j" ] + int 1);
+                ];
+            ];
+        ];
+    ]
+
+(* Accumulation over a non-unit-step serial loop: the register-promotion
+   path with a loop the entry guard sometimes skips. *)
+let serial_accumulation =
+  B.program
+    ~arrays:[ B.array "W" [ 6; 6 ] ]
+    [
+      B.doall "i" (B.int 1) (B.int 6)
+        [
+          B.doall "j" (B.int 1) (B.int 6)
+            [
+              B.for_ ~step:(B.int 2) "k" (B.int 1) (B.int 7)
+                [
+                  B.store "W"
+                    [ B.var "i"; B.var "j" ]
+                    B.(
+                      load "W" [ var "i"; var "j" ]
+                      + (var "i" * var "k") + var "j");
+                ];
+            ];
+        ];
+    ]
+
+(* Subscript through [mod]: in bounds at runtime ((i-1) mod 8 + 1 = i),
+   but outside the tape's provable affine fragment — the whole-range
+   test cannot pass, so every access must take the checked
+   per-iteration path and still agree. *)
+let mod_subscript =
+  B.program
+    ~arrays:[ B.array "V" [ 8 ] ]
+    [
+      B.doall "i" (B.int 1) (B.int 8)
+        [
+          B.store "V"
+            [ B.(((var "i" - int 1) % int 8) + int 1) ]
+            (B.var "i");
+        ];
+    ]
+
+let test_unit_programs () =
+  List.iter
+    (fun (what, prog) -> check_all_engines ~what prog)
+    [
+      ("non-unit step, depth 1", nonunit_step_flat);
+      ("non-unit outer step", nonunit_step_outer);
+      ("singleton inner digit", singleton_inner);
+      ("empty space", empty_space);
+      ("zero-trip serial loop", zero_trip_serial);
+      ("serial accumulation", serial_accumulation);
+      ("mod subscript takes checked path", mod_subscript);
+    ]
+
+(* ---------- checked fallback on a failing range test ---------- *)
+
+(* The affine range [1..9] exceeds the extent, so the chunk-wide test
+   fails, the strips run checked, and the fault surfaces with the same
+   message on both engines. *)
+let test_range_fail_falls_back () =
+  let oob =
+    B.program
+      ~arrays:[ B.array "V" [ 8 ] ]
+      [
+        B.doall "i" (B.int 1) (B.int 9)
+          [ B.store "V" [ B.var "i" ] (B.var "i") ];
+      ]
+  in
+  let message engine =
+    match Exec.run ~domains:1 ~engine oob with
+    | _ -> None
+    | exception Compile.Error m -> Some m
+  in
+  let mb = message Exec.Bytecode in
+  Alcotest.(check bool) "bytecode engine faults" true (mb <> None);
+  Alcotest.(check (option string)) "same fault as the closure engine"
+    (message Exec.Closure) mb;
+  (* In-bounds prefix of the same shape runs unchecked and agrees. *)
+  let ok =
+    B.program
+      ~arrays:[ B.array "V" [ 8 ] ]
+      [
+        B.doall "i" (B.int 1) (B.int 8)
+          [ B.store "V" [ B.var "i" ] (B.var "i") ];
+      ]
+  in
+  check_all_engines ~what:"in-bounds prefix" ok
+
+(* ---------- sanitized tapes keep every access checked ---------- *)
+
+let sanitizable =
+  B.program
+    ~arrays:[ B.array "W" [ 6; 6 ] ]
+    [
+      B.doall "i" (B.int 1) (B.int 6)
+        [
+          B.doall "j" (B.int 1) (B.int 6)
+            [
+              B.store "W"
+                [ B.var "i"; B.var "j" ]
+                B.(load "W" [ var "i"; var "j" ] + var "i" + var "j");
+            ];
+        ];
+    ]
+
+let plan_flags compiled =
+  let env = Compile.make_env compiled ~fork:(fun _ _ -> ()) in
+  List.map
+    (fun (pl : Compile.plan) ->
+      match pl.Compile.tape with
+      | None -> Alcotest.fail "body should lower to the bytecode tier"
+      | Some tape ->
+          let lo = Array.map (fun f -> f env) pl.Compile.lo_x in
+          let hi = Array.map (fun f -> f env) pl.Compile.hi_x in
+          ( tape,
+            Bytecode.unsafe_flags
+              (Bytecode.prepare tape ~ints:env.Compile.ints ~lo ~hi) ))
+    (Compile.plans compiled)
+
+let test_sanitized_tape_stays_checked () =
+  (* Instrumented tapes must never take the unsafe path: the shadow
+     hooks live on the checked access. *)
+  List.iter
+    (fun (tape, flags) ->
+      Alcotest.(check bool) "tape is sanitized" true (Bytecode.sanitized tape);
+      Alcotest.(check bool) "every access stays checked" true
+        (Array.for_all not flags))
+    (plan_flags (Compile.compile ~sanitize:true sanitizable));
+  (* The same in-bounds program without instrumentation does prove its
+     ranges and runs unchecked — the contract has teeth. *)
+  List.iter
+    (fun (tape, flags) ->
+      Alcotest.(check bool) "tape is not sanitized" false
+        (Bytecode.sanitized tape);
+      Alcotest.(check bool) "accesses run unchecked" true
+        (Array.for_all Fun.id flags && Array.length flags > 0))
+    (plan_flags (Compile.compile sanitizable))
+
+let test_sanitizer_on_bytecode () =
+  (* Race-free: clean on the bytecode engine, any domain count. *)
+  let st = Eval.run sanitizable in
+  List.iter
+    (fun domains ->
+      let outcome, sh =
+        Exec.run_sanitized ~domains ~engine:Exec.Bytecode sanitizable
+      in
+      Alcotest.(check bool) "race-free program agrees" true
+        (Exec.agrees_with_interpreter outcome st);
+      Alcotest.(check int) "race-free program is clean" 0
+        (snd (Sanitize.results sh)))
+    domain_counts;
+  (* Racy: every iteration writes W(1,1); with one domain the sanitizer
+     sees each cross-iteration conflict deterministically, which also
+     pins that instrumented tape ops report per-iteration attribution. *)
+  let racy =
+    B.program
+      ~arrays:[ B.array "W" [ 6; 6 ] ]
+      [
+        B.doall "i" (B.int 1) (B.int 6)
+          [ B.store "W" [ B.int 1; B.int 1 ] (B.var "i") ];
+      ]
+  in
+  let _, sh = Exec.run_sanitized ~domains:1 ~engine:Exec.Bytecode racy in
+  Alcotest.(check bool) "racy program is flagged" true
+    (snd (Sanitize.results sh) > 0)
+
+(* ---------- differential properties ---------- *)
+
+(* Race-free DOALL nests (writes indexed exactly by the nest indices):
+   interpreter, closure and bytecode agree bit-for-bit under every
+   policy and domain count, and the sanitized bytecode run is clean. *)
+let differential arb ~name ~count =
+  QCheck.Test.make ~count ~name arb (fun prog ->
+      let st = Eval.run prog in
+      List.for_all
+        (fun policy ->
+          List.for_all
+            (fun domains ->
+              List.for_all
+                (fun engine ->
+                  Exec.agrees_with_interpreter
+                    (Exec.run ~domains ~policy ~engine prog)
+                    st)
+                engines)
+            domain_counts)
+        all_policies
+      &&
+      let outcome, sh =
+        Exec.run_sanitized ~domains:2 ~engine:Exec.Bytecode prog
+      in
+      Exec.agrees_with_interpreter outcome st
+      && snd (Sanitize.results sh) = 0)
+
+let prop_doall_nests_agree =
+  differential Test_runtime.arbitrary_doall_nest ~count:10
+    ~name:"bytecode = closure = interpreter (random DOALL nests)"
+
+(* Nests whose innermost statement is a serial accumulation into the
+   element the nest indexes — the register-promotion fragment: invariant
+   element, unconditional top-level store, optional conditional extra
+   store and clamped loads, zero-trip loops included. *)
+let serial_accum_gen : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* ni = int_range 1 6 in
+  let* nj = int_range 1 6 in
+  let* klo = int_range 1 3 in
+  let* ktrips = int_range 0 4 in
+  let* kstep = int_range 1 3 in
+  let* with_load = bool in
+  let+ with_cond = bool in
+  let khi = klo + (ktrips * kstep) - 1 in
+  let wij = Ast.Load ("W", [ Ast.Var "i"; Ast.Var "j" ]) in
+  let acc =
+    let base = Ast.Bin (Ast.Add, wij, Bin (Mul, Var "i", Var "k")) in
+    if with_load then
+      Ast.Bin (Ast.Add, base, Load ("V", [ Gen.clamp 8 (Ast.Var "k") ]))
+    else Ast.Bin (Ast.Add, base, Var "j")
+  in
+  let store = Ast.Assign (Elem ("W", [ Var "i"; Var "j" ]), acc) in
+  let cond_store =
+    Ast.If
+      ( Cmp (Le, Var "k", Int 2),
+        [ Ast.Assign (Elem ("W", [ Var "i"; Var "j" ]), Bin (Add, wij, Int 1)) ],
+        [] )
+  in
+  let kloop =
+    Ast.For
+      {
+        index = "k";
+        lo = Int klo;
+        hi = Int khi;
+        step = Int kstep;
+        par = Serial;
+        body = (if with_cond then [ store; cond_store ] else [ store ]);
+      }
+  in
+  let doall index hi body : Ast.stmt =
+    For { index; lo = Int 1; hi = Int hi; step = Int 1; par = Parallel; body }
+  in
+  {
+    Ast.arrays =
+      [ { Ast.arr_name = "W"; dims = [ 6; 6 ] };
+        { Ast.arr_name = "V"; dims = [ 8 ] } ];
+    scalars = [];
+    body =
+      [
+        doall "q" 8 [ Ast.Assign (Elem ("V", [ Var "q" ]), Bin (Mul, Var "q", Int 3)) ];
+        doall "i" ni [ doall "j" nj [ kloop ] ];
+      ];
+  }
+
+let prop_promotion_agrees =
+  differential
+    (QCheck.make ~print:Pretty.program_to_string serial_accum_gen)
+    ~count:12
+    ~name:"bytecode = closure = interpreter (serial accumulation nests)"
+
+let suite =
+  [
+    Alcotest.test_case "strip bounds pinned" `Quick test_strip_bounds;
+    Alcotest.test_case "unit programs across engines" `Quick
+      test_unit_programs;
+    Alcotest.test_case "failing range test falls back checked" `Quick
+      test_range_fail_falls_back;
+    Alcotest.test_case "sanitized tape stays checked" `Quick
+      test_sanitized_tape_stays_checked;
+    Alcotest.test_case "sanitizer on bytecode engine" `Quick
+      test_sanitizer_on_bytecode;
+    Gen.to_alcotest prop_doall_nests_agree;
+    Gen.to_alcotest prop_promotion_agrees;
+  ]

@@ -16,6 +16,7 @@ let () =
       ("workload", Test_workload.suite);
       ("driver", Test_driver.suite);
       ("runtime", Test_runtime.suite);
+      ("bytecode", Test_bytecode.suite);
       ("obs", Test_obs.suite);
       ("verify", Test_verify.suite);
     ]
