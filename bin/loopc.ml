@@ -737,8 +737,33 @@ let run_cmd =
              interpreter (incompatible with $(b,--parallel), \
              $(b,--trace), $(b,--metrics) and $(b,--sanitize)).")
   in
+  let opt_level_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "opt-level" ] ~docv:"N"
+          ~doc:
+            "Bytecode tape optimizer level: $(b,0) runs the raw lowered \
+             tape, $(b,1) adds induction-variable offset streaming, \
+             $(b,2) (default) adds CSE, load fusion and x4 strip \
+             unrolling. Results, traces and metrics are identical at \
+             every level.")
+  in
+  let no_plan_cache_flag =
+    Arg.(
+      value & flag
+      & info [ "no-plan-cache" ]
+          ~doc:
+            "Disable the persistent plan cache: always lower and \
+             optimize tapes from scratch instead of reusing a cached \
+             plan from \\$XDG_CACHE_HOME/loopc (or ~/.cache/loopc).")
+  in
   let run parallel procs policy coalesce compare time trace_file metrics
-      sanitize engine p =
+      sanitize engine opt_level no_plan_cache p =
+    if opt_level < 0 || opt_level > 2 then begin
+      Printf.eprintf "error: --opt-level must be 0, 1 or 2 (got %d)\n"
+        opt_level;
+      exit 1
+    end;
     report_validation p;
     let orig = p in
     let p =
@@ -795,11 +820,24 @@ let run_cmd =
       | Closure -> L.Runtime.Exec.Closure
       | _ -> L.Runtime.Exec.Bytecode
     in
-    match L.Runtime.Compile.compile_result ~sanitize p with
+    let cache =
+      if no_plan_cache then None
+      else Some (L.Runtime.Plancache.create ?dir:(L.Runtime.Plancache.default_dir ()) ())
+    in
+    let hits0, _ = L.Counters.plan_cache_stats () in
+    match
+      L.Runtime.Compile.compile_result ~sanitize ~opt_level ?cache
+        ~cache_salt:(run_engine_name eng) p
+    with
     | Error m ->
         Printf.eprintf "staging error: %s\n" m;
         exit 1
     | Ok compiled -> (
+        let plan_cache_state =
+          if no_plan_cache then "off"
+          else if fst (L.Counters.plan_cache_stats ()) > hits0 then "hit"
+          else "miss"
+        in
         let tracer =
           if trace_file <> None || metrics then
             Some (L.Trace.create ~p:domains ())
@@ -902,9 +940,12 @@ let run_cmd =
                         | None -> measured)
                 end);
             if time then
-              print_endline
+              (* Extra fields ride after the stable [Report.time_line]
+                 text so existing prefix consumers keep working. *)
+              Printf.printf "%s opt=%d plan_cache=%s\n"
                 (L.Report.time_line ~engine:(run_engine_name eng) ~domains
-                   ~policy:(L.Policy.name policy) ~wall_s:elapsed);
+                   ~policy:(L.Policy.name policy) ~wall_s:elapsed)
+                opt_level plan_cache_state;
             (if compare then
                match L.Eval.run p with
                | exception L.Eval.Runtime_error m ->
@@ -931,13 +972,15 @@ let run_cmd =
           sequentially, or with $(b,--parallel) across OCaml domains \
           under a real scheduling policy (static block/cyclic, \
           self-scheduling via atomic fetch-and-add, GSS, factoring, \
-          trapezoid). $(b,--engine) picks the execution tier: the flat \
-          register-tape bytecode (default), the staged closure tree, or \
-          the reference interpreter.")
+          trapezoid). $(b,--engine) $(i,interp|closure|bytecode) picks \
+          the execution tier (default $(b,bytecode): flat register tape, \
+          tuned by $(b,--opt-level) $(i,0|1|2) and reused across \
+          invocations via a persistent plan cache unless \
+          $(b,--no-plan-cache) is given).")
     Term.(
       const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
       $ compare_flag $ time_flag $ trace_arg $ metrics_flag $ sanitize_flag
-      $ engine_arg $ program_arg)
+      $ engine_arg $ opt_level_arg $ no_plan_cache_flag $ program_arg)
 
 (* ---------- check ---------- *)
 

@@ -1,0 +1,12 @@
+(* Process-wide observability counters. Plain atomics: incremented from
+   whichever thread compiles, read by reporting code. *)
+
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+let plan_cache_hit () = Atomic.incr hits
+let plan_cache_miss () = Atomic.incr misses
+let plan_cache_stats () = (Atomic.get hits, Atomic.get misses)
+
+let reset () =
+  Atomic.set hits 0;
+  Atomic.set misses 0

@@ -1,0 +1,16 @@
+(** Process-wide observability counters.
+
+    Currently: plan-cache hit/miss totals, bumped by the runtime's
+    compile path whenever a cache is consulted (one event per
+    [Compile.compile] call, not per plan) and surfaced by [loopc run
+    --time]. Atomic, so concurrent compiles from multiple domains count
+    correctly. *)
+
+val plan_cache_hit : unit -> unit
+val plan_cache_miss : unit -> unit
+
+val plan_cache_stats : unit -> int * int
+(** [(hits, misses)] since start or last {!reset}. *)
+
+val reset : unit -> unit
+(** Zero all counters (tests). *)

@@ -177,6 +177,21 @@ type instr =
   | Fmsb of int * int * int * int  (** d <- a -. x *. y (fused peephole) *)
   | Fload of int * int  (** dst real reg <- element via access id *)
   | Fstore of int * int  (** element via access id <- src real reg *)
+  | Sinit of int * aff
+      (** stream scratch slot <- full affine offset, evaluated at strip
+          entry (prologue) or serial-loop entry (body). Emitted by the
+          tape optimizer only. *)
+  | Jadv  (** strip index slot += jstep (between unrolled copies) *)
+  | Fmac2 of int * int * int * int
+      (** d <- a +. load id1 *. load id2 (fused, optimizer only) *)
+  | Fmsb2 of int * int * int * int  (** d <- a -. load id1 *. load id2 *)
+  | Fldmac of int * int * int * int  (** d <- a +. x *. load id *)
+  | Fldmsb of int * int * int * int  (** d <- a -. x *. load id *)
+  | Fldadd of int * int * int  (** d <- x +. load id *)
+  | Fldsub of int * int * int  (** d <- x -. load id *)
+  | Fldmul of int * int * int  (** d <- x *. load id *)
+  | Fld2add of int * int * int  (** d <- load id1 +. load id2 *)
+  | Fldst of int * int  (** element via access id2 <- element via id1 *)
   | Jmp of int
   | Jii of Ast.relop * int * int * int  (** jump if int cmp holds *)
   | Jff of Ast.relop * int * int * int  (** jump if float cmp holds *)
@@ -206,11 +221,21 @@ and vkind =
   | V1 of int * int  (** coef, reg *)
   | V2 of int * int * int * int  (** coef1, reg1, coef2, reg2 *)
   | Vn
+  | Vs of int * int
+      (** streamed: scratch slot holding the full offset, self-bumped by
+          a constant after each use (serial-loop stream) *)
+  | Vsj of int * int
+      (** streamed over the strip index: scratch slot, bumped by
+          [coef * jstep] after each use (strip stream) *)
 
 type tape = {
-  tp_pre : instr array;  (** strip prologue: float-constant loads only *)
-  tp_ops : instr array;
+  tp_pre : instr array;  (** strip prologue: float consts and stream inits *)
+  tp_ops : instr array;  (** single-iteration body *)
+  tp_unrolled : instr array option;
+      (** optimizer-built x4 unrolled body ([Jadv] between copies); never
+          present on sanitized tapes *)
   tp_accs : access array;
+  tp_nstreams : int;  (** scratch slots past the per-access invariant ones *)
   tp_sanitize : bool;
 }
 
@@ -788,8 +813,10 @@ let lower ~lookup ~array_ref ~fresh_int ~fresh_real ~assigned ~plan_names
         {
           tp_pre = Array.of_list (List.rev st.pre);
           tp_ops = Array.sub st.code 0 st.len;
+          tp_unrolled = None;
           tp_accs =
             Array.map finish (Array.of_list (List.rev st.raccs));
+          tp_nstreams = 0;
           tp_sanitize = sanitize;
         }
 
@@ -816,7 +843,9 @@ let prepare tape ~ints ~lo ~hi =
   { pr_unsafe = flags }
 
 let unsafe_flags p = Array.copy p.pr_unsafe
-let make_scratch tape = Array.make (max 1 (Array.length tape.tp_accs)) 0
+
+let make_scratch tape =
+  Array.make (max 1 (Array.length tape.tp_accs + tape.tp_nstreams)) 0
 
 (* ---------- execution ---------- *)
 
@@ -851,21 +880,54 @@ let[@inline] fcmp (op : Ast.relop) (x : float) (y : float) =
 
 let exec_strip tape prep ~ints ~reals ~arrays ~shadow ~inv ~jslot ~j0 ~jstep
     ~len ~iter0 =
-  let ops = tape.tp_ops and accs = tape.tp_accs in
+  let accs = tape.tp_accs in
   let unsafe = prep.pr_unsafe in
-  (* Strip prologue: float constants, then hoisted invariant offsets. *)
+  (* Strip prologue: float constants and stream offsets, then hoisted
+     invariant offsets. Stream initializers read the strip index, so the
+     slot is set to the strip's first iteration before they run. *)
+  Array.unsafe_set ints jslot j0;
   Array.iter
     (function
-      | Fconst (d, x) -> Array.unsafe_set reals d x | _ -> assert false)
+      | Fconst (d, x) -> Array.unsafe_set reals d x
+      | Sinit (s, a) -> Array.unsafe_set inv s (aff_eval ints a)
+      | _ -> assert false)
     tape.tp_pre;
   for a = 0 to Array.length accs - 1 do
     Array.unsafe_set inv a (aff_eval ints (Array.unsafe_get accs a).ac_inv)
   done;
-  let stop = Array.length ops in
-  let j = ref j0 in
-  for k = 0 to len - 1 do
-    Array.unsafe_set ints jslot !j;
-    let iter = iter0 + k in
+  (* Offset of one access execution. Streamed kinds self-bump their
+     scratch slot; checked accesses recompute from the subscripts (and
+     leave any stream slot untouched — it is never read again). *)
+  let off_of id (ac : access) =
+    if Array.unsafe_get unsafe id then
+      match ac.ac_vk with
+      | V0 -> Array.unsafe_get inv id
+      | V1 (c, r) -> Array.unsafe_get inv id + (c * Array.unsafe_get ints r)
+      | V2 (c1, r1, c2, r2) ->
+          Array.unsafe_get inv id
+          + (c1 * Array.unsafe_get ints r1)
+          + (c2 * Array.unsafe_get ints r2)
+      | Vn -> Array.unsafe_get inv id + aff_eval ints ac.ac_var
+      | Vs (s, b) ->
+          let v = Array.unsafe_get inv s in
+          Array.unsafe_set inv s (v + b);
+          v
+      | Vsj (s, c) ->
+          let v = Array.unsafe_get inv s in
+          Array.unsafe_set inv s (v + (c * jstep));
+          v
+    else checked_offset ints ac
+  in
+  let[@inline] load_elem id iter =
+    let ac = Array.unsafe_get accs id in
+    let off = off_of id ac in
+    (match shadow with
+    | Some sh -> Sanitize.on_read sh ~slot:ac.ac_slot ~off ~iter
+    | None -> ());
+    Array.unsafe_get (Array.unsafe_get arrays ac.ac_slot) off
+  in
+  let exec_ops ops iter =
+    let stop = Array.length ops in
     let pc = ref 0 in
     while !pc < stop do
       match Array.unsafe_get ops !pc with
@@ -955,18 +1017,7 @@ let exec_strip tape prep ~ints ~reals ~arrays ~shadow ~inv ~jslot ~j0 ~jstep
           incr pc
       | Fload (d, id) ->
           let ac = Array.unsafe_get accs id in
-          let off =
-            if Array.unsafe_get unsafe id then
-              Array.unsafe_get inv id
-              + (match ac.ac_vk with
-                | V0 -> 0
-                | V1 (c, r) -> c * Array.unsafe_get ints r
-                | V2 (c1, r1, c2, r2) ->
-                    (c1 * Array.unsafe_get ints r1)
-                    + (c2 * Array.unsafe_get ints r2)
-                | Vn -> aff_eval ints ac.ac_var)
-            else checked_offset ints ac
-          in
+          let off = off_of id ac in
           (match shadow with
           | Some sh -> Sanitize.on_read sh ~slot:ac.ac_slot ~off ~iter
           | None -> ());
@@ -975,24 +1026,65 @@ let exec_strip tape prep ~ints ~reals ~arrays ~shadow ~inv ~jslot ~j0 ~jstep
           incr pc
       | Fstore (s, id) ->
           let ac = Array.unsafe_get accs id in
-          let off =
-            if Array.unsafe_get unsafe id then
-              Array.unsafe_get inv id
-              + (match ac.ac_vk with
-                | V0 -> 0
-                | V1 (c, r) -> c * Array.unsafe_get ints r
-                | V2 (c1, r1, c2, r2) ->
-                    (c1 * Array.unsafe_get ints r1)
-                    + (c2 * Array.unsafe_get ints r2)
-                | Vn -> aff_eval ints ac.ac_var)
-            else checked_offset ints ac
-          in
+          let off = off_of id ac in
           (match shadow with
           | Some sh -> Sanitize.on_write sh ~slot:ac.ac_slot ~off ~iter
           | None -> ());
           Array.unsafe_set
             (Array.unsafe_get arrays ac.ac_slot)
             off (Array.unsafe_get reals s);
+          incr pc
+      | Sinit (s, a) ->
+          Array.unsafe_set inv s (aff_eval ints a);
+          incr pc
+      | Jadv ->
+          Array.unsafe_set ints jslot (Array.unsafe_get ints jslot + jstep);
+          incr pc
+      | Fmac2 (d, a, i1, i2) ->
+          let l1 = load_elem i1 iter in
+          let l2 = load_elem i2 iter in
+          Array.unsafe_set reals d (Array.unsafe_get reals a +. (l1 *. l2));
+          incr pc
+      | Fmsb2 (d, a, i1, i2) ->
+          let l1 = load_elem i1 iter in
+          let l2 = load_elem i2 iter in
+          Array.unsafe_set reals d (Array.unsafe_get reals a -. (l1 *. l2));
+          incr pc
+      | Fldmac (d, a, x, id) ->
+          let l = load_elem id iter in
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a +. (Array.unsafe_get reals x *. l));
+          incr pc
+      | Fldmsb (d, a, x, id) ->
+          let l = load_elem id iter in
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a -. (Array.unsafe_get reals x *. l));
+          incr pc
+      | Fldadd (d, x, id) ->
+          let l = load_elem id iter in
+          Array.unsafe_set reals d (Array.unsafe_get reals x +. l);
+          incr pc
+      | Fldsub (d, x, id) ->
+          let l = load_elem id iter in
+          Array.unsafe_set reals d (Array.unsafe_get reals x -. l);
+          incr pc
+      | Fldmul (d, x, id) ->
+          let l = load_elem id iter in
+          Array.unsafe_set reals d (Array.unsafe_get reals x *. l);
+          incr pc
+      | Fld2add (d, i1, i2) ->
+          let l1 = load_elem i1 iter in
+          let l2 = load_elem i2 iter in
+          Array.unsafe_set reals d (l1 +. l2);
+          incr pc
+      | Fldst (i1, i2) ->
+          let v = load_elem i1 iter in
+          let ac = Array.unsafe_get accs i2 in
+          let off = off_of i2 ac in
+          (match shadow with
+          | Some sh -> Sanitize.on_write sh ~slot:ac.ac_slot ~off ~iter
+          | None -> ());
+          Array.unsafe_set (Array.unsafe_get arrays ac.ac_slot) off v;
           incr pc
       | Jmp t -> pc := t
       | Jii (op, a, b, t) ->
@@ -1011,9 +1103,38 @@ let exec_strip tape prep ~ints ~reals ~arrays ~shadow ~inv ~jslot ~j0 ~jstep
           let v = Array.unsafe_get ints r + c in
           Array.unsafe_set ints r v;
           if v <= Array.unsafe_get ints bnd then pc := top else incr pc
-    done;
-    j := !j + jstep
-  done
+    done
+  in
+  let j = ref j0 in
+  let unrolled =
+    match (tape.tp_unrolled, shadow) with
+    | (Some _ as u), None -> u
+    | _ -> None
+  in
+  (match unrolled with
+  | Some u ->
+      (* Unrolled main loop: one dispatch pass covers four iterations
+         ([Jadv] advances the strip index between copies); the remainder
+         runs the single-iteration body. The per-copy [iter] passed to
+         the shadow hooks is irrelevant here: unrolled bodies only run
+         unsanitized. *)
+      let groups = len / 4 in
+      for g = 0 to groups - 1 do
+        Array.unsafe_set ints jslot !j;
+        exec_ops u (iter0 + (g * 4));
+        j := !j + (4 * jstep)
+      done;
+      for k = groups * 4 to len - 1 do
+        Array.unsafe_set ints jslot !j;
+        exec_ops tape.tp_ops (iter0 + k);
+        j := !j + jstep
+      done
+  | None ->
+      for k = 0 to len - 1 do
+        Array.unsafe_set ints jslot !j;
+        exec_ops tape.tp_ops (iter0 + k);
+        j := !j + jstep
+      done)
 
 (* ---------- strip geometry ---------- *)
 

@@ -52,7 +52,118 @@ type array_ref = {
   ba_strides : int array;  (** row-major suffix products *)
 }
 
-type tape
+(** {1 Tape representation}
+
+    The representation is public so the tape optimizer ({!Tapeopt}) can
+    rewrite instruction arrays and access kinds in place. Everything
+    outside [lib/runtime] should treat a [tape] as opaque and use the
+    executor entry points below. *)
+
+type aff = { base : int; coefs : int array; regs : int array }
+(** Affine int form: value = [base + sum coefs.(i) * ints.(regs.(i))].
+    Built canonically ([regs] ascending, [coefs] non-zero) by lowering;
+    the evaluator does not rely on the ordering. *)
+
+val aff_const : int -> aff
+val aff_reg : int -> aff
+val aff_add : aff -> aff -> aff
+val aff_eval : int array -> aff -> int
+
+(** Symbolic per-fork range skeleton (see [prepare]). *)
+type rng =
+  | Rux
+  | Rconst of int
+  | Rplan of int
+  | Rreg of int
+  | Raff of int * (int * rng) array
+  | Rmul of rng * rng
+  | Rmin of rng * rng
+  | Rmax of rng * rng
+  | Rspan of rng * rng
+
+type instr =
+  | Iconst of int * int
+  | Iaff of int * aff  (** dst <- affine combination; also mov/add/sub *)
+  | Imul of int * int * int
+  | Idiv of int * int * int
+  | Imod of int * int * int
+  | Icdiv of int * int * int
+  | Imin of int * int * int
+  | Imax of int * int * int
+  | Istep of int * string  (** raise unless reg > 0 (serial loop step) *)
+  | Fconst of int * float
+  | Fmov of int * int
+  | Fadd of int * int * int
+  | Fsub of int * int * int
+  | Fmul of int * int * int
+  | Fdiv of int * int * int
+  | Fmin of int * int * int
+  | Fmax of int * int * int
+  | Fneg of int * int
+  | Fofi of int * int  (** float register <- int register *)
+  | Fmac of int * int * int * int  (** d <- a +. x *. y (fused peephole) *)
+  | Fmsb of int * int * int * int  (** d <- a -. x *. y (fused peephole) *)
+  | Fload of int * int  (** dst real reg <- element via access id *)
+  | Fstore of int * int  (** element via access id <- src real reg *)
+  | Sinit of int * aff
+      (** stream scratch slot <- full affine offset at strip or
+          serial-loop entry (optimizer only) *)
+  | Jadv  (** strip index slot += jstep (between unrolled copies) *)
+  | Fmac2 of int * int * int * int
+      (** d <- a +. load id1 *. load id2 (fused, optimizer only) *)
+  | Fmsb2 of int * int * int * int  (** d <- a -. load id1 *. load id2 *)
+  | Fldmac of int * int * int * int  (** d <- a +. x *. load id *)
+  | Fldmsb of int * int * int * int  (** d <- a -. x *. load id *)
+  | Fldadd of int * int * int  (** d <- x +. load id *)
+  | Fldsub of int * int * int  (** d <- x -. load id *)
+  | Fldmul of int * int * int  (** d <- x *. load id *)
+  | Fld2add of int * int * int  (** d <- load id1 +. load id2 *)
+  | Fldst of int * int  (** element via access id2 <- element via id1 *)
+  | Jmp of int
+  | Jii of Ast.relop * int * int * int  (** jump if int cmp holds *)
+  | Jff of Ast.relop * int * int * int  (** jump if float cmp holds *)
+  | Iloop of int * aff * int * int
+      (** serial-loop back-edge, rotated: reg <- incr; jump to target
+          while reg <= bound-reg *)
+  | Iloopc of int * int * int * int
+      (** back-edge with constant step: reg <- reg + c; jump while
+          reg <= bound-reg *)
+
+type access = {
+  ac_slot : int;
+  ac_name : string;
+  ac_dims : int array;
+  ac_strides : int array;
+  ac_subs : aff array;  (** per-subscript, for the checked path *)
+  ac_rngs : rng array;  (** per-subscript symbolic ranges *)
+  ac_inv : aff;  (** strip-invariant offset part (includes base) *)
+  ac_var : aff;  (** strip-variant offset part (base 0) *)
+  ac_vk : vkind;  (** variant part specialized for the unsafe path *)
+}
+
+(** Variant offset shapes on the unsafe path. [Vs]/[Vsj] are streamed
+    offsets installed by the optimizer: the scratch slot holds the full
+    offset and is self-bumped after each use (by a constant, resp. by
+    [coef * jstep]); a [Sinit] re-evaluates the slot at region entry. *)
+and vkind =
+  | V0
+  | V1 of int * int  (** coef, reg *)
+  | V2 of int * int * int * int  (** coef1, reg1, coef2, reg2 *)
+  | Vn
+  | Vs of int * int  (** scratch slot, constant bump *)
+  | Vsj of int * int  (** scratch slot, coef (bump = coef * jstep) *)
+
+type tape = {
+  tp_pre : instr array;  (** strip prologue: float consts and stream inits *)
+  tp_ops : instr array;  (** single-iteration body *)
+  tp_unrolled : instr array option;
+      (** optimizer-built x4 unrolled body ([Jadv] between copies); only
+          executed unsanitized — the remainder and sanitized runs use
+          [tp_ops] *)
+  tp_accs : access array;
+  tp_nstreams : int;  (** scratch slots past the per-access invariant ones *)
+  tp_sanitize : bool;
+}
 
 val lower :
   lookup:(string -> binding option) ->

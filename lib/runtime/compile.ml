@@ -93,6 +93,11 @@ type ctx = {
   mutable n_reals : int;
   mutable plans : plan list;  (** compiled parallel plans, reversed *)
   sanitize : bool;  (** instrument array accesses with shadow-cell hooks *)
+  opt_level : int;  (** tape optimizer level (0 = lowering output) *)
+  mutable tape_reuse : (Bytecode.tape option * int * int) list option;
+      (** plan-cache hit: per-plan tapes + register deltas to replay *)
+  mutable tape_log : (Bytecode.tape option * int * int) list;
+      (** what this compile lowered, reversed — stored on a cache miss *)
 }
 
 let fresh_int ctx =
@@ -503,35 +508,58 @@ and compile_parallel_nest ctx (l : Ast.loop) : code =
   (* Lower the same body to the bytecode tier while the nest indexes are
      still in scope. Names resolve exactly as the closure compile did;
      temporaries come from the same slot counters, so [make_env] sizes
-     the register files for both tiers. *)
+     the register files for both tiers. On a plan-cache hit the stored
+     tape and its register-counter deltas are replayed instead, which
+     reproduces the cold compile's numbering exactly. *)
   let tape =
-    let scope_now = ctx.scope in
-    let lookup v =
-      match List.assoc_opt v scope_now with
-      | Some s -> Some (Bytecode.Bint s)
-      | None -> (
-          match Hashtbl.find_opt ctx.sc_tbl v with
-          | Some (Si s) -> Some (Bytecode.Bint s)
-          | Some (Sr s) -> Some (Bytecode.Breal s)
-          | None -> None)
-    in
-    let array_ref a =
-      Option.map
-        (fun info ->
-          {
-            Bytecode.ba_slot = info.a_slot;
-            ba_name = a;
-            ba_dims = info.a_dims;
-            ba_strides = info.a_strides;
-          })
-        (Hashtbl.find_opt ctx.arr_tbl a)
-    in
-    Bytecode.lower ~lookup ~array_ref
-      ~fresh_int:(fun () -> fresh_int ctx)
-      ~fresh_real:(fun () -> fresh_real ctx)
-      ~assigned:(assigned_scalars inner_body)
-      ~plan_names:index_names ~plan_slots:index_slots ~sanitize:ctx.sanitize
-      inner_body
+    match ctx.tape_reuse with
+    | Some ((t, d_ints, d_reals) :: rest) ->
+        ctx.tape_reuse <- Some rest;
+        ctx.n_ints <- ctx.n_ints + d_ints;
+        ctx.n_reals <- ctx.n_reals + d_reals;
+        t
+    | _ ->
+        let int_base = ctx.n_ints and real_base = ctx.n_reals in
+        let scope_now = ctx.scope in
+        let lookup v =
+          match List.assoc_opt v scope_now with
+          | Some s -> Some (Bytecode.Bint s)
+          | None -> (
+              match Hashtbl.find_opt ctx.sc_tbl v with
+              | Some (Si s) -> Some (Bytecode.Bint s)
+              | Some (Sr s) -> Some (Bytecode.Breal s)
+              | None -> None)
+        in
+        let array_ref a =
+          Option.map
+            (fun info ->
+              {
+                Bytecode.ba_slot = info.a_slot;
+                ba_name = a;
+                ba_dims = info.a_dims;
+                ba_strides = info.a_strides;
+              })
+            (Hashtbl.find_opt ctx.arr_tbl a)
+        in
+        let t =
+          Bytecode.lower ~lookup ~array_ref
+            ~fresh_int:(fun () -> fresh_int ctx)
+            ~fresh_real:(fun () -> fresh_real ctx)
+            ~assigned:(assigned_scalars inner_body)
+            ~plan_names:index_names ~plan_slots:index_slots
+            ~sanitize:ctx.sanitize inner_body
+        in
+        let t =
+          Option.map
+            (Tapeopt.optimize ~level:ctx.opt_level
+               ~jslot:index_slots.(depth - 1) ~int_base ~real_base
+               ~fresh_int:(fun () -> fresh_int ctx)
+               ~fresh_real:(fun () -> fresh_real ctx))
+            t
+        in
+        ctx.tape_log <-
+          (t, ctx.n_ints - int_base, ctx.n_reals - real_base) :: ctx.tape_log;
+        t
   in
   ctx.scope <- saved;
   let plan =
@@ -566,7 +594,19 @@ type t = {
   prog_plans : plan list;  (** parallel plans, in compilation order *)
 }
 
-let compile ?(sanitize = false) (p : Ast.program) : t =
+let compile ?(sanitize = false) ?(opt_level = 2) ?cache ?(cache_salt = "")
+    (p : Ast.program) : t =
+  let cached, cache_key =
+    match cache with
+    | None -> (None, None)
+    | Some c ->
+        let k = Plancache.key ~sanitize ~opt_level ~salt:cache_salt p in
+        let e = Plancache.find c k in
+        (match e with
+        | Some _ -> Loopcoal_obs.Counters.plan_cache_hit ()
+        | None -> Loopcoal_obs.Counters.plan_cache_miss ());
+        (e, Some (c, k))
+  in
   let ctx =
     {
       arr_tbl = Hashtbl.create 16;
@@ -576,6 +616,9 @@ let compile ?(sanitize = false) (p : Ast.program) : t =
       n_reals = 0;
       plans = [];
       sanitize;
+      opt_level;
+      tape_reuse = Option.map (fun (e : Plancache.entry) -> e.e_plans) cached;
+      tape_log = [];
     }
   in
   List.iteri
@@ -609,6 +652,10 @@ let compile ?(sanitize = false) (p : Ast.program) : t =
           Hashtbl.add ctx.sc_tbl s.sc_name (Sr slot))
     p.scalars;
   let prog_code = compile_block ctx ~in_par:false p.body in
+  (match (cache_key, cached) with
+  | Some (c, k), None ->
+      Plancache.store c k { Plancache.e_plans = List.rev ctx.tape_log }
+  | _ -> ());
   {
     prog_code;
     n_ints = ctx.n_ints;
@@ -630,8 +677,10 @@ let compile ?(sanitize = false) (p : Ast.program) : t =
     prog_plans = List.rev ctx.plans;
   }
 
-let compile_result ?sanitize p =
-  match compile ?sanitize p with t -> Ok t | exception Error m -> Error m
+let compile_result ?sanitize ?opt_level ?cache ?cache_salt p =
+  match compile ?sanitize ?opt_level ?cache ?cache_salt p with
+  | t -> Ok t
+  | exception Error m -> Error m
 
 let shadow_layout t = Array.map (fun (name, _, size) -> (name, size)) t.array_decls
 let plans t = t.prog_plans

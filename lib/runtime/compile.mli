@@ -58,15 +58,38 @@ and red = {
 
 type t
 
-val compile : ?sanitize:bool -> Ast.program -> t
+val compile :
+  ?sanitize:bool ->
+  ?opt_level:int ->
+  ?cache:Plancache.t ->
+  ?cache_salt:string ->
+  Ast.program ->
+  t
 (** Stage a program. Raises {!exception:Error} on programs the
     interpreter would also reject, and on statically detectable type
     errors the interpreter would only hit when the offending statement
     executes. With [~sanitize:true] (default false), every array access
     additionally drives the {!Sanitize} shadow cells through the
-    environment's [shadow] field. *)
+    environment's [shadow] field.
 
-val compile_result : ?sanitize:bool -> Ast.program -> (t, string) result
+    [opt_level] (default 2) selects the {!Tapeopt} pipeline applied to
+    each lowered tape: 0 = raw lowering output, 1 = offset streaming
+    only, 2 = streaming + CSE + fusion + x4 unrolling. Sanitized tapes
+    are never optimized regardless of level.
+
+    With [cache], lowered+optimized tapes are reused across compiles of
+    the same program (keyed over the AST, [sanitize], [opt_level] and
+    [cache_salt]); one {!Loopcoal_obs.Counters} hit or miss is recorded
+    per call. A hit replays the stored register-counter deltas, so the
+    resulting plans are identical to a cold compile. *)
+
+val compile_result :
+  ?sanitize:bool ->
+  ?opt_level:int ->
+  ?cache:Plancache.t ->
+  ?cache_salt:string ->
+  Ast.program ->
+  (t, string) result
 
 val shadow_layout : t -> (string * int) array
 (** Per-slot array names and flat sizes, in slot order — the layout

@@ -427,16 +427,16 @@ let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
       if domains = 1 then go None
       else Pool.with_pool domains (fun p -> go (Some p))
 
-let run ?array_init ?pool ?policy ?domains ?engine ?trace
+let run ?array_init ?pool ?policy ?domains ?engine ?trace ?opt_level
     (p : Loopcoal_ir.Ast.program) =
   run_compiled ?array_init ?pool ?policy ?domains ?engine ?trace
-    (Compile.compile p)
+    (Compile.compile ?opt_level p)
 
 (* Compile with shadow instrumentation, run, and return the observed
    conflicts alongside the outcome. *)
-let run_sanitized ?array_init ?pool ?policy ?domains ?engine ?limit
+let run_sanitized ?array_init ?pool ?policy ?domains ?engine ?limit ?opt_level
     (p : Loopcoal_ir.Ast.program) =
-  let t = Compile.compile ~sanitize:true p in
+  let t = Compile.compile ~sanitize:true ?opt_level p in
   let sh = Sanitize.create ?limit (Compile.shadow_layout t) in
   let outcome =
     run_compiled ?array_init ?pool ?policy ?domains ?engine ~shadow:sh t

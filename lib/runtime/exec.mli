@@ -85,9 +85,11 @@ val run :
   ?domains:int ->
   ?engine:engine ->
   ?trace:Loopcoal_obs.Trace.collector ->
+  ?opt_level:int ->
   Ast.program ->
   outcome
-(** [compile] + [run_compiled]. *)
+(** [compile] + [run_compiled]. [opt_level] is forwarded to
+    {!Compile.compile} (default 2). *)
 
 val run_sanitized :
   ?array_init:float ->
@@ -96,6 +98,7 @@ val run_sanitized :
   ?domains:int ->
   ?engine:engine ->
   ?limit:int ->
+  ?opt_level:int ->
   Ast.program ->
   outcome * Sanitize.t
 (** Compile with [~sanitize:true], run with fresh shadow state, and

@@ -1,0 +1,98 @@
+(* Keyed plan cache: lowered+optimized tapes survive across compiles of
+   the same program, in memory and optionally on disk.
+
+   The key digests the whole program AST together with everything that
+   changes what lowering produces: the sanitize flag (a sanitized run
+   must never reuse an unsanitized tape — the tapes differ in promotion,
+   unsafe flags and optimizer output), the optimizer level, a
+   caller-supplied salt (the CLI passes the engine name), and a format
+   version bumped whenever the tape representation changes.
+
+   A cached entry stores, per plan in program order, the tape option and
+   how many int/float registers its lowering+optimization allocated; on
+   a hit the compiler replays those deltas against its own counters, so
+   register numbering and environment sizing are identical to a cold
+   compile. Tapes hold no closures, so [Marshal] round-trips them; any
+   unreadable or version-skewed disk file is simply a miss. *)
+
+open Loopcoal_ir
+
+(* Bump when [Bytecode.instr]/[tape] or the entry layout changes. *)
+let format_version = 2
+
+type entry = { e_plans : (Bytecode.tape option * int * int) list }
+
+type t = {
+  mem : (string, entry) Hashtbl.t;
+  dir : string option;
+  mutable disabled : bool;  (** set when the disk dir is unusable *)
+}
+
+let create ?dir () = { mem = Hashtbl.create 8; dir; disabled = false }
+
+let default_dir () =
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some d when d <> "" -> Some (Filename.concat d "loopc")
+  | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" ->
+          Some (Filename.concat (Filename.concat h ".cache") "loopc")
+      | _ -> None)
+
+let key ~sanitize ~opt_level ~salt (p : Ast.program) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string (format_version, sanitize, opt_level, salt, p) []))
+
+let path c k =
+  match c.dir with
+  | Some d when not c.disabled -> Some (Filename.concat d (k ^ ".plan"))
+  | _ -> None
+
+let read_file f =
+  match open_in_bin f with
+  | exception Sys_error _ -> None
+  | ic -> (
+      match (input_value ic : int * entry) with
+      | exception _ ->
+          close_in_noerr ic;
+          None
+      | v, e ->
+          close_in_noerr ic;
+          if v = format_version then Some e else None)
+
+let find c k =
+  match Hashtbl.find_opt c.mem k with
+  | Some _ as hit -> hit
+  | None -> (
+      match path c k with
+      | None -> None
+      | Some f -> (
+          match read_file f with
+          | Some e ->
+              Hashtbl.replace c.mem k e;
+              Some e
+          | None -> None))
+
+let rec mkdirs d =
+  if not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let store c k e =
+  Hashtbl.replace c.mem k e;
+  match path c k with
+  | None -> ()
+  | Some f -> (
+      try
+        mkdirs (Filename.dirname f);
+        let tmp = f ^ ".tmp" in
+        let oc = open_out_bin tmp in
+        output_value oc (format_version, e);
+        close_out oc;
+        Sys.rename tmp f
+      with Sys_error _ ->
+        (* Disk persistence is best-effort; keep the in-memory entry and
+           stop touching an unusable directory. *)
+        c.disabled <- true)

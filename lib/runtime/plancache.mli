@@ -1,0 +1,35 @@
+(** Keyed plan cache for the bytecode tier.
+
+    Repeated compiles of the same program — successive [loopc run]
+    invocations of one file, or a bench harness's trials — skip lowering
+    and optimization entirely: {!Compile.compile} consults the cache and
+    replays the stored tapes plus their register-counter deltas, so a
+    hit produces a plan list bit-identical to a cold compile.
+
+    The key covers the full program AST, the sanitize flag, the
+    optimizer level, a caller salt (the CLI passes the engine name) and
+    a tape-format version — a sanitized run can never reuse an
+    unsanitized tape, and stale disk entries from an older build are
+    misses. Hit/miss totals land in [Loopcoal_obs.Counters]. *)
+
+open Loopcoal_ir
+
+type entry = { e_plans : (Bytecode.tape option * int * int) list }
+(** Per plan in program order: the tape (or [None] for closure-tier
+    fallback) and the int/float register-counter deltas its
+    lowering+optimization consumed. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** In-memory cache; with [dir], entries also persist to one marshaled
+    file per key under [dir] (created on demand). Unreadable, corrupt or
+    version-skewed files are misses; write failures disable the disk
+    layer but keep the in-memory one. *)
+
+val default_dir : unit -> string option
+(** [$XDG_CACHE_HOME/loopc], falling back to [$HOME/.cache/loopc]. *)
+
+val key : sanitize:bool -> opt_level:int -> salt:string -> Ast.program -> string
+val find : t -> string -> entry option
+val store : t -> string -> entry -> unit

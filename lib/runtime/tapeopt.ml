@@ -1,0 +1,636 @@
+(* Tape optimizer: rewrites the flat register tape after lowering.
+
+   Pipeline (levels):
+     1+  offset streaming — an access whose affine offset advances by a
+         constant per back-edge trades its per-iteration multiply-add
+         chain for one scratch slot initialized at region entry
+         ([Sinit]) and self-bumped after each use ([Vs]/[Vsj]);
+     2+  basic-block CSE over pure int ops, dead-write elimination,
+         superinstruction fusion (load/consumer pairs collapse into one
+         dispatch), and x4 unrolling of the strip body with register
+         renaming (the executor runs the remainder on the plain body).
+
+   Everything here preserves the tape's sequential semantics exactly:
+   float operand order is never changed (results stay bit-identical),
+   access execution order is preserved (checked-path error messages and
+   sanitizer event order are unchanged), and sanitized tapes are
+   returned untouched. *)
+
+open Bytecode
+
+(* ---------- instruction analysis ---------- *)
+
+let is_ctl = function
+  | Jmp _ | Jii _ | Jff _ | Iloop _ | Iloopc _ -> true
+  | _ -> false
+
+let iter_int_reads f = function
+  | Iaff (_, a) | Sinit (_, a) -> Array.iter f a.regs
+  | Imul (_, a, b)
+  | Idiv (_, a, b)
+  | Imod (_, a, b)
+  | Icdiv (_, a, b)
+  | Imin (_, a, b)
+  | Imax (_, a, b)
+  | Jii (_, a, b, _) ->
+      f a;
+      f b
+  | Istep (r, _) | Fofi (_, r) -> f r
+  | Iloop (_, a, bnd, _) ->
+      Array.iter f a.regs;
+      f bnd
+  | Iloopc (r, _, bnd, _) ->
+      f r;
+      f bnd
+  | Iconst _ | Jadv | Fconst _ | Fmov _ | Fadd _ | Fsub _ | Fmul _ | Fdiv _
+  | Fmin _ | Fmax _ | Fneg _ | Fmac _ | Fmsb _ | Fload _ | Fstore _ | Jmp _
+  | Jff _ | Fmac2 _ | Fmsb2 _ | Fldmac _ | Fldmsb _ | Fldadd _ | Fldsub _
+  | Fldmul _ | Fld2add _ | Fldst _ ->
+      ()
+
+let int_write = function
+  | Iconst (d, _)
+  | Iaff (d, _)
+  | Imul (d, _, _)
+  | Idiv (d, _, _)
+  | Imod (d, _, _)
+  | Icdiv (d, _, _)
+  | Imin (d, _, _)
+  | Imax (d, _, _)
+  | Iloop (d, _, _, _)
+  | Iloopc (d, _, _, _) ->
+      Some d
+  | _ -> None
+
+let iter_float_reads f = function
+  | Fmov (_, s) | Fneg (_, s) | Fstore (s, _) -> f s
+  | Fadd (_, a, b)
+  | Fsub (_, a, b)
+  | Fmul (_, a, b)
+  | Fdiv (_, a, b)
+  | Fmin (_, a, b)
+  | Fmax (_, a, b)
+  | Jff (_, a, b, _) ->
+      f a;
+      f b
+  | Fmac (_, a, x, y) | Fmsb (_, a, x, y) ->
+      f a;
+      f x;
+      f y
+  | Fmac2 (_, a, _, _) | Fmsb2 (_, a, _, _) -> f a
+  | Fldmac (_, a, x, _) | Fldmsb (_, a, x, _) ->
+      f a;
+      f x
+  | Fldadd (_, x, _) | Fldsub (_, x, _) | Fldmul (_, x, _) -> f x
+  | Iconst _ | Iaff _ | Imul _ | Idiv _ | Imod _ | Icdiv _ | Imin _ | Imax _
+  | Istep _ | Fconst _ | Fofi _ | Fload _ | Sinit _ | Jadv | Jmp _ | Jii _
+  | Iloop _ | Iloopc _ | Fld2add _ | Fldst _ ->
+      ()
+
+let float_write = function
+  | Fconst (d, _)
+  | Fmov (d, _)
+  | Fadd (d, _, _)
+  | Fsub (d, _, _)
+  | Fmul (d, _, _)
+  | Fdiv (d, _, _)
+  | Fmin (d, _, _)
+  | Fmax (d, _, _)
+  | Fneg (d, _)
+  | Fofi (d, _)
+  | Fmac (d, _, _, _)
+  | Fmsb (d, _, _, _)
+  | Fload (d, _)
+  | Fmac2 (d, _, _, _)
+  | Fmsb2 (d, _, _, _)
+  | Fldmac (d, _, _, _)
+  | Fldmsb (d, _, _, _)
+  | Fldadd (d, _, _)
+  | Fldsub (d, _, _)
+  | Fldmul (d, _, _)
+  | Fld2add (d, _, _) ->
+      Some d
+  | _ -> None
+
+let rec iter_rng_regs f = function
+  | Rux | Rconst _ | Rplan _ -> ()
+  | Rreg r -> f r
+  | Raff (_, ts) -> Array.iter (fun (_, t) -> iter_rng_regs f t) ts
+  | Rmul (a, b) | Rmin (a, b) | Rmax (a, b) | Rspan (a, b) ->
+      iter_rng_regs f a;
+      iter_rng_regs f b
+
+(* ---------- jump-target bookkeeping ---------- *)
+
+let remap_targets f = function
+  | Jmp t -> Jmp (f t)
+  | Jii (op, a, b, t) -> Jii (op, a, b, f t)
+  | Jff (op, a, b, t) -> Jff (op, a, b, f t)
+  | Iloop (r, a, bnd, top) -> Iloop (r, a, bnd, f top)
+  | Iloopc (r, c, bnd, top) -> Iloopc (r, c, bnd, f top)
+  | i -> i
+
+let target_flags ops =
+  let n = Array.length ops in
+  let t = Array.make (n + 1) false in
+  Array.iter
+    (fun op ->
+      match op with
+      | Jmp x
+      | Jii (_, _, _, x)
+      | Jff (_, _, _, x)
+      | Iloop (_, _, _, x)
+      | Iloopc (_, _, _, x) ->
+          t.(x) <- true
+      | _ -> ())
+    ops;
+  t
+
+(* Insert instructions before given positions. Every explicit jump
+   target is remapped to the new index of the instruction it pointed at,
+   so a jump to position [p] skips instructions inserted before [p] —
+   exactly what a serial-loop back edge wants of an entry [Sinit]. *)
+let insert_at ops inserts =
+  let n = Array.length ops in
+  let by_pos = Array.make (n + 1) [] in
+  List.iter (fun (p, i) -> by_pos.(p) <- i :: by_pos.(p)) (List.rev inserts);
+  let newpos = Array.make (n + 1) 0 in
+  let added = ref 0 in
+  for i = 0 to n do
+    added := !added + List.length by_pos.(i);
+    newpos.(i) <- i + !added
+  done;
+  let out = Array.make (n + !added) Jadv in
+  let k = ref 0 in
+  let put i =
+    out.(!k) <- i;
+    incr k
+  in
+  for i = 0 to n - 1 do
+    List.iter put by_pos.(i);
+    put (remap_targets (fun t -> newpos.(t)) ops.(i))
+  done;
+  List.iter put by_pos.(n);
+  out
+
+(* Delete flagged instructions. A jump whose target died lands on the
+   next surviving instruction. *)
+let delete_at ops dead =
+  let n = Array.length ops in
+  let newpos = Array.make (n + 1) 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    newpos.(i) <- !k;
+    if not dead.(i) then incr k
+  done;
+  newpos.(n) <- !k;
+  let out = Array.make !k Jadv in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if not dead.(i) then begin
+      out.(!k) <- remap_targets (fun t -> newpos.(t)) ops.(i);
+      incr k
+    end
+  done;
+  out
+
+(* ---------- offset streaming ---------- *)
+
+type loopinfo = { l_top : int; l_back : int; l_reg : int; l_step : int option }
+
+(* An access is streamable when it executes exactly once per back-edge
+   of some region and its variant offset advances by a compile-time
+   constant (or by [coef * jstep] for the strip itself). Conservative
+   shape: the access occurs at exactly one position (register-promoted
+   elements occur at two) inside a straight-line region body. *)
+let stream ~jslot (t : tape) =
+  let ops = t.tp_ops in
+  let n = Array.length ops in
+  let naccs = Array.length t.tp_accs in
+  if naccs = 0 then t
+  else begin
+    let pos = Array.make naccs [] in
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Fload (_, id) | Fstore (_, id) | Fldst (id, _) -> pos.(id) <- i :: pos.(id)
+        | _ -> ())
+      ops;
+    let loops = ref [] in
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Iloopc (r, c, _, top) ->
+            loops := { l_top = top; l_back = i; l_reg = r; l_step = Some c } :: !loops
+        | Iloop (r, _, _, top) ->
+            loops := { l_top = top; l_back = i; l_reg = r; l_step = None } :: !loops
+        | _ -> ())
+      ops;
+    let loops = !loops in
+    let straight lo hi_excl =
+      let ok = ref true in
+      for i = lo to hi_excl - 1 do
+        if is_ctl ops.(i) then ok := false
+      done;
+      !ok
+    in
+    let whole_straight = straight 0 n in
+    let written_in lo hi_excl r =
+      let w = ref false in
+      for i = lo to hi_excl - 1 do
+        match int_write ops.(i) with Some d when d = r -> w := true | _ -> ()
+      done;
+      !w
+    in
+    let innermost p =
+      List.fold_left
+        (fun best l ->
+          if l.l_top <= p && p < l.l_back then
+            match best with
+            | Some b when b.l_top >= l.l_top -> best
+            | _ -> Some l
+          else best)
+        None loops
+    in
+    let nstreams = ref t.tp_nstreams in
+    let pre_adds = ref [] and ops_adds = ref [] in
+    let accs = Array.copy t.tp_accs in
+    Array.iteri
+      (fun id ac ->
+        match pos.(id) with
+        | [ p ] ->
+            let full = aff_add ac.ac_inv ac.ac_var in
+            if whole_straight then begin
+              match ac.ac_vk with
+              | V1 (c, r) when r = jslot ->
+                  let s = naccs + !nstreams in
+                  incr nstreams;
+                  pre_adds := Sinit (s, full) :: !pre_adds;
+                  accs.(id) <- { ac with ac_vk = Vsj (s, c) }
+              | _ -> ()
+            end
+            else begin
+              match innermost p with
+              | Some l
+                when straight l.l_top l.l_back
+                     && Array.length ac.ac_var.regs > 0 ->
+                  let ok = ref true and bump = ref 0 in
+                  Array.iteri
+                    (fun m r ->
+                      let c = ac.ac_var.coefs.(m) in
+                      if r = l.l_reg then
+                        match l.l_step with
+                        | Some s -> bump := !bump + (c * s)
+                        | None -> ok := false
+                      else if written_in l.l_top l.l_back r then ok := false)
+                    ac.ac_var.regs;
+                  if !ok then begin
+                    let s = naccs + !nstreams in
+                    incr nstreams;
+                    ops_adds := (l.l_top, Sinit (s, full)) :: !ops_adds;
+                    accs.(id) <- { ac with ac_vk = Vs (s, !bump) }
+                  end
+              | _ -> ()
+            end
+        | _ -> ())
+      t.tp_accs;
+    if !nstreams = t.tp_nstreams then t
+    else
+      {
+        t with
+        tp_pre = Array.append t.tp_pre (Array.of_list (List.rev !pre_adds));
+        tp_ops = insert_at ops (List.rev !ops_adds);
+        tp_accs = accs;
+        tp_nstreams = !nstreams;
+      }
+  end
+
+(* ---------- common-subexpression elimination (ints) ---------- *)
+
+type ckey =
+  | Kconst of int
+  | Kaff of int * (int * int * int) array  (** base, (coef, reg, version) *)
+  | Kmul of (int * int) * (int * int)
+  | Kmin of (int * int) * (int * int)
+  | Kmax of (int * int) * (int * int)
+
+(* Basic-block value numbering over the pure int ops (faulting ops —
+   div/mod/cdiv/step — are neither candidates nor keys). A duplicate
+   becomes a register move; the dead-write pass below then drops writes
+   nothing reads. *)
+let cse ops =
+  let n = Array.length ops in
+  if n = 0 then ops
+  else begin
+    let tflags = target_flags ops in
+    let ver : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    let vn r = Option.value ~default:0 (Hashtbl.find_opt ver r) in
+    let bump r = Hashtbl.replace ver r (vn r + 1) in
+    let table : (ckey, int * int) Hashtbl.t = Hashtbl.create 32 in
+    let out = Array.copy ops in
+    let subsume i d key =
+      match Hashtbl.find_opt table key with
+      | Some (r, v) when v = vn r && r <> d ->
+          out.(i) <- Iaff (d, aff_reg r);
+          bump d
+      | _ ->
+          bump d;
+          Hashtbl.replace table key (d, vn d)
+    in
+    for i = 0 to n - 1 do
+      if tflags.(i) then Hashtbl.reset table;
+      let op = ops.(i) in
+      (match op with
+      | Iconst (d, v) -> subsume i d (Kconst v)
+      | Iaff (d, a) ->
+          let key =
+            Kaff (a.base, Array.mapi (fun m r -> (a.coefs.(m), r, vn r)) a.regs)
+          in
+          subsume i d key
+      | Imul (d, a, b) -> subsume i d (Kmul ((a, vn a), (b, vn b)))
+      | Imin (d, a, b) -> subsume i d (Kmin ((a, vn a), (b, vn b)))
+      | Imax (d, a, b) -> subsume i d (Kmax ((a, vn a), (b, vn b)))
+      | _ -> ( match int_write op with Some d -> bump d | None -> ()));
+      if is_ctl op then Hashtbl.reset table
+    done;
+    out
+  end
+
+(* Drop pure int writes nothing reads: not another instruction (or a
+   stream initializer), not an access subscript/offset, not a symbolic
+   range. Registers below [int_base] are observable program scalars and
+   are always kept. *)
+let dce ~int_base (t : tape) =
+  let rec go ops rounds =
+    if rounds = 0 then ops
+    else begin
+      let read = Hashtbl.create 64 in
+      let mark r = Hashtbl.replace read r () in
+      Array.iter (iter_int_reads mark) ops;
+      Array.iter (iter_int_reads mark) t.tp_pre;
+      Array.iter
+        (fun ac ->
+          Array.iter (fun a -> Array.iter mark a.regs) ac.ac_subs;
+          Array.iter mark ac.ac_var.regs;
+          Array.iter mark ac.ac_inv.regs;
+          Array.iter (iter_rng_regs mark) ac.ac_rngs)
+        t.tp_accs;
+      let dead =
+        Array.map
+          (fun op ->
+            match op with
+            | Iconst (d, _) | Iaff (d, _) | Imul (d, _, _) | Imin (d, _, _)
+            | Imax (d, _, _) ->
+                d >= int_base && not (Hashtbl.mem read d)
+            | _ -> false)
+          ops
+      in
+      if Array.exists Fun.id dead then go (delete_at ops dead) (rounds - 1)
+      else ops
+    end
+  in
+  { t with tp_ops = go t.tp_ops 4 }
+
+(* ---------- superinstruction fusion ---------- *)
+
+(* Collapse a load (or a load pair) into its unique adjacent consumer.
+   Requirements: the load destination is a lowering temporary (>= the
+   plan's first fresh register) with exactly one read in the whole tape,
+   the consumed instructions are not jump targets (the group head may
+   be), and float operand order is preserved exactly — so results,
+   checked-path fault order and shadow-hook order are bit-identical. *)
+let fuse ~real_base (t : tape) =
+  let rec pass ops budget =
+    if budget = 0 then ops
+    else begin
+      let n = Array.length ops in
+      let tflags = target_flags ops in
+      let rc : (int, int) Hashtbl.t = Hashtbl.create 32 in
+      Array.iter
+        (iter_float_reads (fun r ->
+             Hashtbl.replace rc r
+               (1 + Option.value ~default:0 (Hashtbl.find_opt rc r))))
+        ops;
+      let rc1 r = r >= real_base && Hashtbl.find_opt rc r = Some 1 in
+      let work = Array.copy ops in
+      let dead = Array.make n false in
+      let changed = ref false in
+      let i = ref 0 in
+      while !i < n do
+        let fused3 =
+          if !i + 2 < n && (not tflags.(!i + 1)) && not tflags.(!i + 2) then
+            match (work.(!i), work.(!i + 1), work.(!i + 2)) with
+            | Fload (a, i1), Fload (b, i2), Fmac (d, acc, x, y)
+              when x = a && y = b && a <> b && rc1 a && rc1 b && acc <> a
+                   && acc <> b ->
+                Some (Fmac2 (d, acc, i1, i2))
+            (* Operands in reverse load order: swap the ids so the fused
+               multiply keeps the original operand order bit-exactly.
+               Only the two offset computations swap, and distinct
+               accesses have independent stream slots. *)
+            | Fload (a, i1), Fload (b, i2), Fmac (d, acc, x, y)
+              when x = b && y = a && a <> b && rc1 a && rc1 b && acc <> a
+                   && acc <> b ->
+                Some (Fmac2 (d, acc, i2, i1))
+            | Fload (a, i1), Fload (b, i2), Fmsb (d, acc, x, y)
+              when x = a && y = b && a <> b && rc1 a && rc1 b && acc <> a
+                   && acc <> b ->
+                Some (Fmsb2 (d, acc, i1, i2))
+            | Fload (a, i1), Fload (b, i2), Fmsb (d, acc, x, y)
+              when x = b && y = a && a <> b && rc1 a && rc1 b && acc <> a
+                   && acc <> b ->
+                Some (Fmsb2 (d, acc, i2, i1))
+            | Fload (a, i1), Fload (b, i2), Fadd (d, x, y)
+              when x = a && y = b && a <> b && rc1 a && rc1 b ->
+                Some (Fld2add (d, i1, i2))
+            | Fload (a, i1), Fload (b, i2), Fadd (d, x, y)
+              when x = b && y = a && a <> b && rc1 a && rc1 b ->
+                Some (Fld2add (d, i2, i1))
+            | _ -> None
+          else None
+        in
+        let fused2 =
+          if fused3 <> None then None
+          else if !i + 1 < n && not tflags.(!i + 1) then
+            match (work.(!i), work.(!i + 1)) with
+            | Fload (a, id), Fmac (d, acc, x, y)
+              when y = a && x <> a && acc <> a && rc1 a ->
+                Some (Fldmac (d, acc, x, id))
+            | Fload (a, id), Fmsb (d, acc, x, y)
+              when y = a && x <> a && acc <> a && rc1 a ->
+                Some (Fldmsb (d, acc, x, id))
+            | Fload (a, id), Fadd (d, x, y) when y = a && x <> a && rc1 a ->
+                Some (Fldadd (d, x, id))
+            | Fload (a, id), Fsub (d, x, y) when y = a && x <> a && rc1 a ->
+                Some (Fldsub (d, x, id))
+            | Fload (a, id), Fmul (d, x, y) when y = a && x <> a && rc1 a ->
+                Some (Fldmul (d, x, id))
+            | Fload (a, id), Fstore (s, id2) when s = a && rc1 a ->
+                Some (Fldst (id, id2))
+            | _ -> None
+          else None
+        in
+        match (fused3, fused2) with
+        | Some f, _ ->
+            work.(!i) <- f;
+            dead.(!i + 1) <- true;
+            dead.(!i + 2) <- true;
+            changed := true;
+            i := !i + 3
+        | None, Some f ->
+            work.(!i) <- f;
+            dead.(!i + 1) <- true;
+            changed := true;
+            i := !i + 2
+        | None, None -> incr i
+      done;
+      if !changed then pass (delete_at work dead) (budget - 1) else ops
+    end
+  in
+  { t with tp_ops = pass t.tp_ops 8 }
+
+(* ---------- x4 strip unrolling ---------- *)
+
+(* Four renamed copies of the body with [Jadv] between them; the
+   executor runs whole groups through this array and the remainder (and
+   any sanitized run) through the plain body. Only registers private to
+   one iteration are renamed: lowering temporaries (>= the bases) whose
+   first textual occurrence is a write and that no access record
+   references. Lowering emits definitions before uses on every path, so
+   textual order is sound here. Shared registers (reduction scalars,
+   promoted elements' access ids, serial inductions used in subscripts)
+   stay shared — the copies execute strictly in sequence, so that is
+   exactly the single-iteration semantics repeated. *)
+let unroll ~int_base ~real_base ~fresh_int ~fresh_real (t : tape) =
+  let ops = t.tp_ops in
+  let n = Array.length ops in
+  if n = 0 then t
+  else begin
+    let acc_regs = Hashtbl.create 32 in
+    Array.iter
+      (fun ac ->
+        let m r = Hashtbl.replace acc_regs r () in
+        Array.iter (fun a -> Array.iter m a.regs) ac.ac_subs;
+        Array.iter m ac.ac_var.regs;
+        Array.iter m ac.ac_inv.regs)
+      t.tp_accs;
+    let iseen = Hashtbl.create 32 and rseen = Hashtbl.create 32 in
+    let first seen r w = if not (Hashtbl.mem seen r) then Hashtbl.replace seen r w in
+    Array.iter
+      (fun op ->
+        iter_int_reads (fun r -> first iseen r false) op;
+        iter_float_reads (fun r -> first rseen r false) op;
+        (match int_write op with Some d -> first iseen d true | None -> ());
+        match float_write op with Some d -> first rseen d true | None -> ())
+      ops;
+    let iren = Hashtbl.create 16 and rren = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun r write_first ->
+        if write_first && r >= int_base && not (Hashtbl.mem acc_regs r) then
+          Hashtbl.replace iren r ())
+      iseen;
+    Hashtbl.iter
+      (fun r write_first ->
+        if write_first && r >= real_base then Hashtbl.replace rren r ())
+      rseen;
+    let subst_aff imap (a : aff) =
+      {
+        a with
+        regs =
+          Array.map
+            (fun r -> Option.value ~default:r (Hashtbl.find_opt imap r))
+            a.regs;
+      }
+    in
+    let subst imap rmap off op =
+      let gi r = Option.value ~default:r (Hashtbl.find_opt imap r) in
+      let gf r = Option.value ~default:r (Hashtbl.find_opt rmap r) in
+      match op with
+      | Iconst (d, v) -> Iconst (gi d, v)
+      | Iaff (d, a) -> Iaff (gi d, subst_aff imap a)
+      | Imul (d, a, b) -> Imul (gi d, gi a, gi b)
+      | Idiv (d, a, b) -> Idiv (gi d, gi a, gi b)
+      | Imod (d, a, b) -> Imod (gi d, gi a, gi b)
+      | Icdiv (d, a, b) -> Icdiv (gi d, gi a, gi b)
+      | Imin (d, a, b) -> Imin (gi d, gi a, gi b)
+      | Imax (d, a, b) -> Imax (gi d, gi a, gi b)
+      | Istep (r, nm) -> Istep (gi r, nm)
+      | Fconst (d, x) -> Fconst (gf d, x)
+      | Fmov (d, s) -> Fmov (gf d, gf s)
+      | Fadd (d, a, b) -> Fadd (gf d, gf a, gf b)
+      | Fsub (d, a, b) -> Fsub (gf d, gf a, gf b)
+      | Fmul (d, a, b) -> Fmul (gf d, gf a, gf b)
+      | Fdiv (d, a, b) -> Fdiv (gf d, gf a, gf b)
+      | Fmin (d, a, b) -> Fmin (gf d, gf a, gf b)
+      | Fmax (d, a, b) -> Fmax (gf d, gf a, gf b)
+      | Fneg (d, s) -> Fneg (gf d, gf s)
+      | Fofi (d, s) -> Fofi (gf d, gi s)
+      | Fmac (d, a, x, y) -> Fmac (gf d, gf a, gf x, gf y)
+      | Fmsb (d, a, x, y) -> Fmsb (gf d, gf a, gf x, gf y)
+      | Fload (d, id) -> Fload (gf d, id)
+      | Fstore (s, id) -> Fstore (gf s, id)
+      | Sinit (s, a) -> Sinit (s, subst_aff imap a)
+      | Jadv -> Jadv
+      | Fmac2 (d, a, i1, i2) -> Fmac2 (gf d, gf a, i1, i2)
+      | Fmsb2 (d, a, i1, i2) -> Fmsb2 (gf d, gf a, i1, i2)
+      | Fldmac (d, a, x, id) -> Fldmac (gf d, gf a, gf x, id)
+      | Fldmsb (d, a, x, id) -> Fldmsb (gf d, gf a, gf x, id)
+      | Fldadd (d, x, id) -> Fldadd (gf d, gf x, id)
+      | Fldsub (d, x, id) -> Fldsub (gf d, gf x, id)
+      | Fldmul (d, x, id) -> Fldmul (gf d, gf x, id)
+      | Fld2add (d, i1, i2) -> Fld2add (gf d, i1, i2)
+      | Fldst (i1, i2) -> Fldst (i1, i2)
+      | Jmp t -> Jmp (t + off)
+      | Jii (op, a, b, t) -> Jii (op, gi a, gi b, t + off)
+      | Jff (op, a, b, t) -> Jff (op, gf a, gf b, t + off)
+      | Iloop (r, a, bnd, top) -> Iloop (gi r, subst_aff imap a, gi bnd, top + off)
+      | Iloopc (r, c, bnd, top) -> Iloopc (gi r, c, gi bnd, top + off)
+    in
+    let u = Array.make ((4 * n) + 3) Jadv in
+    let empty_i = Hashtbl.create 1 and empty_r = Hashtbl.create 1 in
+    for m = 0 to 3 do
+      let imap, rmap =
+        if m = 0 then (empty_i, empty_r)
+        else begin
+          let im = Hashtbl.create 16 and rm = Hashtbl.create 16 in
+          Hashtbl.iter (fun r () -> Hashtbl.replace im r (fresh_int ())) iren;
+          Hashtbl.iter (fun r () -> Hashtbl.replace rm r (fresh_real ())) rren;
+          (im, rm)
+        end
+      in
+      let off = m * (n + 1) in
+      for i = 0 to n - 1 do
+        (* A jump target t = n (fall off the copy's end) lands exactly on
+           the separating [Jadv] — or past the last copy's end. *)
+        u.(off + i) <- subst imap rmap off ops.(i)
+      done
+    done;
+    { t with tp_unrolled = Some u }
+  end
+
+(* ---------- driver ---------- *)
+
+let optimize ~level ~jslot ~int_base ~real_base ~fresh_int ~fresh_real tape =
+  if level <= 0 || sanitized tape then tape
+  else begin
+    let t = stream ~jslot tape in
+    if level <= 1 then t
+    else begin
+      let t = { t with tp_ops = cse t.tp_ops } in
+      let t = dce ~int_base t in
+      let t = fuse ~real_base t in
+      unroll ~int_base ~real_base ~fresh_int ~fresh_real t
+    end
+  end
+
+let describe (t : tape) =
+  let fused = ref 0 in
+  Array.iter
+    (function
+      | Fmac2 _ | Fmsb2 _ | Fldmac _ | Fldmsb _ | Fldadd _ | Fldsub _
+      | Fldmul _ | Fld2add _ | Fldst _ ->
+          incr fused
+      | _ -> ())
+    t.tp_ops;
+  Printf.sprintf "streams=%d fused=%d%s" t.tp_nstreams !fused
+    (match t.tp_unrolled with Some _ -> " unrolled=4" | None -> "")

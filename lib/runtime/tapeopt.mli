@@ -1,0 +1,51 @@
+(** Optimizer pipeline over the flat register tape.
+
+    Runs after {!Bytecode.lower}, while the host compiler's register
+    counters are still live (new registers allocated here extend the
+    plan's register files before environments are sized). Three passes,
+    all preserving the tape's sequential semantics {e exactly} — float
+    operand order, access execution order, checked-path fault messages
+    and shadow-hook order are unchanged, so results are bit-identical to
+    the unoptimized tape:
+
+    - {b offset streaming} (level >= 1): an access whose affine offset
+      advances by a constant per back-edge — of the strip itself or of a
+      constant-step serial loop — keeps its full offset in a scratch
+      slot, initialized by a [Sinit] at region entry and self-bumped
+      after each use, replacing the per-iteration multiply-add chain.
+      Composes with the once-per-fork range check: streamed offsets are
+      an unsafe-path specialization; checked accesses still recompute
+      from subscripts.
+    - {b CSE + dead-write elimination} (level >= 2): basic-block value
+      numbering over the pure int instructions, then deletion of int
+      writes nothing reads (program scalars are always kept).
+    - {b fusion and x4 unrolling} (level >= 2): adjacent load/consumer
+      pairs collapse into superinstructions (one dispatch), and the
+      strip body is unrolled four times with per-iteration temporaries
+      renamed; the executor runs the remainder iterations — and every
+      sanitized run — on the plain single-iteration body.
+
+    Sanitized tapes are returned untouched at every level: the
+    sanitizer's per-iteration shadow protocol stays on the one proven
+    path. *)
+
+val optimize :
+  level:int ->
+  jslot:int ->
+  int_base:int ->
+  real_base:int ->
+  fresh_int:(unit -> int) ->
+  fresh_real:(unit -> int) ->
+  Bytecode.tape ->
+  Bytecode.tape
+(** [optimize ~level ...] returns the tape rewritten for [level] (0 =
+    untouched, 1 = streaming only, >= 2 = full pipeline). [jslot] is the
+    strip index register; [int_base]/[real_base] are the first registers
+    lowering was allowed to allocate (anything below is an observable
+    program slot and is never renamed or deleted); [fresh_int]/
+    [fresh_real] allocate renamed registers from the same counters the
+    lowering used. *)
+
+val describe : Bytecode.tape -> string
+(** One-line pass summary ("streams=2 fused=1 unrolled=4"), for
+    diagnostics and tests. *)

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Formatting lint over the OCaml sources (ocamlformat-free equivalent,
+# usable on machines without the formatter installed): no tab
+# indentation, no trailing whitespace, every file ends in exactly one
+# newline. Run from the repository root; exits nonzero listing every
+# offending file:line.
+set -u
+
+fail=0
+
+files=$(find bin lib test bench examples scripts -name '*.ml' -o -name '*.mli' 2>/dev/null | sort)
+
+for f in $files; do
+  if grep -n "$(printf '\t')" "$f" >/dev/null; then
+    echo "fmt: tab character in $f:"
+    grep -n "$(printf '\t')" "$f" | head -5
+    fail=1
+  fi
+  if grep -n ' $' "$f" >/dev/null; then
+    echo "fmt: trailing whitespace in $f:"
+    grep -n ' $' "$f" | head -5
+    fail=1
+  fi
+  if [ -s "$f" ]; then
+    if [ "$(tail -c 1 "$f" | od -An -c | tr -d ' ')" != '\n' ]; then
+      echo "fmt: missing final newline in $f"
+      fail=1
+    elif [ -z "$(tail -c 2 "$f" | head -c 1 | tr -d '\n')" ] && [ "$(wc -c < "$f")" -gt 1 ]; then
+      echo "fmt: multiple trailing newlines in $f"
+      fail=1
+    fi
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "fmt: OK ($(echo "$files" | wc -l | tr -d ' ') files)"
+fi
+exit "$fail"

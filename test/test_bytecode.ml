@@ -26,7 +26,16 @@ let all_policies =
   ]
 
 let domain_counts = [ 1; 2; 4 ]
-let engines = [ Exec.Closure; Exec.Bytecode ]
+
+(* Engine x optimizer-level configurations: together with the reference
+   interpreter these make every differential four-way — closure, raw
+   bytecode (-O0) and the full Tapeopt pipeline (-O2) must all agree. *)
+let configs =
+  [
+    ("closure", Exec.Closure, 2);
+    ("bytecode -O0", Exec.Bytecode, 0);
+    ("bytecode -O2", Exec.Bytecode, 2);
+  ]
 
 let check_all_engines ~what prog =
   let st = Eval.run prog in
@@ -35,16 +44,12 @@ let check_all_engines ~what prog =
       List.iter
         (fun domains ->
           List.iter
-            (fun engine ->
-              let outcome = Exec.run ~domains ~policy ~engine prog in
+            (fun (cname, engine, opt_level) ->
+              let outcome = Exec.run ~domains ~policy ~engine ~opt_level prog in
               if not (Exec.agrees_with_interpreter outcome st) then
-                Alcotest.failf "%s: %s engine (%d domains, %s) differs"
-                  what
-                  (match engine with
-                  | Exec.Closure -> "closure"
-                  | Exec.Bytecode -> "bytecode")
-                  domains (Policy.name policy))
-            engines)
+                Alcotest.failf "%s: %s engine (%d domains, %s) differs" what
+                  cname domains (Policy.name policy))
+            configs)
         domain_counts)
     all_policies
 
@@ -319,8 +324,9 @@ let test_sanitizer_on_bytecode () =
 (* ---------- differential properties ---------- *)
 
 (* Race-free DOALL nests (writes indexed exactly by the nest indices):
-   interpreter, closure and bytecode agree bit-for-bit under every
-   policy and domain count, and the sanitized bytecode run is clean. *)
+   interpreter, closure, bytecode -O0 and bytecode -O2 agree bit-for-bit
+   under every policy and domain count, and the sanitized bytecode run
+   is clean. *)
 let differential arb ~name ~count =
   QCheck.Test.make ~count ~name arb (fun prog ->
       let st = Eval.run prog in
@@ -329,11 +335,11 @@ let differential arb ~name ~count =
           List.for_all
             (fun domains ->
               List.for_all
-                (fun engine ->
+                (fun (_, engine, opt_level) ->
                   Exec.agrees_with_interpreter
-                    (Exec.run ~domains ~policy ~engine prog)
+                    (Exec.run ~domains ~policy ~engine ~opt_level prog)
                     st)
-                engines)
+                configs)
             domain_counts)
         all_policies
       &&
@@ -407,6 +413,122 @@ let prop_promotion_agrees =
     ~count:12
     ~name:"bytecode = closure = interpreter (serial accumulation nests)"
 
+(* ---------- unrolled strips: remainder handling, traces, metrics ---------- *)
+
+(* A 2-level DOALL whose inner digit has exactly [trips] iterations, so
+   every strip the bytecode tier executes has length [trips]: with the
+   x4-unrolled body that exercises 0 full groups + remainders 1 and 3,
+   exactly one group (no remainder), and full groups + remainder. The
+   serial k-loop gives the optimizer streamed offsets and promotion. *)
+let trip_prog ~trips =
+  let wij = Ast.Load ("W", [ Ast.Var "i"; Ast.Var "j" ]) in
+  let store =
+    Ast.Assign
+      ( Elem ("W", [ Var "i"; Var "j" ]),
+        Bin (Add, wij, Bin (Mul, Var "i", Var "k")) )
+  in
+  let kloop =
+    Ast.For
+      { index = "k"; lo = Int 1; hi = Int 3; step = Int 1; par = Serial;
+        body = [ store ] }
+  in
+  let doall index hi body : Ast.stmt =
+    For { index; lo = Int 1; hi = Int hi; step = Int 1; par = Parallel; body }
+  in
+  {
+    Ast.arrays = [ { Ast.arr_name = "W"; dims = [ 7; 8 ] } ];
+    scalars = [];
+    body = [ doall "i" 6 [ doall "j" trips [ kloop ] ] ];
+  }
+
+(* Everything observable must be identical between -O0 and -O2: results,
+   the traced chunk decomposition, and the scheduler metrics derived
+   from it. Timestamps are the only fields allowed to differ. *)
+let test_unrolled_strips_identical () =
+  List.iter
+    (fun trips ->
+      let prog = trip_prog ~trips in
+      let st = Eval.run prog in
+      List.iter
+        (fun domains ->
+          let run lvl =
+            let compiled = Compile.compile ~opt_level:lvl prog in
+            let tracer = Trace.create ~p:domains () in
+            let outcome =
+              Exec.run_compiled ~domains ~policy:Policy.Static_block
+                ~engine:Exec.Bytecode ~trace:tracer compiled
+            in
+            (outcome, Trace.snapshot tracer)
+          in
+          let o0, t0 = run 0 in
+          let o2, t2 = run 2 in
+          if not (Exec.agrees_with_interpreter o0 st) then
+            Alcotest.failf "trips=%d domains=%d: -O0 differs from interpreter"
+              trips domains;
+          if o0.Exec.arrays <> o2.Exec.arrays
+             || o0.Exec.scalars <> o2.Exec.scalars then
+            Alcotest.failf "trips=%d domains=%d: -O2 result differs from -O0"
+              trips domains;
+          (* Chunks are sorted by timestamp in the snapshot; re-sort by
+             coalesced position so only schedule-invariant fields are
+             compared. *)
+          let shape (tr : Trace.t) =
+            ( Array.to_list tr.Trace.chunks
+              |> List.map (fun (c : Trace.chunk) ->
+                     (c.Trace.epoch, c.Trace.worker, c.Trace.start, c.Trace.len))
+              |> List.sort compare,
+              Array.to_list tr.Trace.forks
+              |> List.map (fun (f : Trace.fork) ->
+                     ( f.Trace.f_epoch,
+                       Policy.name f.Trace.f_policy,
+                       f.Trace.f_n,
+                       f.Trace.f_p )) )
+          in
+          if shape t0 <> shape t2 then
+            Alcotest.failf "trips=%d domains=%d: trace shape differs" trips
+              domains;
+          let counts (tr : Trace.t) =
+            let m = Metrics.of_trace tr in
+            ( m.Metrics.total_chunks,
+              m.Metrics.total_iters,
+              List.map
+                (fun (f : Metrics.fork_metrics) ->
+                  ( f.Metrics.n,
+                    f.Metrics.p,
+                    f.Metrics.chunks_dispatched,
+                    f.Metrics.iterations ))
+                m.Metrics.forks )
+          in
+          if counts t0 <> counts t2 then
+            Alcotest.failf "trips=%d domains=%d: metrics differ" trips domains)
+        [ 1; 2 ])
+    [ 1; 3; 4; 5; 7 ]
+
+(* The sanitizer must see the exact same accesses at every level — the
+   optimizer leaves instrumented tapes untouched, so reports and summary
+   are identical, on race-free and racy programs alike. *)
+let test_sanitizer_identical_across_opt () =
+  let racy =
+    B.program
+      ~arrays:[ B.array "W" [ 6; 6 ] ]
+      [
+        B.doall "i" (B.int 1) (B.int 6)
+          [ B.store "W" [ B.int 1; B.int 1 ] (B.var "i") ];
+      ]
+  in
+  List.iter
+    (fun prog ->
+      let observe lvl =
+        let _, sh =
+          Exec.run_sanitized ~domains:1 ~engine:Exec.Bytecode ~opt_level:lvl
+            prog
+        in
+        (Sanitize.results sh, Sanitize.summary_to_string sh)
+      in
+      if observe 0 <> observe 2 then
+        Alcotest.fail "sanitizer output differs between -O0 and -O2")
+    [ sanitizable; racy ]
+
 let suite =
   [
     Alcotest.test_case "strip bounds pinned" `Quick test_strip_bounds;
@@ -418,6 +540,10 @@ let suite =
       test_sanitized_tape_stays_checked;
     Alcotest.test_case "sanitizer on bytecode engine" `Quick
       test_sanitizer_on_bytecode;
+    Alcotest.test_case "unrolled strips: -O2 = -O0 (results, traces, metrics)"
+      `Quick test_unrolled_strips_identical;
+    Alcotest.test_case "sanitizer identical across opt levels" `Quick
+      test_sanitizer_identical_across_opt;
     Gen.to_alcotest prop_doall_nests_agree;
     Gen.to_alcotest prop_promotion_agrees;
   ]

@@ -1,0 +1,158 @@
+(* Plan cache: hit/miss accounting, key discrimination (sanitize flag,
+   optimizer level, engine salt), the no-cache bypass, and the on-disk
+   layer including corrupt-file tolerance.
+
+   The invariant under test: a cache hit must be indistinguishable from
+   a cold compile — same plan tapes, same register numbering, same
+   results — while a sanitized compile must never see an unsanitized
+   tape (and vice versa). *)
+
+open Loopcoal
+module Compile = Runtime.Compile
+module Exec = Runtime.Exec
+module Plancache = Runtime.Plancache
+module Bytecode = Runtime.Bytecode
+module B = Builder
+
+let prog =
+  B.program
+    ~arrays:[ B.array "W" [ 6; 6 ] ]
+    [
+      B.doall "i" (B.int 1) (B.int 6)
+        [
+          B.doall "j" (B.int 1) (B.int 6)
+            [
+              B.store "W"
+                [ B.var "i"; B.var "j" ]
+                B.(load "W" [ var "i"; var "j" ] + var "i" + var "j");
+            ];
+        ];
+    ]
+
+let other_prog =
+  B.program
+    ~arrays:[ B.array "V" [ 9 ] ]
+    [ B.doall "q" (B.int 1) (B.int 9) [ B.store "V" [ B.var "q" ] (B.var "q") ] ]
+
+let stats () = Counters.plan_cache_stats ()
+
+let check_stats what (h, m) =
+  Alcotest.(check (pair int int)) what (h, m) (stats ())
+
+let tapes compiled =
+  List.map (fun (p : Compile.plan) -> p.Compile.tape) (Compile.plans compiled)
+
+let test_hit_miss_counters () =
+  Counters.reset ();
+  let cache = Plancache.create () in
+  let c1 = Compile.compile ~cache prog in
+  check_stats "first compile misses" (0, 1);
+  let c2 = Compile.compile ~cache prog in
+  check_stats "second compile hits" (1, 1);
+  let _ = Compile.compile ~cache other_prog in
+  check_stats "different program misses" (1, 2);
+  (* A hit replays the cold compile exactly: same tapes, same results. *)
+  Alcotest.(check bool) "hit replays identical tapes" true
+    (tapes c1 = tapes c2);
+  let o1 = Exec.run_compiled ~domains:2 c1 in
+  let o2 = Exec.run_compiled ~domains:2 c2 in
+  Alcotest.(check bool) "hit runs identically" true
+    (o1.Exec.arrays = o2.Exec.arrays && o1.Exec.scalars = o2.Exec.scalars)
+
+let test_key_discrimination () =
+  Counters.reset ();
+  let cache = Plancache.create () in
+  let _ = Compile.compile ~cache prog in
+  (* Sanitized compile after an unsanitized one must miss, and its tapes
+     must carry the instrumentation flag. *)
+  let cs = Compile.compile ~cache ~sanitize:true prog in
+  check_stats "sanitize changes the key" (0, 2);
+  List.iter
+    (fun t ->
+      match t with
+      | None -> Alcotest.fail "sanitized plan should lower to a tape"
+      | Some t ->
+          Alcotest.(check bool) "cached-path tape is sanitized" true
+            (Bytecode.sanitized t))
+    (tapes cs);
+  (* ... and re-compiling each flavor now hits its own entry. *)
+  let cs2 = Compile.compile ~cache ~sanitize:true prog in
+  let cu = Compile.compile ~cache prog in
+  check_stats "each flavor has its own entry" (2, 2);
+  Alcotest.(check bool) "sanitized hit stays sanitized" true
+    (tapes cs = tapes cs2);
+  List.iter
+    (fun t ->
+      match t with
+      | None -> Alcotest.fail "plan should lower to a tape"
+      | Some t ->
+          Alcotest.(check bool) "unsanitized hit stays unsanitized" false
+            (Bytecode.sanitized t))
+    (tapes cu);
+  (* Opt level and engine salt are part of the key too. *)
+  let _ = Compile.compile ~cache ~opt_level:0 prog in
+  check_stats "opt level changes the key" (2, 3);
+  let _ = Compile.compile ~cache ~cache_salt:"closure" prog in
+  check_stats "engine salt changes the key" (2, 4)
+
+let test_no_cache_bypass () =
+  Counters.reset ();
+  let c1 = Compile.compile prog in
+  let c2 = Compile.compile prog in
+  check_stats "no cache, no counter traffic" (0, 0);
+  Alcotest.(check bool) "uncached compiles still agree" true
+    (tapes c1 = tapes c2)
+
+let with_temp_dir f =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "loopc-plancache-%d" (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists d then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat d f))
+          (Sys.readdir d);
+        Sys.rmdir d
+      end)
+    (fun () -> f d)
+
+let test_disk_persistence () =
+  with_temp_dir (fun dir ->
+      Counters.reset ();
+      let c1 = Compile.compile ~cache:(Plancache.create ~dir ()) prog in
+      check_stats "cold disk cache misses" (0, 1);
+      Alcotest.(check bool) "one entry written" true
+        (Sys.readdir dir |> Array.exists (fun f -> Filename.check_suffix f ".plan"));
+      (* A fresh cache instance — a new process, effectively — finds the
+         entry on disk and replays it. *)
+      let c2 = Compile.compile ~cache:(Plancache.create ~dir ()) prog in
+      check_stats "fresh instance hits from disk" (1, 1);
+      Alcotest.(check bool) "disk hit replays identical tapes" true
+        (tapes c1 = tapes c2);
+      (* Corrupt every entry: the next fresh instance must fall back to
+         a miss and recompile, not crash. *)
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".plan" then begin
+            let oc = open_out_bin (Filename.concat dir f) in
+            output_string oc "not a marshaled plan";
+            close_out oc
+          end)
+        (Sys.readdir dir);
+      let c3 = Compile.compile ~cache:(Plancache.create ~dir ()) prog in
+      check_stats "corrupt entry is a miss" (1, 2);
+      Alcotest.(check bool) "recompile after corruption agrees" true
+        (tapes c1 = tapes c3))
+
+let suite =
+  [
+    Alcotest.test_case "hit/miss counters" `Quick test_hit_miss_counters;
+    Alcotest.test_case "key discrimination (sanitize, opt level, salt)" `Quick
+      test_key_discrimination;
+    Alcotest.test_case "no cache is a true bypass" `Quick test_no_cache_bypass;
+    Alcotest.test_case "disk persistence and corruption tolerance" `Quick
+      test_disk_persistence;
+  ]

@@ -194,7 +194,7 @@ let two_d_program_gen =
   let* w2 = oneof [ shifted_ref "A"; shifted_ref "Bb" ] in
   let+ r2 = oneof [ shifted_ref "A"; shifted_ref "Bb" ] in
   let subs a b : Ast.expr list =
-    [ B.(var "i" + int a); B.(var "j" + int b) ] 
+    [ B.(var "i" + int a); B.(var "j" + int b) ]
   in
   let mk_lvalue (name, a, b) : Ast.lvalue = Elem (name, subs a b) in
   let mk_load (name, a, b) : Ast.expr = Load (name, subs a b) in
