@@ -757,13 +757,35 @@ let run_cmd =
              optimize tapes from scratch instead of reusing a cached \
              plan from \\$XDG_CACHE_HOME/loopc (or ~/.cache/loopc).")
   in
+  let dump_tape_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "all") (some string) None
+      & info [ "dump-tape" ] ~docv:"PASS"
+          ~doc:
+            "Print each plan's bytecode tape as it moves through the \
+             optimizer pipeline, in the stable textual format the golden \
+             tests pin. With no argument (or $(b,all)) every stage is \
+             printed; naming one stage of $(b,lower), $(b,gvn), \
+             $(b,licm), $(b,stream), $(b,fuse), $(b,unroll) prints the \
+             tape before and after that stage. Implies \
+             $(b,--no-plan-cache) for this run, since a cache hit skips \
+             the pipeline.")
+  in
   let run parallel procs policy coalesce compare time trace_file metrics
-      sanitize engine opt_level no_plan_cache p =
+      sanitize engine opt_level no_plan_cache dump_tape p =
     if opt_level < 0 || opt_level > 2 then begin
       Printf.eprintf "error: --opt-level must be 0, 1 or 2 (got %d)\n"
         opt_level;
       exit 1
     end;
+    (match dump_tape with
+    | Some pass
+      when pass <> "all" && not (List.mem pass L.Runtime.Tapeopt.pass_names) ->
+        Printf.eprintf "error: --dump-tape: unknown pass %S (all|%s)\n" pass
+          (String.concat "|" L.Runtime.Tapeopt.pass_names);
+        exit 1
+    | _ -> ());
     report_validation p;
     let orig = p in
     let p =
@@ -780,11 +802,13 @@ let run_cmd =
     in
     match engine with
     | Interp -> (
-        if parallel || trace_file <> None || metrics || sanitize then begin
+        if parallel || trace_file <> None || metrics || sanitize
+           || dump_tape <> None
+        then begin
           Printf.eprintf
             "error: --engine interp is the sequential reference \
              interpreter; it supports none of --parallel, --trace, \
-             --metrics, --sanitize\n";
+             --metrics, --sanitize, --dump-tape\n";
           exit 1
         end;
         if compare then
@@ -821,12 +845,33 @@ let run_cmd =
       | _ -> L.Runtime.Exec.Bytecode
     in
     let cache =
-      if no_plan_cache then None
+      if no_plan_cache || dump_tape <> None then None
       else Some (L.Runtime.Plancache.create ?dir:(L.Runtime.Plancache.default_dir ()) ())
+    in
+    (* [prev] remembers each plan's previous stage so a named pass can
+       show the tape it rewrote ("before gvn") next to its output. *)
+    let prev : (int, string * string) Hashtbl.t = Hashtbl.create 4 in
+    let tape_dump =
+      Option.map
+        (fun sel ->
+          fun ~plan ~pass tape ->
+           let text = L.Runtime.Bytecode.pp_tape tape in
+           if sel = "all" then
+             Printf.printf "== plan %d: after %s ==\n%s" plan pass text
+           else if pass = sel then begin
+             (match Hashtbl.find_opt prev plan with
+             | Some (prev_pass, prev_text) ->
+                 Printf.printf "== plan %d: before %s (after %s) ==\n%s" plan
+                   sel prev_pass prev_text
+             | None -> ());
+             Printf.printf "== plan %d: after %s ==\n%s" plan sel text
+           end;
+           Hashtbl.replace prev plan (pass, text))
+        dump_tape
     in
     let hits0, _ = L.Counters.plan_cache_stats () in
     match
-      L.Runtime.Compile.compile_result ~sanitize ~opt_level ?cache
+      L.Runtime.Compile.compile_result ~sanitize ~opt_level ?cache ?tape_dump
         ~cache_salt:(run_engine_name eng) p
     with
     | Error m ->
@@ -980,7 +1025,8 @@ let run_cmd =
     Term.(
       const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
       $ compare_flag $ time_flag $ trace_arg $ metrics_flag $ sanitize_flag
-      $ engine_arg $ opt_level_arg $ no_plan_cache_flag $ program_arg)
+      $ engine_arg $ opt_level_arg $ no_plan_cache_flag $ dump_tape_arg
+      $ program_arg)
 
 (* ---------- check ---------- *)
 

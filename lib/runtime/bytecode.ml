@@ -195,6 +195,9 @@ type instr =
   | Jmp of int
   | Jii of Ast.relop * int * int * int  (** jump if int cmp holds *)
   | Jff of Ast.relop * int * int * int  (** jump if float cmp holds *)
+  | Jffn of Ast.relop * int * int * int
+      (** jump if float cmp does NOT hold (NaN-correct negation of
+          [Jff]; branch-inversion peephole only) *)
   | Iloop of int * aff * int * int
       (** serial-loop back-edge, rotated: reg <- incr; jump to target
           while reg <= bound-reg *)
@@ -227,6 +230,10 @@ and vkind =
   | Vsj of int * int
       (** streamed over the strip index: scratch slot, bumped by
           [coef * jstep] after each use (strip stream) *)
+  | Vsv of int * int
+      (** streamed with a run-time bump: offset scratch slot, bump
+          scratch slot — both initialized by [Sinit]s at region entry
+          (variable-step serial loops) *)
 
 type tape = {
   tp_pre : instr array;  (** strip prologue: float consts and stream inits *)
@@ -242,6 +249,7 @@ type tape = {
 let sanitized t = t.tp_sanitize
 let n_instrs t = Array.length t.tp_ops
 let n_accesses t = Array.length t.tp_accs
+
 
 (* ---------- lowering ---------- *)
 
@@ -882,19 +890,7 @@ let exec_strip tape prep ~ints ~reals ~arrays ~shadow ~inv ~jslot ~j0 ~jstep
     ~len ~iter0 =
   let accs = tape.tp_accs in
   let unsafe = prep.pr_unsafe in
-  (* Strip prologue: float constants and stream offsets, then hoisted
-     invariant offsets. Stream initializers read the strip index, so the
-     slot is set to the strip's first iteration before they run. *)
   Array.unsafe_set ints jslot j0;
-  Array.iter
-    (function
-      | Fconst (d, x) -> Array.unsafe_set reals d x
-      | Sinit (s, a) -> Array.unsafe_set inv s (aff_eval ints a)
-      | _ -> assert false)
-    tape.tp_pre;
-  for a = 0 to Array.length accs - 1 do
-    Array.unsafe_set inv a (aff_eval ints (Array.unsafe_get accs a).ac_inv)
-  done;
   (* Offset of one access execution. Streamed kinds self-bump their
      scratch slot; checked accesses recompute from the subscripts (and
      leave any stream slot untouched — it is never read again). *)
@@ -915,6 +911,10 @@ let exec_strip tape prep ~ints ~reals ~arrays ~shadow ~inv ~jslot ~j0 ~jstep
       | Vsj (s, c) ->
           let v = Array.unsafe_get inv s in
           Array.unsafe_set inv s (v + (c * jstep));
+          v
+      | Vsv (s, bs) ->
+          let v = Array.unsafe_get inv s in
+          Array.unsafe_set inv s (v + Array.unsafe_get inv bs);
           v
     else checked_offset ints ac
   in
@@ -1095,6 +1095,10 @@ let exec_strip tape prep ~ints ~reals ~arrays ~shadow ~inv ~jslot ~j0 ~jstep
           if fcmp op (Array.unsafe_get reals a) (Array.unsafe_get reals b) then
             pc := t
           else incr pc
+      | Jffn (op, a, b, t) ->
+          if fcmp op (Array.unsafe_get reals a) (Array.unsafe_get reals b) then
+            incr pc
+          else pc := t
       | Iloop (r, a, bnd, top) ->
           let v = aff_eval ints a in
           Array.unsafe_set ints r v;
@@ -1105,6 +1109,20 @@ let exec_strip tape prep ~ints ~reals ~arrays ~shadow ~inv ~jslot ~j0 ~jstep
           if v <= Array.unsafe_get ints bnd then pc := top else incr pc
     done
   in
+  (* Strip prologue: float constants, strip-invariant ops hoisted by the
+     optimizer and stream-offset initializers run through the general
+     dispatch (no access instructions land here), then the per-access
+     invariant offsets are hoisted. Both read the strip index, which was
+     set to the strip's first iteration above. *)
+  Array.iter
+    (function
+      | Fconst (d, x) -> Array.unsafe_set reals d x
+      | Sinit (s, a) -> Array.unsafe_set inv s (aff_eval ints a)
+      | op -> exec_ops [| op |] iter0)
+    tape.tp_pre;
+  for a = 0 to Array.length accs - 1 do
+    Array.unsafe_set inv a (aff_eval ints (Array.unsafe_get accs a).ac_inv)
+  done;
   let j = ref j0 in
   let unrolled =
     match (tape.tp_unrolled, shadow) with
@@ -1152,3 +1170,194 @@ let strip_bounds ~inner ~t0 ~len =
     in
     go t0 []
   end
+
+(* ---------- CFG over a lowered instruction array ---------- *)
+
+(* Basic blocks split at jump targets and after control instructions.
+   Lowering emits forward jumps only except for the [Iloop]/[Iloopc]
+   back edges, so block order (= instruction order) is a topological
+   order of the graph with back edges removed. The final block is a
+   synthetic empty exit block at position [n]. *)
+type bblock = {
+  bb_start : int;  (** first instruction index *)
+  bb_stop : int;  (** one past the last instruction *)
+  bb_succs : int list;  (** successor block ids *)
+  bb_preds : int list;  (** predecessor block ids *)
+}
+
+type cfg = {
+  cf_blocks : bblock array;
+  cf_block_of : int array;  (** instruction index (0..n incl.) -> block id *)
+}
+
+let instr_targets = function
+  | Jmp t -> [ t ]
+  | Jii (_, _, _, t) | Jff (_, _, _, t) | Jffn (_, _, _, t) -> [ t ]
+  | Iloop (_, _, _, top) | Iloopc (_, _, _, top) -> [ top ]
+  | _ -> []
+
+let build_cfg (ops : instr array) : cfg =
+  let n = Array.length ops in
+  let leader = Array.make (n + 1) false in
+  leader.(0) <- true;
+  leader.(n) <- true;
+  Array.iteri
+    (fun i op ->
+      match instr_targets op with
+      | [] -> ()
+      | ts ->
+          List.iter (fun t -> leader.(t) <- true) ts;
+          if i + 1 <= n then leader.(i + 1) <- true)
+    ops;
+  let starts = ref [] in
+  for i = n downto 0 do
+    if leader.(i) then starts := i :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nb = Array.length starts in
+  let block_of = Array.make (n + 1) (nb - 1) in
+  let bounds =
+    Array.mapi
+      (fun k s ->
+        let stop = if k + 1 < nb then starts.(k + 1) else n in
+        for i = s to stop - 1 do
+          block_of.(i) <- k
+        done;
+        (s, stop))
+      starts
+  in
+  block_of.(n) <- nb - 1;
+  let succs = Array.make nb [] and preds = Array.make nb [] in
+  let edge a b =
+    if not (List.mem b succs.(a)) then begin
+      succs.(a) <- b :: succs.(a);
+      preds.(b) <- a :: preds.(b)
+    end
+  in
+  Array.iteri
+    (fun k (s, stop) ->
+      if stop > s then begin
+        let last = ops.(stop - 1) in
+        (match last with
+        | Jmp t -> edge k block_of.(t)
+        | Jii (_, _, _, t) | Jff (_, _, _, t) | Jffn (_, _, _, t) ->
+            edge k block_of.(t);
+            edge k block_of.(stop)
+        | Iloop (_, _, _, top) | Iloopc (_, _, _, top) ->
+            edge k block_of.(top);
+            edge k block_of.(stop)
+        | _ -> edge k block_of.(stop))
+      end)
+    bounds;
+  {
+    cf_blocks =
+      Array.mapi
+        (fun k (s, stop) ->
+          {
+            bb_start = s;
+            bb_stop = stop;
+            bb_succs = List.rev succs.(k);
+            bb_preds = List.rev preds.(k);
+          })
+        bounds;
+    cf_block_of = block_of;
+  }
+
+(* ---------- stable textual form (for --dump-tape and golden tests) ---------- *)
+
+let pp_aff (a : aff) =
+  let b = Buffer.create 16 in
+  Buffer.add_string b (string_of_int a.base);
+  Array.iteri
+    (fun m r -> Buffer.add_string b (Printf.sprintf " + %d*i%d" a.coefs.(m) r))
+    a.regs;
+  Buffer.contents b
+
+let pp_relop : Ast.relop -> string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let pp_instr (op : instr) =
+  let f = Printf.sprintf in
+  match op with
+  | Iconst (d, v) -> f "i%d <- %d" d v
+  | Iaff (d, a) -> f "i%d <- %s" d (pp_aff a)
+  | Imul (d, a, b) -> f "i%d <- i%d * i%d" d a b
+  | Idiv (d, a, b) -> f "i%d <- i%d / i%d" d a b
+  | Imod (d, a, b) -> f "i%d <- i%d mod i%d" d a b
+  | Icdiv (d, a, b) -> f "i%d <- i%d /^ i%d" d a b
+  | Imin (d, a, b) -> f "i%d <- min i%d i%d" d a b
+  | Imax (d, a, b) -> f "i%d <- max i%d i%d" d a b
+  | Istep (r, nm) -> f "step i%d (%s)" r nm
+  | Fconst (d, x) -> f "r%d <- %h" d x
+  | Fmov (d, s) -> f "r%d <- r%d" d s
+  | Fadd (d, a, b) -> f "r%d <- r%d + r%d" d a b
+  | Fsub (d, a, b) -> f "r%d <- r%d - r%d" d a b
+  | Fmul (d, a, b) -> f "r%d <- r%d * r%d" d a b
+  | Fdiv (d, a, b) -> f "r%d <- r%d / r%d" d a b
+  | Fmin (d, a, b) -> f "r%d <- min r%d r%d" d a b
+  | Fmax (d, a, b) -> f "r%d <- max r%d r%d" d a b
+  | Fneg (d, s) -> f "r%d <- -r%d" d s
+  | Fofi (d, s) -> f "r%d <- float i%d" d s
+  | Fmac (d, a, x, y) -> f "r%d <- r%d + r%d * r%d" d a x y
+  | Fmsb (d, a, x, y) -> f "r%d <- r%d - r%d * r%d" d a x y
+  | Fload (d, id) -> f "r%d <- load[%d]" d id
+  | Fstore (s, id) -> f "store[%d] <- r%d" id s
+  | Sinit (s, a) -> f "s%d <- %s" s (pp_aff a)
+  | Jadv -> "jadv"
+  | Fmac2 (d, a, i1, i2) -> f "r%d <- r%d + load[%d] * load[%d]" d a i1 i2
+  | Fmsb2 (d, a, i1, i2) -> f "r%d <- r%d - load[%d] * load[%d]" d a i1 i2
+  | Fldmac (d, a, x, id) -> f "r%d <- r%d + r%d * load[%d]" d a x id
+  | Fldmsb (d, a, x, id) -> f "r%d <- r%d - r%d * load[%d]" d a x id
+  | Fldadd (d, x, id) -> f "r%d <- r%d + load[%d]" d x id
+  | Fldsub (d, x, id) -> f "r%d <- r%d - load[%d]" d x id
+  | Fldmul (d, x, id) -> f "r%d <- r%d * load[%d]" d x id
+  | Fld2add (d, i1, i2) -> f "r%d <- load[%d] + load[%d]" d i1 i2
+  | Fldst (i1, i2) -> f "store[%d] <- load[%d]" i2 i1
+  | Jmp t -> f "jmp %d" t
+  | Jii (op, a, b, t) -> f "jii %s i%d i%d -> %d" (pp_relop op) a b t
+  | Jff (op, a, b, t) -> f "jff %s r%d r%d -> %d" (pp_relop op) a b t
+  | Jffn (op, a, b, t) -> f "jffn %s r%d r%d -> %d" (pp_relop op) a b t
+  | Iloop (r, a, bnd, top) ->
+      f "loop i%d <- %s while <= i%d -> %d" r (pp_aff a) bnd top
+  | Iloopc (r, c, bnd, top) ->
+      f "loopc i%d += %d while <= i%d -> %d" r c bnd top
+
+let pp_vkind = function
+  | V0 -> "inv"
+  | V1 (c, r) -> Printf.sprintf "inv + %d*i%d" c r
+  | V2 (c1, r1, c2, r2) -> Printf.sprintf "inv + %d*i%d + %d*i%d" c1 r1 c2 r2
+  | Vn -> "inv + var"
+  | Vs (s, b) -> Printf.sprintf "stream s%d bump %d" s b
+  | Vsj (s, c) -> Printf.sprintf "stream s%d bump %d*jstep" s c
+  | Vsv (s, bs) -> Printf.sprintf "stream s%d bump s%d" s bs
+
+let pp_tape (t : tape) =
+  let b = Buffer.create 256 in
+  let section name ops =
+    if Array.length ops > 0 then begin
+      Buffer.add_string b (name ^ ":\n");
+      Array.iteri
+        (fun i op -> Buffer.add_string b (Printf.sprintf "%4d: %s\n" i (pp_instr op)))
+        ops
+    end
+  in
+  section "pre" t.tp_pre;
+  section "ops" t.tp_ops;
+  (match t.tp_unrolled with Some u -> section "unrolled" u | None -> ());
+  if Array.length t.tp_accs > 0 then begin
+    Buffer.add_string b "accs:\n";
+    Array.iteri
+      (fun i ac ->
+        Buffer.add_string b
+          (Printf.sprintf "%4d: %s  inv = %s  var = %s  off = %s\n" i ac.ac_name
+             (pp_aff ac.ac_inv) (pp_aff ac.ac_var) (pp_vkind ac.ac_vk)))
+      t.tp_accs
+  end;
+  Buffer.add_string b
+    (Printf.sprintf "streams=%d sanitize=%b\n" t.tp_nstreams t.tp_sanitize);
+  Buffer.contents b

@@ -66,7 +66,13 @@ type aff = { base : int; coefs : int array; regs : int array }
 
 val aff_const : int -> aff
 val aff_reg : int -> aff
+val aff_make : int -> (int * int) list -> aff
+(** [aff_make base terms] with [(coef, reg)] terms, canonicalized. *)
+
+val aff_terms : aff -> (int * int) list
 val aff_add : aff -> aff -> aff
+val aff_scale : int -> aff -> aff
+val aff_sub : aff -> aff -> aff
 val aff_eval : int array -> aff -> int
 
 (** Symbolic per-fork range skeleton (see [prepare]). *)
@@ -122,6 +128,9 @@ type instr =
   | Jmp of int
   | Jii of Ast.relop * int * int * int  (** jump if int cmp holds *)
   | Jff of Ast.relop * int * int * int  (** jump if float cmp holds *)
+  | Jffn of Ast.relop * int * int * int
+      (** jump if float cmp does NOT hold (NaN-correct negation of
+          [Jff]; branch-inversion peephole only) *)
   | Iloop of int * aff * int * int
       (** serial-loop back-edge, rotated: reg <- incr; jump to target
           while reg <= bound-reg *)
@@ -152,9 +161,15 @@ and vkind =
   | Vn
   | Vs of int * int  (** scratch slot, constant bump *)
   | Vsj of int * int  (** scratch slot, coef (bump = coef * jstep) *)
+  | Vsv of int * int
+      (** offset scratch slot, bump scratch slot (variable-step loops;
+          both slots initialized by [Sinit]s at region entry) *)
 
 type tape = {
-  tp_pre : instr array;  (** strip prologue: float consts and stream inits *)
+  tp_pre : instr array;
+      (** strip prologue: float consts, optimizer-hoisted strip-invariant
+          ops and stream inits; executed once per strip, never contains
+          array accesses *)
   tp_ops : instr array;  (** single-iteration body *)
   tp_unrolled : instr array option;
       (** optimizer-built x4 unrolled body ([Jadv] between copies); only
@@ -187,6 +202,38 @@ val lower :
 val sanitized : tape -> bool
 val n_instrs : tape -> int
 val n_accesses : tape -> int
+
+(** {1 CFG metadata}
+
+    Basic blocks over a lowered instruction array, split at jump targets
+    and after control instructions. Lowering emits forward jumps only,
+    except for the [Iloop]/[Iloopc] back edges, so block order is a
+    topological order of the graph with back edges removed. The last
+    block is a synthetic empty exit block at position [n]; jumps to [n]
+    (fall off the tape) resolve to it. The optimizer's SSA pipeline is
+    built on this. *)
+
+type bblock = {
+  bb_start : int;  (** first instruction index *)
+  bb_stop : int;  (** one past the last instruction *)
+  bb_succs : int list;  (** successor block ids, in edge order *)
+  bb_preds : int list;  (** predecessor block ids *)
+}
+
+type cfg = {
+  cf_blocks : bblock array;
+  cf_block_of : int array;  (** instruction index (0..n incl.) -> block id *)
+}
+
+val build_cfg : instr array -> cfg
+val instr_targets : instr -> int list
+(** Explicit jump targets of one instruction (empty for straight-line). *)
+
+(** {1 Stable textual form} — used by [--dump-tape] and golden tests;
+    deterministic, one line per instruction. *)
+
+val pp_instr : instr -> string
+val pp_tape : tape -> string
 
 type prep
 (** Per-fork preparation: which accesses may run unchecked, valid for

@@ -94,6 +94,8 @@ type ctx = {
   mutable plans : plan list;  (** compiled parallel plans, reversed *)
   sanitize : bool;  (** instrument array accesses with shadow-cell hooks *)
   opt_level : int;  (** tape optimizer level (0 = lowering output) *)
+  tape_dump : (plan:int -> pass:string -> Bytecode.tape -> unit) option;
+      (** per-pass observer threaded into {!Tapeopt.optimize} *)
   mutable tape_reuse : (Bytecode.tape option * int * int) list option;
       (** plan-cache hit: per-plan tapes + register deltas to replay *)
   mutable tape_log : (Bytecode.tape option * int * int) list;
@@ -549,9 +551,16 @@ and compile_parallel_nest ctx (l : Ast.loop) : code =
             ~plan_names:index_names ~plan_slots:index_slots
             ~sanitize:ctx.sanitize inner_body
         in
+        let dump =
+          Option.map
+            (fun f ->
+              let plan = List.length ctx.plans in
+              fun ~pass tape -> f ~plan ~pass tape)
+            ctx.tape_dump
+        in
         let t =
           Option.map
-            (Tapeopt.optimize ~level:ctx.opt_level
+            (Tapeopt.optimize ?dump ~level:ctx.opt_level
                ~jslot:index_slots.(depth - 1) ~int_base ~real_base
                ~fresh_int:(fun () -> fresh_int ctx)
                ~fresh_real:(fun () -> fresh_real ctx))
@@ -595,7 +604,7 @@ type t = {
 }
 
 let compile ?(sanitize = false) ?(opt_level = 2) ?cache ?(cache_salt = "")
-    (p : Ast.program) : t =
+    ?tape_dump (p : Ast.program) : t =
   let cached, cache_key =
     match cache with
     | None -> (None, None)
@@ -617,6 +626,7 @@ let compile ?(sanitize = false) ?(opt_level = 2) ?cache ?(cache_salt = "")
       plans = [];
       sanitize;
       opt_level;
+      tape_dump;
       tape_reuse = Option.map (fun (e : Plancache.entry) -> e.e_plans) cached;
       tape_log = [];
     }
@@ -677,8 +687,8 @@ let compile ?(sanitize = false) ?(opt_level = 2) ?cache ?(cache_salt = "")
     prog_plans = List.rev ctx.plans;
   }
 
-let compile_result ?sanitize ?opt_level ?cache ?cache_salt p =
-  match compile ?sanitize ?opt_level ?cache ?cache_salt p with
+let compile_result ?sanitize ?opt_level ?cache ?cache_salt ?tape_dump p =
+  match compile ?sanitize ?opt_level ?cache ?cache_salt ?tape_dump p with
   | t -> Ok t
   | exception Error m -> Error m
 

@@ -63,6 +63,7 @@ val compile :
   ?opt_level:int ->
   ?cache:Plancache.t ->
   ?cache_salt:string ->
+  ?tape_dump:(plan:int -> pass:string -> Bytecode.tape -> unit) ->
   Ast.program ->
   t
 (** Stage a program. Raises {!exception:Error} on programs the
@@ -74,20 +75,27 @@ val compile :
 
     [opt_level] (default 2) selects the {!Tapeopt} pipeline applied to
     each lowered tape: 0 = raw lowering output, 1 = offset streaming
-    only, 2 = streaming + CSE + fusion + x4 unrolling. Sanitized tapes
-    are never optimized regardless of level.
+    only, 2 = the full SSA pipeline (dominator-tree GVN, cross-block
+    LICM, streaming, fusion, x4 unrolling). Sanitized tapes are never
+    optimized regardless of level.
 
     With [cache], lowered+optimized tapes are reused across compiles of
     the same program (keyed over the AST, [sanitize], [opt_level] and
     [cache_salt]); one {!Loopcoal_obs.Counters} hit or miss is recorded
     per call. A hit replays the stored register-counter deltas, so the
-    resulting plans are identical to a cold compile. *)
+    resulting plans are identical to a cold compile.
+
+    [tape_dump], when given, observes each plan's tape after every
+    optimizer stage ({!Tapeopt.pass_names}); [plan] counts plans in
+    compilation order. Cache hits skip lowering and report nothing —
+    pass [?cache:None] to observe a full pipeline. *)
 
 val compile_result :
   ?sanitize:bool ->
   ?opt_level:int ->
   ?cache:Plancache.t ->
   ?cache_salt:string ->
+  ?tape_dump:(plan:int -> pass:string -> Bytecode.tape -> unit) ->
   Ast.program ->
   (t, string) result
 

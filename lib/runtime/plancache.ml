@@ -5,8 +5,9 @@
    changes what lowering produces: the sanitize flag (a sanitized run
    must never reuse an unsanitized tape — the tapes differ in promotion,
    unsafe flags and optimizer output), the optimizer level, a
-   caller-supplied salt (the CLI passes the engine name), and a format
-   version bumped whenever the tape representation changes.
+   caller-supplied salt (the CLI passes the engine name), a format
+   version bumped whenever the tape representation changes, and the
+   producing binary's identity (see [build_stamp]).
 
    A cached entry stores, per plan in program order, the tape option and
    how many int/float registers its lowering+optimization allocated; on
@@ -17,8 +18,25 @@
 
 open Loopcoal_ir
 
-(* Bump when [Bytecode.instr]/[tape] or the entry layout changes. *)
-let format_version = 2
+(* Bump when [Bytecode.instr]/[tape] or the entry layout changes.
+   3: SSA optimizer pipeline — [Vsv] vkind, general strip preamble. *)
+let format_version = 3
+
+(* The hand-bumped [format_version] alone cannot protect against a tape
+   layout change that forgets to bump it: [Marshal] is not type-safe,
+   and replaying a stale tape against a changed [Bytecode.instr] layout
+   yields garbage that the unsafe execution path then dereferences
+   (a segfault, not an exception). Fold the producing binary's identity
+   (path, size, mtime — one [stat], computed once per process) into the
+   key, so entries written by any other build are misses by
+   construction. *)
+let build_stamp =
+  lazy
+    (let exe = Sys.executable_name in
+     match Unix.stat exe with
+     | { Unix.st_size; st_mtime; _ } ->
+         Printf.sprintf "%s:%d:%h" exe st_size st_mtime
+     | exception _ -> exe)
 
 type entry = { e_plans : (Bytecode.tape option * int * int) list }
 
@@ -42,7 +60,9 @@ let default_dir () =
 let key ~sanitize ~opt_level ~salt (p : Ast.program) =
   Digest.to_hex
     (Digest.string
-       (Marshal.to_string (format_version, sanitize, opt_level, salt, p) []))
+       (Marshal.to_string
+          (format_version, Lazy.force build_stamp, sanitize, opt_level, salt, p)
+          []))
 
 let path c k =
   match c.dir with

@@ -343,9 +343,89 @@ let histogram_reference ~n ~buckets =
   done;
   h
 
+(* ---------- conditional stencil (branch in the body) ---------- *)
+
+let cond_stencil ~n : Ast.program =
+  if n < 3 then invalid_arg "Kernels.cond_stencil: n must be >= 3";
+  B.program
+    ~arrays:[ B.array "A" [ n ]; B.array "B" [ n ]; B.array "C" [ n ] ]
+    ~scalars:[ B.real_scalar "t" ]
+    [
+      B.doall "i" (B.int 1) (B.int n)
+        [
+          B.store "A" [ B.var "i" ] B.(var "i" * int 2);
+          B.store "C" [ B.var "i" ] B.(var "i" % int 2);
+        ];
+      B.doall "i" (B.int 2)
+        B.(int n - int 1)
+        [
+          B.assign "t"
+            B.(
+              load "A" [ var "i" - int 1 ]
+              + load "A" [ var "i" ]
+              + load "A" [ var "i" + int 1 ]);
+          B.if_
+            B.(load "C" [ var "i" ] > real 0.5)
+            [ B.store "B" [ B.var "i" ] B.(var "t" * real 0.25) ]
+            [ B.store "B" [ B.var "i" ] B.(var "t" * real 0.5) ];
+        ];
+    ]
+
+let cond_stencil_reference ~n =
+  let a = Array.make n 0.0 and c = Array.make n 0.0 in
+  for i = 1 to n do
+    a.(i - 1) <- float_of_int (i * 2);
+    c.(i - 1) <- float_of_int (i mod 2)
+  done;
+  let b = Array.make n 0.0 in
+  for i = 2 to n - 1 do
+    let t = a.(i - 2) +. a.(i - 1) +. a.(i) in
+    b.(i - 1) <- (if c.(i - 1) > 0.5 then t *. 0.25 else t *. 0.5)
+  done;
+  b
+
+(* ---------- triangular gather (variable-step serial loop) ---------- *)
+
+let tri_gather ~n : Ast.program =
+  if n < 1 then invalid_arg "Kernels.tri_gather: n must be >= 1";
+  B.program
+    ~arrays:[ B.array "A" [ n ]; B.array "S" [ n ] ]
+    ~scalars:[ B.real_scalar "s" ]
+    [
+      B.doall "i" (B.int 1) (B.int n)
+        [ B.store "A" [ B.var "i" ] B.((var "i" % int 7) + int 1) ];
+      B.doall "i" (B.int 1) (B.int n)
+        [
+          B.assign "s" (B.real 0.0);
+          B.for_ ~step:(B.var "i") "j" (B.var "i") (B.int n)
+            [
+              B.assign "s"
+                B.(var "s" + (load "A" [ var "i" ] * load "A" [ var "j" ]));
+            ];
+          B.store "S" [ B.var "i" ] (B.var "s");
+        ];
+    ]
+
+let tri_gather_reference ~n =
+  let a = Array.make n 0.0 in
+  for i = 1 to n do
+    a.(i - 1) <- float_of_int ((i mod 7) + 1)
+  done;
+  let s = Array.make n 0.0 in
+  for i = 1 to n do
+    let acc = ref 0.0 in
+    let j = ref i in
+    while !j <= n do
+      acc := !acc +. (a.(i - 1) *. a.(!j - 1));
+      j := !j + i
+    done;
+    s.(i - 1) <- !acc
+  done;
+  s
+
 let all_names =
   [ "matmul"; "gauss_jordan"; "pi"; "stencil"; "swap"; "wavefront";
-    "transpose"; "histogram" ]
+    "transpose"; "histogram"; "cond_stencil"; "tri_gather" ]
 
 let by_name = function
   | "matmul" -> Some (fun () -> matmul ~ra:8 ~ca:6 ~cb:7)
@@ -356,4 +436,6 @@ let by_name = function
   | "wavefront" -> Some (fun () -> wavefront ~n:8)
   | "transpose" -> Some (fun () -> transpose ~n:10)
   | "histogram" -> Some (fun () -> histogram ~n:64 ~buckets:10)
+  | "cond_stencil" -> Some (fun () -> cond_stencil ~n:12)
+  | "tri_gather" -> Some (fun () -> tri_gather ~n:10)
   | _ -> None

@@ -327,8 +327,15 @@ let test_sanitizer_on_bytecode () =
    interpreter, closure, bytecode -O0 and bytecode -O2 agree bit-for-bit
    under every policy and domain count, and the sanitized bytecode run
    is clean. *)
-let differential arb ~name ~count =
+let differential ?(require_tapes = false) arb ~name ~count =
   QCheck.Test.make ~count ~name arb (fun prog ->
+      (* With [require_tapes], a silent closure fallback would make the
+         property vacuous — every plan must reach the bytecode tier. *)
+      ((not require_tapes)
+      || List.for_all
+           (fun (p : Compile.plan) -> p.Compile.tape <> None)
+           (Compile.plans (Compile.compile prog)))
+      &&
       let st = Eval.run prog in
       List.for_all
         (fun policy ->
@@ -413,6 +420,75 @@ let prop_promotion_agrees =
     ~count:12
     ~name:"bytecode = closure = interpreter (serial accumulation nests)"
 
+(* Branchy bodies over variable-step serial loops — the fragment the SSA
+   pipeline streams with shared store slots (exclusive if/else arms
+   writing the same element) and run-time offset bumps (serial step
+   depending on the outer index). The accumulator scalar is privatized
+   per iteration by writing it before the k loop. *)
+let branchy_varstep_gen : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* ni = int_range 1 5 in
+  let* nj = int_range 1 5 in
+  let* klo = int_range 1 3 in
+  let* khi = int_range 0 9 in
+  let* step_bias = int_range 0 2 in
+  let* with_else = bool in
+  let+ divisor = int_range 2 3 in
+  let aik =
+    Ast.Bin
+      (Ast.Mul, Load ("A", [ Ast.Var "k" ]), Load ("A", [ Ast.Var "i" ]))
+  in
+  let kloop =
+    Ast.For
+      {
+        index = "k";
+        lo = Int klo;
+        hi = Int khi;
+        step =
+          (if step_bias = 0 then Ast.Var "i"
+           else Bin (Add, Var "i", Int step_bias));
+        par = Serial;
+        body = [ Ast.Assign (Scalar "s", Bin (Add, Var "s", aik)) ];
+      }
+  in
+  let wij subexpr = Ast.Assign (Elem ("W", [ Var "i"; Var "j" ]), subexpr) in
+  let branch =
+    Ast.If
+      ( Cmp
+          ( Le,
+            Bin (Mod, Bin (Add, Var "i", Bin (Mul, Int 2, Var "j")), Int divisor),
+            Int 0 ),
+        [ wij (Bin (Mul, Var "s", Real 0.25)) ],
+        if with_else then [ wij (Bin (Add, Var "s", Real 1.0)) ] else [] )
+  in
+  let doall index hi body : Ast.stmt =
+    For { index; lo = Int 1; hi = Int hi; step = Int 1; par = Parallel; body }
+  in
+  {
+    Ast.arrays =
+      [
+        { Ast.arr_name = "A"; dims = [ 9 ] };
+        { Ast.arr_name = "W"; dims = [ 6; 6 ] };
+      ];
+    scalars = [ { Ast.sc_name = "s"; sc_kind = Kreal; sc_init = 0.0 } ];
+    body =
+      [
+        doall "q" 9
+          [ Ast.Assign (Elem ("A", [ Var "q" ]), Bin (Mul, Var "q", Int 3)) ];
+        doall "i" ni
+          [
+            doall "j" nj
+              [ Ast.Assign (Scalar "s", Real 0.0); kloop; branch ];
+          ];
+      ];
+  }
+
+let prop_branchy_varstep_agrees =
+  differential ~require_tapes:true
+    (QCheck.make ~print:Pretty.program_to_string branchy_varstep_gen)
+    ~count:12
+    ~name:"bytecode = closure = interpreter (branchy variable-step nests)"
+
 (* ---------- unrolled strips: remainder handling, traces, metrics ---------- *)
 
 (* A 2-level DOALL whose inner digit has exactly [trips] iterations, so
@@ -441,18 +517,54 @@ let trip_prog ~trips =
     body = [ doall "i" 6 [ doall "j" trips [ kloop ] ] ];
   }
 
+(* Branchy variant with the same strip geometry: the store is picked by
+   a data-dependent branch (exclusive arms writing the same element, so
+   the optimizer shares one stream slot across them) and the k loop's
+   step is the outer index (a run-time offset bump). The x4-unrolled
+   copies' remainder handling must match -O0 on this shape too. *)
+let trip_prog_branchy ~trips =
+  let wij = Ast.Load ("W", [ Ast.Var "i"; Ast.Var "j" ]) in
+  let store e = Ast.Assign (Elem ("W", [ Var "i"; Var "j" ]), e) in
+  let branch =
+    Ast.If
+      ( Cmp (Le, Bin (Mod, Bin (Add, Var "j", Var "k"), Int 2), Int 0),
+        [ store (Bin (Add, wij, Bin (Mul, Var "i", Var "k"))) ],
+        [ store (Bin (Add, wij, Int 1)) ] )
+  in
+  let kloop =
+    Ast.For
+      { index = "k"; lo = Int 1; hi = Int 5; step = Var "i"; par = Serial;
+        body = [ branch ] }
+  in
+  let doall index hi body : Ast.stmt =
+    For { index; lo = Int 1; hi = Int hi; step = Int 1; par = Parallel; body }
+  in
+  {
+    Ast.arrays = [ { Ast.arr_name = "W"; dims = [ 7; 8 ] } ];
+    scalars = [];
+    body = [ doall "i" 6 [ doall "j" trips [ kloop ] ] ];
+  }
+
 (* Everything observable must be identical between -O0 and -O2: results,
    the traced chunk decomposition, and the scheduler metrics derived
    from it. Timestamps are the only fields allowed to differ. *)
 let test_unrolled_strips_identical () =
   List.iter
+    (fun (what, build) ->
+  List.iter
     (fun trips ->
-      let prog = trip_prog ~trips in
+      let prog : Ast.program = build ~trips in
       let st = Eval.run prog in
       List.iter
         (fun domains ->
           let run lvl =
             let compiled = Compile.compile ~opt_level:lvl prog in
+            List.iter
+              (fun (p : Compile.plan) ->
+                if p.Compile.tape = None then
+                  Alcotest.failf "%s: plan did not lower to the bytecode tier"
+                    what)
+              (Compile.plans compiled);
             let tracer = Trace.create ~p:domains () in
             let outcome =
               Exec.run_compiled ~domains ~policy:Policy.Static_block
@@ -463,12 +575,13 @@ let test_unrolled_strips_identical () =
           let o0, t0 = run 0 in
           let o2, t2 = run 2 in
           if not (Exec.agrees_with_interpreter o0 st) then
-            Alcotest.failf "trips=%d domains=%d: -O0 differs from interpreter"
-              trips domains;
+            Alcotest.failf
+              "%s trips=%d domains=%d: -O0 differs from interpreter" what trips
+              domains;
           if o0.Exec.arrays <> o2.Exec.arrays
              || o0.Exec.scalars <> o2.Exec.scalars then
-            Alcotest.failf "trips=%d domains=%d: -O2 result differs from -O0"
-              trips domains;
+            Alcotest.failf "%s trips=%d domains=%d: -O2 result differs from -O0"
+              what trips domains;
           (* Chunks are sorted by timestamp in the snapshot; re-sort by
              coalesced position so only schedule-invariant fields are
              compared. *)
@@ -485,8 +598,8 @@ let test_unrolled_strips_identical () =
                        f.Trace.f_p )) )
           in
           if shape t0 <> shape t2 then
-            Alcotest.failf "trips=%d domains=%d: trace shape differs" trips
-              domains;
+            Alcotest.failf "%s trips=%d domains=%d: trace shape differs" what
+              trips domains;
           let counts (tr : Trace.t) =
             let m = Metrics.of_trace tr in
             ( m.Metrics.total_chunks,
@@ -500,9 +613,11 @@ let test_unrolled_strips_identical () =
                 m.Metrics.forks )
           in
           if counts t0 <> counts t2 then
-            Alcotest.failf "trips=%d domains=%d: metrics differ" trips domains)
+            Alcotest.failf "%s trips=%d domains=%d: metrics differ" what trips
+              domains)
         [ 1; 2 ])
-    [ 1; 3; 4; 5; 7 ]
+    [ 1; 3; 4; 5; 7 ])
+    [ ("plain", trip_prog); ("branchy variable-step", trip_prog_branchy) ]
 
 (* The sanitizer must see the exact same accesses at every level — the
    optimizer leaves instrumented tapes untouched, so reports and summary
@@ -527,7 +642,15 @@ let test_sanitizer_identical_across_opt () =
       in
       if observe 0 <> observe 2 then
         Alcotest.fail "sanitizer output differs between -O0 and -O2")
-    [ sanitizable; racy ]
+    [
+      sanitizable;
+      racy;
+      (* branchy body and variable-step serial loop: the shapes the SSA
+         pipeline now optimizes must still leave sanitized tapes alone *)
+      Kernels.cond_stencil ~n:12;
+      Kernels.tri_gather ~n:10;
+      trip_prog_branchy ~trips:3;
+    ]
 
 let suite =
   [
@@ -546,4 +669,5 @@ let suite =
       test_sanitizer_identical_across_opt;
     Gen.to_alcotest prop_doall_nests_agree;
     Gen.to_alcotest prop_promotion_agrees;
+    Gen.to_alcotest prop_branchy_varstep_agrees;
   ]

@@ -17,6 +17,7 @@ let () =
       ("driver", Test_driver.suite);
       ("runtime", Test_runtime.suite);
       ("bytecode", Test_bytecode.suite);
+      ("tapeopt", Test_tapeopt.suite);
       ("plancache", Test_plancache.suite);
       ("obs", Test_obs.suite);
       ("verify", Test_verify.suite);

@@ -147,6 +147,31 @@ let test_disk_persistence () =
       Alcotest.(check bool) "recompile after corruption agrees" true
         (tapes c1 = tapes c3))
 
+(* A well-formed entry marshaled under an older format version — the
+   tape layout it carries may not match the current [Bytecode.tape] —
+   must be skipped as a miss, not deserialized or treated as an error. *)
+let test_stale_format_is_a_miss () =
+  with_temp_dir (fun dir ->
+      Counters.reset ();
+      let c1 = Compile.compile ~cache:(Plancache.create ~dir ()) prog in
+      check_stats "cold disk cache misses" (0, 1);
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".plan" then begin
+            let oc = open_out_bin (Filename.concat dir f) in
+            output_value oc (2, { Plancache.e_plans = [] });
+            close_out oc
+          end)
+        (Sys.readdir dir);
+      let c2 = Compile.compile ~cache:(Plancache.create ~dir ()) prog in
+      check_stats "stale format version is a miss" (0, 2);
+      Alcotest.(check bool) "recompile after format skew agrees" true
+        (tapes c1 = tapes c2);
+      let o1 = Exec.run_compiled ~domains:2 c1 in
+      let o2 = Exec.run_compiled ~domains:2 c2 in
+      Alcotest.(check bool) "recompile runs identically" true
+        (o1.Exec.arrays = o2.Exec.arrays && o1.Exec.scalars = o2.Exec.scalars))
+
 let suite =
   [
     Alcotest.test_case "hit/miss counters" `Quick test_hit_miss_counters;
@@ -155,4 +180,6 @@ let suite =
     Alcotest.test_case "no cache is a true bypass" `Quick test_no_cache_bypass;
     Alcotest.test_case "disk persistence and corruption tolerance" `Quick
       test_disk_persistence;
+    Alcotest.test_case "stale on-disk format is a miss" `Quick
+      test_stale_format_is_a_miss;
   ]
