@@ -19,6 +19,7 @@ open Loopcoal
 module Exec = Runtime.Exec
 module Compile = Runtime.Compile
 module Pool = Runtime.Pool
+module Profile = Runtime.Profile
 
 let now () = Unix.gettimeofday ()
 
@@ -35,7 +36,9 @@ let time_min reps f =
 
 type record = {
   kernel : string;
-  engine : string;  (* "interpreter" | "closure" | "bytecode" *)
+  engine : string;
+      (* "interpreter" | "closure" | "bytecode" | "bytecode-prof"
+         (bytecode with the tape-profile collector attached) *)
   policy : string option;
   domains : int;
   opt_level : int option;  (* bytecode rows only: Tapeopt level *)
@@ -48,6 +51,8 @@ type record = {
   imbalance : float option;  (* traced, max/mean busy of largest region *)
   sync_ops_per_iter : float option;  (* traced, whole program *)
   note : string option;
+  profile : string option;
+      (* pre-serialized JSON profile summary; profiled rows only *)
 }
 
 let ns_per_iter r = r.time_s *. 1e9 /. float_of_int (max 1 r.iters)
@@ -70,7 +75,8 @@ let json_of_record r =
      \"opt_level\": %s, \"iters\": %d, \"time_s\": %.6f, \"ns_per_iter\": \
      %.2f, \"speedup_vs_interp\": %s, \"speedup_vs_1dom\": %s, \
      \"predicted_speedup\": %s, \"chunks_dispatched\": %s, \
-     \"imbalance\": %s, \"sync_ops_per_iter\": %s, \"note\": %s}"
+     \"imbalance\": %s, \"sync_ops_per_iter\": %s, \"note\": %s, \
+     \"profile\": %s}"
     r.kernel r.engine (opt_s r.policy) r.domains (opt_i r.opt_level) r.iters
     r.time_s (ns_per_iter r)
     (opt_f r.speedup_vs_interp)
@@ -80,6 +86,37 @@ let json_of_record r =
     (opt_f r.imbalance)
     (opt_f r.sync_ops_per_iter)
     (opt_s r.note)
+    (match r.profile with None -> "null" | Some j -> j)
+
+(* Profile summary for a record's "profile" field: the source-loop and
+   opcode views the tape profiler attributes through the provenance
+   side tables, top five rows each. *)
+let json_of_summary (sm : Profile.summary) =
+  let top n l = List.filteri (fun i _ -> i < n) l in
+  let loops =
+    String.concat ", "
+      (List.map
+         (fun (lr : Profile.loop_row) ->
+           Printf.sprintf "{\"loop\": %S, \"stmt\": %S, \"dispatches\": %d}"
+             lr.Profile.lr_loop lr.Profile.lr_stmt lr.Profile.lr_dispatches)
+         (top 5 sm.Profile.sm_loops))
+  in
+  let opcodes =
+    String.concat ", "
+      (List.map
+         (fun (op, n) ->
+           Printf.sprintf "{\"opcode\": %S, \"dispatches\": %d}" op n)
+         (top 5 sm.Profile.sm_opcodes))
+  in
+  Printf.sprintf
+    "{\"dispatches\": %d, \"iters\": %d, \"strips\": %d, \
+     \"dispatches_per_iter\": %.3f, \"attributed_fraction\": %.4f, \
+     \"hot_loops\": [%s], \"hot_opcodes\": [%s]}"
+    sm.Profile.sm_dispatches sm.Profile.sm_iters sm.Profile.sm_strips
+    (float_of_int sm.Profile.sm_dispatches
+    /. float_of_int (max 1 sm.Profile.sm_iters))
+    (Profile.attributed_fraction sm)
+    loops opcodes
 
 let bench_policies =
   [
@@ -104,6 +141,15 @@ let host_cores = Domain.recommended_domain_count ()
    the two minima can come from different drift windows and their
    ratio then swings run to run. *)
 let seq_ratios : (string, float * float) Hashtbl.t = Hashtbl.create 16
+
+(* Per-kernel profiler ratios, same per-round-median construction:
+   kernel -> (median off-repeat time ratio, median profiler-on/off time
+   ratio). The first is a noise canary — two identical profiler-off
+   configurations in the same interleaved rounds — because a
+   pre-profiler binary is not available in-tree to difference against;
+   the off path's absolute speed is guarded by the bytecode-vs-closure
+   gate. The second prices turning the collector on. *)
+let prof_ratios : (string, float * float) Hashtbl.t = Hashtbl.create 16
 
 let median = function
   | [] -> nan
@@ -192,6 +238,7 @@ let bench_kernel ~out ~score ~domain_counts (name, mk) =
       imbalance = None;
       sync_ops_per_iter = None;
       note = None;
+      profile = None;
     };
   let compiled = Compile.compile prog in
   let compiled0 = Compile.compile ~opt_level:0 prog in
@@ -258,10 +305,70 @@ let bench_kernel ~out ~score ~domain_counts (name, mk) =
             imbalance = None;
             sync_ops_per_iter = None;
             note = None;
+            profile = None;
           };
         (ename, engine, c, lvl, t_seq))
       seq_configs
   in
+  (* Profiler-overhead rounds, same interleaved-median discipline as the
+     sequential sweep: profiler off, profiler on (fresh collector per
+     rep), and profiler off again. The off/off-repeat ratio is the
+     noise canary [prof_ratios] documents; on/off is the collector's
+     price. A profiled run also furnishes the record's profile summary
+     — the same attribution `loopc profile` prints. *)
+  let t_prof_on =
+    let best = Array.make 3 infinity in
+    let rounds = ref [] in
+    for _ = 1 to 21 do
+      let times = Array.make 3 0.0 in
+      let timed i f =
+        let t0 = now () in
+        f ();
+        let dt = now () -. t0 in
+        times.(i) <- dt;
+        if dt < best.(i) then best.(i) <- dt
+      in
+      timed 0 (fun () ->
+          ignore (Exec.run_compiled ~domains:1 ~engine:Exec.Bytecode compiled));
+      timed 1 (fun () ->
+          let pc = Profile.create () in
+          ignore
+            (Exec.run_compiled ~domains:1 ~engine:Exec.Bytecode ~profile:pc
+               compiled));
+      timed 2 (fun () ->
+          ignore (Exec.run_compiled ~domains:1 ~engine:Exec.Bytecode compiled));
+      rounds := times :: !rounds
+    done;
+    let ratio i j = median (List.map (fun a -> a.(i) /. a.(j)) !rounds) in
+    Hashtbl.replace prof_ratios name (ratio 2 0, ratio 1 0);
+    best.(1)
+  in
+  let profile_json =
+    let pc = Profile.create () in
+    ignore (Exec.run_compiled ~domains:1 ~engine:Exec.Bytecode ~profile:pc compiled);
+    json_of_summary (Profile.summarize pc)
+  in
+  out
+    {
+      kernel = name;
+      engine = "bytecode-prof";
+      policy = None;
+      domains = 1;
+      opt_level = Some 2;
+      iters;
+      time_s = t_prof_on;
+      speedup_vs_interp = Some (t_interp /. t_prof_on);
+      speedup_vs_1dom = None;
+      predicted_speedup = None;
+      chunks_dispatched = None;
+      imbalance = None;
+      sync_ops_per_iter = None;
+      note =
+        Some
+          "tape-profile collector attached; compare against the plain \
+           bytecode -O2 row for the profiler's price";
+      profile = Some profile_json;
+    };
   let par_configs =
     List.filter (fun (_, _, _, lvl, _) -> lvl <> Some 0) seq_times
   in
@@ -347,6 +454,7 @@ let bench_kernel ~out ~score ~domain_counts (name, mk) =
                             (float_of_int m.Metrics.total_sync_ops
                             /. float_of_int (max 1 m.Metrics.total_iters));
                         note;
+                        profile = None;
                       })
                   par_configs)
               bench_policies))
@@ -446,7 +554,10 @@ let run ?(oversubscribe = false) ?(gate = false) () =
      opt_level at 1 domain; predicted is the event simulator's coalesced \
      speedup at the same p; chunks/imbalance/sync_ops_per_iter are traced \
      from a real run; rows noted oversubscribed exceed the host's cores \
-     (opt-in via --oversubscribe)\",\n\
+     (opt-in via --oversubscribe); bytecode-prof rows rerun the 1-domain \
+     -O2 configuration with the tape-profile collector attached and carry \
+     the profiler's source-loop/opcode attribution in their profile \
+     field\",\n\
      \  \"results\": [\n%s\n  ]\n}\n"
     host_cores
     (String.concat ",\n" (List.map json_of_record records));
@@ -574,6 +685,47 @@ let run ?(oversubscribe = false) ?(gate = false) () =
    | _ -> Printf.fprintf oc "\ngeomean speedup: %.2fx\n" opt_geomean);
    close_out oc);
   Printf.printf "wrote BENCH_opt.md (%d kernels)\n%!" (List.length opt_pairs);
+  (* Profiler price table: plain bytecode -O2 vs the same run with the
+     tape-profile collector attached, and the off-repeat noise canary
+     (two identical profiler-off configurations; their median per-round
+     ratio is pure measurement noise because profiling-off selects the
+     exact pre-profiler closures). *)
+  let prof_rows =
+    List.filter_map
+      (fun (kname, _) ->
+        match
+          ( seq_row kname "bytecode" (Some 2),
+            seq_row kname "bytecode-prof" (Some 2),
+            Hashtbl.find_opt prof_ratios kname )
+        with
+        | Some off, Some on_, Some (off_repeat, overhead) ->
+            Some (kname, ns_per_iter off, ns_per_iter on_, overhead, off_repeat)
+        | _ -> None)
+      kernels
+  in
+  let pt =
+    Table.create
+      [
+        ("kernel", Table.Left);
+        ("off ns/iter", Table.Right);
+        ("on ns/iter", Table.Right);
+        ("on/off", Table.Right);
+        ("off repeat", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (k, off, on_, ov, rep) ->
+      Table.add_row pt
+        [
+          k;
+          Table.cell_float ~dec:1 off;
+          Table.cell_float ~dec:1 on_;
+          Printf.sprintf "%.2fx" ov;
+          Printf.sprintf "%.3fx" rep;
+        ])
+    prof_rows;
+  Printf.printf "\n== tape profiler price, bytecode -O2, 1 domain ==\n";
+  Table.print pt;
   if gate then begin
     let missing pairs =
       List.filter_map
@@ -622,5 +774,44 @@ let run ?(oversubscribe = false) ?(gate = false) () =
       exit 1
     end;
     Printf.printf "opt gate: OK (geomean -O2 speedup %.2fx >= %.2fx)\n%!"
-      opt_geomean opt_thresh
+      opt_geomean opt_thresh;
+    (* Gate 3: profiler-off noise canary. The profiled interpreter and
+       chunk runner are compiled-in twins selected once per run binding,
+       so with no collector attached the executor runs the exact
+       pre-profiler closures — two identical off configurations must
+       agree within the same relative band the closure gate uses. A
+       genuine off-path slowdown would also trip the bytecode-vs-closure
+       gate above; this canary certifies the rounds were quiet enough
+       for that verdict to mean something. *)
+    let prof_band = 1.05 *. gate_factor in
+    let prof_missing =
+      List.filter_map
+        (fun k ->
+          if List.exists (fun (k', _, _, _, _) -> String.equal k k') prof_rows
+          then None
+          else Some (k, nan, nan, nan, nan))
+        gate_kernels
+    in
+    let prof_failures =
+      List.filter
+        (fun (_, _, _, _, rep) ->
+          not (rep <= prof_band && rep >= 1.0 /. prof_band))
+        prof_rows
+      @ prof_missing
+    in
+    match prof_failures with
+    | [] ->
+        Printf.printf
+          "profiler gate: OK (off-path repeat ratio within %.2fx)\n%!"
+          prof_band
+    | fs ->
+        List.iter
+          (fun (k, _, _, _, rep) ->
+            Printf.printf
+              "profiler gate FAILED: %s off-path repeat ratio %.3fx outside \
+               [%.2fx, %.2fx]\n\
+               %!"
+              k rep (1.0 /. prof_band) prof_band)
+          fs;
+        exit 1
   end

@@ -986,11 +986,13 @@ let run_cmd =
                 end);
             if time then
               (* Extra fields ride after the stable [Report.time_line]
-                 text so existing prefix consumers keep working. *)
-              Printf.printf "%s opt=%d plan_cache=%s\n"
+                 text so existing prefix consumers keep working; anything
+                 new appends through [Report.time_suffix]. *)
+              Printf.printf "%s%s\n"
                 (L.Report.time_line ~engine:(run_engine_name eng) ~domains
                    ~policy:(L.Policy.name policy) ~wall_s:elapsed)
-                opt_level plan_cache_state;
+                (L.Report.time_suffix ~opt:opt_level
+                   ~plan_cache:plan_cache_state ());
             (if compare then
                match L.Eval.run p with
                | exception L.Eval.Runtime_error m ->
@@ -1026,6 +1028,181 @@ let run_cmd =
       const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
       $ compare_flag $ time_flag $ trace_arg $ metrics_flag $ sanitize_flag
       $ engine_arg $ opt_level_arg $ no_plan_cache_flag $ dump_tape_arg
+      $ program_arg)
+
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let parallel_flag =
+    Arg.(
+      value & flag
+      & info [ "parallel" ]
+          ~doc:"Profile the parallel execution across OCaml domains.")
+  in
+  let procs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "p" ] ~docv:"P"
+          ~doc:
+            "Domains for $(b,--parallel); 0 (default) uses the \
+             recommended domain count of the machine.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv L.Policy.Gss
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"block | cyclic | ss | chunk:N | gss | factoring | tss.")
+  in
+  let coalesce_flag =
+    Arg.(
+      value & flag
+      & info [ "coalesce" ]
+          ~doc:"Apply the coalescing transformation before staging.")
+  in
+  let opt_level_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "opt-level" ] ~docv:"N"
+          ~doc:"Bytecode tape optimizer level (0|1|2), as in $(b,run).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows in the hot-loop and hot-opcode tables (default 10).")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "loopc_profile.folded") (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write flamegraph folded stacks (one \
+             $(i,root;loop;...;stmt count) line per source location, \
+             default $(b,loopc_profile.folded)); feed to any folded-format \
+             flamegraph renderer.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "loopc_trace.json") (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record dispatch events and write a Chrome trace_event JSON \
+             file carrying an extra profiler track (per-loop dispatch \
+             shares) alongside the per-domain chunk lanes.")
+  in
+  let stats_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Dump the whole metrics registry (plan cache, compile and \
+             optimizer pass timings, pool fork/join latency, run times) \
+             as JSON after the run.")
+  in
+  let write_file path s =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+  in
+  let run parallel procs policy coalesce opt_level top folded_file trace_file
+      stats_file p =
+    if opt_level < 0 || opt_level > 2 then begin
+      Printf.eprintf "error: --opt-level must be 0, 1 or 2 (got %d)\n"
+        opt_level;
+      exit 1
+    end;
+    report_validation p;
+    let p =
+      if not coalesce then p
+      else begin
+        let p', n = L.Coalesce.apply_all_program p in
+        Printf.eprintf "coalesced %d nest(s)\n" n;
+        p'
+      end
+    in
+    let domains =
+      if not parallel then 1
+      else if procs > 0 then procs
+      else Domain.recommended_domain_count ()
+    in
+    (* Always a cold compile: a plan-cache hit would skip the optimizer
+       pipeline and leave the tapeopt pass metrics empty in the dump. *)
+    match L.Runtime.Compile.compile_result ~opt_level p with
+    | Error m ->
+        Printf.eprintf "staging error: %s\n" m;
+        exit 1
+    | Ok compiled -> (
+        let tracer =
+          Option.map (fun _ -> L.Trace.create ~p:domains ()) trace_file
+        in
+        let profile = L.Runtime.Profile.create () in
+        let t0 = Unix.gettimeofday () in
+        match
+          L.Runtime.Exec.run_compiled ~domains ~policy
+            ~engine:L.Runtime.Exec.Bytecode ?trace:tracer ~profile compiled
+        with
+        | exception L.Runtime.Compile.Error m ->
+            Printf.eprintf "runtime error: %s\n" m;
+            exit 1
+        | _outcome ->
+            let elapsed = Unix.gettimeofday () -. t0 in
+            let sm = L.Runtime.Profile.summarize profile in
+            Printf.printf
+              "engine: compiled runtime (bytecode), %d domain(s), policy \
+               %s, opt-level %d, wall_s=%.6f\n\n"
+              domains (L.Policy.name policy) opt_level elapsed;
+            if sm.L.Runtime.Profile.sm_dispatches = 0 then
+              print_endline
+                "no tape dispatches recorded (no parallel plan lowered to \
+                 bytecode — annotate a loop nest with doall)"
+            else print_string (L.Runtime.Profile.render ~top sm);
+            (match folded_file with
+            | None -> ()
+            | Some f ->
+                write_file f (L.Runtime.Profile.folded sm);
+                Printf.printf "wrote folded stacks %s (%d locations)\n" f
+                  (List.length sm.L.Runtime.Profile.sm_loops));
+            (match (trace_file, tracer) with
+            | Some f, Some tracer ->
+                let tr = L.Trace.snapshot tracer in
+                let track =
+                  List.map
+                    (fun (r : L.Runtime.Profile.loop_row) ->
+                      ( r.L.Runtime.Profile.lr_loop ^ " :: "
+                        ^ r.L.Runtime.Profile.lr_stmt,
+                        r.L.Runtime.Profile.lr_dispatches ))
+                    sm.L.Runtime.Profile.sm_loops
+                in
+                L.Chrome_trace.to_file ~profile:track f tr;
+                Printf.printf
+                  "wrote Chrome trace %s (%d chunks, %d regions, profiler \
+                   track); load it in about://tracing\n"
+                  f
+                  (Array.length tr.L.Trace.chunks)
+                  (Array.length tr.L.Trace.forks)
+            | _ -> ());
+            match stats_file with
+            | None -> ()
+            | Some f ->
+                write_file f (L.Registry.to_json ());
+                Printf.printf "wrote metrics registry %s\n" f)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Execute a program on the bytecode tier with the tape profiler \
+          on and print hot-loop and hot-opcode tables: every dispatched \
+          instruction is counted and attributed to the source loop nest \
+          and statement it was lowered from, through every optimizer \
+          pass. $(b,--folded) writes flamegraph folded stacks, \
+          $(b,--trace) a Chrome trace with a profiler track, \
+          $(b,--stats-json) the whole metrics registry.")
+    Term.(
+      const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
+      $ opt_level_arg $ top_arg $ folded_arg $ trace_arg $ stats_arg
       $ program_arg)
 
 (* ---------- check ---------- *)
@@ -1127,6 +1304,6 @@ let main =
     [ show_cmd; analyze_cmd; coalesce_cmd; distribute_cmd; fuse_cmd;
       reduce_cmd; shrink_cmd; unroll_cmd; peel_cmd; interchange_cmd;
       tile_cmd; optimize_cmd; emit_c_cmd; simulate_cmd; schedule_cmd;
-      run_cmd; check_cmd; kernel_cmd ]
+      run_cmd; profile_cmd; check_cmd; kernel_cmd ]
 
 let () = exit (Cmd.eval main)

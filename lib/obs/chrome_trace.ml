@@ -18,7 +18,7 @@ let escape s =
     s;
   Buffer.contents buf
 
-let to_buffer buf (tr : Trace.t) =
+let to_buffer ?(profile = []) buf (tr : Trace.t) =
   let origin =
     if Array.length tr.Trace.forks = 0 then 0
     else
@@ -70,6 +70,41 @@ let to_buffer buf (tr : Trace.t) =
            (us_of origin c.Trace.t0) (us_of c.Trace.t0 c.Trace.t1)
            c.Trace.worker c.Trace.epoch c.Trace.start c.Trace.len))
     tr.Trace.chunks;
+  (* Profiler track: one row below the fork-join lane, one span per hot
+     loop starting at t=0 with duration proportional to its dispatch
+     share of the traced wall span — a bar chart the trace viewer
+     renders natively, with the exact counts in the args. *)
+  if profile <> [] then begin
+    let tid = tr.Trace.p + 1 in
+    emit
+      (Printf.sprintf
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+          \"args\":{\"name\":\"profiler\"}}"
+         tid);
+    let span_ns =
+      Array.fold_left
+        (fun acc (f : Trace.fork) -> max acc (f.Trace.f_t1 - origin))
+        0 tr.Trace.forks
+    in
+    let total =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 profile
+    in
+    List.iter
+      (fun (label, n) ->
+        let share =
+          if total = 0 then 0.0 else float_of_int n /. float_of_int total
+        in
+        let dur =
+          if span_ns > 0 then share *. (float_of_int span_ns /. 1e3)
+          else float_of_int n /. 1e3
+        in
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":0,\"dur\":%.3f,\"pid\":0,\
+              \"tid\":%d,\"args\":{\"dispatches\":%d,\"share\":%.4f}}"
+             (escape label) dur tid n share))
+      profile
+  end;
   Buffer.add_string buf "{\"traceEvents\":[\n";
   let rec add = function
     | [] -> ()
@@ -82,13 +117,13 @@ let to_buffer buf (tr : Trace.t) =
   add (List.rev !events);
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
 
-let to_string tr =
+let to_string ?profile tr =
   let buf = Buffer.create 4096 in
-  to_buffer buf tr;
+  to_buffer ?profile buf tr;
   Buffer.contents buf
 
-let to_file path tr =
+let to_file ?profile path tr =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string tr))
+    (fun () -> output_string oc (to_string ?profile tr))

@@ -7,8 +7,13 @@
     first fork of the trace; each carries its coalesced [(start, len)]
     range and epoch as arguments. *)
 
-val to_string : Trace.t -> string
-(** The trace as a JSON object [{"traceEvents": [...], ...}]. *)
+val to_string : ?profile:(string * int) list -> Trace.t -> string
+(** The trace as a JSON object [{"traceEvents": [...], ...}].
 
-val to_file : string -> Trace.t -> unit
+    [profile] adds a "profiler" thread row: one span per [(label,
+    dispatches)] pair, all starting at t=0 with durations proportional
+    to each label's dispatch share of the traced wall span (exact
+    counts and shares ride in the event args). *)
+
+val to_file : ?profile:(string * int) list -> string -> Trace.t -> unit
 (** Write [to_string] to a file. *)

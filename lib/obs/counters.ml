@@ -1,12 +1,12 @@
-(* Process-wide observability counters. Plain atomics: incremented from
-   whichever thread compiles, read by reporting code. *)
+(* Legacy counter facade over the metrics registry. The plan-cache
+   hit/miss totals predate [Registry]; their API is kept, but the
+   storage now lives in registry counters so `loopc --stats-json` and
+   [Registry.render] see them, and [reset] clears the whole registry
+   (every metric any module has registered), not just these two. *)
 
-let hits = Atomic.make 0
-let misses = Atomic.make 0
-let plan_cache_hit () = Atomic.incr hits
-let plan_cache_miss () = Atomic.incr misses
-let plan_cache_stats () = (Atomic.get hits, Atomic.get misses)
-
-let reset () =
-  Atomic.set hits 0;
-  Atomic.set misses 0
+let hits = Registry.counter "plan_cache.hit"
+let misses = Registry.counter "plan_cache.miss"
+let plan_cache_hit () = Registry.incr hits
+let plan_cache_miss () = Registry.incr misses
+let plan_cache_stats () = (Registry.value hits, Registry.value misses)
+let reset () = Registry.reset ()

@@ -127,3 +127,8 @@ let side_by_side ?(gap = "   ") left right =
 let time_line ~engine ~domains ~policy ~wall_s =
   Printf.sprintf "time engine=%s domains=%d policy=%s wall_s=%.6f" engine
     domains policy wall_s
+
+let time_suffix ?(extra = []) ~opt ~plan_cache () =
+  Printf.sprintf " opt=%d plan_cache=%s%s" opt plan_cache
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) extra))

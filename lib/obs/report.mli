@@ -28,3 +28,11 @@ val time_line :
     Keys are fixed, space-separated, values contain no spaces; [wall_s]
     uses six decimal places. Covered by a format test — change it and
     the test together, it is parsed by scripts and CI. *)
+
+val time_suffix :
+  ?extra:(string * string) list -> opt:int -> plan_cache:string -> unit -> string
+(** The contract for extending {!time_line}: extra fields ride in a
+    suffix, [" opt=<level> plan_cache=<hit|miss|off>"] followed by any
+    [extra] [key=value] pairs in order. New fields must only ever be
+    appended here — parsers key on the {!time_line} prefix and ignore
+    unknown trailing fields, so the line grows without breaking them. *)

@@ -235,6 +235,20 @@ and vkind =
           scratch slot — both initialized by [Sinit]s at region entry
           (variable-step serial loops) *)
 
+(* Provenance: every tape instruction carries the source loop nest and
+   statement it was lowered from, as an index into a per-tape tag table.
+   Tag 0 is the plan root (the coalesced parallel nest itself); serial
+   loops extend the root path with "/index" per nesting level. The
+   optimizer passes thread these side tables through every rewrite, so
+   profiler reports can name the originating loop even on a
+   gvn/licm/stream/fuse/unroll'd tape. *)
+type srcloc = {
+  sl_loop : string;
+      (** loop path: plan indexes joined with ".", then "/index" per
+          enclosing serial loop (e.g. ["i.j/k"]) *)
+  sl_stmt : string;  (** statement label, e.g. ["C[] ="], ["for k"], ["if"] *)
+}
+
 type tape = {
   tp_pre : instr array;  (** strip prologue: float consts and stream inits *)
   tp_ops : instr array;  (** single-iteration body *)
@@ -244,6 +258,10 @@ type tape = {
   tp_accs : access array;
   tp_nstreams : int;  (** scratch slots past the per-access invariant ones *)
   tp_sanitize : bool;
+  tp_src : int array;  (** per-[tp_ops] instruction tag (index into [tp_tags]) *)
+  tp_pre_src : int array;  (** per-[tp_pre] instruction tag *)
+  tp_unrolled_src : int array option;  (** per-[tp_unrolled] instruction tag *)
+  tp_tags : srcloc array;  (** tag table; entry 0 is the plan root *)
 }
 
 let sanitized t = t.tp_sanitize
@@ -290,7 +308,13 @@ type st = {
       (** array elements promoted to real registers across a serial loop:
           (array, subscript exprs, register) *)
   mutable code : instr array;
+  mutable srcs : int array;  (** per-[code] provenance tag, same length *)
   mutable len : int;
+  mutable cur_tag : int;  (** tag stamped on the next [emit] *)
+  mutable path : string;  (** current loop path (root + serial nesting) *)
+  tags : (string * string, int) Hashtbl.t;  (** (loop, stmt) -> tag id *)
+  mutable tag_list : srcloc list;  (** reversed tag table *)
+  mutable ntags : int;
   mutable pre : instr list;  (** reversed float-constant prologue *)
   consts : (float, int) Hashtbl.t;
   mutable raccs : raw_access list;  (** reversed *)
@@ -301,13 +325,32 @@ type st = {
           scalars): peepholes must not steal or drop writes to them *)
 }
 
+(* Tag interning: one id per distinct (loop path, statement label). The
+   table is tiny (a handful of statements per plan), so a list rebuild
+   at the end is fine. *)
+let intern_tag st loop stmt =
+  match Hashtbl.find_opt st.tags (loop, stmt) with
+  | Some id -> id
+  | None ->
+      let id = st.ntags in
+      st.ntags <- id + 1;
+      st.tag_list <- { sl_loop = loop; sl_stmt = stmt } :: st.tag_list;
+      Hashtbl.add st.tags (loop, stmt) id;
+      id
+
+let set_tag st stmt = st.cur_tag <- intern_tag st st.path stmt
+
 let emit st i =
   if st.len = Array.length st.code then begin
     let bigger = Array.make (max 64 (2 * st.len)) (Jmp 0) in
     Array.blit st.code 0 bigger 0 st.len;
-    st.code <- bigger
+    st.code <- bigger;
+    let bsrc = Array.make (Array.length bigger) 0 in
+    Array.blit st.srcs 0 bsrc 0 st.len;
+    st.srcs <- bsrc
   end;
   st.code.(st.len) <- i;
+  st.srcs.(st.len) <- st.cur_tag;
   st.len <- st.len + 1;
   match i with
   | Iconst (d, _)
@@ -651,6 +694,7 @@ let rec lower_cond st (c : Ast.cond) : int list * int list =
 let rec lower_stmt st (s : Ast.stmt) =
   match s with
   | Assign (Scalar v, e) -> (
+      set_tag st (v ^ " =");
       if List.mem_assoc v st.scope || plan_level st v <> None then
         raise Unsupported;
       match st.lookup v with
@@ -663,6 +707,7 @@ let rec lower_stmt st (s : Ast.stmt) =
           emit_mov st slot r
       | None -> raise Unsupported)
   | Assign (Elem (a, subs), e) -> (
+      set_tag st (a ^ "[] =");
       match
         List.find_opt
           (fun (a', subs', _) -> String.equal a a' && subs_equal subs subs')
@@ -677,14 +722,17 @@ let rec lower_stmt st (s : Ast.stmt) =
           let r = to_real st (lower_expr st e) in
           emit st (Fstore (r, id)))
   | If (c, t, []) ->
+      set_tag st "if";
       let tp, fp = lower_cond st c in
       patch_all st tp st.len;
       lower_block st t;
       patch_all st fp st.len
   | If (c, t, f) ->
+      set_tag st "if";
       let tp, fp = lower_cond st c in
       patch_all st tp st.len;
       lower_block st t;
+      set_tag st "if";
       let pend = st.len in
       emit st (Jmp (-1));
       patch_all st fp st.len;
@@ -693,6 +741,10 @@ let rec lower_stmt st (s : Ast.stmt) =
   | For l -> lower_serial_loop st l
 
 and lower_serial_loop st (l : Ast.loop) =
+  (* Header (bounds, step, entry guard, promotion loads) belongs to the
+     enclosing path; the body — and the back edge, which runs once per
+     iteration — to the extended path. *)
+  set_tag st ("for " ^ l.index);
   let lo = to_int (lower_expr st l.lo) in
   let hi = to_int (lower_expr st l.hi) in
   let step = to_int (lower_expr st l.step) in
@@ -743,11 +795,16 @@ and lower_serial_loop st (l : Ast.loop) =
   st.promo <- List.map (fun (a, s, r, _) -> (a, s, r)) promos @ st.promo;
   let top = st.len in
   st.scope <- (l.index, (ri, Rspan (lo.vr, hi.vr))) :: st.scope;
+  let parent_path = st.path in
+  st.path <- parent_path ^ "/" ^ l.index;
   lower_block st l.body;
+  st.cur_tag <- intern_tag st st.path ("for " ^ l.index);
+  st.path <- parent_path;
   st.scope <- List.tl st.scope;
   let n_promo = List.length promos in
   st.promo <- List.filteri (fun i _ -> i >= n_promo) st.promo;
   emit st (back top);
+  set_tag st ("for " ^ l.index);
   List.iter (fun (_, _, r, id) -> emit st (Fstore (r, id))) promos;
   patch st pentry st.len
 
@@ -755,6 +812,7 @@ and lower_block st (b : Ast.block) = List.iter (lower_stmt st) b
 
 let lower ~lookup ~array_ref ~fresh_int ~fresh_real ~assigned ~plan_names
     ~plan_slots ~sanitize (body : Ast.block) : tape option =
+  let root = String.concat "." (Array.to_list plan_names) in
   let st =
     {
       lookup;
@@ -768,7 +826,13 @@ let lower ~lookup ~array_ref ~fresh_int ~fresh_real ~assigned ~plan_names
       scope = [];
       promo = [];
       code = Array.make 64 (Jmp 0);
+      srcs = Array.make 64 0;
       len = 0;
+      cur_tag = 0;
+      path = root;
+      tags = Hashtbl.create 8;
+      tag_list = [];
+      ntags = 0;
       pre = [];
       consts = Hashtbl.create 8;
       raccs = [];
@@ -777,6 +841,10 @@ let lower ~lookup ~array_ref ~fresh_int ~fresh_real ~assigned ~plan_names
       pinned = Hashtbl.create 8;
     }
   in
+  (* Tag 0 is the plan root: strip-level code (the float-constant
+     prologue, optimizer-hoisted ops) and anything else not attributed
+     to a specific statement. *)
+  ignore (intern_tag st root "strip" : int);
   match lower_block st body with
   | exception Unsupported -> None
   | () ->
@@ -817,15 +885,20 @@ let lower ~lookup ~array_ref ~fresh_int ~fresh_real ~assigned ~plan_names
           ac_vk;
         }
       in
+      let pre = Array.of_list (List.rev st.pre) in
       Some
         {
-          tp_pre = Array.of_list (List.rev st.pre);
+          tp_pre = pre;
           tp_ops = Array.sub st.code 0 st.len;
           tp_unrolled = None;
           tp_accs =
             Array.map finish (Array.of_list (List.rev st.raccs));
           tp_nstreams = 0;
           tp_sanitize = sanitize;
+          tp_src = Array.sub st.srcs 0 st.len;
+          tp_pre_src = Array.make (Array.length pre) 0;
+          tp_unrolled_src = None;
+          tp_tags = Array.of_list (List.rev st.tag_list);
         }
 
 (* ---------- per-fork preparation ---------- *)
@@ -854,6 +927,50 @@ let unsafe_flags p = Array.copy p.pr_unsafe
 
 let make_scratch tape =
   Array.make (max 1 (Array.length tape.tp_accs + tape.tp_nstreams)) 0
+
+(* ---------- profiling ---------- *)
+
+(* Per-position dispatch counts for one tape, plus strip/iteration/time
+   totals. Position counts (not per-opcode counters) keep the profiled
+   interpreter's extra work to one unsafe increment per dispatch;
+   per-opcode and per-source-loop views are derived at report time by
+   joining the counts against the instruction arrays and the provenance
+   side tables. One instance per worker; [profile_merge] folds workers
+   together after the join. *)
+type profile = {
+  pf_pre : int array;  (** per-[tp_pre] position dispatch count *)
+  pf_ops : int array;  (** per-[tp_ops] position dispatch count *)
+  pf_unrolled : int array;  (** per-[tp_unrolled] position dispatch count *)
+  mutable pf_strips : int;
+  mutable pf_iters : int;
+  mutable pf_ns : int;  (** wall ns spent inside profiled strip execution *)
+}
+
+let profile_create tape =
+  {
+    pf_pre = Array.make (Array.length tape.tp_pre) 0;
+    pf_ops = Array.make (Array.length tape.tp_ops) 0;
+    pf_unrolled =
+      (match tape.tp_unrolled with
+      | Some u -> Array.make (Array.length u) 0
+      | None -> [||]);
+    pf_strips = 0;
+    pf_iters = 0;
+    pf_ns = 0;
+  }
+
+let profile_merge ~into p =
+  let addv dst src = Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src in
+  addv into.pf_pre p.pf_pre;
+  addv into.pf_ops p.pf_ops;
+  addv into.pf_unrolled p.pf_unrolled;
+  into.pf_strips <- into.pf_strips + p.pf_strips;
+  into.pf_iters <- into.pf_iters + p.pf_iters;
+  into.pf_ns <- into.pf_ns + p.pf_ns
+
+let profile_dispatches p =
+  let sum = Array.fold_left ( + ) 0 in
+  sum p.pf_pre + sum p.pf_ops + sum p.pf_unrolled
 
 (* ---------- execution ---------- *)
 
@@ -1154,6 +1271,279 @@ let exec_strip tape prep ~ints ~reals ~arrays ~shadow ~inv ~jslot ~j0 ~jstep
         j := !j + jstep
       done)
 
+(* Profiled twin of [exec_strip]: identical dispatch structure plus one
+   unsafe position-count increment per dispatched instruction, recorded
+   into the [profile]'s array matching the instruction array being
+   executed. Kept as a separate top-level function — not a flag inside
+   [exec_strip] — so the unprofiled interpreter's machine code is
+   untouched and profiler-off runs stay bit-identical in output and
+   cost (the PR 2 tracing discipline). Mind keeping the two in sync. *)
+let exec_strip_profiled tape prep ~profile:pf ~ints ~reals ~arrays ~shadow ~inv
+    ~jslot ~j0 ~jstep ~len ~iter0 =
+  let accs = tape.tp_accs in
+  let unsafe = prep.pr_unsafe in
+  Array.unsafe_set ints jslot j0;
+  let off_of id (ac : access) =
+    if Array.unsafe_get unsafe id then
+      match ac.ac_vk with
+      | V0 -> Array.unsafe_get inv id
+      | V1 (c, r) -> Array.unsafe_get inv id + (c * Array.unsafe_get ints r)
+      | V2 (c1, r1, c2, r2) ->
+          Array.unsafe_get inv id
+          + (c1 * Array.unsafe_get ints r1)
+          + (c2 * Array.unsafe_get ints r2)
+      | Vn -> Array.unsafe_get inv id + aff_eval ints ac.ac_var
+      | Vs (s, b) ->
+          let v = Array.unsafe_get inv s in
+          Array.unsafe_set inv s (v + b);
+          v
+      | Vsj (s, c) ->
+          let v = Array.unsafe_get inv s in
+          Array.unsafe_set inv s (v + (c * jstep));
+          v
+      | Vsv (s, bs) ->
+          let v = Array.unsafe_get inv s in
+          Array.unsafe_set inv s (v + Array.unsafe_get inv bs);
+          v
+    else checked_offset ints ac
+  in
+  let[@inline] load_elem id iter =
+    let ac = Array.unsafe_get accs id in
+    let off = off_of id ac in
+    (match shadow with
+    | Some sh -> Sanitize.on_read sh ~slot:ac.ac_slot ~off ~iter
+    | None -> ());
+    Array.unsafe_get (Array.unsafe_get arrays ac.ac_slot) off
+  in
+  let exec_ops counts ops iter =
+    let stop = Array.length ops in
+    let pc = ref 0 in
+    while !pc < stop do
+      Array.unsafe_set counts !pc (Array.unsafe_get counts !pc + 1);
+      match Array.unsafe_get ops !pc with
+      | Iconst (d, v) ->
+          Array.unsafe_set ints d v;
+          incr pc
+      | Iaff (d, a) ->
+          Array.unsafe_set ints d (aff_eval ints a);
+          incr pc
+      | Imul (d, a, b) ->
+          Array.unsafe_set ints d
+            (Array.unsafe_get ints a * Array.unsafe_get ints b);
+          incr pc
+      | Idiv (d, a, b) ->
+          let y = Array.unsafe_get ints b in
+          if y = 0 then error "integer division by zero";
+          Array.unsafe_set ints d (Array.unsafe_get ints a / y);
+          incr pc
+      | Imod (d, a, b) ->
+          let y = Array.unsafe_get ints b in
+          if y = 0 then error "mod by zero";
+          Array.unsafe_set ints d (Array.unsafe_get ints a mod y);
+          incr pc
+      | Icdiv (d, a, b) ->
+          let y = Array.unsafe_get ints b in
+          if y <= 0 then error "ceildiv: non-positive divisor %d" y;
+          Array.unsafe_set ints d
+            (Loopcoal_util.Intmath.cdiv (Array.unsafe_get ints a) y);
+          incr pc
+      | Imin (d, a, b) ->
+          let x = Array.unsafe_get ints a and y = Array.unsafe_get ints b in
+          Array.unsafe_set ints d (if x <= y then x else y);
+          incr pc
+      | Imax (d, a, b) ->
+          let x = Array.unsafe_get ints a and y = Array.unsafe_get ints b in
+          Array.unsafe_set ints d (if x >= y then x else y);
+          incr pc
+      | Istep (r, name) ->
+          if Array.unsafe_get ints r <= 0 then
+            error "loop %s: step must be positive" name;
+          incr pc
+      | Fconst (d, x) ->
+          Array.unsafe_set reals d x;
+          incr pc
+      | Fmov (d, s) ->
+          Array.unsafe_set reals d (Array.unsafe_get reals s);
+          incr pc
+      | Fadd (d, a, b) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a +. Array.unsafe_get reals b);
+          incr pc
+      | Fsub (d, a, b) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a -. Array.unsafe_get reals b);
+          incr pc
+      | Fmul (d, a, b) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a *. Array.unsafe_get reals b);
+          incr pc
+      | Fdiv (d, a, b) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a /. Array.unsafe_get reals b);
+          incr pc
+      | Fmin (d, a, b) ->
+          let x = Array.unsafe_get reals a and y = Array.unsafe_get reals b in
+          Array.unsafe_set reals d (if x <= y then x else y);
+          incr pc
+      | Fmax (d, a, b) ->
+          let x = Array.unsafe_get reals a and y = Array.unsafe_get reals b in
+          Array.unsafe_set reals d (if x >= y then x else y);
+          incr pc
+      | Fneg (d, s) ->
+          Array.unsafe_set reals d (-.Array.unsafe_get reals s);
+          incr pc
+      | Fofi (d, s) ->
+          Array.unsafe_set reals d (float_of_int (Array.unsafe_get ints s));
+          incr pc
+      | Fmac (d, a, x, y) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a
+            +. (Array.unsafe_get reals x *. Array.unsafe_get reals y));
+          incr pc
+      | Fmsb (d, a, x, y) ->
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a
+            -. (Array.unsafe_get reals x *. Array.unsafe_get reals y));
+          incr pc
+      | Fload (d, id) ->
+          let ac = Array.unsafe_get accs id in
+          let off = off_of id ac in
+          (match shadow with
+          | Some sh -> Sanitize.on_read sh ~slot:ac.ac_slot ~off ~iter
+          | None -> ());
+          Array.unsafe_set reals d
+            (Array.unsafe_get (Array.unsafe_get arrays ac.ac_slot) off);
+          incr pc
+      | Fstore (s, id) ->
+          let ac = Array.unsafe_get accs id in
+          let off = off_of id ac in
+          (match shadow with
+          | Some sh -> Sanitize.on_write sh ~slot:ac.ac_slot ~off ~iter
+          | None -> ());
+          Array.unsafe_set
+            (Array.unsafe_get arrays ac.ac_slot)
+            off (Array.unsafe_get reals s);
+          incr pc
+      | Sinit (s, a) ->
+          Array.unsafe_set inv s (aff_eval ints a);
+          incr pc
+      | Jadv ->
+          Array.unsafe_set ints jslot (Array.unsafe_get ints jslot + jstep);
+          incr pc
+      | Fmac2 (d, a, i1, i2) ->
+          let l1 = load_elem i1 iter in
+          let l2 = load_elem i2 iter in
+          Array.unsafe_set reals d (Array.unsafe_get reals a +. (l1 *. l2));
+          incr pc
+      | Fmsb2 (d, a, i1, i2) ->
+          let l1 = load_elem i1 iter in
+          let l2 = load_elem i2 iter in
+          Array.unsafe_set reals d (Array.unsafe_get reals a -. (l1 *. l2));
+          incr pc
+      | Fldmac (d, a, x, id) ->
+          let l = load_elem id iter in
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a +. (Array.unsafe_get reals x *. l));
+          incr pc
+      | Fldmsb (d, a, x, id) ->
+          let l = load_elem id iter in
+          Array.unsafe_set reals d
+            (Array.unsafe_get reals a -. (Array.unsafe_get reals x *. l));
+          incr pc
+      | Fldadd (d, x, id) ->
+          let l = load_elem id iter in
+          Array.unsafe_set reals d (Array.unsafe_get reals x +. l);
+          incr pc
+      | Fldsub (d, x, id) ->
+          let l = load_elem id iter in
+          Array.unsafe_set reals d (Array.unsafe_get reals x -. l);
+          incr pc
+      | Fldmul (d, x, id) ->
+          let l = load_elem id iter in
+          Array.unsafe_set reals d (Array.unsafe_get reals x *. l);
+          incr pc
+      | Fld2add (d, i1, i2) ->
+          let l1 = load_elem i1 iter in
+          let l2 = load_elem i2 iter in
+          Array.unsafe_set reals d (l1 +. l2);
+          incr pc
+      | Fldst (i1, i2) ->
+          let v = load_elem i1 iter in
+          let ac = Array.unsafe_get accs i2 in
+          let off = off_of i2 ac in
+          (match shadow with
+          | Some sh -> Sanitize.on_write sh ~slot:ac.ac_slot ~off ~iter
+          | None -> ());
+          Array.unsafe_set (Array.unsafe_get arrays ac.ac_slot) off v;
+          incr pc
+      | Jmp t -> pc := t
+      | Jii (op, a, b, t) ->
+          if icmp op (Array.unsafe_get ints a) (Array.unsafe_get ints b) then
+            pc := t
+          else incr pc
+      | Jff (op, a, b, t) ->
+          if fcmp op (Array.unsafe_get reals a) (Array.unsafe_get reals b) then
+            pc := t
+          else incr pc
+      | Jffn (op, a, b, t) ->
+          if fcmp op (Array.unsafe_get reals a) (Array.unsafe_get reals b) then
+            incr pc
+          else pc := t
+      | Iloop (r, a, bnd, top) ->
+          let v = aff_eval ints a in
+          Array.unsafe_set ints r v;
+          if v <= Array.unsafe_get ints bnd then pc := top else incr pc
+      | Iloopc (r, c, bnd, top) ->
+          let v = Array.unsafe_get ints r + c in
+          Array.unsafe_set ints r v;
+          if v <= Array.unsafe_get ints bnd then pc := top else incr pc
+    done
+  in
+  (* General prologue ops run through a one-instruction array; their
+     dispatch is counted at the prologue position, so the throwaway
+     counts array never reaches the report. *)
+  let scratch1 = Array.make 1 0 in
+  Array.iteri
+    (fun i op ->
+      Array.unsafe_set pf.pf_pre i (Array.unsafe_get pf.pf_pre i + 1);
+      match op with
+      | Fconst (d, x) -> Array.unsafe_set reals d x
+      | Sinit (s, a) -> Array.unsafe_set inv s (aff_eval ints a)
+      | op ->
+          scratch1.(0) <- 0;
+          exec_ops scratch1 [| op |] iter0)
+    tape.tp_pre;
+  for a = 0 to Array.length accs - 1 do
+    Array.unsafe_set inv a (aff_eval ints (Array.unsafe_get accs a).ac_inv)
+  done;
+  let j = ref j0 in
+  let unrolled =
+    match (tape.tp_unrolled, shadow) with
+    | (Some _ as u), None -> u
+    | _ -> None
+  in
+  (match unrolled with
+  | Some u ->
+      let groups = len / 4 in
+      for g = 0 to groups - 1 do
+        Array.unsafe_set ints jslot !j;
+        exec_ops pf.pf_unrolled u (iter0 + (g * 4));
+        j := !j + (4 * jstep)
+      done;
+      for k = groups * 4 to len - 1 do
+        Array.unsafe_set ints jslot !j;
+        exec_ops pf.pf_ops tape.tp_ops (iter0 + k);
+        j := !j + jstep
+      done
+  | None ->
+      for k = 0 to len - 1 do
+        Array.unsafe_set ints jslot !j;
+        exec_ops pf.pf_ops tape.tp_ops (iter0 + k);
+        j := !j + jstep
+      done);
+  pf.pf_strips <- pf.pf_strips + 1;
+  pf.pf_iters <- pf.pf_iters + len
+
 (* ---------- strip geometry ---------- *)
 
 let strip_bounds ~inner ~t0 ~len =
@@ -1327,6 +1717,50 @@ let pp_instr (op : instr) =
   | Iloopc (r, c, bnd, top) ->
       f "loopc i%d += %d while <= i%d -> %d" r c bnd top
 
+(* One lowercase mnemonic per constructor, for per-opcode profiler
+   tables and folded stacks. *)
+let instr_mnemonic = function
+  | Iconst _ -> "iconst"
+  | Iaff _ -> "iaff"
+  | Imul _ -> "imul"
+  | Idiv _ -> "idiv"
+  | Imod _ -> "imod"
+  | Icdiv _ -> "icdiv"
+  | Imin _ -> "imin"
+  | Imax _ -> "imax"
+  | Istep _ -> "istep"
+  | Fconst _ -> "fconst"
+  | Fmov _ -> "fmov"
+  | Fadd _ -> "fadd"
+  | Fsub _ -> "fsub"
+  | Fmul _ -> "fmul"
+  | Fdiv _ -> "fdiv"
+  | Fmin _ -> "fmin"
+  | Fmax _ -> "fmax"
+  | Fneg _ -> "fneg"
+  | Fofi _ -> "fofi"
+  | Fmac _ -> "fmac"
+  | Fmsb _ -> "fmsb"
+  | Fload _ -> "fload"
+  | Fstore _ -> "fstore"
+  | Sinit _ -> "sinit"
+  | Jadv -> "jadv"
+  | Fmac2 _ -> "fmac2"
+  | Fmsb2 _ -> "fmsb2"
+  | Fldmac _ -> "fldmac"
+  | Fldmsb _ -> "fldmsb"
+  | Fldadd _ -> "fldadd"
+  | Fldsub _ -> "fldsub"
+  | Fldmul _ -> "fldmul"
+  | Fld2add _ -> "fld2add"
+  | Fldst _ -> "fldst"
+  | Jmp _ -> "jmp"
+  | Jii _ -> "jii"
+  | Jff _ -> "jff"
+  | Jffn _ -> "jffn"
+  | Iloop _ -> "iloop"
+  | Iloopc _ -> "iloopc"
+
 let pp_vkind = function
   | V0 -> "inv"
   | V1 (c, r) -> Printf.sprintf "inv + %d*i%d" c r
@@ -1360,4 +1794,26 @@ let pp_tape (t : tape) =
   end;
   Buffer.add_string b
     (Printf.sprintf "streams=%d sanitize=%b\n" t.tp_nstreams t.tp_sanitize);
+  Buffer.contents b
+
+(* Provenance dump, separate from [pp_tape] so the latter's golden
+   format stays byte-stable. *)
+let pp_provenance (t : tape) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "tags:\n";
+  Array.iteri
+    (fun i tag ->
+      Buffer.add_string b
+        (Printf.sprintf "%4d: %s :: %s\n" i tag.sl_loop tag.sl_stmt))
+    t.tp_tags;
+  let section name srcs =
+    if Array.length srcs > 0 then begin
+      Buffer.add_string b (name ^ " tags:");
+      Array.iter (fun s -> Buffer.add_string b (Printf.sprintf " %d" s)) srcs;
+      Buffer.add_string b "\n"
+    end
+  in
+  section "pre" t.tp_pre_src;
+  section "ops" t.tp_src;
+  (match t.tp_unrolled_src with Some u -> section "unrolled" u | None -> ());
   Buffer.contents b

@@ -165,6 +165,18 @@ and vkind =
       (** offset scratch slot, bump scratch slot (variable-step loops;
           both slots initialized by [Sinit]s at region entry) *)
 
+type srcloc = {
+  sl_loop : string;
+      (** loop path: plan indexes joined with ".", extended with
+          "/index" per enclosing serial loop (e.g. ["i.j/k"]) *)
+  sl_stmt : string;  (** statement label, e.g. ["C[] ="], ["for k"], ["if"] *)
+}
+(** Provenance tag: the source loop nest and statement an instruction
+    was lowered from. Tag 0 of every tape is the plan root (strip-level
+    code). The optimizer passes keep the per-instruction tag arrays in
+    sync through every rewrite, so profiler reports stay attributable
+    at -O2. *)
+
 type tape = {
   tp_pre : instr array;
       (** strip prologue: float consts, optimizer-hoisted strip-invariant
@@ -178,6 +190,13 @@ type tape = {
   tp_accs : access array;
   tp_nstreams : int;  (** scratch slots past the per-access invariant ones *)
   tp_sanitize : bool;
+  tp_src : int array;
+      (** per-[tp_ops] provenance tag (index into [tp_tags]); same
+          length as [tp_ops] *)
+  tp_pre_src : int array;  (** per-[tp_pre] provenance tag *)
+  tp_unrolled_src : int array option;
+      (** per-[tp_unrolled] provenance tag; present iff [tp_unrolled] is *)
+  tp_tags : srcloc array;  (** tag table; entry 0 is the plan root *)
 }
 
 val lower :
@@ -235,6 +254,14 @@ val instr_targets : instr -> int list
 val pp_instr : instr -> string
 val pp_tape : tape -> string
 
+val instr_mnemonic : instr -> string
+(** Lowercase constructor mnemonic ("fmac2", "iloopc", ...), for
+    per-opcode profiler tables and folded stacks. *)
+
+val pp_provenance : tape -> string
+(** Tag table plus the per-section tag assignments. Separate from
+    {!pp_tape}, whose golden format stays byte-stable. *)
+
 type prep
 (** Per-fork preparation: which accesses may run unchecked, valid for
     every chunk of that fork's iteration space. *)
@@ -276,3 +303,52 @@ val strip_bounds : inner:int -> t0:int -> len:int -> (int * int) list
     contiguous strips [(t_start, strip_len)] covering coalesced range
     [t0 .. t0+len-1] without crossing a boundary of the innermost digit
     of size [inner]. Empty when [len <= 0] or [inner <= 0]. *)
+
+(** {1 Profiling}
+
+    Per-position dispatch counts for one tape. The profiled interpreter
+    {!exec_strip_profiled} is a twin of {!exec_strip} (one extra unsafe
+    increment per dispatch); the unprofiled path is untouched, so
+    profiler-off runs are bit-identical in output and cost. Per-opcode
+    and per-source-loop views are derived at report time by joining the
+    counts with the instruction arrays and the provenance tables. *)
+
+type profile = {
+  pf_pre : int array;  (** per-[tp_pre] position dispatch count *)
+  pf_ops : int array;  (** per-[tp_ops] position dispatch count *)
+  pf_unrolled : int array;
+      (** per-[tp_unrolled] position dispatch count ([[||]] when the
+          tape has no unrolled body) *)
+  mutable pf_strips : int;  (** strips executed *)
+  mutable pf_iters : int;  (** coalesced iterations executed *)
+  mutable pf_ns : int;  (** wall ns inside profiled strip execution *)
+}
+
+val profile_create : tape -> profile
+(** Fresh zeroed counts sized for the tape (one per worker). *)
+
+val profile_merge : into:profile -> profile -> unit
+(** Element-wise accumulate a worker's counts. Both arguments must come
+    from {!profile_create} on the same tape. *)
+
+val profile_dispatches : profile -> int
+(** Total dispatched instructions across all sections. *)
+
+val exec_strip_profiled :
+  tape ->
+  prep ->
+  profile:profile ->
+  ints:int array ->
+  reals:float array ->
+  arrays:float array array ->
+  shadow:Sanitize.t option ->
+  inv:int array ->
+  jslot:int ->
+  j0:int ->
+  jstep:int ->
+  len:int ->
+  iter0:int ->
+  unit
+(** Exactly {!exec_strip}, additionally bumping the profile's position
+    counters ([pf_ns] is accounted by the caller, which brackets whole
+    chunks rather than paying two clock reads per strip). *)

@@ -28,6 +28,14 @@
 
 open Loopcoal_ir
 module Reduction = Loopcoal_analysis.Reduction
+module Registry = Loopcoal_obs.Registry
+
+(* Wall-time histograms for the two staging phases that dominate compile
+   cost, plus the whole-program total. Cache hits skip both phases, so
+   [compile.lower_ns]'s count is also the number of cold plan compiles. *)
+let h_compile_ns = Registry.histogram "compile.ns"
+let h_lower_ns = Registry.histogram "compile.lower_ns"
+let h_opt_ns = Registry.histogram "compile.opt_ns"
 
 exception Error of string
 
@@ -544,12 +552,13 @@ and compile_parallel_nest ctx (l : Ast.loop) : code =
             (Hashtbl.find_opt ctx.arr_tbl a)
         in
         let t =
-          Bytecode.lower ~lookup ~array_ref
-            ~fresh_int:(fun () -> fresh_int ctx)
-            ~fresh_real:(fun () -> fresh_real ctx)
-            ~assigned:(assigned_scalars inner_body)
-            ~plan_names:index_names ~plan_slots:index_slots
-            ~sanitize:ctx.sanitize inner_body
+          Registry.time h_lower_ns (fun () ->
+              Bytecode.lower ~lookup ~array_ref
+                ~fresh_int:(fun () -> fresh_int ctx)
+                ~fresh_real:(fun () -> fresh_real ctx)
+                ~assigned:(assigned_scalars inner_body)
+                ~plan_names:index_names ~plan_slots:index_slots
+                ~sanitize:ctx.sanitize inner_body)
         in
         let dump =
           Option.map
@@ -559,12 +568,13 @@ and compile_parallel_nest ctx (l : Ast.loop) : code =
             ctx.tape_dump
         in
         let t =
-          Option.map
-            (Tapeopt.optimize ?dump ~level:ctx.opt_level
-               ~jslot:index_slots.(depth - 1) ~int_base ~real_base
-               ~fresh_int:(fun () -> fresh_int ctx)
-               ~fresh_real:(fun () -> fresh_real ctx))
-            t
+          Registry.time h_opt_ns (fun () ->
+              Option.map
+                (Tapeopt.optimize ?dump ~level:ctx.opt_level
+                   ~jslot:index_slots.(depth - 1) ~int_base ~real_base
+                   ~fresh_int:(fun () -> fresh_int ctx)
+                   ~fresh_real:(fun () -> fresh_real ctx))
+                t)
         in
         ctx.tape_log <-
           (t, ctx.n_ints - int_base, ctx.n_reals - real_base) :: ctx.tape_log;
@@ -605,6 +615,7 @@ type t = {
 
 let compile ?(sanitize = false) ?(opt_level = 2) ?cache ?(cache_salt = "")
     ?tape_dump (p : Ast.program) : t =
+  Registry.time h_compile_ns @@ fun () ->
   let cached, cache_key =
     match cache with
     | None -> (None, None)

@@ -31,8 +31,12 @@ module Static = Loopcoal_sched.Static
 module Chunks = Loopcoal_sched.Chunks
 module Reduction = Loopcoal_analysis.Reduction
 module Trace = Loopcoal_obs.Trace
+module Registry = Loopcoal_obs.Registry
 open Loopcoal_ir
 open Compile
+
+let c_runs = Registry.counter "exec.runs"
+let h_run_ns = Registry.histogram "exec.run_ns"
 
 let error fmt = Printf.ksprintf (fun s -> raise (Compile.Error s)) fmt
 
@@ -139,6 +143,37 @@ let run_chunk_bytecode (plan : plan) sp env tape prep inv t0 len =
     with Bytecode.Error m -> raise (Compile.Error m)
   end
 
+(* Twin of [run_chunk_bytecode] on the profiled interpreter. The clock
+   brackets the whole chunk (two reads per chunk, not per strip), so
+   [pf_ns] is wall time inside strip execution including the per-strip
+   cursor/bounds setup. *)
+let run_chunk_bytecode_prof (plan : plan) sp env tape prep inv pf t0 len =
+  if len > 0 then begin
+    let depth = plan.depth in
+    let inner = sp.sizes.(depth - 1) in
+    let jslot = plan.index_slots.(depth - 1) in
+    let jlo = sp.los.(depth - 1) in
+    let jstep = if depth = 1 then sp.step0 else 1 in
+    let shadow = if Bytecode.sanitized tape then env.shadow else None in
+    let tlast = t0 + len - 1 in
+    let t = ref t0 in
+    let clk0 = Trace.now () in
+    (try
+       while !t <= tlast do
+         let pos = (!t - 1) mod inner in
+         let slen = min (tlast - !t + 1) (inner - pos) in
+         if depth > 1 then set_cursor plan sp env !t;
+         env.iter_id <- !t;
+         Bytecode.exec_strip_profiled tape prep ~profile:pf ~ints:env.ints
+           ~reals:env.reals ~arrays:env.arrays ~shadow ~inv ~jslot
+           ~j0:(jlo + (pos * jstep))
+           ~jstep ~len:slen ~iter0:!t;
+         t := !t + slen
+       done
+     with Bytecode.Error m -> raise (Compile.Error m));
+    pf.Bytecode.pf_ns <- pf.Bytecode.pf_ns + (Trace.now () - clk0)
+  end
+
 (* Per-fork bytecode preparation: the checked-vs-unsafe decision is made
    once against the fork's whole iteration space, so it is valid for
    every chunk any domain will dispatch. *)
@@ -156,12 +191,19 @@ let bytecode_prep (plan : plan) sp env =
 (* Bind the chunk runner for one (engine, plan, env): tape dispatch when
    the bytecode engine is selected and the plan lowered, closure
    dispatch otherwise. The invariant-offset scratch is per-binding, so
-   every domain hoists into its own. *)
-let chunk_runner (plan : plan) sp prep env : int -> int -> unit =
+   every domain hoists into its own. Like the trace probe, the
+   profiled-vs-plain decision is made here, once per binding: with
+   profiling off the executed closure is exactly the pre-profiler one. *)
+let chunk_runner ?profile (plan : plan) sp prep env : int -> int -> unit =
   match prep with
-  | Some (tape, pr) ->
+  | Some (tape, pr) -> (
       let inv = Bytecode.make_scratch tape in
-      fun t0 len -> run_chunk_bytecode plan sp env tape pr inv t0 len
+      match profile with
+      | None -> fun t0 len -> run_chunk_bytecode plan sp env tape pr inv t0 len
+      | Some pc ->
+          let pf = Profile.slot pc tape in
+          fun t0 len ->
+            run_chunk_bytecode_prof plan sp env tape pr inv pf t0 len)
   | None -> fun t0 len -> run_chunk plan sp env t0 len
 
 (* A new fork is a new sanitizer epoch: conflicts are only races between
@@ -172,34 +214,34 @@ let new_epoch env =
 
 (* ---------- sequential execution ---------- *)
 
-let rec seq_fork_e engine (plan : plan) env =
+let rec seq_fork_e engine ?profile (plan : plan) env =
   let saved_fork = env.fork in
-  env.fork <- seq_fork_e engine;
+  env.fork <- seq_fork_e engine ?profile;
   new_epoch env;
   let sp = space_of plan env in
   let prep =
     match engine with Bytecode -> bytecode_prep plan sp env | Closure -> None
   in
-  let run = chunk_runner plan sp prep env in
+  let run = chunk_runner ?profile plan sp prep env in
   run 1 sp.total;
   env.iter_id <- 0;
   env.fork <- saved_fork
 
-let seq_fork = seq_fork_e Bytecode
+let seq_fork plan env = seq_fork_e Bytecode plan env
 
 (* Traced sequential fork: the whole space is one chunk on worker 0,
    recorded as a static block (which it literally is). Nested parallel
    loops inside the region run — and are timed — within this chunk, so
    only the outermost fork hook traces. *)
-let seq_fork_traced_e engine tracer (plan : plan) env =
+let seq_fork_traced_e engine ?profile tracer (plan : plan) env =
   let saved_fork = env.fork in
-  env.fork <- seq_fork_e engine;
+  env.fork <- seq_fork_e engine ?profile;
   new_epoch env;
   let sp = space_of plan env in
   let prep =
     match engine with Bytecode -> bytecode_prep plan sp env | Closure -> None
   in
-  let run = chunk_runner plan sp prep env in
+  let run = chunk_runner ?profile plan sp prep env in
   Trace.fork_begin tracer ~policy:Policy.Static_block ~n:sp.total ~p:1;
   let a = Trace.now () in
   run 1 sp.total;
@@ -272,15 +314,15 @@ let dispatch policy ~n ~p ~(q : int) ~run =
   | Self_sched _ | Gss | Factoring | Trapezoid ->
       assert false (* dynamic policies are dispatched from shared state *)
 
-let parallel_fork_e engine ?trace pool policy (plan : plan) master =
+let parallel_fork_e engine ?trace ?profile pool policy (plan : plan) master =
   let p = Pool.size pool in
   let sp = space_of plan master in
   let n = sp.total in
   if n = 0 then ()
   else if p = 1 || n = 1 then
     match trace with
-    | None -> seq_fork_e engine plan master
-    | Some tracer -> seq_fork_traced_e engine tracer plan master
+    | None -> seq_fork_e engine ?profile plan master
+    | Some tracer -> seq_fork_traced_e engine ?profile tracer plan master
   else begin
     (match trace with
     | None -> ()
@@ -296,11 +338,13 @@ let parallel_fork_e engine ?trace pool policy (plan : plan) master =
     let clones =
       Array.init p (fun _ ->
           let c = clone_env master in
-          c.fork <- seq_fork_e engine;
+          c.fork <- seq_fork_e engine ?profile;
           reset_partials plan c;
           c)
     in
-    let runners = Array.map (fun c -> chunk_runner plan sp prep c) clones in
+    let runners =
+      Array.map (fun c -> chunk_runner ?profile plan sp prep c) clones
+    in
     let hi_t = Array.make p 0 in
     (* The probe is selected here, once per fork: with tracing off the
        executed closure is exactly the untraced one — no timestamp, no
@@ -405,17 +449,20 @@ let outcome_of t env =
   { arrays = Compile.read_arrays t env; scalars = Compile.read_scalars t env }
 
 let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
-    ?(domains = 1) ?(engine = Bytecode) ?trace ?shadow (t : Compile.t) =
+    ?(domains = 1) ?(engine = Bytecode) ?trace ?profile ?shadow
+    (t : Compile.t) =
   if domains < 1 then invalid_arg "Exec.run_compiled: domains must be >= 1";
   (match Policy.validate policy with
   | Ok () -> ()
   | Error m -> invalid_arg ("Exec.run_compiled: " ^ m));
   let go pool =
+    Registry.incr c_runs;
+    Registry.time h_run_ns @@ fun () ->
     let fork =
       match (pool, trace) with
-      | None, None -> seq_fork_e engine
-      | None, Some tracer -> seq_fork_traced_e engine tracer
-      | Some pool, _ -> parallel_fork_e engine ?trace pool policy
+      | None, None -> seq_fork_e engine ?profile
+      | None, Some tracer -> seq_fork_traced_e engine ?profile tracer
+      | Some pool, _ -> parallel_fork_e engine ?trace ?profile pool policy
     in
     let env = Compile.make_env ~array_init ?shadow t ~fork in
     Compile.run_code t env;
@@ -427,9 +474,9 @@ let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
       if domains = 1 then go None
       else Pool.with_pool domains (fun p -> go (Some p))
 
-let run ?array_init ?pool ?policy ?domains ?engine ?trace ?opt_level
+let run ?array_init ?pool ?policy ?domains ?engine ?trace ?profile ?opt_level
     (p : Loopcoal_ir.Ast.program) =
-  run_compiled ?array_init ?pool ?policy ?domains ?engine ?trace
+  run_compiled ?array_init ?pool ?policy ?domains ?engine ?trace ?profile
     (Compile.compile ?opt_level p)
 
 (* Compile with shadow instrumentation, run, and return the observed

@@ -54,6 +54,7 @@ val run_compiled :
   ?domains:int ->
   ?engine:engine ->
   ?trace:Loopcoal_obs.Trace.collector ->
+  ?profile:Profile.collector ->
   ?shadow:Sanitize.t ->
   Compile.t ->
   outcome
@@ -74,6 +75,14 @@ val run_compiled :
     recorded as a one-chunk [Static_block] region at [p = 1], since that
     is the dispatch that actually happened.
 
+    [profile] turns on tape profiling: every worker's dispatches are
+    counted per tape position into the collector (summarize with
+    {!Profile.summarize}). Results, traces and schedules are identical
+    with and without it, and — like [trace] — the unprofiled code paths
+    are exactly the pre-profiler ones, so profiling has zero cost when
+    off. Only tape-dispatched plans are profiled; the [Closure] engine
+    and closure-fallback plans contribute nothing.
+
     [shadow] attaches race-sanitizer shadow state to the run; it only
     has an effect on programs compiled with [Compile.compile
     ~sanitize:true]. Prefer {!run_sanitized}, which wires both ends. *)
@@ -85,6 +94,7 @@ val run :
   ?domains:int ->
   ?engine:engine ->
   ?trace:Loopcoal_obs.Trace.collector ->
+  ?profile:Profile.collector ->
   ?opt_level:int ->
   Ast.program ->
   outcome

@@ -19,8 +19,16 @@
 open Loopcoal_ir
 
 (* Bump when [Bytecode.instr]/[tape] or the entry layout changes.
-   3: SSA optimizer pipeline — [Vsv] vkind, general strip preamble. *)
-let format_version = 3
+   3: SSA optimizer pipeline — [Vsv] vkind, general strip preamble.
+   4: provenance side tables — [tp_src]/[tp_pre_src]/[tp_unrolled_src]/
+      [tp_tags] carry instr -> source-loop attribution. *)
+let format_version = 4
+
+(* A disk entry that fails to load — unreadable, corrupt, or written by
+   a different format/build — is treated as a miss; count those
+   separately from plain misses so cache churn after upgrades shows up
+   in the registry. *)
+let evictions = Loopcoal_obs.Registry.counter "plan_cache.evict"
 
 (* The hand-bumped [format_version] alone cannot protect against a tape
    layout change that forgets to bump it: [Marshal] is not type-safe,
@@ -76,10 +84,15 @@ let read_file f =
       match (input_value ic : int * entry) with
       | exception _ ->
           close_in_noerr ic;
+          Loopcoal_obs.Registry.incr evictions;
           None
       | v, e ->
           close_in_noerr ic;
-          if v = format_version then Some e else None)
+          if v = format_version then Some e
+          else begin
+            Loopcoal_obs.Registry.incr evictions;
+            None
+          end)
 
 let find c k =
   match Hashtbl.find_opt c.mem k with

@@ -7,6 +7,14 @@
    which is precisely the synchronization shape the coalescing
    transformation reduces a nest to. *)
 
+module Registry = Loopcoal_obs.Registry
+
+(* One observation per fork-join, covering publish -> all workers done.
+   Size-1 pools run inline and are counted too: the histogram then shows
+   the pure job cost, which is the useful baseline. *)
+let c_forks = Registry.counter "pool.forks"
+let h_fork_join_ns = Registry.histogram "pool.fork_join_ns"
+
 type t = {
   size : int;
   mutex : Mutex.t;
@@ -69,6 +77,8 @@ let create size =
   t
 
 let run t f =
+  Registry.incr c_forks;
+  Registry.time h_fork_join_ns @@ fun () ->
   if t.size = 1 then f 0
   else begin
     Mutex.lock t.mutex;

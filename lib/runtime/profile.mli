@@ -1,0 +1,49 @@
+(** Tape-profile collection and reporting.
+
+    A {!collector} gathers per-worker {!Bytecode.profile}s during a
+    profiled run (the executor registers one per worker/fork/tape
+    binding; workers then count without synchronization); {!summarize}
+    joins the counts with each tape's provenance side tables into
+    source-loop and opcode views. *)
+
+type collector
+
+val create : unit -> collector
+
+val slot : collector -> Bytecode.tape -> Bytecode.profile
+(** Register and return a fresh zeroed profile for [tape]. Takes the
+    collector's mutex once; the caller then owns the counts. *)
+
+val tapes : collector -> (Bytecode.tape * Bytecode.profile) list
+(** One merged profile per distinct tape (physical equality), in
+    first-registration order. *)
+
+type loop_row = {
+  lr_loop : string;  (** source loop path, e.g. ["i.j/k"] *)
+  lr_stmt : string;  (** statement label, e.g. ["C[] ="], ["for k"] *)
+  lr_dispatches : int;
+}
+
+type summary = {
+  sm_dispatches : int;  (** total dispatched instructions *)
+  sm_iters : int;  (** coalesced iterations executed *)
+  sm_strips : int;
+  sm_ns : int;  (** wall ns inside profiled strip execution *)
+  sm_loops : loop_row list;  (** descending by dispatches *)
+  sm_opcodes : (string * int) list;  (** descending by dispatches *)
+}
+
+val summarize : collector -> summary
+
+val attributed_fraction : summary -> float
+(** Fraction of dispatches carrying a non-root provenance tag (i.e.
+    attributed to a concrete source statement or serial loop rather
+    than strip-level glue). [1.0] on an empty summary. *)
+
+val render : ?top:int -> summary -> string
+(** Header line plus hot-loop and hot-opcode tables ([top] rows each,
+    default 10). *)
+
+val folded : summary -> string
+(** Flamegraph folded stacks: one ["root;loop;...;stmt count"] line per
+    (loop path, statement). *)

@@ -171,12 +171,16 @@ let target_flags ops =
    target is remapped to the new index of the instruction it pointed at,
    so a jump to position [p] skips instructions inserted before [p] —
    exactly what a serial-loop back edge wants of an entry [Sinit] or a
-   hoisted preheader op. Returns the rewritten array and the position
-   map (old index -> new index of that same instruction). *)
-let insert_at_map ops inserts =
+   hoisted preheader op. The provenance array [src] is co-rewritten:
+   each insert carries its own tag, surviving instructions keep theirs.
+   Returns the rewritten arrays and the position map (old index -> new
+   index of that same instruction). *)
+let insert_at_map ops src inserts =
   let n = Array.length ops in
   let by_pos = Array.make (n + 1) [] in
-  List.iter (fun (p, i) -> by_pos.(p) <- i :: by_pos.(p)) (List.rev inserts);
+  List.iter
+    (fun (p, i, tag) -> by_pos.(p) <- (i, tag) :: by_pos.(p))
+    (List.rev inserts);
   let newpos = Array.make (n + 1) 0 in
   let added = ref 0 in
   for i = 0 to n do
@@ -184,23 +188,27 @@ let insert_at_map ops inserts =
     newpos.(i) <- i + !added
   done;
   let out = Array.make (n + !added) Jadv in
+  let osrc = Array.make (n + !added) 0 in
   let k = ref 0 in
-  let put i =
+  let put i tag =
     out.(!k) <- i;
+    osrc.(!k) <- tag;
     incr k
   in
   for i = 0 to n - 1 do
-    List.iter put by_pos.(i);
-    put (remap_targets (fun t -> newpos.(t)) ops.(i))
+    List.iter (fun (op, tag) -> put op tag) by_pos.(i);
+    put (remap_targets (fun t -> newpos.(t)) ops.(i)) src.(i)
   done;
-  List.iter put by_pos.(n);
-  (out, newpos)
+  List.iter (fun (op, tag) -> put op tag) by_pos.(n);
+  (out, osrc, newpos)
 
-let insert_at ops inserts = fst (insert_at_map ops inserts)
+let insert_at ops src inserts =
+  let out, osrc, _ = insert_at_map ops src inserts in
+  (out, osrc)
 
 (* Delete flagged instructions. A jump whose target died lands on the
    next surviving instruction. *)
-let delete_at ops dead =
+let delete_at ops src dead =
   let n = Array.length ops in
   let newpos = Array.make (n + 1) 0 in
   let k = ref 0 in
@@ -210,14 +218,16 @@ let delete_at ops dead =
   done;
   newpos.(n) <- !k;
   let out = Array.make !k Jadv in
+  let osrc = Array.make !k 0 in
   let k = ref 0 in
   for i = 0 to n - 1 do
     if not dead.(i) then begin
       out.(!k) <- remap_targets (fun t -> newpos.(t)) ops.(i);
+      osrc.(!k) <- src.(i);
       incr k
     end
   done;
-  out
+  (out, osrc)
 
 (* ---------- dominators, frontiers, minimal SSA ---------- *)
 
@@ -428,8 +438,8 @@ let gvn ops =
    range. Registers below [int_base] are observable program scalars and
    are always kept. *)
 let dce ~int_base (t : tape) =
-  let rec go ops rounds =
-    if rounds = 0 then ops
+  let rec go (ops, src) rounds =
+    if rounds = 0 then (ops, src)
     else begin
       let read = Hashtbl.create 64 in
       let mark r = Hashtbl.replace read r () in
@@ -452,11 +462,12 @@ let dce ~int_base (t : tape) =
             | _ -> false)
           ops
       in
-      if Array.exists Fun.id dead then go (delete_at ops dead) (rounds - 1)
-      else ops
+      if Array.exists Fun.id dead then go (delete_at ops src dead) (rounds - 1)
+      else (ops, src)
     end
   in
-  { t with tp_ops = go t.tp_ops 4 }
+  let ops, src = go (t.tp_ops, t.tp_src) 4 in
+  { t with tp_ops = ops; tp_src = src }
 
 (* ---------- cross-block loop-invariant code motion ---------- *)
 
@@ -621,17 +632,18 @@ let region_hoists ~int_base ~real_base (t : tape) ops (l : loopinfo) =
 
 (* Move [moves] (textual order) to the preheader at [l_top]: insert
    copies before the loop top — the back edge is remapped past them —
-   then delete the originals. *)
-let apply_hoist ops l_top moves =
-  let inserts = List.map (fun (_, op) -> (l_top, op)) moves in
-  let out, newpos = insert_at_map ops inserts in
+   then delete the originals. Each hoisted copy keeps the original's
+   provenance tag. *)
+let apply_hoist ops src l_top moves =
+  let inserts = List.map (fun (p, op) -> (l_top, op, src.(p))) moves in
+  let out, osrc, newpos = insert_at_map ops src inserts in
   let dead = Array.make (Array.length out) false in
   List.iter (fun (p, _) -> dead.(newpos.(p)) <- true) moves;
-  delete_at out dead
+  delete_at out osrc dead
 
 let licm_serial ~int_base ~real_base (t : tape) =
-  let rec round ops budget =
-    if budget = 0 then ops
+  let rec round (ops, src) budget =
+    if budget = 0 then (ops, src)
     else begin
       let loops =
         List.sort
@@ -639,16 +651,17 @@ let licm_serial ~int_base ~real_base (t : tape) =
           (collect_loops ops)
       in
       let rec try_loops = function
-        | [] -> ops
+        | [] -> (ops, src)
         | l :: rest -> (
             match region_hoists ~int_base ~real_base t ops l with
             | [] -> try_loops rest
-            | moves -> round (apply_hoist ops l.l_top moves) (budget - 1))
+            | moves -> round (apply_hoist ops src l.l_top moves) (budget - 1))
       in
       try_loops loops
     end
   in
-  { t with tp_ops = round t.tp_ops 16 }
+  let ops, src = round (t.tp_ops, t.tp_src) 16 in
+  { t with tp_ops = ops; tp_src = src }
 
 (* Strip-level motion: pure ops whose operands have no def anywhere in
    the body and are not the strip index move to the per-strip preamble
@@ -696,11 +709,16 @@ let licm_strip ~int_base ~real_base ~jslot (t : tape) =
   | moves ->
       let dead = Array.make (Array.length ops) false in
       List.iter (fun (p, _) -> dead.(p) <- true) moves;
+      let ops', src' = delete_at ops t.tp_src dead in
       {
         t with
         tp_pre =
           Array.append t.tp_pre (Array.of_list (List.map snd moves));
-        tp_ops = delete_at ops dead;
+        tp_pre_src =
+          Array.append t.tp_pre_src
+            (Array.of_list (List.map (fun (p, _) -> t.tp_src.(p)) moves));
+        tp_ops = ops';
+        tp_src = src';
       }
 
 let licm ~int_base ~real_base ~jslot (t : tape) =
@@ -853,7 +871,10 @@ let stream ~jslot (t : tape) =
             | `Const c ->
                 let s = naccs + !nstreams in
                 incr nstreams;
-                ops_adds := (l.l_top, Sinit (s, full)) :: !ops_adds;
+                (* Entry [Sinit]s run once per loop entry: tag them with
+                   the loop they stream (the back edge's tag). *)
+                ops_adds :=
+                  (l.l_top, Sinit (s, full), t.tp_src.(l.l_back)) :: !ops_adds;
                 List.iter
                   (fun j ->
                     accs.(j) <- { accs.(j) with ac_vk = Vs (s, !lcoef * c) })
@@ -869,9 +890,10 @@ let stream ~jslot (t : tape) =
                   let s = naccs + !nstreams in
                   let bs = s + 1 in
                   nstreams := !nstreams + 2;
+                  let tag = t.tp_src.(l.l_back) in
                   ops_adds :=
-                    (l.l_top, Sinit (bs, bump))
-                    :: (l.l_top, Sinit (s, full))
+                    (l.l_top, Sinit (bs, bump), tag)
+                    :: (l.l_top, Sinit (s, full), tag)
                     :: !ops_adds;
                   List.iter
                     (fun j -> accs.(j) <- { accs.(j) with ac_vk = Vsv (s, bs) })
@@ -902,14 +924,21 @@ let stream ~jslot (t : tape) =
       end
     done;
     if !nstreams = t.tp_nstreams then t
-    else
+    else begin
+      let pre_adds = List.rev !pre_adds in
+      let ops', src' = insert_at ops t.tp_src (List.rev !ops_adds) in
       {
         t with
-        tp_pre = Array.append t.tp_pre (Array.of_list (List.rev !pre_adds));
-        tp_ops = insert_at ops (List.rev !ops_adds);
+        tp_pre = Array.append t.tp_pre (Array.of_list pre_adds);
+        tp_pre_src =
+          Array.append t.tp_pre_src
+            (Array.make (List.length pre_adds) 0);
+        tp_ops = ops';
+        tp_src = src';
         tp_accs = accs;
         tp_nstreams = !nstreams;
       }
+    end
   end
 
 (* ---------- load sinking ---------- *)
@@ -948,8 +977,8 @@ let sink_loads ~real_base (t : tape) =
     | Vsv (s, b) -> [ s; b ]
     | V0 | V1 _ | V2 _ | Vn -> []
   in
-  let rec pass ops budget =
-    if budget = 0 then ops
+  let rec pass (ops, src) budget =
+    if budget = 0 then (ops, src)
     else begin
       let n = Array.length ops in
       let tflags = target_flags ops in
@@ -996,18 +1025,24 @@ let sink_loads ~real_base (t : tape) =
         incr i
       done;
       match !moved with
-      | None -> ops
+      | None -> (ops, src)
       | Some (i, j) ->
-          let ld = ops.(i) in
+          let ld = ops.(i) and lt = src.(i) in
           let out = Array.make n ld in
+          let osrc = Array.make n lt in
           Array.blit ops 0 out 0 i;
           Array.blit ops (i + 1) out i (j - i - 1);
           out.(j - 1) <- ld;
           Array.blit ops j out j (n - j);
-          pass out (budget - 1)
+          Array.blit src 0 osrc 0 i;
+          Array.blit src (i + 1) osrc i (j - i - 1);
+          osrc.(j - 1) <- lt;
+          Array.blit src j osrc j (n - j);
+          pass (out, osrc) (budget - 1)
     end
   in
-  { t with tp_ops = pass t.tp_ops 64 }
+  let ops, src = pass (t.tp_ops, t.tp_src) 64 in
+  { t with tp_ops = ops; tp_src = src }
 
 (* ---------- superinstruction fusion ---------- *)
 
@@ -1021,8 +1056,8 @@ let sink_loads ~real_base (t : tape) =
    exclusive branch arms), so swapping the ids of a reversed pair only
    swaps independent offset computations. *)
 let fuse ~real_base (t : tape) =
-  let rec pass ops budget =
-    if budget = 0 then ops
+  let rec pass (ops, src) budget =
+    if budget = 0 then (ops, src)
     else begin
       let n = Array.length ops in
       let tflags = target_flags ops in
@@ -1103,10 +1138,12 @@ let fuse ~real_base (t : tape) =
             i := !i + 2
         | None, None -> incr i
       done;
-      if !changed then pass (delete_at work dead) (budget - 1) else ops
+      if !changed then pass (delete_at work src dead) (budget - 1)
+      else (ops, src)
     end
   in
-  { t with tp_ops = pass t.tp_ops 8 }
+  let ops, src = pass (t.tp_ops, t.tp_src) 8 in
+  { t with tp_ops = ops; tp_src = src }
 
 (* Branch inversion: a conditional that skips exactly one unconditional
    jump (the lowering shape for an if/else: [jcc -> then; jmp else])
@@ -1142,7 +1179,11 @@ let invert_branches (t : tape) =
         changed := true
     | _ -> ()
   done;
-  if !changed then { t with tp_ops = delete_at work dead } else t
+  if !changed then begin
+    let ops', src' = delete_at work t.tp_src dead in
+    { t with tp_ops = ops'; tp_src = src' }
+  end
+  else t
 
 (* ---------- x4 strip unrolling ---------- *)
 
@@ -1243,6 +1284,9 @@ let unroll ~int_base ~real_base ~fresh_int ~fresh_real (t : tape) =
       | Iloopc (r, c, bnd, top) -> Iloopc (gi r, c, gi bnd, top + off)
     in
     let u = Array.make ((4 * n) + 3) Jadv in
+    (* Separator [Jadv]s belong to the plan root (tag 0); the copies
+       replicate the body's tags. *)
+    let usrc = Array.make ((4 * n) + 3) 0 in
     let empty_i = Hashtbl.create 1 and empty_r = Hashtbl.create 1 in
     for m = 0 to 3 do
       let imap, rmap =
@@ -1258,33 +1302,85 @@ let unroll ~int_base ~real_base ~fresh_int ~fresh_real (t : tape) =
       for i = 0 to n - 1 do
         (* A jump target t = n (fall off the copy's end) lands exactly on
            the separating [Jadv] — or past the last copy's end. *)
-        u.(off + i) <- subst imap rmap off ops.(i)
+        u.(off + i) <- subst imap rmap off ops.(i);
+        usrc.(off + i) <- t.tp_src.(i)
       done
     done;
-    { t with tp_unrolled = Some u }
+    { t with tp_unrolled = Some u; tp_unrolled_src = Some usrc }
   end
 
 (* ---------- driver ---------- *)
 
+module Registry = Loopcoal_obs.Registry
+
 let pass_names = [ "lower"; "gvn"; "licm"; "stream"; "fuse"; "unroll" ]
+
+(* Per-pass wall-time histograms and instruction-delta counters, keyed
+   by pass name. Handles are created once at module init; the hot path
+   only touches their atomics. *)
+let pass_metrics =
+  List.map
+    (fun name ->
+      ( name,
+        ( Registry.histogram (Printf.sprintf "tapeopt.%s.ns" name),
+          Registry.counter (Printf.sprintf "tapeopt.%s.instrs_in" name),
+          Registry.counter (Printf.sprintf "tapeopt.%s.instrs_out" name) ) ))
+    (List.filter (fun n -> n <> "lower") pass_names)
+
+let tape_len (t : tape) =
+  Array.length t.tp_pre + Array.length t.tp_ops
+  + match t.tp_unrolled with Some u -> Array.length u | None -> 0
+
+(* Every pass must keep the provenance side tables aligned with the
+   instruction arrays it rewrites; a skew here would silently
+   mis-attribute profiles, so fail loudly. *)
+let check_provenance name (t : tape) =
+  let chk what a b =
+    if a <> b then
+      invalid_arg
+        (Printf.sprintf "Tapeopt.%s: %s provenance skew (%d tags, %d instrs)"
+           name what a b)
+  in
+  chk "ops" (Array.length t.tp_src) (Array.length t.tp_ops);
+  chk "pre" (Array.length t.tp_pre_src) (Array.length t.tp_pre);
+  match (t.tp_unrolled, t.tp_unrolled_src) with
+  | None, None -> ()
+  | Some u, Some s -> chk "unrolled" (Array.length s) (Array.length u)
+  | Some _, None | None, Some _ ->
+      invalid_arg
+        (Printf.sprintf "Tapeopt.%s: unrolled provenance missing" name)
 
 let optimize ?dump ~level ~jslot ~int_base ~real_base ~fresh_int ~fresh_real
     tape =
   let emit name t =
+    check_provenance name t;
     (match dump with Some f -> f ~pass:name t | None -> ());
     t
   in
+  let stage name f t =
+    let h, c_in, c_out = List.assoc name pass_metrics in
+    Registry.add c_in (tape_len t);
+    let t' = Registry.time h (fun () -> f t) in
+    Registry.add c_out (tape_len t');
+    emit name t'
+  in
   let tape = emit "lower" tape in
   if level <= 0 || sanitized tape then tape
-  else if level <= 1 then emit "stream" (stream ~jslot tape)
+  else if level <= 1 then stage "stream" (stream ~jslot) tape
   else begin
-    let t = emit "gvn" (dce ~int_base { tape with tp_ops = gvn tape.tp_ops }) in
-    let t = emit "licm" (licm ~int_base ~real_base ~jslot t) in
-    let t = emit "stream" (stream ~jslot t) in
     let t =
-      emit "fuse" (fuse ~real_base (sink_loads ~real_base (invert_branches t)))
+      stage "gvn"
+        (fun t -> dce ~int_base { t with tp_ops = gvn t.tp_ops })
+        tape
     in
-    emit "unroll" (unroll ~int_base ~real_base ~fresh_int ~fresh_real t)
+    let t = stage "licm" (licm ~int_base ~real_base ~jslot) t in
+    let t = stage "stream" (stream ~jslot) t in
+    let t =
+      stage "fuse"
+        (fun t -> fuse ~real_base (sink_loads ~real_base (invert_branches t)))
+        t
+    in
+    stage "unroll" (unroll ~int_base ~real_base ~fresh_int ~fresh_real) t
   end
 
 let describe (t : tape) =

@@ -420,7 +420,10 @@ let analyze_region ~hints ordinal ((loops : Ast.loop list), inner_body) =
 
 (* ---------- whole program ---------- *)
 
+let h_check_ns = Loopcoal_obs.Registry.histogram "verify.check_ns"
+
 let check_program ?(hints = []) (p : Ast.program) =
+  Loopcoal_obs.Registry.time h_check_ns @@ fun () ->
   let raw = List.rev (regions_of_block ~in_par:false [] p.body) in
   let regions = List.mapi (fun i rg -> analyze_region ~hints (i + 1) rg) raw in
   { regions; diags = List.concat_map (fun (r : region) -> r.diags) regions }

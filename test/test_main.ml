@@ -20,5 +20,6 @@ let () =
       ("tapeopt", Test_tapeopt.suite);
       ("plancache", Test_plancache.suite);
       ("obs", Test_obs.suite);
+      ("profile", Test_profile.suite);
       ("verify", Test_verify.suite);
     ]

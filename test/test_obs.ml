@@ -450,6 +450,94 @@ let test_time_line_format () =
         (float_of_string (List.assoc "wall_s" kv) > 0.0)
   | _ -> Alcotest.fail "line must start with 'time '"
 
+let test_time_suffix_contract () =
+  Alcotest.(check string) "suffix format"
+    " opt=2 plan_cache=hit"
+    (Report.time_suffix ~opt:2 ~plan_cache:"hit" ());
+  Alcotest.(check string) "extra fields append in order"
+    " opt=0 plan_cache=off profile=on x=1"
+    (Report.time_suffix ~extra:[ ("profile", "on"); ("x", "1") ] ~opt:0
+       ~plan_cache:"off" ());
+  (* The full --time line: stable prefix, suffix appended — a prefix
+     consumer parsing up to wall_s= keeps working as fields grow. *)
+  let line =
+    Report.time_line ~engine:"bytecode" ~domains:2 ~policy:"GSS"
+      ~wall_s:0.5
+    ^ Report.time_suffix ~opt:2 ~plan_cache:"miss" ()
+  in
+  Alcotest.(check string) "pinned full line"
+    "time engine=bytecode domains=2 policy=GSS wall_s=0.500000 opt=2 \
+     plan_cache=miss"
+    line
+
+(* ---------- metrics registry ---------- *)
+
+let test_registry_counters_gauges () =
+  let c = Registry.counter "test_obs.ctr" in
+  let c' = Registry.counter "test_obs.ctr" in
+  Registry.incr c;
+  Registry.add c' 4;
+  Alcotest.(check int) "same name, same counter" 5 (Registry.value c);
+  let g = Registry.gauge "test_obs.gauge" in
+  Registry.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge last-write-wins" 2.5 (Registry.get g);
+  (* Re-registering a name as a different kind is a programming error. *)
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Registry: metric kind mismatch for test_obs.ctr")
+    (fun () -> ignore (Registry.gauge "test_obs.ctr"))
+
+let test_registry_histogram_percentiles () =
+  let h = Registry.histogram "test_obs.hist" in
+  (* 90 small values in [1,1] and 10 large in [1024, 2047]: p50 lands in
+     the small bucket, p99 in the large one; percentiles report the
+     matched bucket's lower bound. *)
+  for _ = 1 to 90 do
+    Registry.observe h 1
+  done;
+  for i = 1 to 10 do
+    Registry.observe h (1024 + i)
+  done;
+  let s = Registry.hstats h in
+  Alcotest.(check int) "count" 100 s.Registry.count;
+  Alcotest.(check int) "sum" (90 + (10 * 1024) + 55) s.Registry.sum;
+  Alcotest.(check int) "p50 lower bound" 1 s.Registry.p50;
+  Alcotest.(check int) "p99 lower bound" 1024 s.Registry.p99;
+  Alcotest.(check int) "max exact" 1034 s.Registry.max_v;
+  (* Empty histogram: all-zero stats, no division by zero. *)
+  let e = Registry.hstats (Registry.histogram "test_obs.hist_empty") in
+  Alcotest.(check int) "empty count" 0 e.Registry.count;
+  Alcotest.(check int) "empty p99" 0 e.Registry.p99
+
+let test_registry_snapshot_and_json () =
+  ignore (Registry.counter "test_obs.snap_a" : Registry.counter);
+  ignore (Registry.histogram "test_obs.snap_b" : Registry.histogram);
+  let names = List.map fst (Registry.snapshot ()) in
+  Alcotest.(check bool) "snapshot sorted" true
+    (List.sort String.compare names = names);
+  Alcotest.(check bool) "snapshot has both" true
+    (List.mem "test_obs.snap_a" names && List.mem "test_obs.snap_b" names);
+  Alcotest.(check bool) "registry dump is valid JSON" true
+    (json_valid (Registry.to_json ()));
+  Alcotest.(check bool) "render mentions metrics" true
+    (String.length (Registry.render ()) > 0)
+
+let test_registry_reset_via_counters_facade () =
+  (* The legacy [Counters] facade now rides on the registry, and its
+     [reset] resets every metric, not just the plan-cache pair. *)
+  Counters.plan_cache_hit ();
+  Counters.plan_cache_miss ();
+  let c = Registry.counter "test_obs.reset_me" in
+  let h = Registry.histogram "test_obs.reset_hist" in
+  Registry.incr c;
+  Registry.observe h 42;
+  Alcotest.(check bool) "facade sees hits" true
+    (fst (Counters.plan_cache_stats ()) > 0);
+  Counters.reset ();
+  Alcotest.(check (pair int int)) "plan cache stats zeroed" (0, 0)
+    (Counters.plan_cache_stats ());
+  Alcotest.(check int) "other counters zeroed" 0 (Registry.value c);
+  Alcotest.(check int) "histograms zeroed" 0 (Registry.hstats h).Registry.count
+
 let test_measured_gantt_rows () =
   let _, tr = traced_run ~domains:4 ~policy:Policy.Trapezoid () in
   let f = (Metrics.of_trace tr).Metrics.forks |> List.hd in
@@ -508,6 +596,16 @@ let suite =
       test_chrome_trace_escapes;
     Alcotest.test_case "--time line format is stable" `Quick
       test_time_line_format;
+    Alcotest.test_case "--time suffix contract" `Quick
+      test_time_suffix_contract;
+    Alcotest.test_case "registry counters and gauges" `Quick
+      test_registry_counters_gauges;
+    Alcotest.test_case "registry histogram percentiles" `Quick
+      test_registry_histogram_percentiles;
+    Alcotest.test_case "registry snapshot and JSON dump" `Quick
+      test_registry_snapshot_and_json;
+    Alcotest.test_case "reset clears all metrics (Counters facade)" `Quick
+      test_registry_reset_via_counters_facade;
     Alcotest.test_case "measured gantt has one row per worker" `Quick
       test_measured_gantt_rows;
     Alcotest.test_case "side-by-side pairing" `Quick test_side_by_side;
