@@ -23,6 +23,24 @@ module Profile = Runtime.Profile
 
 let now () = Unix.gettimeofday ()
 
+(* Every benched compile runs under the Tapecheck per-pass hook: the
+   perf gates measure execution with validation enabled at compile
+   time (validation must never touch the hot path), and a validator
+   finding on a bench kernel is a hard failure, not a perf delta. *)
+let validate ~plan ~pass ds =
+  List.iter
+    (fun (d : Diag.t) ->
+      Printf.eprintf "tapecheck: plan %d after %s: %s %s: %s\n" plan pass
+        d.Diag.code
+        (Diag.severity_to_string d.Diag.severity)
+        d.Diag.message)
+    ds;
+  if List.exists (fun (d : Diag.t) -> d.Diag.severity = Diag.Error) ds then
+    failwith "tape validation failed"
+
+let compile_validated ?opt_level prog =
+  Compile.compile ?opt_level ~validate prog
+
 (* Minimum of [reps] timed runs; [f] must be self-contained. *)
 let time_min reps f =
   let best = ref infinity in
@@ -240,8 +258,8 @@ let bench_kernel ~out ~score ~domain_counts (name, mk) =
       note = None;
       profile = None;
     };
-  let compiled = Compile.compile prog in
-  let compiled0 = Compile.compile ~opt_level:0 prog in
+  let compiled = compile_validated prog in
+  let compiled0 = compile_validated ~opt_level:0 prog in
   (* Sequential baseline per engine configuration; parallel rows report
      their speedup_vs_1dom against the same configuration's baseline.
      The bytecode tier appears twice at 1 domain — raw lowering (-O0)

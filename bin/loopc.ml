@@ -772,8 +772,19 @@ let run_cmd =
              $(b,--no-plan-cache) for this run, since a cache hit skips \
              the pipeline.")
   in
+  let validate_tape_flag =
+    Arg.(
+      value & flag
+      & info [ "validate-tape" ]
+          ~doc:
+            "Run the $(b,Tapecheck) static validator on every plan's tape \
+             after each optimizer pass; findings (stable LC010-LC014 \
+             codes, naming the guilty pass) go to stderr and any error \
+             aborts before execution. Implies $(b,--no-plan-cache), \
+             since a cache hit skips the pipeline.")
+  in
   let run parallel procs policy coalesce compare time trace_file metrics
-      sanitize engine opt_level no_plan_cache dump_tape p =
+      sanitize engine opt_level no_plan_cache dump_tape validate_tape p =
     if opt_level < 0 || opt_level > 2 then begin
       Printf.eprintf "error: --opt-level must be 0, 1 or 2 (got %d)\n"
         opt_level;
@@ -803,12 +814,12 @@ let run_cmd =
     match engine with
     | Interp -> (
         if parallel || trace_file <> None || metrics || sanitize
-           || dump_tape <> None
+           || dump_tape <> None || validate_tape
         then begin
           Printf.eprintf
             "error: --engine interp is the sequential reference \
              interpreter; it supports none of --parallel, --trace, \
-             --metrics, --sanitize, --dump-tape\n";
+             --metrics, --sanitize, --dump-tape, --validate-tape\n";
           exit 1
         end;
         if compare then
@@ -844,8 +855,9 @@ let run_cmd =
       | Closure -> L.Runtime.Exec.Closure
       | _ -> L.Runtime.Exec.Bytecode
     in
+    let cache_off = no_plan_cache || dump_tape <> None || validate_tape in
     let cache =
-      if no_plan_cache || dump_tape <> None then None
+      if cache_off then None
       else Some (L.Runtime.Plancache.create ?dir:(L.Runtime.Plancache.default_dir ()) ())
     in
     (* [prev] remembers each plan's previous stage so a named pass can
@@ -869,17 +881,39 @@ let run_cmd =
            Hashtbl.replace prev plan (pass, text))
         dump_tape
     in
+    let tape_errors = ref 0 in
+    let validate =
+      if not validate_tape then None
+      else
+        Some
+          (fun ~plan ~pass:_ ds ->
+            List.iter
+              (fun (d : L.Diag.t) ->
+                if d.L.Diag.severity = L.Diag.Error then incr tape_errors;
+                Printf.eprintf "tapecheck: plan %d: %s %s: %s%s\n" plan
+                  d.L.Diag.code
+                  (L.Diag.severity_to_string d.L.Diag.severity)
+                  (if d.L.Diag.subject = "" then ""
+                   else d.L.Diag.subject ^ ": ")
+                  d.L.Diag.message)
+              ds)
+    in
     let hits0, _ = L.Counters.plan_cache_stats () in
     match
       L.Runtime.Compile.compile_result ~sanitize ~opt_level ?cache ?tape_dump
-        ~cache_salt:(run_engine_name eng) p
+        ?validate ~cache_salt:(run_engine_name eng) p
     with
     | Error m ->
         Printf.eprintf "staging error: %s\n" m;
         exit 1
     | Ok compiled -> (
+        if !tape_errors > 0 then begin
+          Printf.eprintf "error: tape validation failed (%d error(s))\n"
+            !tape_errors;
+          exit 1
+        end;
         let plan_cache_state =
-          if no_plan_cache then "off"
+          if cache_off then "off"
           else if fst (L.Counters.plan_cache_stats ()) > hits0 then "hit"
           else "miss"
         in
@@ -991,8 +1025,10 @@ let run_cmd =
               Printf.printf "%s%s\n"
                 (L.Report.time_line ~engine:(run_engine_name eng) ~domains
                    ~policy:(L.Policy.name policy) ~wall_s:elapsed)
-                (L.Report.time_suffix ~opt:opt_level
-                   ~plan_cache:plan_cache_state ());
+                (L.Report.time_suffix
+                   ~extra:
+                     [ ("tapecheck", if validate_tape then "ok" else "off") ]
+                   ~opt:opt_level ~plan_cache:plan_cache_state ());
             (if compare then
                match L.Eval.run p with
                | exception L.Eval.Runtime_error m ->
@@ -1028,7 +1064,7 @@ let run_cmd =
       const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
       $ compare_flag $ time_flag $ trace_arg $ metrics_flag $ sanitize_flag
       $ engine_arg $ opt_level_arg $ no_plan_cache_flag $ dump_tape_arg
-      $ program_arg)
+      $ validate_tape_flag $ program_arg)
 
 (* ---------- profile ---------- *)
 
@@ -1207,6 +1243,102 @@ let profile_cmd =
 
 (* ---------- check ---------- *)
 
+(* Deliberate tape corruptions for the validator's must-fail smoke test
+   (CI runs one of these and asserts a nonzero exit). Each kind breaks a
+   different invariant [Tapecheck] guards: a negative register, a jump
+   out of its section, an access offset that no longer matches its
+   subscripts, a provenance tag outside the tag table, a stream-init
+   aimed at a nonexistent scratch slot, a [Jadv] separator off its
+   unrolled-copy boundary. *)
+let mutate_kinds = [ "neg-reg"; "bad-jump"; "offset"; "prov"; "slot"; "jadv" ]
+
+let apply_mutation kind (t : L.Runtime.Bytecode.tape) =
+  let module B = L.Runtime.Bytecode in
+  let exception Inapplicable of string in
+  let fail m = raise (Inapplicable m) in
+  let first arr p =
+    let n = Array.length arr in
+    let rec go i =
+      if i >= n then None else if p arr.(i) then Some i else go (i + 1)
+    in
+    go 0
+  in
+  let ops = t.B.tp_ops in
+  let go () =
+    match kind with
+    | "neg-reg" -> (
+        match
+          first ops (function B.Fstore _ | B.Fload _ -> true | _ -> false)
+        with
+        | Some i ->
+            ops.(i) <-
+              (match ops.(i) with
+              | B.Fstore (_, id) -> B.Fstore (-1, id)
+              | B.Fload (_, id) -> B.Fload (-1, id)
+              | op -> op)
+        | None -> fail "tape has no load or store to corrupt")
+    | "bad-jump" -> (
+        let target = Array.length ops + 5 in
+        match
+          first ops (function
+            | B.Iloop _ | B.Iloopc _ | B.Jmp _ | B.Jii _ | B.Jff _ | B.Jffn _
+              ->
+                true
+            | _ -> false)
+        with
+        | Some i ->
+            ops.(i) <-
+              (match ops.(i) with
+              | B.Iloop (r, a, b, _) -> B.Iloop (r, a, b, target)
+              | B.Iloopc (r, c, b, _) -> B.Iloopc (r, c, b, target)
+              | B.Jmp _ -> B.Jmp target
+              | B.Jii (op, a, b, _) -> B.Jii (op, a, b, target)
+              | B.Jff (op, a, b, _) -> B.Jff (op, a, b, target)
+              | B.Jffn (op, a, b, _) -> B.Jffn (op, a, b, target)
+              | op -> op)
+        | None -> fail "tape has no jump to corrupt")
+    | "offset" ->
+        if Array.length t.B.tp_accs = 0 then fail "tape has no array accesses"
+        else begin
+          let a = t.B.tp_accs.(0) in
+          if Array.length a.B.ac_subs = 0 then fail "access has no subscripts"
+          else a.B.ac_subs.(0) <- B.aff_add (B.aff_const 1) a.B.ac_subs.(0)
+        end
+    | "prov" ->
+        if Array.length t.B.tp_src = 0 then fail "tape body is empty"
+        else t.B.tp_src.(0) <- 99_999
+    | "slot" ->
+        let bogus = Array.length t.B.tp_accs + t.B.tp_nstreams + 7 in
+        let rec seek = function
+          | [] -> fail "tape has no streamed offsets (needs --opt-level >= 1)"
+          | arr :: rest -> (
+              match first arr (function B.Sinit _ -> true | _ -> false) with
+              | Some i ->
+                  arr.(i) <-
+                    (match arr.(i) with
+                    | B.Sinit (_, a) -> B.Sinit (bogus, a)
+                    | op -> op)
+              | None -> seek rest)
+        in
+        seek [ t.B.tp_pre; ops ]
+    | "jadv" -> (
+        match t.B.tp_unrolled with
+        | None -> fail "tape has no unrolled body (needs --opt-level 2)"
+        | Some u -> (
+            match first u (function B.Jadv -> true | _ -> false) with
+            | None -> fail "unrolled body has no Jadv separator"
+            | Some i ->
+                let j = if i + 1 < Array.length u then i + 1 else i - 1 in
+                let tmp = u.(i) in
+                u.(i) <- u.(j);
+                u.(j) <- tmp))
+    | k ->
+        fail
+          (Printf.sprintf "unknown kind %S (one of %s)" k
+             (String.concat ", " mutate_kinds))
+  in
+  try Ok (go ()) with Inapplicable m -> Error m
+
 let check_cmd =
   let json_flag =
     Arg.(
@@ -1228,14 +1360,96 @@ let check_cmd =
              feeding the verifier the recovery metadata the transformation \
              emits.")
   in
+  let tape_flag =
+    Arg.(
+      value & flag
+      & info [ "tape" ]
+          ~doc:
+            "Instead of the source-level race verifier, run the \
+             $(b,Tapecheck) translation validator: compile the program \
+             to the bytecode tier and statically check every plan's tape \
+             after each optimizer pass — register def-before-use, \
+             instruction well-formedness, stream-slot protocol, offset \
+             ranges against the once-per-fork bounds check, and \
+             footprint equivalence with the unoptimized tape. Findings \
+             use stable LC010-LC014 codes.")
+  in
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:
+            "Print the catalog of diagnostic codes (code, severity, \
+             meaning) and exit.")
+  in
+  let opt_level_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "opt-level" ] ~docv:"N"
+          ~doc:
+            "With $(b,--tape): optimizer level to validate (0, 1 or 2, \
+             default 2).")
+  in
+  let sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "With $(b,--tape): validate the sanitizer-instrumented tapes \
+             instead of the unsafe-path ones.")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"KIND"
+          ~doc:
+            (Printf.sprintf
+               "With $(b,--tape): deliberately corrupt the first bytecode \
+                plan after compiling, then validate — a self-test that \
+                the validator rejects broken tapes (the exit status must \
+                be nonzero). $(i,KIND) is one of %s."
+               (String.concat ", " mutate_kinds)))
+  in
   let path_arg =
     Arg.(
-      required
+      value
       & pos 0 (some file) None
       & info [] ~docv:"FILE"
           ~doc:"Program in the loopc surface language.")
   in
-  let run json strict coalesce strategy path =
+  let run json strict coalesce strategy tape list_diags opt_level sanitize
+      mutate path =
+    if list_diags then begin
+      List.iter
+        (fun (code, sev, desc) ->
+          Printf.printf "%s  %-7s  %s\n" code
+            (L.Diag.severity_to_string sev)
+            desc)
+        L.Diag.catalog;
+      exit 0
+    end;
+    let path =
+      match path with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "error: missing FILE argument (or use --list)\n";
+          exit 2
+    in
+    if opt_level < 0 || opt_level > 2 then begin
+      Printf.eprintf "error: --opt-level must be 0, 1 or 2 (got %d)\n"
+        opt_level;
+      exit 1
+    end;
+    (match mutate with
+    | Some k when not (List.mem k mutate_kinds) ->
+        Printf.eprintf "error: --mutate: unknown kind %S (one of %s)\n" k
+          (String.concat ", " mutate_kinds);
+        exit 1
+    | Some _ when not tape ->
+        Printf.eprintf "error: --mutate requires --tape\n";
+        exit 1
+    | _ -> ());
     match L.Driver.load_file path with
     | Error m ->
         Printf.eprintf "error: %s\n" m;
@@ -1257,21 +1471,95 @@ let check_cmd =
                 metas )
           else (p, [])
         in
-        let res = L.Verify.check_program ~hints p in
-        let report = L.Verify.report ~target:path res in
+        let report, diags =
+          if not tape then
+            let res = L.Verify.check_program ~hints p in
+            (L.Verify.report ~target:path res, res.L.Verify.diags)
+          else begin
+            let module C = L.Runtime.Compile in
+            (* Findings from the per-pass hook during a cold compile; a
+               mutated run instead corrupts a finished tape and re-checks
+               structurally, since the pipeline must not run on (and
+               possibly be confused by) a broken input. *)
+            let collected = ref [] in
+            let validate =
+              if mutate <> None then None
+              else Some (fun ~plan:_ ~pass:_ ds -> collected := !collected @ ds)
+            in
+            match C.compile_result ~sanitize ~opt_level ?validate p with
+            | Error m ->
+                Printf.eprintf "staging error: %s\n" m;
+                exit 2
+            | Ok compiled ->
+                let plans = C.plans compiled in
+                (match mutate with
+                | None -> ()
+                | Some kind ->
+                    (* First plan the corruption applies to; e.g. a
+                       jump mutation needs a plan with a serial loop. *)
+                    let rec try_tapes last = function
+                      | [] ->
+                          Printf.eprintf "error: --mutate %s: %s\n" kind
+                            (Option.value last
+                               ~default:
+                                 "no plan lowered to the bytecode tier");
+                          exit 2
+                      | t :: rest -> (
+                          match apply_mutation kind t with
+                          | Ok () -> ()
+                          | Error m -> try_tapes (Some m) rest)
+                    in
+                    try_tapes None
+                      (List.filter_map (fun pl -> pl.C.tape) plans);
+                    List.iteri
+                      (fun i pl ->
+                        match pl.C.tape with
+                        | Some t ->
+                            collected :=
+                              !collected
+                              @ L.Runtime.Tapecheck.check_entry
+                                  ~region:(i + 1) t
+                        | None -> ())
+                      plans);
+                let regions =
+                  List.mapi
+                    (fun i pl ->
+                      let names =
+                        String.concat "."
+                          (Array.to_list pl.C.index_names)
+                      in
+                      {
+                        L.Diag.ri_ordinal = i + 1;
+                        ri_label =
+                          (match pl.C.tape with
+                          | Some _ -> "doall " ^ names
+                          | None -> "doall " ^ names ^ ", closure tier");
+                        ri_iters = None;
+                      })
+                    plans
+                in
+                ( { L.Diag.target = path; regions; diags = !collected },
+                  !collected )
+          end
+        in
         print_string
           (if json then L.Diag.render_json report
            else L.Diag.render_text report);
-        let e, w, _ = L.Diag.counts res.L.Verify.diags in
+        let e, w, _ = L.Diag.counts diags in
         if e > 0 || (strict && w > 0) then exit 1
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Statically verify that every parallel region the runtime would \
-          fork is race-free; diagnostics use stable LCnnn codes.")
+         "Statically verify the program: by default that every parallel \
+          region the runtime would fork is race-free; with $(b,--tape), \
+          that every bytecode tape the compiler emits is well-formed, \
+          in-bounds and footprint-equivalent to its unoptimized form. \
+          Diagnostics use stable LCnnn codes ($(b,--list) prints the \
+          catalog).")
     Term.(
       const run $ json_flag $ strict_flag $ coalesce_flag $ strategy_arg
+      $ tape_flag $ list_flag $ opt_level_arg $ sanitize_arg $ mutate_arg
       $ path_arg)
 
 (* ---------- kernel ---------- *)

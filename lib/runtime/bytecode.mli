@@ -87,6 +87,13 @@ type rng =
   | Rmax of rng * rng
   | Rspan of rng * rng
 
+val rng_eval :
+  ints:int array -> lo:int array -> hi:int array -> rng -> (int * int) option
+(** Interval hull of a symbolic range for a fork whose level-[k] plan
+    index spans [lo.(k) .. hi.(k)]. [None] means unanalyzable ([Rux]
+    somewhere in the skeleton); such accesses take the checked path.
+    Exposed for {!Tapecheck}'s independent in-bounds audit. *)
+
 type instr =
   | Iconst of int * int
   | Iaff of int * aff  (** dst <- affine combination; also mov/add/sub *)

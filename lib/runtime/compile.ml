@@ -104,6 +104,9 @@ type ctx = {
   opt_level : int;  (** tape optimizer level (0 = lowering output) *)
   tape_dump : (plan:int -> pass:string -> Bytecode.tape -> unit) option;
       (** per-pass observer threaded into {!Tapeopt.optimize} *)
+  validate :
+    (plan:int -> pass:string -> Loopcoal_verify.Diag.t list -> unit) option;
+      (** per-pass {!Tapecheck} observer; receives each pass's findings *)
   mutable tape_reuse : (Bytecode.tape option * int * int) list option;
       (** plan-cache hit: per-plan tapes + register deltas to replay *)
   mutable tape_log : (Bytecode.tape option * int * int) list;
@@ -560,12 +563,40 @@ and compile_parallel_nest ctx (l : Ast.loop) : code =
                 ~plan_names:index_names ~plan_slots:index_slots
                 ~sanitize:ctx.sanitize inner_body)
         in
-        let dump =
+        let plan_ord = List.length ctx.plans in
+        let user_dump =
           Option.map
-            (fun f ->
-              let plan = List.length ctx.plans in
-              fun ~pass tape -> f ~plan ~pass tape)
+            (fun f -> fun ~pass tape -> f ~plan:plan_ord ~pass tape)
             ctx.tape_dump
+        in
+        (* Validation composes into the same per-pass hook: every stage
+           of the pipeline — including the plain "lower" output that
+           sanitized and -O0 compiles stop at — is checked against the
+           deep-copied lowering baseline, and findings name the pass
+           that produced the tape they were found on. *)
+        let dump =
+          match ctx.validate with
+          | None -> user_dump
+          | Some vf ->
+              let baseline = ref None in
+              Some
+                (fun ~pass tape ->
+                  (match user_dump with
+                  | Some f -> f ~pass tape
+                  | None -> ());
+                  let ds =
+                    Tapecheck.check ?baseline:!baseline ~pass
+                      ~region:(plan_ord + 1) ~int_base ~real_base
+                      ~n_ints:ctx.n_ints ~n_reals:ctx.n_reals
+                      ~plan_slots:index_slots tape
+                  in
+                  if pass = "lower" then
+                    baseline :=
+                      Some
+                        (Marshal.from_string
+                           (Marshal.to_string (tape : Bytecode.tape) [])
+                           0);
+                  vf ~plan:plan_ord ~pass ds)
         in
         let t =
           Registry.time h_opt_ns (fun () ->
@@ -614,14 +645,39 @@ type t = {
 }
 
 let compile ?(sanitize = false) ?(opt_level = 2) ?cache ?(cache_salt = "")
-    ?tape_dump (p : Ast.program) : t =
+    ?tape_dump ?validate (p : Ast.program) : t =
   Registry.time h_compile_ns @@ fun () ->
   let cached, cache_key =
     match cache with
     | None -> (None, None)
     | Some c ->
         let k = Plancache.key ~sanitize ~opt_level ~salt:cache_salt p in
-        let e = Plancache.find c k in
+        (* Entries from the in-memory layer were produced (or already
+           re-validated) by this process; entries read back from disk
+           are untrusted bytes that would otherwise flow straight to
+           the unsafe execution path. Run the structural validator over
+           every deserialized tape and treat any finding as a miss: the
+           recompile overwrites the bad entry. *)
+        let e =
+          match Plancache.find_origin c k with
+          | Some (e, `Mem) -> Some e
+          | Some (e, `Disk) ->
+              let bad = ref false in
+              List.iteri
+                (fun i (t, _, _) ->
+                  match t with
+                  | Some t ->
+                      if Tapecheck.check_entry ~region:(i + 1) t <> [] then
+                        bad := true
+                  | None -> ())
+                e.e_plans;
+              if !bad then begin
+                Plancache.reject c k;
+                None
+              end
+              else Some e
+          | None -> None
+        in
         (match e with
         | Some _ -> Loopcoal_obs.Counters.plan_cache_hit ()
         | None -> Loopcoal_obs.Counters.plan_cache_miss ());
@@ -638,6 +694,7 @@ let compile ?(sanitize = false) ?(opt_level = 2) ?cache ?(cache_salt = "")
       sanitize;
       opt_level;
       tape_dump;
+      validate;
       tape_reuse = Option.map (fun (e : Plancache.entry) -> e.e_plans) cached;
       tape_log = [];
     }
@@ -698,8 +755,11 @@ let compile ?(sanitize = false) ?(opt_level = 2) ?cache ?(cache_salt = "")
     prog_plans = List.rev ctx.plans;
   }
 
-let compile_result ?sanitize ?opt_level ?cache ?cache_salt ?tape_dump p =
-  match compile ?sanitize ?opt_level ?cache ?cache_salt ?tape_dump p with
+let compile_result ?sanitize ?opt_level ?cache ?cache_salt ?tape_dump
+    ?validate p =
+  match
+    compile ?sanitize ?opt_level ?cache ?cache_salt ?tape_dump ?validate p
+  with
   | t -> Ok t
   | exception Error m -> Error m
 

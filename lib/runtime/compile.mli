@@ -64,6 +64,7 @@ val compile :
   ?cache:Plancache.t ->
   ?cache_salt:string ->
   ?tape_dump:(plan:int -> pass:string -> Bytecode.tape -> unit) ->
+  ?validate:(plan:int -> pass:string -> Loopcoal_verify.Diag.t list -> unit) ->
   Ast.program ->
   t
 (** Stage a program. Raises {!exception:Error} on programs the
@@ -88,7 +89,17 @@ val compile :
     [tape_dump], when given, observes each plan's tape after every
     optimizer stage ({!Tapeopt.pass_names}); [plan] counts plans in
     compilation order. Cache hits skip lowering and report nothing —
-    pass [?cache:None] to observe a full pipeline. *)
+    pass [?cache:None] to observe a full pipeline.
+
+    [validate], when given, runs {!Tapecheck.check} on each plan's tape
+    after every optimizer stage (with the "lower" output as the
+    footprint baseline for later stages) and hands the hook that
+    stage's findings — empty on a clean tape — so failures name the
+    guilty pass. Like [tape_dump], it observes nothing on a cache hit;
+    independently of this hook, tapes served from the cache's disk
+    layer are always structurally validated ({!Tapecheck.check_entry})
+    and rejected entries recompile as misses under the
+    [plan_cache.reject] counter. *)
 
 val compile_result :
   ?sanitize:bool ->
@@ -96,6 +107,7 @@ val compile_result :
   ?cache:Plancache.t ->
   ?cache_salt:string ->
   ?tape_dump:(plan:int -> pass:string -> Bytecode.tape -> unit) ->
+  ?validate:(plan:int -> pass:string -> Loopcoal_verify.Diag.t list -> unit) ->
   Ast.program ->
   (t, string) result
 

@@ -94,9 +94,9 @@ let read_file f =
             None
           end)
 
-let find c k =
+let find_origin c k =
   match Hashtbl.find_opt c.mem k with
-  | Some _ as hit -> hit
+  | Some e -> Some (e, `Mem)
   | None -> (
       match path c k with
       | None -> None
@@ -104,8 +104,19 @@ let find c k =
           match read_file f with
           | Some e ->
               Hashtbl.replace c.mem k e;
-              Some e
+              Some (e, `Disk)
           | None -> None))
+
+let find c k = Option.map fst (find_origin c k)
+
+(* A disk entry that loads but fails validation (see [Tapecheck]): the
+   caller treats it as a miss; drop the memory copy [find_origin] just
+   installed so the recompile's [store] is the only surviving version. *)
+let rejections = Loopcoal_obs.Registry.counter "plan_cache.reject"
+
+let reject c k =
+  Hashtbl.remove c.mem k;
+  Loopcoal_obs.Registry.incr rejections
 
 let rec mkdirs d =
   if not (Sys.file_exists d) then begin

@@ -32,4 +32,17 @@ val default_dir : unit -> string option
 
 val key : sanitize:bool -> opt_level:int -> salt:string -> Ast.program -> string
 val find : t -> string -> entry option
+
+val find_origin : t -> string -> (entry * [ `Mem | `Disk ]) option
+(** Like {!find}, but says which layer served the hit. Entries produced
+    by this process live in memory; [`Disk] entries are deserialized
+    bytes the caller should validate (see [Tapecheck]) before trusting
+    them on the unsafe execution path. *)
+
+val reject : t -> string -> unit
+(** Drop the in-memory copy of a disk entry that failed validation and
+    count it under the [plan_cache.reject] registry counter; the caller
+    treats the lookup as a miss and the recompile overwrites the entry
+    on disk. *)
+
 val store : t -> string -> entry -> unit

@@ -40,6 +40,22 @@ let catalog =
       Warning,
       "parallel index shadowed or reassigned inside the region; analysis \
        skipped" );
+    ( "LC010",
+      Error,
+      "tape reads a register with no prior definition on some path" );
+    ( "LC011",
+      Error,
+      "malformed tape instruction: register-file or access-id bounds, jump \
+       shape, or stream-slot protocol violated" );
+    ( "LC012",
+      Error,
+      "access offset form inconsistent or not covered by the once-per-fork \
+       range check" );
+    ("LC013", Error, "tape provenance incomplete: instruction without a source tag");
+    ( "LC014",
+      Error,
+      "optimized tape's per-array read/write footprint differs from the \
+       unoptimized tape's" );
   ]
 
 let severity_of_code c =

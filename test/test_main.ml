@@ -18,6 +18,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("bytecode", Test_bytecode.suite);
       ("tapeopt", Test_tapeopt.suite);
+      ("tapecheck", Test_tapecheck.suite);
       ("plancache", Test_plancache.suite);
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);

@@ -468,7 +468,20 @@ let test_time_suffix_contract () =
   Alcotest.(check string) "pinned full line"
     "time engine=bytecode domains=2 policy=GSS wall_s=0.500000 opt=2 \
      plan_cache=miss"
-    line
+    line;
+  (* The tapecheck field the CLI appends under --time rides the same
+     append-only contract: existing consumers see an unchanged prefix. *)
+  let validated =
+    Report.time_line ~engine:"bytecode" ~domains:2 ~policy:"GSS"
+      ~wall_s:0.5
+    ^ Report.time_suffix
+        ~extra:[ ("tapecheck", "ok") ]
+        ~opt:2 ~plan_cache:"off" ()
+  in
+  Alcotest.(check string) "pinned line with tapecheck field"
+    "time engine=bytecode domains=2 policy=GSS wall_s=0.500000 opt=2 \
+     plan_cache=off tapecheck=ok"
+    validated
 
 (* ---------- metrics registry ---------- *)
 

@@ -137,11 +137,12 @@ let test_diag_catalog () =
   Alcotest.(check (list string))
     "codes in order"
     [ "LC001"; "LC002"; "LC003"; "LC004"; "LC005"; "LC006"; "LC007";
-      "LC008"; "LC009" ]
+      "LC008"; "LC009"; "LC010"; "LC011"; "LC012"; "LC013"; "LC014" ]
     codes;
   Alcotest.(check bool) "severity lookup" true
     (Diag.severity_of_code "LC004" = Some Diag.Warning
     && Diag.severity_of_code "LC001" = Some Diag.Error
+    && Diag.severity_of_code "LC012" = Some Diag.Error
     && Diag.severity_of_code "LC999" = None)
 
 let test_diag_counts_worst () =
