@@ -55,8 +55,9 @@ let time_min reps f =
 type record = {
   kernel : string;
   engine : string;
-      (* "interpreter" | "closure" | "bytecode" | "bytecode-prof"
-         (bytecode with the tape-profile collector attached) *)
+      (* "interpreter" | "closure" | "bytecode" | "native" |
+         "bytecode-prof" (bytecode with the tape-profile collector
+         attached) *)
   policy : string option;
   domains : int;
   opt_level : int option;  (* bytecode rows only: Tapeopt level *)
@@ -159,6 +160,11 @@ let host_cores = Domain.recommended_domain_count ()
    the two minima can come from different drift windows and their
    ratio then swings run to run. *)
 let seq_ratios : (string, float * float) Hashtbl.t = Hashtbl.create 16
+
+(* Per-kernel native-tier ratios, same construction: kernel -> median
+   bytecode--O2/native time ratio (the native tier's speedup). Filled
+   only when the host has a usable ocamlopt; informational, not gated. *)
+let native_ratios : (string, float) Hashtbl.t = Hashtbl.create 16
 
 (* Per-kernel profiler ratios, same per-round-median construction:
    kernel -> (median off-repeat time ratio, median profiler-on/off time
@@ -265,12 +271,29 @@ let bench_kernel ~out ~score ~domain_counts (name, mk) =
      The bytecode tier appears twice at 1 domain — raw lowering (-O0)
      and the full Tapeopt pipeline (-O2) — but only -O2 joins the
      parallel sweep. *)
+  (* The native tier rides along when the host can build it: runners are
+     prepared (codegen + out-of-process ocamlopt + Dynlink) before any
+     timing starts, so native rows measure execution, not compilation. *)
+  let native_ok =
+    match Runtime.Natgen.available () with
+    | Error m ->
+        Printf.eprintf "note: native tier not benched (%s)\n%!" m;
+        false
+    | Ok () -> (
+        match Runtime.Natgen.prepare compiled with
+        | Runtime.Natgen.Ready _ -> true
+        | Runtime.Natgen.Unavailable m ->
+            Printf.eprintf "note: native tier not benched for %s (%s)\n%!"
+              name m;
+            false)
+  in
   let seq_configs =
     [
       ("closure", Exec.Closure, compiled, None);
       ("bytecode", Exec.Bytecode, compiled0, Some 0);
       ("bytecode", Exec.Bytecode, compiled, Some 2);
     ]
+    @ (if native_ok then [ ("native", Exec.Native, compiled, Some 2) ] else [])
   in
   (* Sequential baselines are timed in interleaved rounds — one rep of
      every configuration per round — rather than all reps of one
@@ -298,9 +321,11 @@ let bench_kernel ~out ~score ~domain_counts (name, mk) =
         seq_configs;
       rounds := times :: !rounds
     done;
-    (* Config order in [seq_configs]: closure, bytecode -O0, -O2. *)
+    (* Config order in [seq_configs]: closure, bytecode -O0, -O2, then
+       the native tier when present. *)
     let ratio i j = median (List.map (fun a -> a.(i) /. a.(j)) !rounds) in
     Hashtbl.replace seq_ratios name (ratio 0 2, ratio 1 2);
+    if native_ok then Hashtbl.replace native_ratios name (ratio 2 3);
     best
   in
   let seq_times =
@@ -565,7 +590,9 @@ let run ?(oversubscribe = false) ?(gate = false) () =
   let oc = open_out "BENCH_runtime.json" in
   Printf.fprintf oc
     "{\n  \"host_cores\": %d,\n  \"note\": \"engine is interpreter, closure \
-     (staged closure tree) or bytecode (flat register tape, strip-mined); \
+     (staged closure tree), bytecode (flat register tape, strip-mined) or \
+     native (the -O2 tape Dynlink-compiled to machine code; rows present \
+     only when the host has ocamlopt); \
      opt_level on bytecode rows is the Tapeopt level (0 = raw lowering, 2 = \
      streaming + CSE + fusion + x4 unrolling; parallel rows run -O2); \
      speedups are wall-clock; speedup_vs_1dom is against the same engine and \
@@ -703,6 +730,51 @@ let run ?(oversubscribe = false) ?(gate = false) () =
    | _ -> Printf.fprintf oc "\ngeomean speedup: %.2fx\n" opt_geomean);
    close_out oc);
   Printf.printf "wrote BENCH_opt.md (%d kernels)\n%!" (List.length opt_pairs);
+  (* Native tier vs bytecode -O2 at 1 domain — informational only, never
+     a gate: absolute machine-code speedups vary too much across hosts
+     to guard, and hosts without ocamlopt have no native rows at all. *)
+  let native_pairs =
+    List.filter_map
+      (fun (kname, _) ->
+        match
+          ( seq_row kname "bytecode" (Some 2),
+            seq_row kname "native" (Some 2),
+            Hashtbl.find_opt native_ratios kname )
+        with
+        | Some b, Some n, Some r -> Some (kname, ns_per_iter b, ns_per_iter n, r)
+        | _ -> None)
+      kernels
+  in
+  (match native_pairs with
+  | [] ->
+      print_endline
+        "\n== native vs bytecode -O2, 1 domain: no native rows (toolchain \
+         missing or tier disabled) =="
+  | _ ->
+      let nt =
+        Table.create
+          [
+            ("kernel", Table.Left);
+            ("bytecode ns/iter", Table.Right);
+            ("native ns/iter", Table.Right);
+            ("speedup", Table.Right);
+          ]
+      in
+      List.iter
+        (fun (k, b, n, r) ->
+          Table.add_row nt
+            [
+              k;
+              Table.cell_float ~dec:1 b;
+              Table.cell_float ~dec:1 n;
+              Printf.sprintf "%.2fx" r;
+            ])
+        native_pairs;
+      Printf.printf
+        "\n== native vs bytecode -O2, 1 domain (informational, not gated) ==\n";
+      Table.print nt;
+      Printf.printf "geomean speedup: %.2fx\n%!"
+        (geomean (List.map (fun (_, _, _, r) -> r) native_pairs)));
   (* Profiler price table: plain bytecode -O2 vs the same run with the
      tape-profile collector attached, and the off-repeat noise canary
      (two identical profiler-off configurations; their median per-round
@@ -793,6 +865,17 @@ let run ?(oversubscribe = false) ?(gate = false) () =
     end;
     Printf.printf "opt gate: OK (geomean -O2 speedup %.2fx >= %.2fx)\n%!"
       opt_geomean opt_thresh;
+    (match native_pairs with
+    | [] ->
+        print_endline
+          "native tier: no rows (toolchain missing or disabled) — \
+           informational only, never gated"
+    | _ ->
+        Printf.printf
+          "native tier (informational, not gated): geomean speedup %.2fx vs \
+           bytecode -O2\n\
+           %!"
+          (geomean (List.map (fun (_, _, _, r) -> r) native_pairs)));
     (* Gate 3: profiler-off noise canary. The profiled interpreter and
        chunk runner are compiled-in twins selected once per run binding,
        so with no collector attached the executor runs the exact

@@ -610,9 +610,51 @@ let emit_c_cmd =
             "Emit perfectly nested parallel groups as one pragma with \
              $(b,collapse(d)) and let the OpenMP runtime coalesce.")
   in
-  let run collapse p =
+  let coalesce_flag =
+    Arg.(
+      value & flag
+      & info [ "coalesce" ]
+          ~doc:
+            "Apply the coalescing transformation before emission, so the \
+             generated C carries the paper's flattened single loops \
+             instead of the original nests. Mutually exclusive with \
+             $(b,--collapse).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the C source to $(docv) instead of standard output.")
+  in
+  let run collapse coalesce output p =
+    if collapse && coalesce then begin
+      Printf.eprintf
+        "error: --coalesce and --collapse are mutually exclusive (flatten \
+         before emission, or let the OpenMP runtime collapse)\n";
+      exit 1
+    end;
+    let p =
+      if not coalesce then p
+      else
+        let p', n = L.Coalesce.apply_all_program p in
+        Printf.eprintf "coalesced %d nest(s)\n" n;
+        p'
+    in
     match L.Emit_c.program_to_c ~collapse p with
-    | Ok source -> print_string source
+    | Ok source -> (
+        match output with
+        | None -> print_string source
+        | Some file -> (
+            match
+              let oc = open_out file in
+              output_string oc source;
+              close_out oc
+            with
+            | () -> Printf.eprintf "wrote %s\n" file
+            | exception Sys_error m ->
+                Printf.eprintf "error: %s\n" m;
+                exit 1))
     | Error m ->
         Printf.eprintf "error: %s\n" m;
         exit 1
@@ -621,27 +663,32 @@ let emit_c_cmd =
     (Cmd.info "emit-c"
        ~doc:
          "Translate the program to self-contained C99 with OpenMP pragmas \
-          (compile with cc -O2 -fopenmp).")
-    Term.(const run $ collapse_flag $ program_arg)
+          (compile with cc -O2 -fopenmp). $(b,--coalesce) exports the \
+          paper's flattened form; $(b,--collapse) defers coalescing to \
+          the OpenMP runtime via collapse(d).")
+    Term.(const run $ collapse_flag $ coalesce_flag $ output_arg $ program_arg)
 
 (* ---------- run (compiled runtime) ---------- *)
 
-type run_engine = Interp | Closure | Bytecode
+type run_engine = Interp | Closure | Bytecode | Native
 
 let run_engine_name = function
   | Interp -> "interp"
   | Closure -> "closure"
   | Bytecode -> "bytecode"
+  | Native -> "native"
 
 let engine_conv =
   let parse = function
     | "interp" -> Ok Interp
     | "closure" -> Ok Closure
     | "bytecode" -> Ok Bytecode
+    | "native" -> Ok Native
     | s ->
         Error
           (`Msg
-             (Printf.sprintf "unknown engine %S (interp|closure|bytecode)" s))
+             (Printf.sprintf
+                "unknown engine %S (interp|closure|bytecode|native)" s))
   in
   Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (run_engine_name e))
 
@@ -732,10 +779,13 @@ let run_cmd =
           ~doc:
             "Execution tier: $(b,bytecode) (default) runs plan bodies on \
              a flat register tape with strip-mined unchecked inner loops, \
-             $(b,closure) calls the staged closure tree once per \
-             iteration, $(b,interp) uses the sequential reference \
-             interpreter (incompatible with $(b,--parallel), \
-             $(b,--trace), $(b,--metrics) and $(b,--sanitize)).")
+             $(b,native) compiles the same tapes to OCaml machine code \
+             out of process and Dynlinks the result (per-plan fallback \
+             to bytecode when no toolchain is present), $(b,closure) \
+             calls the staged closure tree once per iteration, \
+             $(b,interp) uses the sequential reference interpreter \
+             (incompatible with $(b,--parallel), $(b,--trace), \
+             $(b,--metrics) and $(b,--sanitize)).")
   in
   let opt_level_arg =
     Arg.(
@@ -783,8 +833,24 @@ let run_cmd =
              aborts before execution. Implies $(b,--no-plan-cache), \
              since a cache hit skips the pipeline.")
   in
+  let stats_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Dump the whole metrics registry (plan cache and native \
+             artifact hits, native codegen/build/load timings and \
+             fallbacks, compile and optimizer pass timings, pool \
+             fork/join latency, run times) as JSON after the run.")
+  in
+  let write_file path s =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+  in
   let run parallel procs policy coalesce compare time trace_file metrics
-      sanitize engine opt_level no_plan_cache dump_tape validate_tape p =
+      sanitize engine opt_level no_plan_cache dump_tape validate_tape
+      stats_file p =
     if opt_level < 0 || opt_level > 2 then begin
       Printf.eprintf "error: --opt-level must be 0, 1 or 2 (got %d)\n"
         opt_level;
@@ -849,10 +915,11 @@ let run_cmd =
               print_endline
                 (L.Report.time_line ~engine:"interp" ~domains:1
                    ~policy:(L.Policy.name policy) ~wall_s:elapsed))
-    | (Closure | Bytecode) as eng -> (
+    | (Closure | Bytecode | Native) as eng -> (
     let exec_engine =
       match eng with
       | Closure -> L.Runtime.Exec.Closure
+      | Native -> L.Runtime.Exec.Native
       | _ -> L.Runtime.Exec.Bytecode
     in
     let cache_off = no_plan_cache || dump_tape <> None || validate_tape in
@@ -916,6 +983,34 @@ let run_cmd =
           if cache_off then "off"
           else if fst (L.Counters.plan_cache_stats ()) > hits0 then "hit"
           else "miss"
+        in
+        (* The native tier is prepared here (rather than letting
+           [Exec.run_compiled] auto-prepare) so a plan-cache-keyed
+           artifact hit can skip codegen entirely and so [--time] can
+           report [build=hit|miss|none]. *)
+        let native_build =
+          match eng with
+          | Native -> (
+              let key =
+                if cache_off then None
+                else
+                  Some
+                    (L.Runtime.Plancache.key ~sanitize ~opt_level
+                       ~salt:(run_engine_name eng) p)
+              in
+              match
+                L.Runtime.Natgen.prepare ?key ~persist:(not cache_off)
+                  compiled
+              with
+              | L.Runtime.Natgen.Ready { artifact_hit } ->
+                  Some (if artifact_hit then "hit" else "miss")
+              | L.Runtime.Natgen.Unavailable reason ->
+                  Printf.eprintf
+                    "note: native tier unavailable (%s); falling back to \
+                     bytecode\n"
+                    reason;
+                  Some "none")
+          | _ -> None
         in
         let tracer =
           if trace_file <> None || metrics then
@@ -1027,8 +1122,17 @@ let run_cmd =
                    ~policy:(L.Policy.name policy) ~wall_s:elapsed)
                 (L.Report.time_suffix
                    ~extra:
-                     [ ("tapecheck", if validate_tape then "ok" else "off") ]
+                     ([ ("tapecheck", if validate_tape then "ok" else "off") ]
+                     @
+                     match native_build with
+                     | Some b -> [ ("build", b) ]
+                     | None -> [])
                    ~opt:opt_level ~plan_cache:plan_cache_state ());
+            (match stats_file with
+            | None -> ()
+            | Some f ->
+                write_file f (L.Registry.to_json ());
+                Printf.printf "wrote metrics registry %s\n" f);
             (if compare then
                match L.Eval.run p with
                | exception L.Eval.Runtime_error m ->
@@ -1055,16 +1159,18 @@ let run_cmd =
           sequentially, or with $(b,--parallel) across OCaml domains \
           under a real scheduling policy (static block/cyclic, \
           self-scheduling via atomic fetch-and-add, GSS, factoring, \
-          trapezoid). $(b,--engine) $(i,interp|closure|bytecode) picks \
-          the execution tier (default $(b,bytecode): flat register tape, \
-          tuned by $(b,--opt-level) $(i,0|1|2) and reused across \
+          trapezoid). $(b,--engine) $(i,interp|closure|bytecode|native) \
+          picks the execution tier (default $(b,bytecode): flat register \
+          tape, tuned by $(b,--opt-level) $(i,0|1|2) and reused across \
           invocations via a persistent plan cache unless \
-          $(b,--no-plan-cache) is given).")
+          $(b,--no-plan-cache) is given; $(b,native) Dynlink-compiles \
+          the same tapes to machine code, caching $(i,.cmxs) artifacts \
+          alongside the plans).")
     Term.(
       const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
       $ compare_flag $ time_flag $ trace_arg $ metrics_flag $ sanitize_flag
       $ engine_arg $ opt_level_arg $ no_plan_cache_flag $ dump_tape_arg
-      $ validate_tape_flag $ program_arg)
+      $ validate_tape_flag $ stats_arg $ program_arg)
 
 (* ---------- profile ---------- *)
 
@@ -1139,12 +1245,30 @@ let profile_cmd =
              optimizer pass timings, pool fork/join latency, run times) \
              as JSON after the run.")
   in
+  let engine_arg =
+    Arg.(
+      value
+      & opt engine_conv Bytecode
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution tier to profile. Only $(b,bytecode) is supported: \
+             the profiler counts per-opcode tape dispatches, which the \
+             other tiers do not perform.")
+  in
   let write_file path s =
     let oc = open_out path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
   in
-  let run parallel procs policy coalesce opt_level top folded_file trace_file
-      stats_file p =
+  let run parallel procs policy coalesce engine opt_level top folded_file
+      trace_file stats_file p =
+    (match engine with
+    | Bytecode -> ()
+    | other ->
+        Printf.eprintf
+          "error: loopc profile: unsupported engine %S; supported engines: \
+           bytecode\n"
+          (run_engine_name other);
+        exit 1);
     if opt_level < 0 || opt_level > 2 then begin
       Printf.eprintf "error: --opt-level must be 0, 1 or 2 (got %d)\n"
         opt_level;
@@ -1238,8 +1362,8 @@ let profile_cmd =
           $(b,--stats-json) the whole metrics registry.")
     Term.(
       const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
-      $ opt_level_arg $ top_arg $ folded_arg $ trace_arg $ stats_arg
-      $ program_arg)
+      $ engine_arg $ opt_level_arg $ top_arg $ folded_arg $ trace_arg
+      $ stats_arg $ program_arg)
 
 (* ---------- check ---------- *)
 

@@ -13,15 +13,24 @@ let write_file path contents =
 let compile_and_run name source =
   let base = Filename.temp_file "loopcoal_demo" "" in
   let c = base ^ ".c" and exe = base ^ ".exe" and out = base ^ ".out" in
-  write_file c source;
-  if Sys.command (Printf.sprintf "cc -O2 -fopenmp -o %s %s" exe c) <> 0 then
-    failwith (name ^ ": C compilation failed")
-  else if
-    Sys.command (Printf.sprintf "OMP_NUM_THREADS=4 %s > %s" exe out) <> 0
-  then failwith (name ^ ": execution failed")
-  else
-    In_channel.with_open_text out In_channel.input_lines
-    |> List.map float_of_string
+  (* Scratch files go away on every path, including the failure ones. *)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ base; c; exe; out ])
+    (fun () ->
+      (* [write_file] closed — and therefore flushed — [c] before the
+         compiler subprocess reads it. *)
+      write_file c source;
+      if Sys.command (Printf.sprintf "cc -O2 -fopenmp -o %s %s" exe c) <> 0
+      then failwith (name ^ ": C compilation failed")
+      else if
+        Sys.command (Printf.sprintf "OMP_NUM_THREADS=4 %s > %s" exe out) <> 0
+      then failwith (name ^ ": execution failed")
+      else
+        In_channel.with_open_text out In_channel.input_lines
+        |> List.map float_of_string)
 
 let () =
   let program = Kernels.stencil ~n:12 in

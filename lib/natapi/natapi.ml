@@ -1,0 +1,25 @@
+(* Host <-> plugin protocol for the native execution tier.
+
+   This library is deliberately tiny, dependency-free and *unwrapped*:
+   generated plugins are compiled out of process against nothing but
+   [natapi.cmi], so the module must be reachable under its plain name
+   and its interface must never grow host-side types. The handshake is
+   a one-slot mailbox: [Dynlink.loadfile_private] runs the plugin's
+   top-level, which calls [register] with one optional runner per plan
+   (in compilation order); the host immediately [take]s the array.
+   [abi_version] is baked into both the generated source and the
+   artifact cache key, so a stale .cmxs from an older protocol can
+   never be handed live runners. *)
+
+let abi_version = 1
+
+type runner =
+  int array -> float array -> float array array -> int -> int -> int -> unit
+
+let pending : runner option array option ref = ref None
+let register (rs : runner option array) = pending := Some rs
+
+let take () =
+  let r = !pending in
+  pending := None;
+  r

@@ -1,0 +1,23 @@
+(** Host <-> plugin protocol for the native execution tier.
+
+    Unwrapped and dependency-free on purpose: generated plugins compile
+    against [natapi.cmi] alone, see {!Natgen} for the producer and
+    consumer. *)
+
+val abi_version : int
+(** Protocol version; part of the generated source and of the artifact
+    cache key, so ABI changes invalidate cached [.cmxs] files. *)
+
+type runner =
+  int array -> float array -> float array array -> int -> int -> int -> unit
+(** [runner ints reals arrays j0 jstep len] executes one strip of [len]
+    coalesced iterations starting at flattened index [j0], advancing by
+    [jstep] — the native-code twin of {!Bytecode.exec_strip} over the
+    same register files. *)
+
+val register : runner option array -> unit
+(** Called by the plugin's top-level: one entry per compiled plan, in
+    compilation order; [None] for plans the generator declined. *)
+
+val take : unit -> runner option array option
+(** Consume (and clear) the last registration, if any. *)

@@ -68,6 +68,9 @@ and plan = {
       (** the body lowered to the bytecode tier, when expressible; the
           executor's bytecode engine dispatches strips over it and falls
           back to [body] when [None] *)
+  mutable native : Natapi.runner option;
+      (** Natgen's Dynlink-loaded strip runner, attached after the fact;
+          the native engine falls back to the tape when [None] *)
 }
 
 and red = {
@@ -623,6 +626,7 @@ and compile_parallel_nest ctx (l : Ast.loop) : code =
       body;
       reductions;
       tape;
+      native = None;
     }
   in
   ctx.plans <- plan :: ctx.plans;
@@ -642,6 +646,8 @@ type t = {
   array_decls : (string * int * int) array;  (** name, slot, flat size *)
   scalar_slots : (string * slot) list;  (** declared scalars, by name *)
   prog_plans : plan list;  (** parallel plans, in compilation order *)
+  mutable nat_state : [ `Untried | `Ready | `Unavailable of string ];
+      (** Natgen attachment status, so prepare attempts are idempotent *)
 }
 
 let compile ?(sanitize = false) ?(opt_level = 2) ?cache ?(cache_salt = "")
@@ -753,6 +759,7 @@ let compile ?(sanitize = false) ?(opt_level = 2) ?cache ?(cache_salt = "")
           (s.sc_name, Hashtbl.find ctx.sc_tbl s.sc_name))
         p.scalars;
     prog_plans = List.rev ctx.plans;
+    nat_state = `Untried;
   }
 
 let compile_result ?sanitize ?opt_level ?cache ?cache_salt ?tape_dump
@@ -765,6 +772,8 @@ let compile_result ?sanitize ?opt_level ?cache ?cache_salt ?tape_dump
 
 let shadow_layout t = Array.map (fun (name, _, size) -> (name, size)) t.array_decls
 let plans t = t.prog_plans
+let native_state t = t.nat_state
+let set_native_state t s = t.nat_state <- s
 
 (* ---------- environments ---------- *)
 

@@ -47,6 +47,11 @@ and plan = {
       (** the body lowered to the bytecode tier ({!Bytecode.lower}), or
           [None] when it contains a construct the tape cannot express —
           the bytecode engine then falls back to [body] for this plan *)
+  mutable native : Natapi.runner option;
+      (** the tape compiled to machine code by {!Natgen} and loaded via
+          [Dynlink], or [None] before {!Natgen.prepare} ran (or when it
+          declined the plan) — the native engine then falls back to the
+          bytecode runner for this plan *)
 }
 
 and red = {
@@ -118,6 +123,17 @@ val shadow_layout : t -> (string * int) array
 val plans : t -> plan list
 (** Every compiled parallel plan, in compilation order — for engine
     introspection (how many bodies lowered to the bytecode tier). *)
+
+val native_state : t -> [ `Untried | `Ready | `Unavailable of string ]
+(** Whether {!Natgen.prepare} has attached native runners to this
+    program's plans: [`Untried] until it ran, [`Ready] once at least one
+    plan carries a runner, [`Unavailable reason] when codegen was
+    declined (no toolchain, bytecode host, sanitized tapes, ...). *)
+
+val set_native_state : t -> [ `Untried | `Ready | `Unavailable of string ] -> unit
+(** For {!Natgen}'s use: record the outcome of a prepare attempt so the
+    executor neither retries a known-unavailable toolchain per fork nor
+    re-runs codegen for an already-attached program. *)
 
 val make_env :
   ?array_init:float -> ?shadow:Sanitize.t -> t -> fork:(plan -> env -> unit) -> env

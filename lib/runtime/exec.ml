@@ -110,7 +110,9 @@ let run_chunk (plan : plan) sp env t0 len =
 
 (* ---------- engines ---------- *)
 
-type engine = Closure | Bytecode
+type engine = Closure | Bytecode | Native
+
+let c_native_fallbacks = Registry.counter "native.fallbacks"
 
 (* Bytecode chunk runner: decompose the chunk into maximal runs over the
    innermost coalesced digit (see [Bytecode.strip_bounds]) and execute
@@ -188,6 +190,62 @@ let bytecode_prep (plan : plan) sp env =
       Some (tape, Bytecode.prepare tape ~ints:env.ints ~lo:sp.los ~hi)
   | _ -> None
 
+(* Native chunk runner: the same strip decomposition (and therefore the
+   same chunk boundaries, trace events and sanitizer cursor updates) as
+   [run_chunk_bytecode], but each strip runs the plan's Dynlink-loaded
+   machine-code runner instead of the tape interpreter. Generated code
+   raises [Failure] with interpreter-identical messages. *)
+let run_chunk_native (plan : plan) sp env nr t0 len =
+  if len > 0 then begin
+    let depth = plan.depth in
+    let inner = sp.sizes.(depth - 1) in
+    let jlo = sp.los.(depth - 1) in
+    let jstep = if depth = 1 then sp.step0 else 1 in
+    let tlast = t0 + len - 1 in
+    let t = ref t0 in
+    try
+      while !t <= tlast do
+        let pos = (!t - 1) mod inner in
+        let slen = min (tlast - !t + 1) (inner - pos) in
+        if depth > 1 then set_cursor plan sp env !t;
+        env.iter_id <- !t;
+        nr env.ints env.reals env.arrays (jlo + (pos * jstep)) jstep slen;
+        t := !t + slen
+      done
+    with
+    | Bytecode.Error m | Failure m -> raise (Compile.Error m)
+  end
+
+(* Per-fork engine decision, on top of [bytecode_prep]: the native
+   engine uses a plan's runner only when the runner exists, profiling is
+   off (the profiler attributes per-opcode dispatches, which native code
+   does not perform) and every access proved in bounds for this fork —
+   generated code only has the unsafe path. Anything else falls back to
+   the bytecode tier for this fork, counted under [native.fallbacks]. *)
+let fork_prep ?profile engine (plan : plan) sp env =
+  match engine with
+  | Closure -> None
+  | Bytecode -> (
+      match bytecode_prep plan sp env with
+      | None -> None
+      | Some (tape, pr) -> Some (tape, pr, None))
+  | Native -> (
+      match bytecode_prep plan sp env with
+      | None ->
+          if sp.total > 0 then Registry.incr c_native_fallbacks;
+          None
+      | Some (tape, pr) ->
+          let nr =
+            match (plan.native, profile) with
+            | Some nr, None
+              when Array.for_all Fun.id (Bytecode.unsafe_flags pr) ->
+                Some nr
+            | _ ->
+                Registry.incr c_native_fallbacks;
+                None
+          in
+          Some (tape, pr, nr))
+
 (* Bind the chunk runner for one (engine, plan, env): tape dispatch when
    the bytecode engine is selected and the plan lowered, closure
    dispatch otherwise. The invariant-offset scratch is per-binding, so
@@ -196,7 +254,8 @@ let bytecode_prep (plan : plan) sp env =
    profiling off the executed closure is exactly the pre-profiler one. *)
 let chunk_runner ?profile (plan : plan) sp prep env : int -> int -> unit =
   match prep with
-  | Some (tape, pr) -> (
+  | Some (_, _, Some nr) -> fun t0 len -> run_chunk_native plan sp env nr t0 len
+  | Some (tape, pr, None) -> (
       let inv = Bytecode.make_scratch tape in
       match profile with
       | None -> fun t0 len -> run_chunk_bytecode plan sp env tape pr inv t0 len
@@ -219,9 +278,7 @@ let rec seq_fork_e engine ?profile (plan : plan) env =
   env.fork <- seq_fork_e engine ?profile;
   new_epoch env;
   let sp = space_of plan env in
-  let prep =
-    match engine with Bytecode -> bytecode_prep plan sp env | Closure -> None
-  in
+  let prep = fork_prep ?profile engine plan sp env in
   let run = chunk_runner ?profile plan sp prep env in
   run 1 sp.total;
   env.iter_id <- 0;
@@ -238,9 +295,7 @@ let seq_fork_traced_e engine ?profile tracer (plan : plan) env =
   env.fork <- seq_fork_e engine ?profile;
   new_epoch env;
   let sp = space_of plan env in
-  let prep =
-    match engine with Bytecode -> bytecode_prep plan sp env | Closure -> None
-  in
+  let prep = fork_prep ?profile engine plan sp env in
   let run = chunk_runner ?profile plan sp prep env in
   Trace.fork_begin tracer ~policy:Policy.Static_block ~n:sp.total ~p:1;
   let a = Trace.now () in
@@ -330,11 +385,7 @@ let parallel_fork_e engine ?trace ?profile pool policy (plan : plan) master =
     new_epoch master;
     (* The unsafe/checked decision is shared (it covers the whole
        space); each domain's runner hoists into private scratch. *)
-    let prep =
-      match engine with
-      | Bytecode -> bytecode_prep plan sp master
-      | Closure -> None
-    in
+    let prep = fork_prep ?profile engine plan sp master in
     let clones =
       Array.init p (fun _ ->
           let c = clone_env master in
@@ -455,6 +506,16 @@ let run_compiled ?(array_init = 0.0) ?pool ?(policy = Policy.Static_block)
   (match Policy.validate policy with
   | Ok () -> ()
   | Error m -> invalid_arg ("Exec.run_compiled: " ^ m));
+  (* The native engine needs runners attached before the first fork;
+     callers that want the artifact-hit report (or a custom cache key)
+     call [Natgen.prepare] themselves — this is the catch-all for direct
+     [run ~engine:Native] uses, and a no-op once a prepare ran. An
+     unavailable toolchain simply leaves every [plan.native] at [None],
+     so each fork falls back to the bytecode tier. *)
+  (if engine = Native then
+     match Compile.native_state t with
+     | `Untried -> ignore (Natgen.prepare t : Natgen.status)
+     | `Ready | `Unavailable _ -> ());
   let go pool =
     Registry.incr c_runs;
     Registry.time h_run_ns @@ fun () ->

@@ -22,16 +22,20 @@ type outcome = {
   scalars : (string * Eval.value) list;  (** sorted by name *)
 }
 
-type engine = Closure | Bytecode
+type engine = Closure | Bytecode | Native
 (** How plan bodies execute within chunks. [Closure] calls the staged
     closure tree once per iteration, advancing the odometer. [Bytecode]
     (the default) dispatches each chunk as contiguous strips over the
     innermost coalesced digit on the plan's lowered tape
     ({!Bytecode.tape}): invariant address parts hoisted per strip,
-    accesses proven in-range for the whole fork run unchecked. Chunk
-    boundaries, schedules, traces and results are identical across
-    engines; plans whose body could not be lowered fall back to the
-    closure path per plan. *)
+    accesses proven in-range for the whole fork run unchecked. [Native]
+    runs the same strips through {!Natgen}'s Dynlink-loaded machine-code
+    runners; forks whose accesses are not all proven in bounds, plans
+    without runners (no toolchain, sanitized) and profiled runs fall
+    back to the bytecode tier per fork, counted under
+    [native.fallbacks]. Chunk boundaries, schedules, traces and results
+    are identical across engines; plans whose body could not be lowered
+    fall back to the closure path per plan. *)
 
 val seq_fork : Compile.plan -> Compile.env -> unit
 (** Run a plan sequentially in ascending coalesced order (the exact

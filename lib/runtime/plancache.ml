@@ -46,6 +46,8 @@ let build_stamp =
          Printf.sprintf "%s:%d:%h" exe st_size st_mtime
      | exception _ -> exe)
 
+let stamp () = Lazy.force build_stamp
+
 type entry = { e_plans : (Bytecode.tape option * int * int) list }
 
 type t = {

@@ -31,6 +31,13 @@ val default_dir : unit -> string option
 (** [$XDG_CACHE_HOME/loopc], falling back to [$HOME/.cache/loopc]. *)
 
 val key : sanitize:bool -> opt_level:int -> salt:string -> Ast.program -> string
+
+val stamp : unit -> string
+(** The producing-binary identity folded into every {!key} (path, size,
+    mtime of the running executable). {!Natgen} folds the same stamp
+    into its [.cmxs] artifact keys, so native artifacts are invalidated
+    exactly when plan-cache entries are. *)
+
 val find : t -> string -> entry option
 
 val find_origin : t -> string -> (entry * [ `Mem | `Disk ]) option

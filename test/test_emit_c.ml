@@ -15,10 +15,27 @@ let require_cc () =
 
 let temp_base = Filename.temp_file "loopcoal_emit" ""
 
+(* Every path [compile_and_run] touches. Removed at exit — including
+   after a test failure, since Alcotest fails by exiting normally — so
+   repeated runs don't litter the temp directory. *)
+let temp_files =
+  [
+    temp_base; temp_base ^ ".c"; temp_base ^ ".exe"; temp_base ^ ".out";
+    temp_base ^ ".cerr";
+  ]
+
+let () =
+  at_exit (fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        temp_files)
+
 let compile_and_run source =
   let c_file = temp_base ^ ".c" in
   let exe = temp_base ^ ".exe" in
   let out_file = temp_base ^ ".out" in
+  (* [with_open_text] closes — and therefore flushes — the C file
+     before the compiler subprocess reads it. *)
   Out_channel.with_open_text c_file (fun oc -> output_string oc source);
   let compile =
     Printf.sprintf "cc -O1 -fopenmp -o %s %s 2> %s.cerr" exe c_file temp_base

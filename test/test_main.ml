@@ -23,4 +23,5 @@ let () =
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);
       ("verify", Test_verify.suite);
+      ("native", Test_native.suite);
     ]

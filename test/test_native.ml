@@ -1,0 +1,391 @@
+(* Native execution tier: plans pretty-printed to OCaml, compiled out
+   of process and Dynlinked back in must be observationally identical
+   to the bytecode tier — bit-identical arrays and scalars, the same
+   chunk decomposition in traces and the same scheduler metrics — on
+   every corpus program, at every opt level, on 1, 2 and 4 domains.
+
+   Every test (except the codegen-shape and CLI ones) skips cleanly
+   when the host has no usable ocamlopt, mirroring the executor's own
+   per-plan fallback. *)
+
+open Loopcoal
+module B = Builder
+module Exec = Runtime.Exec
+module Compile = Runtime.Compile
+module Natgen = Runtime.Natgen
+
+(* Keep native [.cmxs] artifacts (and any plan-cache traffic from the
+   CLI subprocess below) out of the user's real cache directory. The
+   putenv runs at module initialization, before any suite executes. *)
+let scratch_cache =
+  let d = Filename.temp_file "loopcoal_natcache" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  at_exit (fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote d))));
+  Unix.putenv "XDG_CACHE_HOME" d;
+  d
+
+let toolchain = lazy (Natgen.available ())
+
+let require_toolchain () =
+  match Lazy.force toolchain with
+  | Ok () -> ()
+  | Error _ -> Alcotest.skip ()
+
+(* ---------- five-way differential over the full corpus ---------- *)
+
+(* Interpreter oracle plus closure, raw and optimized bytecode, and the
+   native tier at both opt levels. Native outcomes must additionally be
+   *exactly* equal to same-level bytecode outcomes, scalars included:
+   the generated code preserves the tape's float operation structure,
+   so there is no tolerance to hide behind. *)
+let configs =
+  [
+    ("closure", Exec.Closure, 2);
+    ("bytecode -O0", Exec.Bytecode, 0);
+    ("bytecode -O2", Exec.Bytecode, 2);
+    ("native -O0", Exec.Native, 0);
+    ("native -O2", Exec.Native, 2);
+  ]
+
+let check_five_way ?(domain_counts = [ 1; 2; 4 ]) ~what prog =
+  let st = Eval.run prog in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun domains ->
+          let outcomes =
+            List.map
+              (fun (cname, engine, opt_level) ->
+                let o = Exec.run ~domains ~policy ~engine ~opt_level prog in
+                if not (Exec.agrees_with_interpreter o st) then
+                  Alcotest.failf "%s: %s (%d domains, %s) differs from interp"
+                    what cname domains (Policy.name policy);
+                (cname, opt_level, o))
+              configs
+          in
+          List.iter
+            (fun (cname, lvl, (o : Exec.outcome)) ->
+              if String.length cname >= 6 && String.sub cname 0 6 = "native"
+              then
+                let _, _, ob =
+                  List.find (fun (c, l, _) -> c <> cname && l = lvl) outcomes
+                in
+                if o.Exec.arrays <> ob.Exec.arrays then
+                  Alcotest.failf
+                    "%s: %s arrays not bit-identical to bytecode (%d domains)"
+                    what cname domains
+                else if o.Exec.scalars <> ob.Exec.scalars then
+                  Alcotest.failf
+                    "%s: %s scalars not bit-identical to bytecode (%d domains)"
+                    what cname domains)
+            outcomes)
+        domain_counts)
+    [ Policy.Static_block; Policy.Gss ]
+
+let test_kernels_five_way () =
+  require_toolchain ();
+  List.iter
+    (fun name ->
+      check_five_way ~what:name ((Option.get (Kernels.by_name name)) ()))
+    Kernels.all_names
+
+let example_files () =
+  let dir = "../examples/programs" in
+  let list d =
+    if Sys.file_exists d && Sys.is_directory d then
+      Sys.readdir d |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".loop")
+      |> List.map (Filename.concat d)
+    else []
+  in
+  List.sort String.compare (list dir @ list (Filename.concat dir "diagnostics"))
+
+let test_examples_five_way () =
+  require_toolchain ();
+  let files = example_files () in
+  Alcotest.(check bool)
+    (Printf.sprintf "example corpus found (%d files)" (List.length files))
+    true
+    (List.length files >= 10);
+  List.iter
+    (fun file ->
+      match Driver.load_file file with
+      | Error m -> Alcotest.failf "%s: %s" file m
+      | Ok p ->
+          check_five_way ~domain_counts:[ 1; 4 ]
+            ~what:(Filename.basename file) p)
+    files
+
+(* ---------- QCheck: the promotion and streaming fragments ---------- *)
+
+(* The register-promotion and offset-streaming fragments are where the
+   generated code diverges most from a naive transliteration (float
+   refs, stream-slot self-bumps) — rerun [Test_bytecode]'s generators
+   with the native engine in the mix. Counts stay small: every distinct
+   program is one out-of-process ocamlopt run. *)
+let native_differential gen ~name =
+  QCheck.Test.make ~name ~count:8
+    (QCheck.make ~print:Pretty.program_to_string gen)
+    (fun prog ->
+      match Lazy.force toolchain with
+      | Error _ -> true
+      | Ok () ->
+          let st = Eval.run prog in
+          List.for_all
+            (fun domains ->
+              let on = Exec.run ~domains ~engine:Exec.Native prog in
+              let ob = Exec.run ~domains ~engine:Exec.Bytecode prog in
+              Exec.agrees_with_interpreter on st
+              && on.Exec.arrays = ob.Exec.arrays
+              && on.Exec.scalars = ob.Exec.scalars)
+            [ 1; 3 ])
+
+let prop_serial_accum =
+  native_differential Test_bytecode.serial_accum_gen
+    ~name:"native = bytecode = interp (serial accumulation nests)"
+
+let prop_branchy_varstep =
+  native_differential Test_bytecode.branchy_varstep_gen
+    ~name:"native = bytecode = interp (branchy variable-step nests)"
+
+(* ---------- trace and metrics shape: native vs bytecode ---------- *)
+
+(* Chunk boundaries, fork events and the scheduler metrics derived from
+   them must be engine-invariant: the native runner slots into the same
+   per-strip dispatch the bytecode tier uses, so only timestamps may
+   differ. *)
+let test_trace_shape_identical () =
+  require_toolchain ();
+  List.iter
+    (fun trips ->
+      let prog : Ast.program = Test_bytecode.trip_prog ~trips in
+      let st = Eval.run prog in
+      List.iter
+        (fun domains ->
+          let run engine =
+            let compiled = Compile.compile ~opt_level:2 prog in
+            (if engine = Exec.Native then
+               match Natgen.prepare compiled with
+               | Natgen.Ready _ -> ()
+               | Natgen.Unavailable m ->
+                   Alcotest.failf "native tier unavailable: %s" m);
+            let tracer = Trace.create ~p:domains () in
+            let outcome =
+              Exec.run_compiled ~domains ~policy:Policy.Static_block ~engine
+                ~trace:tracer compiled
+            in
+            (outcome, Trace.snapshot tracer)
+          in
+          let ob, tb = run Exec.Bytecode in
+          let on, tn = run Exec.Native in
+          if not (Exec.agrees_with_interpreter on st) then
+            Alcotest.failf "trips=%d domains=%d: native differs from interp"
+              trips domains;
+          if on.Exec.arrays <> ob.Exec.arrays
+             || on.Exec.scalars <> ob.Exec.scalars
+          then
+            Alcotest.failf "trips=%d domains=%d: native result differs" trips
+              domains;
+          let shape (tr : Trace.t) =
+            ( Array.to_list tr.Trace.chunks
+              |> List.map (fun (c : Trace.chunk) ->
+                     (c.Trace.epoch, c.Trace.worker, c.Trace.start, c.Trace.len))
+              |> List.sort compare,
+              Array.to_list tr.Trace.forks
+              |> List.map (fun (f : Trace.fork) ->
+                     ( f.Trace.f_epoch,
+                       Policy.name f.Trace.f_policy,
+                       f.Trace.f_n,
+                       f.Trace.f_p )) )
+          in
+          if shape tb <> shape tn then
+            Alcotest.failf "trips=%d domains=%d: trace shape differs" trips
+              domains;
+          let counts (tr : Trace.t) =
+            let m = Metrics.of_trace tr in
+            ( m.Metrics.total_chunks,
+              m.Metrics.total_iters,
+              List.map
+                (fun (f : Metrics.fork_metrics) ->
+                  ( f.Metrics.n,
+                    f.Metrics.p,
+                    f.Metrics.chunks_dispatched,
+                    f.Metrics.iterations ))
+                m.Metrics.forks )
+          in
+          if counts tb <> counts tn then
+            Alcotest.failf "trips=%d domains=%d: metrics differ" trips domains)
+        [ 1; 2; 4 ])
+    [ 1; 4; 5 ]
+
+(* ---------- toolchain-missing fallback ---------- *)
+
+(* With the compiler pinned to a nonexistent path the tier must report
+   unavailable (not raise), attach nothing, and the executor must fall
+   back to bytecode per plan and still agree with the interpreter. A
+   fresh program keeps the in-process artifact table from short-
+   circuiting the compiler probe. *)
+let test_toolchain_missing_fallback () =
+  let prog =
+    B.program
+      ~arrays:[ B.array "F" [ 5; 7 ] ]
+      [
+        B.doall "i" (B.int 1) (B.int 5)
+          [
+            B.doall "j" (B.int 1) (B.int 7)
+              [
+                B.store "F" [ B.var "i"; B.var "j" ]
+                  B.((real 0.125 * var "j") + (var "i" * int 19));
+              ];
+          ];
+      ]
+  in
+  Unix.putenv "LOOPC_NATIVE_OCAMLOPT" "/nonexistent/loopc-test/ocamlopt";
+  Fun.protect
+    ~finally:(fun () ->
+      (* The empty string reads back as unset for this knob. *)
+      Unix.putenv "LOOPC_NATIVE_OCAMLOPT" "")
+    (fun () ->
+      let compiled = Compile.compile prog in
+      (match Natgen.prepare compiled with
+      | Natgen.Unavailable m ->
+          Alcotest.(check bool)
+            "reason names the pinned compiler" true
+            (String.length m > 0
+            && String.sub m 0 (min 15 (String.length m)) = "native compiler")
+      | Natgen.Ready _ ->
+          Alcotest.fail "prepare must not succeed without a compiler");
+      List.iter
+        (fun (p : Compile.plan) ->
+          if p.Compile.native <> None then
+            Alcotest.fail "no runner may be attached without a compiler")
+        (Compile.plans compiled);
+      let st = Eval.run prog in
+      let o = Exec.run_compiled ~domains:2 ~engine:Exec.Native compiled in
+      if not (Exec.agrees_with_interpreter o st) then
+        Alcotest.fail "bytecode fallback differs from interpreter")
+
+(* ---------- artifact cache ---------- *)
+
+(* Two compiles of the same program prepared under the same caller key:
+   the first builds and persists a [.cmxs], the second must report an
+   artifact hit (no rebuild) and still attach working runners. *)
+let test_artifact_cache_hit () =
+  require_toolchain ();
+  let dir = Filename.concat scratch_cache "artifacts" in
+  let prog = (Option.get (Kernels.by_name "matmul")) () in
+  let key = "test-artifact-cache-matmul" in
+  let first = Compile.compile prog in
+  (match Natgen.prepare ~key ~dir first with
+  | Natgen.Ready { artifact_hit } ->
+      Alcotest.(check bool) "first prepare builds" false artifact_hit
+  | Natgen.Unavailable m -> Alcotest.failf "first prepare: %s" m);
+  let cmxs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cmxs")
+  in
+  Alcotest.(check bool) "a .cmxs artifact was persisted" true (cmxs <> []);
+  let second = Compile.compile prog in
+  (match Natgen.prepare ~key ~dir second with
+  | Natgen.Ready { artifact_hit } ->
+      Alcotest.(check bool) "second prepare hits" true artifact_hit
+  | Natgen.Unavailable m -> Alcotest.failf "second prepare: %s" m);
+  let st = Eval.run prog in
+  let o = Exec.run_compiled ~engine:Exec.Native second in
+  if not (Exec.agrees_with_interpreter o st) then
+    Alcotest.fail "runners from a cached artifact differ from interpreter"
+
+(* ---------- generated source shape ---------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+  in
+  nn > 0 && go 0
+
+let test_codegen_shape () =
+  let prog = (Option.get (Kernels.by_name "matmul")) () in
+  let compiled = Compile.compile ~opt_level:2 prog in
+  let src, elig = Natgen.source compiled in
+  Alcotest.(check bool)
+    "at least one plan is native-eligible" true
+    (List.exists Fun.id elig);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "source contains %S" needle)
+        true (contains src needle))
+    [
+      (* the registration handshake and runner signature *)
+      "Natapi.register";
+      ": Natapi.runner";
+      (* unsafe accesses only — bounds were proven once per fork *)
+      "Array.unsafe_get";
+      "Array.unsafe_set";
+      (* promoted float registers are local refs *)
+      "let fr";
+      (* serial loops and the strip loop are real loops, not dispatch *)
+      "for _k = 0 to len - 1 do";
+    ];
+  Alcotest.(check bool)
+    "no checked array access in generated code" false
+    (contains src "Array.get ");
+  (* The sanitized build carries shadow instrumentation the generated
+     code does not replay: every plan must be ineligible. *)
+  let sanitized = Compile.compile ~sanitize:true prog in
+  let _, elig_s = Natgen.source sanitized in
+  Alcotest.(check bool)
+    "sanitized plans are never native-eligible" false
+    (List.exists Fun.id elig_s)
+
+(* ---------- profile CLI guard ---------- *)
+
+(* [loopc profile] only profiles the bytecode tier; any other engine is
+   a clean one-line error naming the supported set (satellite of the
+   native tier: no crash, no silent fallback). *)
+let test_profile_engine_cli_error () =
+  let loopc = "../bin/loopc.exe" in
+  if not (Sys.file_exists loopc) then Alcotest.skip ();
+  let err = Filename.temp_file "loopc_profile" ".err" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove err with Sys_error _ -> ())
+    (fun () ->
+      let code =
+        Sys.command
+          (Printf.sprintf
+             "%s profile --engine native ../examples/programs/matmul.loop \
+              >/dev/null 2>%s"
+             loopc (Filename.quote err))
+      in
+      Alcotest.(check int) "exit status" 1 code;
+      let lines = In_channel.with_open_text err In_channel.input_lines in
+      Alcotest.(check (list string))
+        "pinned one-line error"
+        [
+          "error: loopc profile: unsupported engine \"native\"; supported \
+           engines: bytecode";
+        ]
+        lines)
+
+let suite =
+  [
+    Alcotest.test_case "codegen shape" `Quick test_codegen_shape;
+    Alcotest.test_case "toolchain-missing fallback" `Quick
+      test_toolchain_missing_fallback;
+    Alcotest.test_case "artifact cache hit" `Quick test_artifact_cache_hit;
+    Alcotest.test_case "profile --engine rejects native" `Quick
+      test_profile_engine_cli_error;
+    Alcotest.test_case "trace and metrics shape vs bytecode" `Slow
+      test_trace_shape_identical;
+    Alcotest.test_case "kernels (five-way differential)" `Slow
+      test_kernels_five_way;
+    Alcotest.test_case "examples (five-way differential)" `Slow
+      test_examples_five_way;
+  ]
+  @ [
+      Gen.to_alcotest prop_serial_accum;
+      Gen.to_alcotest prop_branchy_varstep;
+    ]
