@@ -514,6 +514,11 @@ let bench_kernels =
        (run-time offset bumps plus a hoisted invariant load). *)
     ("cond_stencil", fun () -> Kernels.cond_stencil ~n:24000);
     ("tri_gather", fun () -> Kernels.tri_gather ~n:2500);
+    (* The transformation-search shapes: a time-stepped sweep whose
+       parallel loop the searcher hoists outward (many small forks
+       become one), and a serial real reduction it parallelizes. *)
+    ("relax", fun () -> Kernels.relax ~n:2048 ~steps:64);
+    ("pi", fun () -> Kernels.calculate_pi ~intervals:100_000);
   ]
 
 (* The CI perf-smoke gates (relative guards — absolute thresholds flake
@@ -529,6 +534,113 @@ let geomean = function
       exp
         (List.fold_left (fun a x -> a +. log x) 0.0 l
         /. float_of_int (List.length l))
+
+(* ---------- searched recipe vs default pipeline ----------
+
+   For each kernel, run the model-guided transformation search (budget
+   16, fp-reassociation allowed — the bench owns its kernels and their
+   reductions tolerate reassociated sums) and time the winner's program
+   against the untransformed one, both at bytecode -O2 on 1 domain, in
+   interleaved rounds with the median per-round ratio as the headline —
+   the same drift-immune construction as [seq_ratios]. The search gate
+   asserts the winner is never slower than the default pipeline; the
+   acceptance headline counts the kernels it beats by >= 1.10x. *)
+
+type search_row = {
+  sr_kernel : string;
+  sr_recipe : string;
+  sr_default_ns : float;  (* best-round ns/iter, default pipeline *)
+  sr_searched_ns : float;  (* best-round ns/iter, winning recipe *)
+  sr_ratio : float;  (* median per-round default/searched wall ratio *)
+}
+
+let search_kernels =
+  [
+    ("matmul", fun () -> Kernels.matmul ~ra:48 ~ca:48 ~cb:48);
+    ("stencil", fun () -> Kernels.stencil ~n:180);
+    ("transpose", fun () -> Kernels.transpose ~n:200);
+    ("relax", fun () -> Kernels.relax ~n:2048 ~steps:64);
+    ("pi", fun () -> Kernels.calculate_pi ~intervals:100_000);
+  ]
+
+let json_of_search_row r =
+  Printf.sprintf
+    "    {\"kernel\": %S, \"recipe\": %S, \"default_ns_per_iter\": %.2f, \
+     \"searched_ns_per_iter\": %.2f, \"speedup\": %.4f}"
+    r.sr_kernel r.sr_recipe r.sr_default_ns r.sr_searched_ns r.sr_ratio
+
+let bench_search ~out () =
+  let ctx = Search.default_ctx ~p:1 () in
+  List.map
+    (fun (name, mk) ->
+      let prog : Ast.program = mk () in
+      let st = Eval.run ~fuel:max_int prog in
+      let iters = (Eval.counters st).Eval.loop_iters in
+      let rep = Search.run ~budget:16 ~fp_reassoc:true ~label:name ~ctx prog in
+      let recipe = Recipe.to_string rep.Search.rp_winner in
+      let cd = compile_validated prog in
+      let cs = compile_validated rep.Search.rp_program in
+      let best_d = ref infinity and best_s = ref infinity in
+      let rounds = ref [] in
+      let timed c =
+        let t0 = now () in
+        ignore (Exec.run_compiled ~domains:1 ~engine:Exec.Bytecode c);
+        now () -. t0
+      in
+      (* Warm both sides, then alternate which goes first within each
+         round: running second is systematically slower (allocator and
+         cache state left by the first), and with a fixed order that
+         bias survives the per-round median. *)
+      ignore (timed cd);
+      ignore (timed cs);
+      for r = 1 to 21 do
+        let td, ts =
+          if r mod 2 = 1 then
+            let td = timed cd in
+            (td, timed cs)
+          else
+            let ts = timed cs in
+            (timed cd, ts)
+        in
+        if td < !best_d then best_d := td;
+        if ts < !best_s then best_s := ts;
+        rounds := (td, ts) :: !rounds
+      done;
+      let ratio = median (List.map (fun (d, s) -> d /. s) !rounds) in
+      (* One record per searched configuration; ns/iter uses the default
+         program's interpreter-counted iteration total on both sides so
+         the two stay comparable (recipes can change the loop count). *)
+      out
+        {
+          kernel = name;
+          engine = "bytecode-searched";
+          policy = None;
+          domains = 1;
+          opt_level = Some 2;
+          iters;
+          time_s = !best_s;
+          speedup_vs_interp = None;
+          speedup_vs_1dom = None;
+          predicted_speedup = None;
+          chunks_dispatched = None;
+          imbalance = None;
+          sync_ops_per_iter = None;
+          note =
+            Some
+              (Printf.sprintf
+                 "winning recipe %s; median default/searched ratio %.2fx \
+                  (see the search table)"
+                 recipe ratio);
+          profile = None;
+        };
+      {
+        sr_kernel = name;
+        sr_recipe = recipe;
+        sr_default_ns = !best_d *. 1e9 /. float_of_int (max 1 iters);
+        sr_searched_ns = !best_s *. 1e9 /. float_of_int (max 1 iters);
+        sr_ratio = ratio;
+      })
+    search_kernels
 
 let run ?(oversubscribe = false) ?(gate = false) () =
   let kernels =
@@ -580,6 +692,7 @@ let run ?(oversubscribe = false) ?(gate = false) () =
   Printf.printf "== runtime: measured wall-clock (host: %d core(s)) ==\n%!"
     host_cores;
   List.iter (bench_kernel ~out ~score ~domain_counts) kernels;
+  let search_rows = bench_search ~out () in
   Table.print t;
   (match List.rev !scores with
   | [] -> ()
@@ -601,10 +714,14 @@ let run ?(oversubscribe = false) ?(gate = false) () =
      from a real run; rows noted oversubscribed exceed the host's cores \
      (opt-in via --oversubscribe); bytecode-prof rows rerun the 1-domain \
      -O2 configuration with the tape-profile collector attached and carry \
-     the profiler's source-loop/opcode attribution in their profile \
-     field\",\n\
+     the profiler's source-loop/opcode attribution in their profile field; \
+     bytecode-searched rows rerun 1-domain -O2 on the transformation \
+     search's winning recipe, with the search table's per-kernel \
+     default-vs-searched median ratios\",\n\
+     \  \"search\": [\n%s\n  ],\n\
      \  \"results\": [\n%s\n  ]\n}\n"
     host_cores
+    (String.concat ",\n" (List.map json_of_search_row search_rows))
     (String.concat ",\n" (List.map json_of_record records));
   close_out oc;
   Printf.printf "wrote BENCH_runtime.json (%d records)\n%!"
@@ -816,6 +933,31 @@ let run ?(oversubscribe = false) ?(gate = false) () =
     prof_rows;
   Printf.printf "\n== tape profiler price, bytecode -O2, 1 domain ==\n";
   Table.print pt;
+  (* Searched recipe vs the default pipeline, bytecode -O2, 1 domain. *)
+  let srt =
+    Table.create
+      [
+        ("kernel", Table.Left);
+        ("recipe", Table.Left);
+        ("default ns/iter", Table.Right);
+        ("searched ns/iter", Table.Right);
+        ("speedup", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row srt
+        [
+          r.sr_kernel;
+          r.sr_recipe;
+          Table.cell_float ~dec:1 r.sr_default_ns;
+          Table.cell_float ~dec:1 r.sr_searched_ns;
+          Printf.sprintf "%.2fx" r.sr_ratio;
+        ])
+    search_rows;
+  Printf.printf "\n== searched recipe vs default pipeline, bytecode -O2, \
+                 1 domain ==\n";
+  Table.print srt;
   if gate then begin
     let missing pairs =
       List.filter_map
@@ -884,6 +1026,54 @@ let run ?(oversubscribe = false) ?(gate = false) () =
        genuine off-path slowdown would also trip the bytecode-vs-closure
        gate above; this canary certifies the rounds were quiet enough
        for that verdict to mean something. *)
+    (* Search gates. Never-slower: the winner's median ratio must stay
+       within the same relative band the closure gate uses — the
+       identity recipe is always a search survivor and ties go to the
+       baseline, so a slower winner means the scorer ranked candidates
+       backwards. Win-count: the searcher must actually find speedups,
+       not just avoid losses — at least two kernels at >= 1.10x. *)
+    let search_band = 1.05 *. gate_factor in
+    let search_slow =
+      List.filter (fun r -> not (r.sr_ratio >= 1.0 /. search_band)) search_rows
+    in
+    (match search_slow with
+    | [] ->
+        Printf.printf
+          "search gate: OK (searched plan never slower than %.2fx default \
+           on %s)\n\
+           %!"
+          search_band
+          (String.concat ", " (List.map (fun r -> r.sr_kernel) search_rows))
+    | rs ->
+        List.iter
+          (fun r ->
+            Printf.printf
+              "search gate FAILED: %s searched recipe %s median ratio %.2fx \
+               < %.2fx\n\
+               %!"
+              r.sr_kernel r.sr_recipe r.sr_ratio (1.0 /. search_band))
+          rs;
+        exit 1);
+    let win_thresh = 1.10 /. gate_factor in
+    let search_wins =
+      List.filter (fun r -> r.sr_ratio >= win_thresh) search_rows
+    in
+    if List.length search_wins < 2 then begin
+      Printf.printf
+        "search gate FAILED: only %d kernel(s) at >= %.2fx (need 2): %s\n%!"
+        (List.length search_wins) win_thresh
+        (String.concat ", "
+           (List.map
+              (fun r -> Printf.sprintf "%s=%.2fx" r.sr_kernel r.sr_ratio)
+              search_rows));
+      exit 1
+    end;
+    Printf.printf "search gate: OK (%d kernel(s) at >= %.2fx: %s)\n%!"
+      (List.length search_wins) win_thresh
+      (String.concat ", "
+         (List.map
+            (fun r -> Printf.sprintf "%s=%.2fx" r.sr_kernel r.sr_ratio)
+            search_wins));
     let prof_band = 1.05 *. gate_factor in
     let prof_missing =
       List.filter_map

@@ -692,6 +692,47 @@ let engine_conv =
   in
   Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (run_engine_name e))
 
+(* ---------- transformation-search plumbing (tune / calibrate / run --search) *)
+
+(* Where the search scorer's per-op costs come from: [LOOPC_MACHINE]
+   names a calibration file explicitly, otherwise [machine.json] in the
+   plan-cache directory — the default [loopc calibrate] output — is
+   consulted. A missing file silently falls back on the built-in default
+   ratios; an unreadable one warns first. *)
+let machine_json_default () =
+  Option.map
+    (fun d -> Filename.concat d "machine.json")
+    (L.Runtime.Plancache.default_dir ())
+
+let load_search_calibration () =
+  let candidate =
+    match Sys.getenv_opt "LOOPC_MACHINE" with
+    | Some f when f <> "" -> Some f
+    | _ -> machine_json_default ()
+  in
+  match candidate with
+  | Some f when Sys.file_exists f -> (
+      match L.Machine.load_calibration f with
+      | Ok cal -> cal
+      | Error m ->
+          Printf.eprintf "warning: ignoring calibration %s: %s\n" f m;
+          L.Machine.default_calibration)
+  | _ -> L.Machine.default_calibration
+
+(* Measure-mode callback: one wall-clocked run of the candidate on the
+   real engine, in nanoseconds. A candidate that faults simply loses. *)
+let search_measure ~engine ~domains ~policy p' =
+  let t0 = Unix.gettimeofday () in
+  match L.Runtime.Exec.run ~domains ~policy ~engine p' with
+  | (_ : L.Runtime.Exec.outcome) -> (Unix.gettimeofday () -. t0) *. 1e9
+  | exception _ -> infinity
+
+let exec_engine_of = function
+  | Closure -> Some L.Runtime.Exec.Closure
+  | Bytecode -> Some L.Runtime.Exec.Bytecode
+  | Native -> Some L.Runtime.Exec.Native
+  | Interp -> None
+
 let run_cmd =
   let parallel_flag =
     Arg.(
@@ -844,13 +885,45 @@ let run_cmd =
              fallbacks, compile and optimizer pass timings, pool \
              fork/join latency, run times) as JSON after the run.")
   in
+  let search_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "16") (some string) None
+      & info [ "search" ] ~docv:"SPEC"
+          ~doc:
+            "Run the model-guided transformation search before compiling \
+             and execute the winning recipe. $(docv) is a candidate \
+             budget (default $(b,16)) or $(b,measure[:K]) to also time \
+             the top K predicted finalists (default 3) on the real \
+             engine. The winner is recorded in the plan cache, so warm \
+             runs replay it with zero search cost ($(b,search=hit) under \
+             $(b,--time)).")
+  in
+  let explain_flag =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "With $(b,--search): print the candidate table (predicted \
+             and measured times, prune reasons, winner) before running, \
+             or the replayed recipe on a warm cache hit.")
+  in
+  let fp_reassoc_flag =
+    Arg.(
+      value & flag
+      & info [ "fp-reassoc" ]
+          ~doc:
+            "Let $(b,--search) consider floating-point-reassociating \
+             parallel-reduction recipes; sums may differ from the \
+             serial order in the last bits.")
+  in
   let write_file path s =
     let oc = open_out path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
   in
   let run parallel procs policy coalesce compare time trace_file metrics
       sanitize engine opt_level no_plan_cache dump_tape validate_tape
-      stats_file p =
+      stats_file search explain fp_reassoc p =
     if opt_level < 0 || opt_level > 2 then begin
       Printf.eprintf "error: --opt-level must be 0, 1 or 2 (got %d)\n"
         opt_level;
@@ -863,6 +936,34 @@ let run_cmd =
           (String.concat "|" L.Runtime.Tapeopt.pass_names);
         exit 1
     | _ -> ());
+    let search_plan =
+      match search with
+      | None -> None
+      | Some s -> (
+          let s = String.trim s in
+          match int_of_string_opt s with
+          | Some b when b >= 1 -> Some (`Model b)
+          | Some b ->
+              Printf.eprintf "error: --search budget must be >= 1 (got %d)\n" b;
+              exit 1
+          | None ->
+              if s = "measure" then Some (`Measure (16, 3))
+              else if String.length s > 8 && String.sub s 0 8 = "measure:"
+              then (
+                match
+                  int_of_string_opt (String.sub s 8 (String.length s - 8))
+                with
+                | Some k when k >= 1 -> Some (`Measure (16, k))
+                | _ ->
+                    Printf.eprintf "error: --search measure:<positive int>\n";
+                    exit 1)
+              else begin
+                Printf.eprintf
+                  "error: --search expects a budget or measure[:K] (got %S)\n"
+                  s;
+                exit 1
+              end)
+    in
     report_validation p;
     let orig = p in
     let p =
@@ -880,12 +981,13 @@ let run_cmd =
     match engine with
     | Interp -> (
         if parallel || trace_file <> None || metrics || sanitize
-           || dump_tape <> None || validate_tape
+           || dump_tape <> None || validate_tape || search_plan <> None
         then begin
           Printf.eprintf
             "error: --engine interp is the sequential reference \
              interpreter; it supports none of --parallel, --trace, \
-             --metrics, --sanitize, --dump-tape, --validate-tape\n";
+             --metrics, --sanitize, --dump-tape, --validate-tape, \
+             --search\n";
           exit 1
         end;
         if compare then
@@ -926,6 +1028,73 @@ let run_cmd =
     let cache =
       if cache_off then None
       else Some (L.Runtime.Plancache.create ?dir:(L.Runtime.Plancache.default_dir ()) ())
+    in
+    (* --search rewrites the program before staging. The winning recipe
+       is keyed like a plan-cache entry (over the pre-search program,
+       with a search-distinguishing salt so --fp-reassoc runs never
+       share entries with plain ones): warm runs replay the stored
+       recipe string with zero enumeration, cold ones run the searcher
+       and record the winner. *)
+    let p, search_state =
+      match search_plan with
+      | None -> (p, "off")
+      | Some spec -> (
+          let budget, mode =
+            match spec with
+            | `Model b -> (b, L.Search.Model)
+            | `Measure (b, k) -> (b, L.Search.Measure k)
+          in
+          let salt =
+            "search:" ^ run_engine_name eng
+            ^ if fp_reassoc then "+fp" else ""
+          in
+          let rkey = L.Runtime.Plancache.key ~sanitize ~opt_level ~salt p in
+          let replay =
+            match cache with
+            | None -> None
+            | Some c -> (
+                match L.Runtime.Plancache.find_recipe c rkey with
+                | None -> None
+                | Some s -> (
+                    match L.Recipe.of_string s with
+                    | Error _ -> None
+                    | Ok r -> (
+                        match L.Recipe.apply r p with
+                        | Ok p' -> Some (r, p')
+                        | Error _ -> None)))
+          in
+          match replay with
+          | Some (r, p') ->
+              if explain then
+                Printf.printf "search: replaying cached recipe %s\n"
+                  (L.Recipe.to_string r);
+              (p', "hit")
+          | None ->
+              let ctx =
+                L.Search.default_ctx ~policy
+                  ~cal:(load_search_calibration ()) ~p:domains ()
+              in
+              let measure_fn =
+                match mode with
+                | L.Search.Measure _ ->
+                    Some
+                      (search_measure ~engine:exec_engine ~domains ~policy)
+                | L.Search.Model -> None
+              in
+              let rep =
+                L.Search.run ~budget ~mode ?measure:measure_fn ~fp_reassoc
+                  ~label:"program" ~ctx p
+              in
+              if explain then print_string (L.Search.explain_to_string rep);
+              (match cache with
+              | Some c ->
+                  L.Runtime.Plancache.store_recipe c rkey
+                    (L.Recipe.to_string rep.L.Search.rp_winner)
+              | None -> ());
+              ( rep.L.Search.rp_program,
+                match spec with
+                | `Measure _ -> "measure"
+                | `Model b -> string_of_int b ))
     in
     (* [prev] remembers each plan's previous stage so a named pass can
        show the tape it rewrote ("before gvn") next to its output. *)
@@ -1123,10 +1292,10 @@ let run_cmd =
                 (L.Report.time_suffix
                    ~extra:
                      ([ ("tapecheck", if validate_tape then "ok" else "off") ]
-                     @
-                     match native_build with
-                     | Some b -> [ ("build", b) ]
-                     | None -> [])
+                     @ (match native_build with
+                       | Some b -> [ ("build", b) ]
+                       | None -> [])
+                     @ [ ("search", search_state) ])
                    ~opt:opt_level ~plan_cache:plan_cache_state ());
             (match stats_file with
             | None -> ()
@@ -1170,7 +1339,338 @@ let run_cmd =
       const run $ parallel_flag $ procs_arg $ policy_arg $ coalesce_flag
       $ compare_flag $ time_flag $ trace_arg $ metrics_flag $ sanitize_flag
       $ engine_arg $ opt_level_arg $ no_plan_cache_flag $ dump_tape_arg
-      $ validate_tape_flag $ stats_arg $ program_arg)
+      $ validate_tape_flag $ stats_arg $ search_arg $ explain_flag
+      $ fp_reassoc_flag $ program_arg)
+
+(* ---------- tune ---------- *)
+
+let tune_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Maximum number of candidate recipes to consider.")
+  in
+  let procs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "p" ] ~docv:"P"
+          ~doc:
+            "Processors the scored machine model has; 0 (default) uses \
+             the recommended domain count.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv L.Policy.Static_block
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"block | cyclic | ss | chunk:N | gss | factoring | tss.")
+  in
+  let measure_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 3) (some int) None
+      & info [ "measure" ] ~docv:"K"
+          ~doc:
+            "Also time the top $(docv) (default 3) predicted finalists \
+             plus the identity on the real engine, in interleaved \
+             rounds, and let the measured medians pick the winner.")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt engine_conv Bytecode
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Execution tier $(b,--measure) times candidates on.")
+  in
+  let fp_reassoc_flag =
+    Arg.(
+      value & flag
+      & info [ "fp-reassoc" ]
+          ~doc:
+            "Consider floating-point-reassociating parallel-reduction \
+             recipes; sums may differ from the serial order in the last \
+             bits.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the explain report as JSON to $(docv).")
+  in
+  let emit_flag =
+    Arg.(
+      value & flag
+      & info [ "emit" ]
+          ~doc:"Print the winning program after the report.")
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Program in the loopc surface language.")
+  in
+  let run budget procs policy measure engine fp_reassoc json emit path =
+    match read_program path with
+    | Error (`Msg m) ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok p ->
+        report_validation p;
+        let procs =
+          if procs > 0 then procs else Domain.recommended_domain_count ()
+        in
+        let ctx =
+          L.Search.default_ctx ~policy ~cal:(load_search_calibration ())
+            ~p:procs ()
+        in
+        let mode, measure_fn =
+          match measure with
+          | None -> (L.Search.Model, None)
+          | Some k -> (
+              match exec_engine_of engine with
+              | None ->
+                  Printf.eprintf
+                    "error: --measure needs a compiled engine \
+                     (closure|bytecode|native)\n";
+                  exit 1
+              | Some eng ->
+                  ( L.Search.Measure k,
+                    Some (search_measure ~engine:eng ~domains:procs ~policy)
+                  ))
+        in
+        let label = Filename.remove_extension (Filename.basename path) in
+        let rep =
+          L.Search.run ~budget ~mode ?measure:measure_fn ~fp_reassoc ~label
+            ~ctx p
+        in
+        print_string (L.Search.explain_to_string rep);
+        (match json with
+        | None -> ()
+        | Some f ->
+            let oc = open_out f in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (L.Search.explain_to_json rep));
+            Printf.eprintf "wrote %s\n" f);
+        if emit then
+          print_string (L.Pretty.program_to_string rep.L.Search.rp_program)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Model-guided transformation search: enumerate a budgeted set \
+          of recipes (interchange, hoisting, distribution, fusion, \
+          tiling, coalescing variants, and with $(b,--fp-reassoc) \
+          parallel reductions), prune any whose static race-verifier \
+          verdict degrades, score the survivors with the calibrated \
+          event-driven machine model, and report the predicted-fastest \
+          recipe. $(b,--measure) settles the finalists on the real \
+          engine instead. [loopc run --search] applies the winner and \
+          caches it for replay.")
+    Term.(
+      const run $ budget_arg $ procs_arg $ policy_arg $ measure_arg
+      $ engine_arg $ fp_reassoc_flag $ json_arg $ emit_flag $ path_arg)
+
+(* ---------- calibrate ---------- *)
+
+let calibrate_cmd =
+  let procs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "p" ] ~docv:"P"
+          ~doc:
+            "Domains for the fork/join probe; 0 (default) uses the \
+             recommended domain count.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Median-of-$(docv) rounds for every probe.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write the calibration JSON to $(docv) instead of \
+             $(b,machine.json) in the plan-cache directory.")
+  in
+  let median l =
+    let a = List.sort Float.compare l in
+    List.nth a (List.length a / 2)
+  in
+  let rec mkdirs d =
+    if not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  (* Total weighted ops the search scorer sees in [prog], tape tier or
+     host tier only: score it on a machine whose only nonzero cost is
+     one op of that tier at 1ns, with every overhead zeroed. Dividing a
+     measured wall time by this count yields a per-op cost in exactly
+     the unit the scorer multiplies by, so predictions and measurements
+     stay on one scale. *)
+  let unit_ops ~tape prog =
+    let cal =
+      {
+        L.Machine.cal_p = 1;
+        dispatch_ns = 0.0;
+        fork_ns = 0.0;
+        barrier_ns = 0.0;
+        tape_op_ns = (if tape then 1.0 else 0.0);
+        closure_op_ns = (if tape then 0.0 else 1.0);
+      }
+    in
+    L.Search.cost ~ctx:(L.Search.default_ctx ~cal ~p:1 ()) prog
+  in
+  let kernel name =
+    match L.Kernels.by_name name with
+    | Some mk -> mk ()
+    | None ->
+        Printf.eprintf "internal error: probe kernel %s missing\n" name;
+        exit 2
+  in
+  (* Sequential wall time of one staged run, amortized over enough
+     repetitions to dwarf timer resolution. *)
+  let time_program ~rounds prog =
+    match L.Runtime.Compile.compile_result ~sanitize:false ~opt_level:2 prog with
+    | Error m ->
+        Printf.eprintf "error: probe failed to stage: %s\n" m;
+        exit 2
+    | Ok compiled ->
+        let reps = 300 in
+        ignore (L.Runtime.Exec.run_compiled compiled : L.Runtime.Exec.outcome);
+        median
+          (List.init rounds (fun _ ->
+               let t0 = Unix.gettimeofday () in
+               for _ = 1 to reps do
+                 ignore
+                   (L.Runtime.Exec.run_compiled compiled
+                     : L.Runtime.Exec.outcome)
+               done;
+               (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps))
+  in
+  let run procs rounds output =
+    let p = if procs > 0 then procs else Domain.recommended_domain_count () in
+    let rounds = max 1 rounds in
+    (* One dispatch is one fetch&add on the shared iteration counter. *)
+    let dispatch_ns =
+      let iters = 1_000_000 in
+      median
+        (List.init rounds (fun _ ->
+             let c = Atomic.make 0 in
+             let t0 = Unix.gettimeofday () in
+             for _ = 1 to iters do
+               ignore (Atomic.fetch_and_add c 1 : int)
+             done;
+             (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters))
+    in
+    (* A no-op pool run is one wake plus one join; the probe can only
+       see their sum, so split it with the default model's ratio. *)
+    let fork_join_ns =
+      L.Runtime.Pool.with_pool p (fun pool ->
+          for _ = 1 to 32 do
+            L.Runtime.Pool.run pool (fun _ -> ())
+          done;
+          let iters = 500 in
+          median
+            (List.init rounds (fun _ ->
+                 let t0 = Unix.gettimeofday () in
+                 for _ = 1 to iters do
+                   L.Runtime.Pool.run pool (fun _ -> ())
+                 done;
+                 (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters)))
+    in
+    let d = L.Machine.default_calibration in
+    let fork_share =
+      d.L.Machine.fork_ns /. (d.L.Machine.fork_ns +. d.L.Machine.barrier_ns)
+    in
+    let fork_ns = fork_join_ns *. fork_share in
+    let barrier_ns = fork_join_ns -. fork_ns in
+    (* Per-op costs: a region-dominated kernel prices the bytecode tape,
+       then a serial-reduction kernel prices host code once the (small)
+       tape share of its wall time is deducted. *)
+    let tape_probe = kernel "matmul" in
+    let host_probe = kernel "pi" in
+    let tape_ops = unit_ops ~tape:true tape_probe in
+    let tape_op_ns =
+      if tape_ops <= 0.0 then d.L.Machine.tape_op_ns
+      else time_program ~rounds tape_probe /. tape_ops
+    in
+    let host_ops = unit_ops ~tape:false host_probe in
+    let closure_op_ns =
+      if host_ops <= 0.0 then d.L.Machine.closure_op_ns
+      else
+        let wall = time_program ~rounds host_probe in
+        let tape_share = tape_op_ns *. unit_ops ~tape:true host_probe in
+        Float.max (0.25 *. tape_op_ns) ((wall -. tape_share) /. host_ops)
+    in
+    let cal =
+      {
+        L.Machine.cal_p = p;
+        dispatch_ns;
+        fork_ns;
+        barrier_ns;
+        tape_op_ns;
+        closure_op_ns;
+      }
+    in
+    (match L.Machine.validate_calibration cal with
+    | Ok () -> ()
+    | Error m ->
+        Printf.eprintf "error: calibration failed validation: %s\n" m;
+        exit 1);
+    Printf.printf
+      "calibrated p=%d: dispatch=%.1fns fork=%.0fns barrier=%.0fns \
+       tape_op=%.2fns closure_op=%.2fns\n"
+      p dispatch_ns fork_ns barrier_ns tape_op_ns closure_op_ns;
+    let out =
+      match output with
+      | Some f -> f
+      | None -> (
+          match machine_json_default () with
+          | Some f -> f
+          | None ->
+              Printf.eprintf
+                "error: no cache directory (set XDG_CACHE_HOME or HOME) \
+                 — use -o FILE\n";
+              exit 1)
+    in
+    mkdirs (Filename.dirname out);
+    (match
+       let oc = open_out out in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () ->
+           output_string oc (L.Machine.calibration_to_json cal);
+           output_string oc "\n")
+     with
+    | () -> Printf.printf "wrote %s\n" out
+    | exception Sys_error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1);
+    if Sys.getenv_opt "LOOPC_MACHINE" <> None then
+      prerr_endline
+        "note: LOOPC_MACHINE is set and takes precedence over the file \
+         just written"
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Micro-time this machine's scheduling primitives — dispatch \
+          (atomic fetch&add), fork/join (no-op pool run) — and per-op \
+          tape and host costs (staged probe kernels divided by the \
+          search scorer's weighted op counts), then write the \
+          calibration JSON that [loopc tune] and [loopc run --search] \
+          score candidates with. $(b,LOOPC_MACHINE) overrides the \
+          default location.")
+    Term.(const run $ procs_arg $ rounds_arg $ output_arg)
 
 (* ---------- profile ---------- *)
 
@@ -1716,6 +2216,6 @@ let main =
     [ show_cmd; analyze_cmd; coalesce_cmd; distribute_cmd; fuse_cmd;
       reduce_cmd; shrink_cmd; unroll_cmd; peel_cmd; interchange_cmd;
       tile_cmd; optimize_cmd; emit_c_cmd; simulate_cmd; schedule_cmd;
-      run_cmd; profile_cmd; check_cmd; kernel_cmd ]
+      run_cmd; tune_cmd; calibrate_cmd; profile_cmd; check_cmd; kernel_cmd ]
 
 let () = exit (Cmd.eval main)

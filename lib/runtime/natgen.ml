@@ -622,6 +622,8 @@ let prepare ?key ?dir ?(persist = true) (t : Compile.t) : status =
                                     in
                                     copy_file out tmpn;
                                     Sys.rename tmpn p;
+                                    Plancache.enforce_cap
+                                      (Filename.dirname p);
                                     p
                                   with Sys_error _ | Unix.Unix_error _ -> out)
                               | None -> out
@@ -659,6 +661,8 @@ let prepare ?key ?dir ?(persist = true) (t : Compile.t) : status =
                     Hashtbl.replace loaded digest rs;
                     attach t rs;
                     Registry.incr c_art_hit;
+                    (* refresh LRU recency under LOOPC_CACHE_MAX_MB *)
+                    (try Unix.utimes p 0.0 0.0 with Unix.Unix_error _ -> ());
                     Ready { artifact_hit = true }
                 | Ok _ | Error _ ->
                     (* stale or corrupt artifact: drop it, rebuild once *)

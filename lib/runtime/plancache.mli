@@ -53,3 +53,22 @@ val reject : t -> string -> unit
     on disk. *)
 
 val store : t -> string -> entry -> unit
+
+val find_recipe : t -> string -> string option
+(** The stored winning-recipe string for a key ([Recipe.of_string]
+    grammar), from memory or the [<key>.recipe] side file. A disk hit
+    refreshes the file's LRU recency. *)
+
+val store_recipe : t -> string -> string -> unit
+(** Record the searcher's winner for a key; persists to [<key>.recipe]
+    next to the plan when the disk layer is usable, so warm runs replay
+    the transformation with zero search cost. *)
+
+val enforce_cap : string -> unit
+(** Apply the [LOOPC_CACHE_MAX_MB] size cap to a cache directory:
+    when the total size of cached files ([.plan], [.recipe], and the
+    native tier's artifacts) exceeds the cap, least-recently-used files
+    are deleted (mtime order — hits touch their files) until under it,
+    each counted under [plan_cache.evict]. No-op when the variable is
+    unset or unparsable. {!store} and {!store_recipe} call it on their
+    own directory; {!Natgen} calls it after writing a [.cmxs]. *)

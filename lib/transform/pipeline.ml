@@ -96,6 +96,45 @@ let cycle_shrink_all =
         Ok p');
   }
 
+let tile_all ~c =
+  {
+    name = Printf.sprintf "tile-all(%d)" c;
+    transform =
+      (fun p ->
+        let count = ref 0 in
+        let avoid = Names.in_program p in
+        let rec blk (b : Ast.block) : Ast.block = List.map stmt b
+        and stmt (s : Ast.stmt) : Ast.stmt =
+          match s with
+          | Assign _ -> s
+          | If (cnd, t, f) -> If (cnd, blk t, blk f)
+          | For l -> (
+              match Tile.apply ~avoid ~c1:c ~c2:c s with
+              | Ok s' ->
+                  incr count;
+                  s'
+              | Error _ -> For { l with body = blk l.body })
+        in
+        let body = blk p.Ast.body in
+        if !count = 0 then Error "no tileable nest found"
+        else Ok { p with Ast.body });
+  }
+
+let parallel_reduce ~loop_index ~scalar ~processors =
+  {
+    name = Printf.sprintf "parallel-reduce(%s,%s,%d)" loop_index scalar processors;
+    transform =
+      (fun p ->
+        match Parallel_reduce.apply p ~loop_index ~scalar ~processors with
+        | Ok p' -> Ok p'
+        | Error
+            ( Parallel_reduce.Not_found_loop m
+            | Parallel_reduce.Not_a_reduction m
+            | Parallel_reduce.Non_constant_bounds m
+            | Parallel_reduce.Bad_processors m ) ->
+            Error m);
+  }
+
 let interchange_outer =
   {
     name = "interchange-outer";

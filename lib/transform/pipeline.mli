@@ -29,6 +29,17 @@ val interchange_outer : pass
 val coalesce_chunked : chunk:int -> pass
 (** Chunk-coalesce the first coalescible nest with odometer recovery. *)
 
+val tile_all : c:int -> pass
+(** Tile every doubly-parallel perfect nest with square [c x c] tiles
+    (fails when no nest is tileable). Run {!normalize} first: tiling
+    requires lo = 1, step = 1 loops. *)
+
+val parallel_reduce :
+  loop_index:string -> scalar:string -> processors:int -> pass
+(** Rewrite the reduction on [scalar] in the loop with index [loop_index]
+    into per-processor partials ({!Parallel_reduce.apply}). Re-associates
+    floating-point combination — opt-in only, never part of {!standard}. *)
+
 val distribute_all : pass
 (** Distribute every splittable loop (never fails; identity when there is
     nothing to split). *)

@@ -1,0 +1,131 @@
+(* A recipe is a named, serializable sequence of pipeline passes — the
+   unit of currency of the transformation searcher.  The string form is
+   the plan-cache replay format, so the round-trip must be exact and the
+   grammar is deliberately tiny: atoms joined by '+', each atom either a
+   bare word or word(args).  The empty recipe prints as "id". *)
+
+open Loopcoal_ir
+
+type atom =
+  | Interchange
+  | Hoist
+  | Distribute
+  | Fuse
+  | Tile of int
+  | Preduce of { pr_index : string; pr_scalar : string; pr_procs : int }
+  | Coalesce of Index_recovery.strategy
+  | Chunked of int
+
+type t = atom list
+
+let identity : t = []
+let is_identity r = r = []
+
+let strategy_name = function
+  | Index_recovery.Div_mod -> "divmod"
+  | Index_recovery.Ceiling -> "ceiling"
+  | Index_recovery.Incremental -> "incremental"
+
+let atom_to_string = function
+  | Interchange -> "interchange"
+  | Hoist -> "hoist"
+  | Distribute -> "distribute"
+  | Fuse -> "fuse"
+  | Tile c -> Printf.sprintf "tile(%d)" c
+  | Preduce { pr_index; pr_scalar; pr_procs } ->
+      Printf.sprintf "preduce(%s,%s,%d)" pr_index pr_scalar pr_procs
+  | Coalesce s -> Printf.sprintf "coalesce(%s)" (strategy_name s)
+  | Chunked c -> Printf.sprintf "chunked(%d)" c
+
+let to_string = function
+  | [] -> "id"
+  | atoms -> String.concat "+" (List.map atom_to_string atoms)
+
+(* ---------- parsing ---------- *)
+
+let is_ident s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let pos_int s =
+  match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None
+
+let atom_of_string s =
+  let s = String.trim s in
+  let head, args =
+    match String.index_opt s '(' with
+    | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+        ( String.sub s 0 i,
+          Some
+            (String.split_on_char ','
+               (String.sub s (i + 1) (String.length s - i - 2))
+            |> List.map String.trim) )
+    | _ -> (s, None)
+  in
+  match (head, args) with
+  | "interchange", None -> Ok Interchange
+  | "hoist", None -> Ok Hoist
+  | "distribute", None -> Ok Distribute
+  | "fuse", None -> Ok Fuse
+  | "tile", Some [ c ] -> (
+      match pos_int c with
+      | Some c -> Ok (Tile c)
+      | None -> Error (Printf.sprintf "recipe: bad tile size %S" c))
+  | "chunked", Some [ c ] -> (
+      match pos_int c with
+      | Some c -> Ok (Chunked c)
+      | None -> Error (Printf.sprintf "recipe: bad chunk size %S" c))
+  | "preduce", Some [ i; sc; pr ] -> (
+      match (is_ident i && is_ident sc, pos_int pr) with
+      | true, Some pr_procs ->
+          Ok (Preduce { pr_index = i; pr_scalar = sc; pr_procs })
+      | _ -> Error (Printf.sprintf "recipe: bad preduce arguments %S" s))
+  | "coalesce", Some [ st ] -> (
+      match st with
+      | "divmod" -> Ok (Coalesce Index_recovery.Div_mod)
+      | "ceiling" -> Ok (Coalesce Index_recovery.Ceiling)
+      | "incremental" -> Ok (Coalesce Index_recovery.Incremental)
+      | _ -> Error (Printf.sprintf "recipe: unknown recovery strategy %S" st))
+  | _ -> Error (Printf.sprintf "recipe: unknown atom %S" s)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then Error "recipe: empty string"
+  else if s = "id" then Ok identity
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest -> (
+          match atom_of_string part with
+          | Ok a -> go (a :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] (String.split_on_char '+' s)
+
+(* ---------- lowering to passes ---------- *)
+
+let passes (r : t) : Pipeline.pass list =
+  List.concat_map
+    (function
+      | Interchange -> [ Pipeline.interchange_outer ]
+      | Hoist -> [ Pipeline.hoist_parallel_all ]
+      | Distribute -> [ Pipeline.distribute_all ]
+      | Fuse -> [ Pipeline.fuse_all ]
+      | Tile c -> [ Pipeline.normalize; Pipeline.tile_all ~c ]
+      | Preduce { pr_index; pr_scalar; pr_procs } ->
+          [
+            Pipeline.parallel_reduce ~loop_index:pr_index ~scalar:pr_scalar
+              ~processors:pr_procs;
+          ]
+      | Coalesce s -> [ Pipeline.coalesce_all ~strategy:s () ]
+      | Chunked c -> [ Pipeline.coalesce_chunked ~chunk:c ])
+    r
+
+let apply (r : t) (p : Ast.program) : (Ast.program, string) result =
+  let o = Pipeline.run ~verify:false (passes r) p in
+  match o.Pipeline.failures with
+  | [] -> Ok o.Pipeline.program
+  | (pass, reason) :: _ -> Error (pass ^ ": " ^ reason)

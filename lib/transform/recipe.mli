@@ -1,0 +1,44 @@
+(** Serializable transformation recipes.
+
+    A recipe names a sequence of {!Pipeline} passes compactly enough to
+    live in the plan cache: warm runs parse the stored string and replay
+    the exact winning transformation with zero search cost.  The grammar
+    is atoms joined by ['+'] — [id], [interchange], [hoist],
+    [distribute], [fuse], [tile(C)], [preduce(INDEX,SCALAR,P)],
+    [coalesce(divmod|ceiling|incremental)], [chunked(C)] — and
+    [to_string]/[of_string] round-trip exactly. *)
+
+open Loopcoal_ir
+
+type atom =
+  | Interchange  (** {!Pipeline.interchange_outer} *)
+  | Hoist  (** {!Pipeline.hoist_parallel_all} *)
+  | Distribute  (** {!Pipeline.distribute_all} *)
+  | Fuse  (** {!Pipeline.fuse_all} *)
+  | Tile of int  (** normalize, then {!Pipeline.tile_all} with square tiles *)
+  | Preduce of { pr_index : string; pr_scalar : string; pr_procs : int }
+      (** {!Pipeline.parallel_reduce}: FP-reassociating, opt-in only *)
+  | Coalesce of Index_recovery.strategy  (** {!Pipeline.coalesce_all} *)
+  | Chunked of int  (** {!Pipeline.coalesce_chunked} *)
+
+type t = atom list
+(** Atoms apply left to right. The empty list is the identity recipe. *)
+
+val identity : t
+val is_identity : t -> bool
+
+val to_string : t -> string
+(** [to_string identity = "id"]; otherwise atoms joined by ['+']. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; rejects unknown atoms, malformed argument
+    lists, non-positive sizes, and non-identifier preduce names. *)
+
+val passes : t -> Pipeline.pass list
+(** Lower to pipeline passes ([Tile] expands to normalize + tile-all). *)
+
+val apply : t -> Ast.program -> (Ast.program, string) result
+(** Run the recipe's passes with {!Pipeline.run} (no interpreter
+    verification — callers gate candidates with the static verifier).
+    [Error] when any pass declines: a stored recipe must replay fully or
+    not at all. *)

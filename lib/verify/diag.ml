@@ -56,6 +56,10 @@ let catalog =
       Error,
       "optimized tape's per-array read/write footprint differs from the \
        unoptimized tape's" );
+    ( "LC015",
+      Info,
+      "strip-mined serial loop recognized: subscripts rewritten over a \
+       bounded block remainder" );
   ]
 
 let severity_of_code c =

@@ -201,6 +201,117 @@ let try_qnf ~hints (loops : Ast.loop list) (inner_body : Ast.block) =
 
 type level = { lv_var : Ast.var; lv_range : (int * int) option }
 
+(* ---------- strip-mined serial loop recognition ----------
+
+   Tiling, chunked coalescing and parallel reductions all emit the same
+   shape inside a region body: a serial loop
+
+     do d = c*v + b, min(c*v + b', H)   with b' <= b + c - 1
+
+   over a region level [v] — each level iteration walks one width-<=c
+   block of a larger space, and distinct [v] walk disjoint blocks. The
+   analysis would otherwise see [d] as an opaque inner index with no
+   range and report a may-dependence carried by [v]. Recognition is the
+   exact dual of the Qnf recovery substitution: rewrite [d] in every
+   subscript as [c*v + (b-1) + r] with a fresh remainder pseudo-variable
+   [r in 1..c], after which the Banerjee interval for the [v]-carried
+   query spans at most [b' - b - c .. -1] (for v < v') and the
+   dependence is disproven. The substitution is information-preserving:
+   it is sound for every coupling at every level, not just [v]'s. *)
+
+type strip = {
+  st_d : Ast.var;  (** the serial strip index *)
+  st_v : Ast.var;  (** the region level it is mined from *)
+  st_c : int;  (** block stride (= max width) *)
+  st_b : int;  (** block base offset: d starts at c*v + b *)
+  st_r : Ast.var;  (** fresh remainder pseudo-variable, 1..c *)
+}
+
+(* [e] as [c*v + b] for a single variable [v] drawn from [names]. *)
+let single_level_affine ~names e =
+  match Affine.of_expr ~is_index:(fun _ -> true) e with
+  | Some { Affine.coeffs = [ (v, c) ]; const = b }
+    when c >= 1 && List.mem v names ->
+      Some (v, c, b)
+  | _ -> None
+
+let strip_shape ~level_names (l : Ast.loop) =
+  if const_of l.Ast.step <> Some 1 then None
+  else
+    match single_level_affine ~names:level_names l.Ast.lo with
+    | None -> None
+    | Some (v, c, b) ->
+        let qualifies e =
+          match single_level_affine ~names:[ v ] e with
+          | Some (_, c', b') -> c' = c && b' <= b + c - 1
+          | None -> false
+        in
+        let hi_ok =
+          match l.Ast.hi with
+          | Ast.Bin (Ast.Min, e1, e2) -> qualifies e1 || qualifies e2
+          | e -> qualifies e
+        in
+        if hi_ok then Some (v, c, b) else None
+
+(* Does [d] occur (as a variable in any expression, or as a binder)
+   anywhere in [b] outside the physical subtree [inside]? *)
+let occurs_outside d ~inside (b : Ast.block) =
+  let in_expr e = List.mem d (Ast.expr_vars e) in
+  let rec in_cond (c : Ast.cond) =
+    match c with
+    | Ast.True -> false
+    | Ast.Cmp (_, a, b) -> in_expr a || in_expr b
+    | Ast.And (a, b) | Ast.Or (a, b) -> in_cond a || in_cond b
+    | Ast.Not a -> in_cond a
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | _ when s == inside -> false
+    | Ast.Assign (lv, e) ->
+        in_expr e
+        || (match lv with
+           | Ast.Scalar v -> String.equal v d
+           | Ast.Elem (_, subs) -> List.exists in_expr subs)
+    | Ast.If (c, t, f) -> in_cond c || block t || block f
+    | Ast.For l ->
+        String.equal l.Ast.index d
+        || in_expr l.Ast.lo || in_expr l.Ast.hi || in_expr l.Ast.step
+        || block l.Ast.body
+  and block b = List.exists stmt b in
+  block b
+
+let find_strips ~level_names (body : Ast.block) =
+  let candidates = ref [] in
+  let rec stmt (s : Ast.stmt) =
+    (match s with
+    | Ast.For l when not (List.mem l.Ast.index level_names) -> (
+        match strip_shape ~level_names l with
+        | Some (v, c, b) -> candidates := (l.Ast.index, v, c, b, s) :: !candidates
+        | None -> ())
+    | _ -> ());
+    match s with
+    | Ast.Assign _ -> ()
+    | Ast.If (_, t, f) ->
+        List.iter stmt t;
+        List.iter stmt f
+    | Ast.For l -> List.iter stmt l.Ast.body
+  in
+  List.iter stmt body;
+  let writes = Usedef.scalar_writes body in
+  !candidates
+  |> List.filter (fun (d, _, _, _, subtree) ->
+         (* Exactly one binder for [d], never written as a scalar, and no
+            use of [d] escapes its own loop: then every subscript
+            occurrence of [d] is governed by this strip. *)
+         List.length
+           (List.filter (fun (d', _, _, _, _) -> String.equal d d')
+              !candidates)
+         = 1
+         && (not (Vset.mem d writes))
+         && not (occurs_outside d ~inside:subtree body))
+  |> List.map (fun (d, v, c, b, _) ->
+         { st_d = d; st_v = v; st_c = c; st_b = b; st_r = d ^ "#r" })
+
 let iter_count (l : Ast.loop) =
   match (const_of l.Ast.lo, const_of l.Ast.hi, const_of l.Ast.step) with
   | Some lo, Some hi, Some step when step >= 1 ->
@@ -316,10 +427,44 @@ let analyze_region ~hints ordinal ((loops : Ast.loop list), inner_body) =
             else e
       | Plain | Unrecognized -> fun e -> e
     in
+    let strips = find_strips ~level_names analyzed in
+    let strip_rem = Hashtbl.create 4 in
+    List.iter
+      (fun st ->
+        Hashtbl.replace strip_rem st.st_r st.st_c;
+        emit "LC015" st.st_d
+          (Printf.sprintf
+             "strip-mined serial loop recognized: %s = %d*%s %c %d + (r in \
+              1..%d)"
+             st.st_d st.st_c st.st_v
+             (if st.st_b - 1 < 0 then '-' else '+')
+             (abs (st.st_b - 1))
+             st.st_c))
+      strips;
+    let subst_strips e =
+      List.fold_left
+        (fun e st ->
+          if List.mem st.st_d (Ast.expr_vars e) then
+            (* d = c*v + (b-1) + r, with r the 1-based block offset. *)
+            Ast.subst_expr st.st_d
+              (Ast.Bin
+                 ( Ast.Add,
+                   Bin
+                     ( Ast.Add,
+                       Bin (Ast.Mul, Int st.st_c, Var st.st_v),
+                       Int (st.st_b - 1) ),
+                   Var st.st_r ))
+              e
+          else e)
+        e strips
+    in
     let refs =
       List.map
         (fun (r : Usedef.array_ref) ->
-          { r with Usedef.subs = List.map subst_sub r.Usedef.subs })
+          {
+            r with
+            Usedef.subs = List.map (fun s -> subst_strips (subst_sub s)) r.Usedef.subs;
+          })
         (Usedef.array_refs analyzed)
     in
     let inner_tbl = Loop_class.inner_ranges analyzed in
@@ -349,15 +494,22 @@ let analyze_region ~hints ordinal ((loops : Ast.loop list), inner_body) =
     let range_of v =
       match level_pos v with
       | Some p -> (List.nth levels p).lv_range
-      | None ->
-          if Vset.mem v writes then None
-          else Option.join (Hashtbl.find_opt inner_tbl v)
+      | None -> (
+          match Hashtbl.find_opt strip_rem v with
+          | Some c -> Some (1, c)
+          | None ->
+              if Vset.mem v writes then None
+              else Option.join (Hashtbl.find_opt inner_tbl v))
     in
     let classify_rest ~k v =
       match level_pos v with
       | Some p -> Depend.Coupled (if p < k then Depend.Ceq else Depend.Cany)
       | None ->
-          if Vset.mem v writes || Hashtbl.mem inner_tbl v then Depend.Private1
+          if
+            Hashtbl.mem strip_rem v
+            || Vset.mem v writes
+            || Hashtbl.mem inner_tbl v
+          then Depend.Private1
           else Depend.Shared
     in
     let carried_level subs1 subs2 =

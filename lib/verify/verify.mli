@@ -33,6 +33,11 @@ type region = {
 
 type result = { regions : region list; diags : Diag.t list }
 
+val collect_nest : Ast.loop -> Ast.loop list * Ast.block
+(** The maximal coalescible parallel prefix the runtime would fork as one
+    region — nest loops outermost first, plus the body below the prefix.
+    Exposed so cost models score exactly the regions the executor forks. *)
+
 val check_program : ?hints:hint list -> Ast.program -> result
 
 val report : ?target:string -> result -> Diag.report

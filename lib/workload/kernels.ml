@@ -423,9 +423,41 @@ let tri_gather_reference ~n =
   done;
   s
 
+(* ---------- relaxation sweeps (serial outer, parallel inner) ---------- *)
+
+let relax ~n ~steps : Ast.program =
+  if n < 1 || steps < 1 then invalid_arg "Kernels.relax: bad sizes";
+  B.program
+    ~arrays:[ B.array "A" [ n ]; B.array "B" [ n ] ]
+    [
+      B.doall "i" (B.int 1) (B.int n)
+        [
+          B.store "A" [ B.var "i" ] B.(var "i" % int 5);
+          B.store "B" [ B.var "i" ] B.((var "i" % int 3) * real 0.125);
+        ];
+      B.for_ "t" (B.int 1) (B.int steps)
+        [
+          B.doall "i" (B.int 1) (B.int n)
+            [
+              B.store "A" [ B.var "i" ]
+                B.((real 0.99 * load "A" [ var "i" ]) + load "B" [ var "i" ]);
+            ];
+        ];
+    ]
+
+let relax_reference ~n ~steps =
+  let a = Array.init n (fun i -> float_of_int ((i + 1) mod 5)) in
+  let b = Array.init n (fun i -> float_of_int ((i + 1) mod 3) *. 0.125) in
+  for _t = 1 to steps do
+    for i = 0 to n - 1 do
+      a.(i) <- (0.99 *. a.(i)) +. b.(i)
+    done
+  done;
+  a
+
 let all_names =
   [ "matmul"; "gauss_jordan"; "pi"; "stencil"; "swap"; "wavefront";
-    "transpose"; "histogram"; "cond_stencil"; "tri_gather" ]
+    "transpose"; "histogram"; "cond_stencil"; "tri_gather"; "relax" ]
 
 let by_name = function
   | "matmul" -> Some (fun () -> matmul ~ra:8 ~ca:6 ~cb:7)
@@ -438,4 +470,5 @@ let by_name = function
   | "histogram" -> Some (fun () -> histogram ~n:64 ~buckets:10)
   | "cond_stencil" -> Some (fun () -> cond_stencil ~n:12)
   | "tri_gather" -> Some (fun () -> tri_gather ~n:10)
+  | "relax" -> Some (fun () -> relax ~n:24 ~steps:12)
   | _ -> None

@@ -96,6 +96,16 @@ val tri_gather : n:int -> Ast.program
 val tri_gather_reference : n:int -> float array
 (** Contents of [S]. *)
 
+(** {1 Relaxation sweeps} — [steps] Jacobi-style updates
+    [A(i) = 0.99*A(i) + B(i)] under a serial time loop: as written the
+    runtime forks once per sweep; hoisting the parallel loop outward
+    (legal — the carried dependence is elementwise) leaves one fork
+    total. The canonical subject of the transformation searcher. *)
+
+val relax : n:int -> steps:int -> Ast.program
+val relax_reference : n:int -> steps:int -> float array
+(** Contents of [A] after [steps] sweeps. *)
+
 val all_names : string list
 val by_name : string -> (unit -> Ast.program) option
 (** Kernels at a small default size, for the CLI. *)

@@ -23,5 +23,6 @@ let () =
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);
       ("verify", Test_verify.suite);
+      ("search", Test_search.suite);
       ("native", Test_native.suite);
     ]

@@ -481,7 +481,21 @@ let test_time_suffix_contract () =
   Alcotest.(check string) "pinned line with tapecheck field"
     "time engine=bytecode domains=2 policy=GSS wall_s=0.500000 opt=2 \
      plan_cache=off tapecheck=ok"
-    validated
+    validated;
+  (* The search field ([loopc run --search]) appends after every earlier
+     extra: off (no search), hit (warm-cache recipe replay) or the
+     budget that was enumerated. Same append-only contract. *)
+  let searched =
+    Report.time_line ~engine:"bytecode" ~domains:2 ~policy:"GSS"
+      ~wall_s:0.5
+    ^ Report.time_suffix
+        ~extra:[ ("tapecheck", "off"); ("search", "hit") ]
+        ~opt:2 ~plan_cache:"hit" ()
+  in
+  Alcotest.(check string) "pinned line with search field"
+    "time engine=bytecode domains=2 policy=GSS wall_s=0.500000 opt=2 \
+     plan_cache=hit tapecheck=off search=hit"
+    searched
 
 (* ---------- metrics registry ---------- *)
 

@@ -172,6 +172,107 @@ let test_stale_format_is_a_miss () =
       Alcotest.(check bool) "recompile runs identically" true
         (o1.Exec.arrays = o2.Exec.arrays && o1.Exec.scalars = o2.Exec.scalars))
 
+(* ---------- winning-recipe side files ---------- *)
+
+let test_recipe_side_files () =
+  with_temp_dir (fun dir ->
+      let k = Plancache.key ~sanitize:false ~opt_level:2 ~salt:"search" prog in
+      let c1 = Plancache.create ~dir () in
+      Alcotest.(check bool) "cold cache has no recipe" true
+        (Plancache.find_recipe c1 k = None);
+      Plancache.store_recipe c1 k "interchange+tile(8)";
+      Alcotest.(check (option string)) "memory hit" (Some "interchange+tile(8)")
+        (Plancache.find_recipe c1 k);
+      Alcotest.(check bool) "side file written" true
+        (Sys.readdir dir
+        |> Array.exists (fun f -> Filename.check_suffix f ".recipe"));
+      (* A fresh instance — a new process — replays from disk. *)
+      let c2 = Plancache.create ~dir () in
+      Alcotest.(check (option string)) "disk hit" (Some "interchange+tile(8)")
+        (Plancache.find_recipe c2 k);
+      (* Another key stays independent. *)
+      let k' =
+        Plancache.key ~sanitize:false ~opt_level:2 ~salt:"search" other_prog
+      in
+      Alcotest.(check bool) "other key misses" true
+        (Plancache.find_recipe c2 k' = None);
+      (* An empty/whitespace side file is a miss, not Some "". *)
+      let oc = open_out (Filename.concat dir (k' ^ ".recipe")) in
+      output_string oc "\n";
+      close_out oc;
+      Alcotest.(check bool) "blank side file is a miss" true
+        (Plancache.find_recipe c2 k' = None))
+
+(* ---------- LOOPC_CACHE_MAX_MB eviction ---------- *)
+
+let with_cache_cap mb f =
+  let old = Sys.getenv_opt "LOOPC_CACHE_MAX_MB" in
+  Unix.putenv "LOOPC_CACHE_MAX_MB" mb;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "LOOPC_CACHE_MAX_MB" (Option.value old ~default:""))
+    f
+
+let evict_count () =
+  Registry.value (Registry.counter "plan_cache.evict")
+
+let test_size_cap_evicts_lru () =
+  with_temp_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      (* Three 1 MiB decoys with staggered mtimes, oldest first. *)
+      let mib = String.make (1024 * 1024) 'x' in
+      let decoy i = Filename.concat dir (Printf.sprintf "decoy%d.plan" i) in
+      List.iter
+        (fun i ->
+          let oc = open_out_bin (decoy i) in
+          output_string oc mib;
+          close_out oc;
+          (* mtimes 30,20,10 seconds in the past: decoy 0 is the LRU *)
+          let t = Unix.gettimeofday () -. float_of_int (10 * (3 - i)) in
+          Unix.utimes (decoy i) t t)
+        [ 0; 1; 2 ];
+      (* Non-cache files are never touched by the cap. *)
+      let keep = Filename.concat dir "README.txt" in
+      let oc = open_out keep in
+      output_string oc mib;
+      close_out oc;
+      with_cache_cap "2" (fun () ->
+          Counters.reset ();
+          Plancache.enforce_cap dir;
+          Alcotest.(check bool) "oldest decoy evicted" false
+            (Sys.file_exists (decoy 0));
+          Alcotest.(check bool) "newer decoys survive" true
+            (Sys.file_exists (decoy 1) && Sys.file_exists (decoy 2));
+          Alcotest.(check bool) "non-cache file untouched" true
+            (Sys.file_exists keep);
+          Alcotest.(check int) "eviction counted" 1 (evict_count ());
+          (* Storing through a capped cache keeps the newest entries:
+             the store itself must survive its own enforcement. *)
+          let k =
+            Plancache.key ~sanitize:false ~opt_level:2 ~salt:"test" prog
+          in
+          let c = Plancache.create ~dir () in
+          Plancache.store_recipe c k "hoist";
+          Alcotest.(check (option string)) "fresh store survives cap"
+            (Some "hoist")
+            (Plancache.find_recipe (Plancache.create ~dir ()) k)))
+
+let test_cap_unset_is_noop () =
+  with_temp_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let f = Filename.concat dir "x.plan" in
+      let oc = open_out_bin f in
+      output_string oc (String.make 4096 'y');
+      close_out oc;
+      with_cache_cap "" (fun () ->
+          Plancache.enforce_cap dir;
+          Alcotest.(check bool) "no cap, nothing evicted" true
+            (Sys.file_exists f));
+      with_cache_cap "not-a-number" (fun () ->
+          Plancache.enforce_cap dir;
+          Alcotest.(check bool) "unparsable cap ignored" true
+            (Sys.file_exists f)))
+
 let suite =
   [
     Alcotest.test_case "hit/miss counters" `Quick test_hit_miss_counters;
@@ -182,4 +283,10 @@ let suite =
       test_disk_persistence;
     Alcotest.test_case "stale on-disk format is a miss" `Quick
       test_stale_format_is_a_miss;
+    Alcotest.test_case "winning-recipe side files" `Quick
+      test_recipe_side_files;
+    Alcotest.test_case "size cap evicts least-recently-used" `Quick
+      test_size_cap_evicts_lru;
+    Alcotest.test_case "unset/unparsable cap is a no-op" `Quick
+      test_cap_unset_is_noop;
   ]

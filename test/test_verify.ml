@@ -137,7 +137,8 @@ let test_diag_catalog () =
   Alcotest.(check (list string))
     "codes in order"
     [ "LC001"; "LC002"; "LC003"; "LC004"; "LC005"; "LC006"; "LC007";
-      "LC008"; "LC009"; "LC010"; "LC011"; "LC012"; "LC013"; "LC014" ]
+      "LC008"; "LC009"; "LC010"; "LC011"; "LC012"; "LC013"; "LC014";
+      "LC015" ]
     codes;
   Alcotest.(check bool) "severity lookup" true
     (Diag.severity_of_code "LC004" = Some Diag.Warning
@@ -347,6 +348,55 @@ let test_verify_shadowed_index () =
   let res, free = verdict_of p in
   Alcotest.(check bool) "not proven" false free;
   Alcotest.(check bool) "LC009" true (has_code res "LC009")
+
+(* ---------- strip-mine recognition (LC015) ---------- *)
+
+let test_verify_tiled_nest_race_free () =
+  (* The transformation search emits tiled candidates; the verifier must
+     not downgrade them, or every tile recipe would be pruned. Tiling a
+     race-free doall nest yields parallel tile loops over serial strip
+     loops whose subscripts are [c*v + r] shapes — LC015 records the
+     recognition and the verdict stays race-free. *)
+  let p =
+    parse
+      {|program
+ real A[8, 8]
+begin
+ doall i = 1, 8
+  doall j = 1, 8
+   A[i, j] = 1.0 * i + 2.0 * j
+  end
+ end
+end|}
+  in
+  Alcotest.(check bool) "untiled race free" true (snd (verdict_of p));
+  match Recipe.apply [ Recipe.Tile 4 ] p with
+  | Error m -> Alcotest.failf "tile recipe declined: %s" m
+  | Ok tiled ->
+      let res, free = verdict_of tiled in
+      Alcotest.(check bool) "tiled still race free" true free;
+      Alcotest.(check bool) "LC015 recognition recorded" true
+        (has_code res "LC015")
+
+let test_verify_overlapping_strips_flagged () =
+  (* Same [c*v + r] shape but with stride 2 under a width-4 remainder:
+     consecutive ii blocks overlap, so distinct parallel iterations
+     write the same elements. The strip recognizer must not talk the
+     race checker out of flagging it. *)
+  let p =
+    parse
+      {|program
+ real A[16]
+begin
+ doall ii = 1, 4
+  do r = 1, 4
+   A[2 * ii + r] = 1.0
+  end
+ end
+end|}
+  in
+  let _, free = verdict_of p in
+  Alcotest.(check bool) "overlapping strips not race free" false free
 
 (* ---------- coalesced-iff-original on kernels and examples ---------- *)
 
@@ -558,6 +608,10 @@ let suite =
       test_verify_coalesced_recognized;
     Alcotest.test_case "verify shadowed index" `Quick
       test_verify_shadowed_index;
+    Alcotest.test_case "verify tiled nest race free (LC015)" `Quick
+      test_verify_tiled_nest_race_free;
+    Alcotest.test_case "verify overlapping strips flagged" `Quick
+      test_verify_overlapping_strips_flagged;
     Alcotest.test_case "kernels: coalesced iff original" `Quick
       test_kernels_iff;
     Alcotest.test_case "examples: coalesced iff original" `Quick
